@@ -1,0 +1,82 @@
+"""E10 — TSDB cardinality cleanup of short-lived workloads.
+
+Paper (Fig. 1 discussion): removing the metrics of workloads that did
+not outlast a configured cutoff *"helps in reducing the cardinality
+of metrics"*.  We generate a churny history whose job durations are
+log-normal (many tiny jobs, few long ones — the canonical HPC shape),
+sweep the cutoff, and report the series-count reduction; the timed
+section is the cleanup pass itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apiserver.cleanup import CardinalityCleaner
+from repro.apiserver.db import Database
+from repro.resourcemgr.base import ComputeUnit, UnitState
+from repro.tsdb.model import Labels
+from repro.tsdb.storage import TSDB
+
+NJOBS = 2000
+SERIES_PER_JOB = 9  # the exporter's per-unit metric families
+
+
+def churny_env():
+    """A DB + TSDB with 2000 finished jobs of log-normal duration."""
+    rng = np.random.default_rng(11)
+    db = Database()
+    tsdb = TSDB()
+    units = []
+    durations = np.clip(rng.lognormal(5.5, 1.6, NJOBS), 10.0, 86400.0)
+    for i, duration in enumerate(durations):
+        uuid = str(10_000 + i)
+        units.append(
+            ComputeUnit(
+                uuid=uuid, name=f"j{i}", manager="slurm", cluster="jz",
+                user=f"user{i % 30:03d}", project=f"p{i % 9}",
+                created_at=0.0, started_at=0.0, ended_at=float(duration),
+                state=UnitState.COMPLETED, cpus=4, memory_bytes=2**30,
+            )
+        )
+        for m in range(SERIES_PER_JOB):
+            tsdb.append(
+                Labels({"__name__": f"ceems_unit_metric_{m}", "uuid": uuid}), 0.0, 1.0
+            )
+    db.upsert_units(units, now=86400.0)
+    return db, tsdb, durations
+
+
+@pytest.mark.parametrize("cutoff", [60.0, 300.0, 1800.0])
+def test_cleanup_cutoff_sweep(benchmark, cutoff):
+    db, tsdb, durations = churny_env()
+    before = tsdb.num_series
+    cleaner = CardinalityCleaner(db, [tsdb], cutoff)
+
+    stats = benchmark.pedantic(cleaner.run, args=(86400.0,), rounds=1, iterations=1)
+
+    after = tsdb.num_series
+    short_fraction = float(np.mean(durations < cutoff))
+    reduction = 1 - after / before
+    print(
+        f"\n[E10] cutoff {cutoff:6.0f} s: {before} -> {after} series "
+        f"({reduction * 100:.1f}% reduction; {short_fraction * 100:.1f}% of jobs are short)"
+    )
+    benchmark.extra_info["series_before"] = before
+    benchmark.extra_info["series_after"] = after
+    benchmark.extra_info["reduction_pct"] = reduction * 100
+    # every short job's series must be gone, long jobs untouched
+    assert stats.units_cleaned == int(np.sum(durations < cutoff))
+    assert after == before - stats.units_cleaned * SERIES_PER_JOB
+
+
+def test_reduction_monotone_in_cutoff():
+    """Bigger cutoff -> strictly more cleanup (sanity of the sweep)."""
+    results = []
+    for cutoff in (60.0, 300.0, 1800.0, 7200.0):
+        db, tsdb, _ = churny_env()
+        CardinalityCleaner(db, [tsdb], cutoff).run(86400.0)
+        results.append(tsdb.num_series)
+    assert results == sorted(results, reverse=True)
+    print(f"\n[E10] series remaining by cutoff (60s/5m/30m/2h): {results}")

@@ -1,0 +1,93 @@
+"""E12 — emission-factor sources: OWID static vs RTE vs Electricity Maps.
+
+Paper §II.A.c: emission factors are dynamic because the grid mix is;
+CEEMS therefore supports a static baseline (OWID) and two real-time
+sources.  We push the same 24 h / 1 kW energy profile through all
+three providers and report how much the resulting CO2e diverges —
+the reason real-time factors matter.  Timed sections: factor
+resolution through the fallback chain, and the integration pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.emissions import (
+    ElectricityMapsProvider,
+    EmissionsCalculator,
+    OWIDProvider,
+    ProviderRegistry,
+    RTEProvider,
+)
+
+DAY = 86400.0
+
+
+def registry_for(provider_name: str) -> ProviderRegistry:
+    registry = ProviderRegistry()
+    if provider_name == "rte":
+        registry.register(RTEProvider(seed=3))
+    elif provider_name == "electricity_maps":
+        registry.register(ElectricityMapsProvider(seed=3))
+    registry.register(OWIDProvider(world_fallback=True))
+    return registry
+
+
+@pytest.mark.parametrize("provider", ["owid", "rte", "electricity_maps"])
+def test_daily_co2_per_provider(benchmark, provider):
+    """One day of 1 kW through each provider."""
+    calc = EmissionsCalculator(registry_for(provider), "FR")
+    ts = np.arange(0.0, DAY + 1, 900.0)
+    power = np.full_like(ts, 1000.0)
+
+    grams = benchmark(calc.integrate, ts, power)
+
+    print(f"\n[E12] 24 kWh day in FR via {provider:18s}: {grams:8.1f} gCO2e")
+    benchmark.extra_info["g_co2e_per_day"] = grams
+    assert 300.0 < grams < 4000.0  # plausible for FR
+
+
+def test_provider_divergence_summary():
+    """How wrong is the static factor hour by hour?"""
+    registries = {name: registry_for(name) for name in ("owid", "rte", "electricity_maps")}
+    hours = np.arange(0, 24 * 14)  # two weeks hourly
+    series = {
+        name: np.array([reg.factor("FR", float(h) * 3600.0).value for h in hours])
+        for name, reg in registries.items()
+    }
+    print("\n[E12] FR emission factor over two weeks (gCO2e/kWh):")
+    for name, values in series.items():
+        print(f"  {name:18s} mean {values.mean():6.1f}  min {values.min():6.1f}  max {values.max():6.1f}")
+    rte_vs_owid = np.abs(series["rte"] - series["owid"]) / series["owid"]
+    print(f"  static-vs-RTE hourly error: mean {rte_vs_owid.mean() * 100:.1f}%, "
+          f"max {rte_vs_owid.max() * 100:.1f}%")
+    assert series["owid"].std() == 0.0  # static is static
+    assert series["rte"].std() > 0.0  # real-time moves
+    assert rte_vs_owid.max() > 0.10  # static can be >10% off at peaks
+
+
+def test_fallback_chain_cost(benchmark):
+    """Resolution cost when the preferred provider is down."""
+    registry = ProviderRegistry()
+    registry.register(RTEProvider(available=False))
+    registry.register(ElectricityMapsProvider(seed=1))
+    registry.register(OWIDProvider(world_fallback=True))
+
+    factor = benchmark(registry.factor, "FR", 1234.0)
+    assert factor.provider == "electricity_maps"
+
+
+def test_multi_zone_factor_table(benchmark):
+    """The operator's cross-site table (Electricity Maps strength)."""
+    provider = ElectricityMapsProvider(seed=5)
+    zones = ("FR", "DE", "PL", "NO", "US")
+
+    def table():
+        return {z: provider.factor(z, 12 * 3600.0).value for z in zones}
+
+    factors = benchmark(table)
+    print("\n[E12] midday factors by zone (gCO2e/kWh):")
+    for zone, value in factors.items():
+        print(f"  {zone}: {value:6.1f}")
+    assert factors["NO"] < factors["FR"] < factors["DE"] < factors["PL"]

@@ -1,0 +1,109 @@
+"""E1 / E14 — Eq. (1) power estimation: fidelity and rule-variant cost.
+
+Regenerates the paper's §III.A content: per-job power estimated by
+the recording rules on each Jean-Zay node class, compared against the
+simulation's ground-truth attribution.  The printed table is the
+evaluation artifact; the timed section is one recording-rule
+evaluation cycle (the recurring cost Prometheus pays every interval).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.config import ExporterConfig
+from repro.emissions import OWIDProvider, ProviderRegistry, RTEProvider
+from repro.emissions.pipeline import EmissionsExporter
+from repro.energy import NodeGroup, POWER_METRIC, emissions_rules, rules_for_group
+from repro.exporter import CEEMSExporter, DCGMExporter
+from repro.hwsim import NodeSpec, SimulatedNode, UsageProfile
+from repro.tsdb import ScrapeConfig, ScrapeManager, ScrapeTarget, TSDB
+from repro.tsdb.promql.engine import PromQLEngine
+from repro.tsdb.rules import RuleManager
+
+JOB = "/system.slice/slurmstepd.scope/job_{}"
+
+VARIANTS = {
+    "intel-cpu": (
+        NodeSpec(name="intel0"),
+        NodeGroup("intel-cpu", True, False, True),
+        [("101", 24, 32, UsageProfile.constant(0.95, 0.2), 0),
+         ("102", 8, 96, UsageProfile.constant(0.35, 0.9), 0),
+         ("103", 8, 16, UsageProfile.constant(0.05, 0.1), 0)],
+    ),
+    "amd-cpu": (
+        NodeSpec(name="amd0", cpu_model="amd-milan", cores_per_socket=32, memory_gb=256, dram_profile="ddr4-384g"),
+        NodeGroup("amd-cpu", False, False, True),
+        [("201", 48, 64, UsageProfile.constant(0.9, 0.5), 0),
+         ("202", 16, 32, UsageProfile.constant(0.9, 0.5), 0)],
+    ),
+    "gpu-ipmi-incl": (
+        NodeSpec(name="gpu0", gpus=("A100",) * 4, memory_gb=384, dram_profile="ddr4-384g", ipmi_includes_gpu=True),
+        NodeGroup("gpu-ipmi-incl", True, True, True),
+        [("301", 16, 128, UsageProfile.constant(0.6, 0.5, 0.9), 2),
+         ("302", 16, 64, UsageProfile.constant(0.6, 0.3), 0)],
+    ),
+    "gpu-ipmi-excl": (
+        NodeSpec(name="gpu1", gpus=("A100",) * 4, memory_gb=384, dram_profile="ddr4-384g", ipmi_includes_gpu=False),
+        NodeGroup("gpu-ipmi-excl", True, True, False),
+        [("401", 16, 128, UsageProfile.constant(0.6, 0.5, 0.9), 2)],
+    ),
+}
+
+
+def build(variant: str):
+    spec, group, jobs = VARIANTS[variant]
+    clock = SimClock(start=0.0)
+    node = SimulatedNode(spec, seed=5)
+    db = TSDB()
+    scrapes = ScrapeManager(db, ScrapeConfig(interval=15.0))
+    labels = {"hostname": spec.name, "nodegroup": group.name}
+    exporter = CEEMSExporter(node, clock, ExporterConfig(collectors=("cgroup", "rapl", "ipmi", "node", "gpu_map")))
+    scrapes.add_target(ScrapeTarget(app=exporter.app, instance="n:9010", job="ceems", group_labels=dict(labels)))
+    if spec.gpus:
+        scrapes.add_target(ScrapeTarget(app=DCGMExporter(node, clock).app, instance="n:9400", job="dcgm", group_labels=dict(labels)))
+    registry = ProviderRegistry()
+    registry.register(RTEProvider(seed=1))
+    registry.register(OWIDProvider())
+    scrapes.add_target(ScrapeTarget(app=EmissionsExporter(registry, "FR", clock).app, instance="em:9020", job="emissions"))
+    manager = RuleManager(db)
+    manager.add_group(rules_for_group(group, 30.0))
+    manager.add_group(emissions_rules(30.0))
+    for uuid, cores, mem_gb, profile, ngpus in jobs:
+        node.place_task(uuid, JOB.format(uuid), cores, mem_gb * 2**30, profile, 0.0, ngpus=ngpus)
+    clock.every(5.0, lambda now: node.advance(now, 5.0))
+    scrapes.register_timer(clock)
+    manager.register_timers(clock)
+    clock.advance(1200.0)
+    return clock, node, db, manager, PromQLEngine(db)
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_eq1_variant(benchmark, variant):
+    clock, node, db, manager, engine = build(variant)
+    at = clock.now()
+
+    estimates = {el.labels.get("uuid"): el.value for el in engine.query(POWER_METRIC, at=at).vector}
+    oracle = {u: node.true_task_power(u) for u in node.tasks}
+    print(f"\n[E1/{variant}] per-job power: Eq.(1) estimate vs ground truth")
+    errors = []
+    for uuid in sorted(estimates):
+        true = oracle.get(uuid, 0.0)
+        err = (estimates[uuid] - true) / true * 100 if true else 0.0
+        errors.append(abs(err))
+        print(f"  job {uuid}: est {estimates[uuid]:8.1f} W  true {true:8.1f} W  err {err:+6.1f}%")
+    total_est, total_true = sum(estimates.values()), sum(oracle.values())
+    print(f"  TOTAL    est {total_est:8.1f} W  true {total_true:8.1f} W  "
+          f"(conservation gap {100 * (total_est - total_true) / total_true:+.1f}%)")
+
+    # the recurring cost: one rules evaluation cycle
+    def evaluate_cycle():
+        return manager.evaluate_all(at)
+
+    samples = benchmark(evaluate_cycle)
+    benchmark.extra_info["samples_per_cycle"] = samples
+    benchmark.extra_info["max_abs_error_pct"] = max(errors)
+    benchmark.extra_info["conservation_gap_pct"] = abs(total_est - total_true) / total_true * 100
+
+    assert total_est == pytest.approx(total_true, rel=0.15)

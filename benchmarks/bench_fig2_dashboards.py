@@ -1,0 +1,68 @@
+"""E3 / E4 / E5 — regenerate the data behind the paper's Fig. 2.
+
+Fig. 2a: a user's aggregate usage stats; Fig. 2b: the user's job list
+with per-job aggregates; Fig. 2c: time-series CPU metrics of one job.
+Each bench prints the regenerated panel and times its data path
+(API-server reads for 2a/2b, an LB-authorized range query for 2c).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import heaviest_user
+from repro.dashboard import (
+    fig2a_user_overview,
+    fig2b_job_list,
+    fig2c_job_timeseries,
+)
+
+
+def test_fig2a_aggregate_usage(benchmark, bench_sim):
+    user = heaviest_user(bench_sim)
+    ceems = bench_sim.ceems_datasource(user)
+
+    panels = benchmark(fig2a_user_overview, ceems)
+
+    print(f"\n[E3/Fig.2a] aggregate usage of {user}:")
+    for panel in panels:
+        print(f"  {panel.render()}")
+    by_title = {p.title: p for p in panels}
+    benchmark.extra_info["total_energy_joules"] = by_title["Total energy"].value
+    benchmark.extra_info["emissions_g"] = by_title["Emissions"].value
+    assert by_title["Total energy"].value > 0
+    assert by_title["Emissions"].value > 0
+
+
+def test_fig2b_job_list(benchmark, bench_sim):
+    user = heaviest_user(bench_sim)
+    ceems = bench_sim.ceems_datasource(user)
+
+    panel = benchmark(fig2b_job_list, ceems, None, 10)
+
+    print(f"\n[E4/Fig.2b] job list of {user}:")
+    print(panel.render())
+    benchmark.extra_info["rows"] = len(panel.rows)
+    assert panel.rows
+
+
+def test_fig2c_job_timeseries(benchmark, bench_sim):
+    user = heaviest_user(bench_sim)
+    ceems = bench_sim.ceems_datasource(user)
+    finished = [u for u in ceems.units() if u["state"] == "completed" and u["elapsed"] > 900]
+    if not finished:
+        finished = [u for u in ceems.units() if u["elapsed"] > 900]
+    job = finished[0]
+    prom = bench_sim.prometheus_datasource(user)
+
+    panel = benchmark(
+        fig2c_job_timeseries, prom, job["uuid"], job["started_at"],
+        job["ended_at"] or bench_sim.now, 60.0
+    )
+
+    print(f"\n[E5/Fig.2c] time series of job {job['uuid']} ({job['name']}):")
+    print(panel.render())
+    summary = panel.summary()
+    benchmark.extra_info["series"] = len(summary)
+    assert "cpu_cores_used" in summary
+    assert summary["cpu_cores_used"]["max"] <= job["cpus"] + 0.5

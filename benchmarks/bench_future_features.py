@@ -1,0 +1,68 @@
+"""E15 — cost and value of the §IV future-work collectors.
+
+The paper plans eBPF network stats and perf metrics "in the pipeline".
+This bench measures what adopting them costs the exporter (scrape CPU
+and payload growth) and what they buy (the FLOPS/W efficiency signal
+and the operator's efficiency report).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytics import efficiency_report
+from repro.common.clock import SimClock
+from repro.common.config import ExporterConfig
+from repro.common.httpx import Request
+from repro.exporter import CEEMSExporter
+from repro.hwsim import NodeSpec, SimulatedNode, UsageProfile
+
+BASE = ("cgroup", "rapl", "ipmi", "node", "gpu_map")
+FULL = BASE + ("ebpf_net", "perf")
+
+
+def loaded_node(njobs: int = 32) -> SimulatedNode:
+    node = SimulatedNode(
+        NodeSpec(name="bench", sockets=2, cores_per_socket=32, memory_gb=256, dram_profile="ddr4-384g"),
+        seed=3,
+    )
+    for i in range(njobs):
+        node.place_task(
+            str(3000 + i),
+            f"/system.slice/slurmstepd.scope/job_{3000 + i}",
+            2,
+            2 * 2**30,
+            UsageProfile.constant(0.7, 0.5),
+            0.0,
+        )
+    for step in range(12):
+        node.advance((step + 1) * 5.0, 5.0)
+    return node
+
+
+@pytest.mark.parametrize("collectors", [BASE, FULL], ids=["paper-baseline", "with-ebpf-perf"])
+def test_scrape_cost_with_future_collectors(benchmark, collectors):
+    node = loaded_node()
+    exporter = CEEMSExporter(node, SimClock(start=60.0), ExporterConfig(collectors=collectors))
+    request = Request.from_url("GET", "/metrics")
+
+    response = benchmark(exporter.app.handle, request)
+
+    assert response.status == 200
+    per_scrape_ms = exporter.scrape_cpu_seconds / exporter.scrapes_total * 1000
+    print(f"\n[E15] {len(collectors)} collectors: payload "
+          f"{exporter.last_payload_bytes / 1024:.1f} KiB, {per_scrape_ms:.2f} ms CPU/scrape")
+    benchmark.extra_info["payload_bytes"] = exporter.last_payload_bytes
+    benchmark.extra_info["cpu_ms"] = per_scrape_ms
+    assert per_scrape_ms < 100.0
+
+
+def test_efficiency_report_generation(benchmark, bench_sim):
+    """The §III.B operator report over the live deployment's DB."""
+    report = benchmark(efficiency_report, bench_sim.db)
+    print(f"\n[E15] efficiency report: {len(report.rows)} users, "
+          f"{len(report.flagged)} flagged below 25% CPU efficiency")
+    print(report.render())
+    assert report.rows
+    total_energy = sum(r.energy_joules for r in report.rows)
+    assert total_energy > 0

@@ -1,0 +1,112 @@
+"""E13 — the single-writer SQLite argument (paper §II.D).
+
+Paper: SQLite suffices because *"there is only one go routine that
+writes to DB at a configured interval"*.  We measure the write path at
+Jean-Zay-like batch sizes (an updater pass upserting thousands of
+units) and show that concurrent readers — API handlers and the LB's
+ownership checks — proceed unharmed during the write cadence.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.apiserver.db import Database
+from repro.resourcemgr.base import ComputeUnit, UnitState
+
+
+def make_units(n: int, offset: int = 0) -> list[ComputeUnit]:
+    return [
+        ComputeUnit(
+            uuid=str(50_000 + offset + i),
+            name=f"job-{i}",
+            manager="slurm",
+            cluster="jz",
+            user=f"user{i % 40:03d}",
+            project=f"proj{i % 10}",
+            created_at=float(i),
+            started_at=float(i),
+            ended_at=float(i + 600),
+            state=UnitState.COMPLETED,
+            cpus=8,
+            memory_bytes=2**33,
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.mark.parametrize("batch", [500, 2000, 8000])
+def test_updater_batch_upsert(benchmark, batch):
+    """One updater pass at various unit-batch sizes."""
+    db = Database()
+    units = make_units(batch)
+    state = {"round": 0}
+
+    def upsert():
+        state["round"] += 1
+        db.upsert_units(units, now=float(state["round"]))
+        db.rebuild_usage_rollups("jz", now=float(state["round"]))
+
+    benchmark.pedantic(upsert, rounds=5, iterations=1)
+    per_unit_us = benchmark.stats.stats.mean / batch * 1e6
+    print(f"\n[E13] batch {batch}: {per_unit_us:.1f} µs/unit "
+          f"(a 15-minute updater pass at Jean-Zay churn is milliseconds of DB time)")
+    benchmark.extra_info["us_per_unit"] = per_unit_us
+    assert benchmark.stats.stats.mean < 5.0  # far below the 15 min cadence
+
+
+def test_readers_during_writes(benchmark):
+    """LB-style ownership lookups proceed while the updater writes."""
+    db = Database()
+    db.upsert_units(make_units(4000), now=0.0)
+    db.rebuild_usage_rollups("jz", now=0.0)
+    stop = threading.Event()
+    read_errors: list[Exception] = []
+    reads = {"count": 0}
+
+    def reader():
+        while not stop.is_set():
+            try:
+                assert db.find_unit_owner("50123") is not None
+                db.usage_rows(user="user003")
+                reads["count"] += 1
+            except Exception as exc:  # noqa: BLE001
+                read_errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=reader, daemon=True) for _ in range(4)]
+    for t in threads:
+        t.start()
+
+    fresh = make_units(2000, offset=10_000)
+    state = {"round": 0}
+
+    def write_pass():
+        state["round"] += 1
+        db.upsert_units(fresh, now=float(state["round"]))
+        db.rebuild_usage_rollups("jz", now=float(state["round"]))
+
+    try:
+        benchmark.pedantic(write_pass, rounds=5, iterations=1)
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(timeout=5)
+
+    print(f"\n[E13] {reads['count']} reader operations completed during write passes, "
+          f"{len(read_errors)} errors")
+    benchmark.extra_info["concurrent_reads"] = reads["count"]
+    assert not read_errors
+    assert reads["count"] > 50
+
+
+def test_ownership_lookup_hot_path(benchmark):
+    """The LB's per-query lookup must be microseconds (it is indexed)."""
+    db = Database()
+    db.upsert_units(make_units(8000), now=0.0)
+
+    owner = benchmark(db.find_unit_owner, "54321")
+    assert owner is not None
+    assert benchmark.stats.stats.mean < 1e-3

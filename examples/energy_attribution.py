@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Deep dive into the paper's Eq. (1): per-job power attribution.
+
+Places three jobs with contrasting resource profiles on one Intel
+node (compute-bound, memory-bound, idle-ish), runs the full
+measurement pipeline (exporter → scrape → recording rules), and
+compares the Eq. (1) estimates against the simulation's ground-truth
+power attribution — then repeats on the other Jean-Zay node classes
+to show how the rule *variants* adapt to the hardware.
+
+Run:  python examples/energy_attribution.py
+"""
+
+from repro.common.clock import SimClock
+from repro.common.config import ExporterConfig
+from repro.emissions import OWIDProvider, ProviderRegistry, RTEProvider
+from repro.emissions.pipeline import EmissionsExporter
+from repro.energy import NodeGroup, POWER_METRIC, emissions_rules, rules_for_group
+from repro.exporter import CEEMSExporter, DCGMExporter
+from repro.hwsim import NodeSpec, SimulatedNode, UsageProfile
+from repro.tsdb import ScrapeConfig, ScrapeManager, ScrapeTarget, TSDB
+from repro.tsdb.promql.engine import PromQLEngine
+from repro.tsdb.rules import RuleManager
+
+JOB = "/system.slice/slurmstepd.scope/job_{}"
+
+
+def build_rig(spec: NodeSpec, group: NodeGroup, seed: int = 11):
+    clock = SimClock(start=0.0)
+    node = SimulatedNode(spec, seed=seed)
+    db = TSDB()
+    scrapes = ScrapeManager(db, ScrapeConfig(interval=15.0))
+    labels = {"hostname": spec.name, "nodegroup": group.name}
+    exporter = CEEMSExporter(node, clock, ExporterConfig(collectors=("cgroup", "rapl", "ipmi", "node", "gpu_map")))
+    scrapes.add_target(ScrapeTarget(app=exporter.app, instance=f"{spec.name}:9010", job="ceems", group_labels=dict(labels)))
+    if spec.gpus:
+        dcgm = DCGMExporter(node, clock)
+        scrapes.add_target(ScrapeTarget(app=dcgm.app, instance=f"{spec.name}:9400", job="dcgm", group_labels=dict(labels)))
+    registry = ProviderRegistry()
+    registry.register(RTEProvider(seed=1))
+    registry.register(OWIDProvider())
+    scrapes.add_target(ScrapeTarget(app=EmissionsExporter(registry, "FR", clock).app, instance="em:9020", job="emissions"))
+    rules = RuleManager(db)
+    rules.add_group(rules_for_group(group, 30.0))
+    rules.add_group(emissions_rules(30.0))
+    clock.every(5.0, lambda now: node.advance(now, 5.0))
+    scrapes.register_timer(clock)
+    rules.register_timers(clock)
+    return clock, node, PromQLEngine(db)
+
+
+def report(title: str, node: SimulatedNode, engine: PromQLEngine, at: float) -> None:
+    print(f"\n=== {title} ===")
+    estimates = {
+        el.labels.get("uuid"): el.value
+        for el in engine.query(POWER_METRIC, at=at).vector
+    }
+    ipmi = engine.query("instance:ipmi_watts", at=at).vector[0].value
+    print(f"  IPMI node power: {ipmi:.0f} W")
+    print(f"  {'job':<10} {'Eq.(1) est.':>12} {'ground truth':>13} {'error':>8}")
+    for uuid in sorted(estimates):
+        true = node.true_task_power(uuid)
+        est = estimates[uuid]
+        err = 100.0 * (est - true) / true if true else 0.0
+        print(f"  {uuid:<10} {est:>10.1f} W {true:>11.1f} W {err:>+7.1f}%")
+    print(f"  {'SUM':<10} {sum(estimates.values()):>10.1f} W "
+          f"{sum(node.true_task_power(u) for u in node.tasks):>11.1f} W")
+
+
+def main() -> None:
+    # --- Intel node with CPU+DRAM RAPL: the paper's full Eq. (1) ------
+    clock, node, engine = build_rig(
+        NodeSpec(name="intel0"), NodeGroup("intel-cpu", True, False, True)
+    )
+    node.place_task("101", JOB.format("101"), 24, 32 * 2**30, UsageProfile.constant(0.95, 0.2), 0.0)
+    node.place_task("102", JOB.format("102"), 8, 96 * 2**30, UsageProfile.constant(0.35, 0.9), 0.0)
+    node.place_task("103", JOB.format("103"), 8, 16 * 2**30, UsageProfile.constant(0.05, 0.1), 0.0)
+    clock.advance(1200.0)
+    report("Intel node (RAPL cpu+dram) — full Eq. (1)", node, engine, 1200.0)
+    print("  note: Eq.(1) splits the 0.9·IPMI share by CPU-time and memory")
+    print("  fractions, so near-idle jobs are under-credited for their share")
+    print("  of node idle power — the approximation the paper accepts.")
+
+    # --- AMD node: package-only RAPL, CPU-time-only split ---------------
+    clock, node, engine = build_rig(
+        NodeSpec(name="amd0", cpu_model="amd-milan", cores_per_socket=32, memory_gb=256, dram_profile="ddr4-384g"),
+        NodeGroup("amd-cpu", False, False, True),
+    )
+    node.place_task("201", JOB.format("201"), 48, 64 * 2**30, UsageProfile.constant(0.9, 0.5), 0.0)
+    node.place_task("202", JOB.format("202"), 16, 32 * 2**30, UsageProfile.constant(0.9, 0.5), 0.0)
+    clock.advance(1200.0)
+    report("AMD node (package-only RAPL) — CPU-time variant", node, engine, 1200.0)
+
+    # --- GPU node, IPMI includes GPU power ---------------------------------
+    clock, node, engine = build_rig(
+        NodeSpec(name="gpu0", gpus=("A100",) * 4, memory_gb=384, dram_profile="ddr4-384g", ipmi_includes_gpu=True),
+        NodeGroup("gpu-ipmi-incl", True, True, True),
+    )
+    node.place_task("301", JOB.format("301"), 16, 128 * 2**30, UsageProfile.constant(0.6, 0.5, 0.9), 0.0, ngpus=2)
+    node.place_task("302", JOB.format("302"), 16, 64 * 2**30, UsageProfile.constant(0.6, 0.3), 0.0)
+    clock.advance(1200.0)
+    report("GPU node (IPMI includes GPUs) — subtract & re-credit", node, engine, 1200.0)
+
+    # --- GPU node, IPMI excludes GPU power ------------------------------------
+    clock, node, engine = build_rig(
+        NodeSpec(name="gpu1", gpus=("A100",) * 4, memory_gb=384, dram_profile="ddr4-384g", ipmi_includes_gpu=False),
+        NodeGroup("gpu-ipmi-excl", True, True, False),
+    )
+    node.place_task("301", JOB.format("301"), 16, 128 * 2**30, UsageProfile.constant(0.6, 0.5, 0.9), 0.0, ngpus=2)
+    clock.advance(1200.0)
+    report("GPU node (IPMI excludes GPUs) — DCGM power added on top", node, engine, 1200.0)
+    print("\nEach node class uses a different recording-rule group, selected by")
+    print("the scrape target's `nodegroup` label — the paper's §III.A mechanism.")
+
+
+if __name__ == "__main__":
+    main()

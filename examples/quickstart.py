@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Quickstart: the full CEEMS stack on a four-node cluster.
+
+Builds the paper's Fig. 1 architecture end to end — simulated nodes,
+CEEMS + DCGM exporters, a hot TSDB scraping them, Eq. (1) recording
+rules, Thanos replication, the API server and the access-controlled
+load balancer — runs two hours of cluster life with a generated SLURM
+workload, then shows what a user and an operator each see.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster import StackSimulation, small_topology
+from repro.cluster.simulation import SimulationConfig
+from repro.common.errors import AuthError
+from repro.common.units import format_co2, format_energy
+from repro.dashboard import fig2a_user_overview, fig2b_job_list, fig2c_job_timeseries
+from repro.resourcemgr.workload import SizeClass, WorkloadMix
+
+
+def main() -> None:
+    mix = WorkloadMix(
+        mean_interarrival=150.0,
+        duration_mu=7.0,
+        sizes=(
+            SizeClass("small", weight=0.55, ncores=4, memory_gb=8),
+            SizeClass("medium", weight=0.30, ncores=16, memory_gb=32),
+            SizeClass("gpu", weight=0.15, ncores=8, ngpus=1, memory_gb=64, partition="gpu"),
+        ),
+    )
+    sim = StackSimulation(
+        small_topology(cpu_nodes=3, gpu_nodes=1),
+        SimulationConfig(seed=7, update_interval=600.0),
+        workload=mix,
+    )
+
+    print("Running 2 hours of cluster life...")
+    sim.run(2 * 3600)
+    stats = sim.stats()
+    print(f"  {stats['nodes']:.0f} nodes, {stats['gpus']:.0f} GPUs")
+    print(f"  {stats['jobs_submitted']:.0f} jobs submitted, {stats['jobs_completed']:.0f} completed")
+    print(f"  TSDB: {stats['tsdb_series']:.0f} series, {stats['tsdb_samples']:.0f} samples")
+
+    # --- the operator's view: cluster-wide rollups --------------------
+    admin = sim.ceems_datasource("admin")
+    print("\n=== Operator view: top energy consumers ===")
+    for row in admin.global_usage()[:5]:
+        print(
+            f"  {row['user']:<10} {row['project']:<10} "
+            f"{row['num_units']:>4} units  "
+            f"{format_energy(row['total_energy_joules']):>12}  "
+            f"{format_co2(row['total_emissions_g']):>12}"
+        )
+
+    # --- a user's view: Fig. 2 dashboards -----------------------------
+    usage = admin.global_usage()
+    user = max(usage, key=lambda r: r["num_units"])["user"]
+    ceems_ds = sim.ceems_datasource(user)
+    print(f"\n=== Fig. 2a — aggregate usage of {user} ===")
+    for panel in fig2a_user_overview(ceems_ds):
+        print(f"  {panel.render()}")
+
+    print(f"\n=== Fig. 2b — jobs of {user} ===")
+    print(fig2b_job_list(ceems_ds, limit=8).render())
+
+    finished = [u for u in ceems_ds.units() if u["state"] == "completed" and u["elapsed"] > 900]
+    if finished:
+        job = finished[0]
+        prom = sim.prometheus_datasource(user)
+        panel = fig2c_job_timeseries(
+            prom, job["uuid"], job["started_at"], job["ended_at"], step=60.0
+        )
+        print(f"\n=== Fig. 2c — time series of job {job['uuid']} ===")
+        print(panel.render())
+
+    # --- access control: the load balancer at work ---------------------
+    print("\n=== Access control (CEEMS LB) ===")
+    other_units = [u for u in sim.db.list_units(limit=50) if u["user"] != user]
+    if other_units:
+        foreign = other_units[0]
+        prom = sim.prometheus_datasource(user)
+        try:
+            prom.query(f'ceems:compute_unit:power_watts{{uuid="{foreign["uuid"]}"}}', sim.now)
+            print("  UNEXPECTED: foreign query allowed!")
+        except AuthError as exc:
+            print(f"  {user} asking for {foreign['user']}'s job {foreign['uuid']}: DENIED ({exc})")
+        admin_prom = sim.prometheus_datasource("admin")
+        result = admin_prom.query(
+            f'ceems:compute_unit:power_watts{{uuid="{foreign["uuid"]}"}}', sim.now
+        )
+        print(f"  admin asking for the same job: ALLOWED ({len(result)} series)")
+
+
+if __name__ == "__main__":
+    main()

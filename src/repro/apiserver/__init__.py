@@ -1,0 +1,36 @@
+"""The CEEMS API server.
+
+Paper §II.B.b: Prometheus is poor at queries spanning long durations
+(e.g. *"total energy usage of a given user … during the last year"*),
+so CEEMS maintains an SQLite database of compute units with
+**pre-aggregated** metrics, synced from two sources: the resource
+manager (the unit list) and the TSDB (the units' metrics).
+
+Components:
+
+* :mod:`repro.apiserver.schema` / :mod:`repro.apiserver.db` — the
+  unified SQLite schema (one table of compute units regardless of
+  resource manager, plus user/project rollups) and its access layer;
+* :mod:`repro.apiserver.updater` — the periodic sync pass;
+* :mod:`repro.apiserver.api` — the HTTP API (units, usage, ownership
+  verification for the LB);
+* :mod:`repro.apiserver.cleanup` — TSDB cardinality cleanup of
+  short-lived units;
+* :mod:`repro.apiserver.backup` — punctual snapshots and the
+  Litestream-style continuous WAL backup.
+"""
+
+from repro.apiserver.api import APIServer
+from repro.apiserver.backup import BackupManager, LitestreamReplicator
+from repro.apiserver.cleanup import CardinalityCleaner
+from repro.apiserver.db import Database
+from repro.apiserver.updater import Updater
+
+__all__ = [
+    "Database",
+    "Updater",
+    "APIServer",
+    "CardinalityCleaner",
+    "BackupManager",
+    "LitestreamReplicator",
+]

@@ -1,0 +1,185 @@
+"""The CEEMS API server's HTTP API.
+
+Endpoints mirror the documented CEEMS API (ref. [18] of the paper):
+
+* ``GET /api/v1/units`` — compute units, filterable by cluster /
+  project / state / time range.  Regular users only see their own
+  units (identity from the ``X-Grafana-User`` header, the same
+  mechanism §II.B.c describes); admin users may pass ``user=`` to see
+  anyone's.
+* ``GET /api/v1/units/{uuid}`` — one unit.
+* ``GET /api/v1/usage/current`` — the caller's rollups.
+* ``GET /api/v1/usage/global`` — all rollups (admin only).
+* ``GET /api/v1/users/{user}/usage`` / ``/api/v1/projects/{project}/usage``.
+* ``GET /api/v1/verify`` — ownership check (``uuid`` + user header):
+  the endpoint the CEEMS LB calls in ``api`` authz mode.
+* ``GET /api/v1/clusters`` — known clusters.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Any
+
+from repro.apiserver.db import Database
+from repro.common.auth import BasicAuth, TLSConfig
+from repro.common.errors import NotFoundError
+from repro.common.httpx import App, Request, Response
+
+USER_HEADER = "x-grafana-user"
+
+
+def _unit_to_json(row: sqlite3.Row) -> dict[str, Any]:
+    d = dict(row)
+    d["nodelist"] = d["nodelist"].split(",") if d["nodelist"] else []
+    return d
+
+
+class APIServer:
+    """HTTP facade over the API server's database."""
+
+    def __init__(
+        self,
+        db: Database,
+        *,
+        admin_users: tuple[str, ...] = ("admin",),
+        auth: BasicAuth | None = None,
+        tls: TLSConfig | None = None,
+    ) -> None:
+        self.db = db
+        self.admin_users = set(admin_users)
+        self.app = App(name="ceems-api-server", auth=auth, tls=tls)
+        r = self.app.router
+        r.get("/api/v1/units", self._units)
+        r.get("/api/v1/units/{uuid}", self._unit)
+        r.get("/api/v1/usage/current", self._usage_current)
+        r.get("/api/v1/usage/global", self._usage_global)
+        r.get("/api/v1/users/{user}/usage", self._user_usage)
+        r.get("/api/v1/projects/{project}/usage", self._project_usage)
+        r.get("/api/v1/verify", self._verify)
+        r.get("/api/v1/clusters", self._clusters)
+        r.get("/api/v1/projects", self._projects)
+        r.get("/-/healthy", lambda _req: Response.text("ok"))
+
+    # -- identity ------------------------------------------------------------
+    def _identity(self, request: Request) -> str:
+        return request.header(USER_HEADER, "") or ""
+
+    def _is_admin(self, user: str) -> bool:
+        return user in self.admin_users
+
+    # -- handlers ---------------------------------------------------------------
+    def _units(self, request: Request) -> Response:
+        caller = self._identity(request)
+        if not caller:
+            return Response.error(401, f"missing {USER_HEADER} header")
+        requested_user = request.param("user")
+        if requested_user and requested_user != caller and not self._is_admin(caller):
+            return Response.error(403, "only admins may query other users' units")
+        if requested_user:
+            user_filter: str | None = requested_user
+        elif self._is_admin(caller) and request.param("all") == "true":
+            user_filter = None
+        else:
+            user_filter = caller
+        try:
+            started_after = float(request.param("from")) if request.param("from") else None
+            started_before = float(request.param("to")) if request.param("to") else None
+            limit = int(request.param("limit", "1000"))
+            offset = int(request.param("offset", "0"))
+        except ValueError:
+            return Response.error(400, "from/to/limit/offset must be numbers")
+        rows = self.db.list_units(
+            cluster=request.param("cluster"),
+            user=user_filter,
+            project=request.param("project"),
+            state=request.param("state"),
+            started_after=started_after,
+            started_before=started_before,
+            limit=limit,
+            offset=offset,
+        )
+        return Response.json({"status": "success", "data": [_unit_to_json(r) for r in rows]})
+
+    def _unit(self, request: Request) -> Response:
+        caller = self._identity(request)
+        if not caller:
+            return Response.error(401, f"missing {USER_HEADER} header")
+        uuid = request.path_params["uuid"]
+        cluster = request.param("cluster")
+        clusters = [cluster] if cluster else self.db.clusters()
+        for c in clusters:
+            try:
+                row = self.db.get_unit(c, uuid)
+            except NotFoundError:
+                continue
+            if row["user"] != caller and not self._is_admin(caller):
+                return Response.error(403, "not the owner of this unit")
+            return Response.json({"status": "success", "data": _unit_to_json(row)})
+        return Response.error(404, f"unit {uuid} not found")
+
+    def _usage_current(self, request: Request) -> Response:
+        caller = self._identity(request)
+        if not caller:
+            return Response.error(401, f"missing {USER_HEADER} header")
+        rows = self.db.usage_rows(cluster=request.param("cluster"), user=caller)
+        return Response.json({"status": "success", "data": [vars(r) for r in rows]})
+
+    def _usage_global(self, request: Request) -> Response:
+        caller = self._identity(request)
+        if not self._is_admin(caller):
+            return Response.error(403, "admin only")
+        rows = self.db.usage_rows(cluster=request.param("cluster"))
+        return Response.json({"status": "success", "data": [vars(r) for r in rows]})
+
+    def _user_usage(self, request: Request) -> Response:
+        caller = self._identity(request)
+        user = request.path_params["user"]
+        if caller != user and not self._is_admin(caller):
+            return Response.error(403, "cannot read another user's usage")
+        rows = self.db.usage_rows(cluster=request.param("cluster"), user=user)
+        return Response.json({"status": "success", "data": [vars(r) for r in rows]})
+
+    def _project_usage(self, request: Request) -> Response:
+        caller = self._identity(request)
+        if not caller:
+            return Response.error(401, f"missing {USER_HEADER} header")
+        project = request.path_params["project"]
+        rows = self.db.usage_rows(cluster=request.param("cluster"), project=project)
+        if not self._is_admin(caller):
+            # Project members can see project rollups: membership =
+            # the caller has at least one unit in the project.
+            member_rows = self.db.list_units(user=caller, project=project, limit=1)
+            if not member_rows:
+                return Response.error(403, "not a member of this project")
+        return Response.json({"status": "success", "data": [vars(r) for r in rows]})
+
+    def _verify(self, request: Request) -> Response:
+        """Ownership verification for the LB (api authz mode)."""
+        caller = self._identity(request)
+        if not caller:
+            return Response.error(401, f"missing {USER_HEADER} header")
+        uuids = request.params("uuid")
+        if not uuids:
+            return Response.error(400, "missing uuid parameter")
+        if self._is_admin(caller):
+            return Response.json({"status": "success", "data": {"allowed": True}})
+        for uuid in uuids:
+            owner = self.db.find_unit_owner(uuid)
+            if owner is None or owner[0] != caller:
+                return Response.error(403, f"unit {uuid} not owned by {caller}")
+        return Response.json({"status": "success", "data": {"allowed": True}})
+
+    def _clusters(self, request: Request) -> Response:
+        return Response.json({"status": "success", "data": self.db.clusters()})
+
+    def _projects(self, request: Request) -> Response:
+        caller = self._identity(request)
+        if not caller:
+            return Response.error(401, f"missing {USER_HEADER} header")
+        projects = self.db.projects(cluster=request.param("cluster"))
+        if not self._is_admin(caller):
+            member_rows = self.db.list_units(user=caller, limit=1000)
+            mine = {row["project"] for row in member_rows}
+            projects = [p for p in projects if p in mine]
+        return Response.json({"status": "success", "data": projects})

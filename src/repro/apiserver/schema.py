@@ -1,0 +1,86 @@
+"""The unified SQLite schema.
+
+One ``units`` table holds compute units of *every* resource manager —
+the abstraction-layer role the paper assigns the API server.  Rollup
+tables (``usage``) hold per-user-per-project aggregates so the
+year-scale queries that motivate the API server are single indexed
+lookups.
+
+Schema-version bookkeeping lives in ``meta``; migrations run
+programmatically (see :class:`repro.apiserver.db.Database`), so a DB
+restored from a Litestream backup of an older deployment upgrades in
+place.
+"""
+
+SCHEMA_VERSION = 2
+
+#: DDL per version step.  Version N's statements migrate N-1 → N.
+MIGRATIONS: dict[int, list[str]] = {
+    1: [
+        """
+        CREATE TABLE IF NOT EXISTS meta (
+            key TEXT PRIMARY KEY,
+            value TEXT NOT NULL
+        )
+        """,
+        """
+        CREATE TABLE IF NOT EXISTS units (
+            cluster TEXT NOT NULL,
+            uuid TEXT NOT NULL,
+            manager TEXT NOT NULL,
+            name TEXT NOT NULL DEFAULT '',
+            user TEXT NOT NULL,
+            project TEXT NOT NULL,
+            created_at REAL NOT NULL,
+            started_at REAL,
+            ended_at REAL,
+            state TEXT NOT NULL,
+            cpus INTEGER NOT NULL DEFAULT 0,
+            memory_bytes INTEGER NOT NULL DEFAULT 0,
+            gpus INTEGER NOT NULL DEFAULT 0,
+            nodelist TEXT NOT NULL DEFAULT '',
+            exit_code INTEGER NOT NULL DEFAULT 0,
+            elapsed REAL NOT NULL DEFAULT 0,
+            energy_joules REAL NOT NULL DEFAULT 0,
+            emissions_g REAL NOT NULL DEFAULT 0,
+            avg_power_watts REAL NOT NULL DEFAULT 0,
+            avg_cpu_usage REAL NOT NULL DEFAULT 0,
+            avg_memory_bytes REAL NOT NULL DEFAULT 0,
+            peak_memory_bytes REAL NOT NULL DEFAULT 0,
+            avg_gpu_power_watts REAL NOT NULL DEFAULT 0,
+            last_updated REAL NOT NULL DEFAULT 0,
+            PRIMARY KEY (cluster, uuid)
+        )
+        """,
+        "CREATE INDEX IF NOT EXISTS idx_units_user ON units (cluster, user)",
+        "CREATE INDEX IF NOT EXISTS idx_units_project ON units (cluster, project)",
+        "CREATE INDEX IF NOT EXISTS idx_units_state ON units (cluster, state)",
+        "CREATE INDEX IF NOT EXISTS idx_units_started ON units (started_at)",
+        """
+        CREATE TABLE IF NOT EXISTS usage (
+            cluster TEXT NOT NULL,
+            user TEXT NOT NULL,
+            project TEXT NOT NULL,
+            num_units INTEGER NOT NULL DEFAULT 0,
+            total_walltime REAL NOT NULL DEFAULT 0,
+            total_cpu_hours REAL NOT NULL DEFAULT 0,
+            total_gpu_hours REAL NOT NULL DEFAULT 0,
+            total_energy_joules REAL NOT NULL DEFAULT 0,
+            total_emissions_g REAL NOT NULL DEFAULT 0,
+            last_updated REAL NOT NULL DEFAULT 0,
+            PRIMARY KEY (cluster, user, project)
+        )
+        """,
+    ],
+    2: [
+        # v2: track per-unit updater bookkeeping for incremental syncs.
+        """
+        CREATE TABLE IF NOT EXISTS sync_state (
+            cluster TEXT PRIMARY KEY,
+            last_sync REAL NOT NULL DEFAULT 0
+        )
+        """,
+        # Ownership lookups by the LB are hot; cover them.
+        "CREATE INDEX IF NOT EXISTS idx_units_uuid ON units (uuid)",
+    ],
+}

@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``simulate``
+    Build a deployment (small or Jean-Zay topology), run N hours of
+    cluster life and print the operator report (stats, top consumers,
+    per-class power).
+``serve``
+    Run a simulation, then expose the three HTTP services (Prometheus
+    API via the LB, the CEEMS API server, one exporter) on real local
+    ports until interrupted — for poking at the stack with curl.
+``dashboards``
+    Export the Grafana dashboard provisioning bundle as JSON.
+``validate-config``
+    Parse and validate a stack YAML configuration file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cluster import StackSimulation, jean_zay_topology, small_topology
+from repro.cluster.simulation import SimulationConfig
+from repro.common.config import StackConfig
+from repro.common.errors import ConfigError
+from repro.common.units import format_co2, format_energy
+
+
+def _build_sim(args: argparse.Namespace) -> StackSimulation:
+    if args.topology == "jean-zay":
+        topology = jean_zay_topology(scale=args.scale)
+    else:
+        topology = small_topology(cpu_nodes=3, gpu_nodes=1)
+    return StackSimulation(
+        topology,
+        SimulationConfig(seed=args.seed, update_interval=600.0),
+    )
+
+
+def _print_report(sim: StackSimulation, out) -> None:
+    stats = sim.stats()
+    print("deployment:", file=out)
+    for key in ("nodes", "gpus", "tsdb_series", "tsdb_samples"):
+        print(f"  {key}: {stats[key]:.0f}", file=out)
+    print("jobs:", file=out)
+    for key in ("jobs_submitted", "jobs_completed", "jobs_running"):
+        print(f"  {key}: {stats[key]:.0f}", file=out)
+    admin = sim.ceems_datasource("admin")
+    print("top consumers:", file=out)
+    for row in admin.global_usage()[:5]:
+        print(
+            f"  {row['user']:<10} {row['project']:<11} {row['num_units']:>4} units  "
+            f"{format_energy(row['total_energy_joules']):>12}  "
+            f"{format_co2(row['total_emissions_g']):>12}",
+            file=out,
+        )
+    result = sim.engine.query("sum by (nodegroup) (ceems:node:power_watts)", at=sim.now)
+    if result.vector:
+        print("node power by class:", file=out)
+        for el in sorted(result.vector, key=lambda e: -e.value):
+            print(f"  {el.labels.get('nodegroup'):<16} {el.value / 1000:8.2f} kW", file=out)
+
+
+def cmd_simulate(args: argparse.Namespace, out=sys.stdout) -> int:
+    sim = _build_sim(args)
+    print(f"simulating {args.hours:.1f} h on topology '{args.topology}'...", file=out)
+    sim.run(args.hours * 3600.0)
+    _print_report(sim, out)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace, out=sys.stdout) -> int:
+    from repro.common.httpx import serve_threading
+
+    sim = _build_sim(args)
+    sim.run(args.hours * 3600.0)
+    servers = [
+        ("prometheus (via LB)", serve_threading(sim.lb.app, port=args.port or 0)),
+        ("ceems api server", serve_threading(sim.api_server.app, port=0)),
+        ("exporter (node 0)", serve_threading(sim.exporters[0].app, port=0)),
+    ]
+    for name, server in servers:
+        print(f"{name}: {server.url}", file=out)
+    print("press Ctrl-C to stop", file=out)
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for _name, server in servers:
+            server.close()
+    return 0
+
+
+def cmd_dashboards(args: argparse.Namespace, out=sys.stdout) -> int:
+    from repro.dashboard.grafana_json import export_provisioning_bundle
+
+    bundle = export_provisioning_bundle()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(bundle)
+        print(f"wrote {args.output}", file=out)
+    else:
+        print(bundle, file=out)
+    return 0
+
+
+def cmd_export_rules(args: argparse.Namespace, out=sys.stdout) -> int:
+    """Write the recording+alerting rules as a Prometheus rules file.
+
+    The artifact the paper points to ("example recording rules … in
+    the etc/prometheus folder"), generated from the executable rule
+    library so it cannot drift.
+    """
+    from repro.energy import standard_rule_groups
+    from repro.energy.export import alerting_rules_to_dict, rules_file
+    from repro.tsdb.alerts import ceems_alert_rules
+
+    text = rules_file(
+        standard_rule_groups(),
+        alert_groups=[alerting_rules_to_dict("ceems-alerts", ceems_alert_rules())],
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}", file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
+def cmd_validate_config(args: argparse.Namespace, out=sys.stdout) -> int:
+    try:
+        config = StackConfig.load_file(args.path)
+    except (ConfigError, OSError) as exc:
+        print(f"invalid: {exc}", file=out)
+        return 1
+    print(f"ok: {args.path}", file=out)
+    print(f"  exporter port {config.exporter.port}, collectors {list(config.exporter.collectors)}", file=out)
+    print(f"  scrape interval {config.tsdb.scrape_interval:.0f}s, retention {config.tsdb.retention / 86400:.0f}d", file=out)
+    print(f"  lb strategy {config.lb.strategy}, authz {config.lb.authz_mode}", file=out)
+    print(f"  emissions zone {config.emissions.country}, providers {list(config.emissions.providers)}", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_sim_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--topology", choices=("small", "jean-zay"), default="small")
+        p.add_argument("--scale", type=float, default=0.01, help="Jean-Zay scale factor")
+        p.add_argument("--hours", type=float, default=1.0)
+        p.add_argument("--seed", type=int, default=42)
+
+    p_sim = sub.add_parser("simulate", help="run a deployment and print the operator report")
+    add_sim_args(p_sim)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_serve = sub.add_parser("serve", help="expose the stack over local HTTP")
+    add_sim_args(p_serve)
+    p_serve.add_argument("--port", type=int, default=0, help="LB port (0 = ephemeral)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_dash = sub.add_parser("dashboards", help="export Grafana dashboard JSON")
+    p_dash.add_argument("--output", default="", help="file path (default: stdout)")
+    p_dash.set_defaults(func=cmd_dashboards)
+
+    p_rules = sub.add_parser("export-rules", help="export the Prometheus rules file")
+    p_rules.add_argument("--output", default="", help="file path (default: stdout)")
+    p_rules.set_defaults(func=cmd_export_rules)
+
+    p_cfg = sub.add_parser("validate-config", help="validate a stack YAML config")
+    p_cfg.add_argument("path")
+    p_cfg.set_defaults(func=cmd_validate_config)
+
+    return parser
+
+
+def main(argv: list[str] | None = None, out=sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args, out=out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

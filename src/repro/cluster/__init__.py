@@ -1,0 +1,21 @@
+"""Deterministic full-stack cluster simulation.
+
+:class:`~repro.cluster.simulation.StackSimulation` assembles the
+complete Fig. 1 architecture over a declarative topology: simulated
+nodes + CEEMS/DCGM exporters per node, the hot TSDB scraping them,
+Eq. (1) recording rules per node group, the Thanos sidecar/compactor,
+the API server (SQLite + updater + HTTP API), the load balancer, and
+a SLURM cluster with a workload generator — all driven by one
+:class:`~repro.common.clock.SimClock`.
+
+:mod:`repro.cluster.jean_zay` provides the Jean-Zay topology from the
+paper's §III (≈1400 heterogeneous nodes, >3500 GPUs across four node
+classes), with a scale factor so tests can run a miniature and the E7
+benchmark the full size.
+"""
+
+from repro.cluster.jean_zay import jean_zay_topology
+from repro.cluster.simulation import StackSimulation
+from repro.cluster.topology import NodeGroupSpec, small_topology
+
+__all__ = ["StackSimulation", "NodeGroupSpec", "small_topology", "jean_zay_topology"]

@@ -1,0 +1,108 @@
+"""The Jean-Zay topology (paper §III).
+
+The paper describes Jean-Zay as *"a heterogeneous system with
+approximately 1400 compute nodes (Intel and AMD) [and] more than 3500
+NVIDIA GPUs (V100, A100 and H100) distributed among different
+partitions"*, with at least two GPU server classes — one whose
+IPMI-DCMI reading includes GPU power and one whose reading does not.
+
+This declaration reproduces those headline numbers at ``scale=1.0``:
+
+====================  =====  ======================  =============
+group                 nodes  accelerators            IPMI covers
+====================  =====  ======================  =============
+intel-cpu               716  —                       whole node
+amd-cpu                 264  —                       whole node
+gpu-ipmi-incl           280  8 × V100 each (2240)    incl. GPUs
+gpu-ipmi-excl           140  8 × A100 each (1120)    excl. GPUs
+gpu-h100                 24  8 × H100 each (192)     excl. GPUs
+====================  =====  ======================  =============
+
+Totals: 1424 nodes, 3552 GPUs — matching the paper's ">1400 nodes"
+and ">3500 GPUs".  ``scale`` shrinks every group proportionally (at
+least one node each) so the same topology runs in tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cluster.topology import NodeGroupSpec
+from repro.energy.rules_library import NodeGroup
+
+#: The gpu-h100 group shares the gpu-ipmi-excl estimation rules; its
+#: own nodegroup label keeps its scrape group distinct, as on the real
+#: system where H100 nodes are a separate partition.
+H100_RULE_GROUP = NodeGroup("gpu-h100", has_dram_rapl=True, has_gpu=True, ipmi_includes_gpu=False)
+
+
+def jean_zay_topology(scale: float = 1.0) -> list[NodeGroupSpec]:
+    """The Jean-Zay node groups, scaled by ``scale``."""
+
+    def scaled(n: int) -> int:
+        return max(int(math.ceil(n * scale)), 1)
+
+    return [
+        NodeGroupSpec(
+            nodegroup="intel-cpu",
+            count=scaled(716),
+            partition="cpu",
+            cpu_model="intel-cascadelake",
+            cores_per_socket=20,
+            memory_gb=192,
+        ),
+        NodeGroupSpec(
+            nodegroup="amd-cpu",
+            count=scaled(264),
+            partition="cpu",
+            cpu_model="amd-milan",
+            sockets=2,
+            cores_per_socket=32,
+            memory_gb=256,
+            dram_profile="ddr4-384g",
+        ),
+        NodeGroupSpec(
+            nodegroup="gpu-ipmi-incl",
+            count=scaled(280),
+            partition="gpu",
+            cpu_model="intel-cascadelake",
+            cores_per_socket=20,
+            memory_gb=384,
+            gpus=("V100",) * 8,
+            ipmi_includes_gpu=True,
+            dram_profile="ddr4-384g",
+        ),
+        NodeGroupSpec(
+            nodegroup="gpu-ipmi-excl",
+            count=scaled(140),
+            partition="gpu",
+            cpu_model="amd-milan",
+            sockets=2,
+            cores_per_socket=32,
+            memory_gb=512,
+            gpus=("A100",) * 8,
+            ipmi_includes_gpu=False,
+            dram_profile="ddr5-512g",
+        ),
+        NodeGroupSpec(
+            nodegroup="gpu-h100",
+            count=scaled(24),
+            partition="gpu",
+            cpu_model="intel-sapphirerapids",
+            sockets=2,
+            cores_per_socket=24,
+            memory_gb=512,
+            gpus=("H100",) * 8,
+            ipmi_includes_gpu=False,
+            dram_profile="ddr5-512g",
+        ),
+    ]
+
+
+def topology_stats(groups: list[NodeGroupSpec]) -> dict[str, int]:
+    """Headline numbers of a topology (nodes, cores, GPUs)."""
+    return {
+        "nodes": sum(g.count for g in groups),
+        "cores": sum(g.count * g.sockets * g.cores_per_socket for g in groups),
+        "gpus": sum(g.count * len(g.gpus) for g in groups),
+    }

@@ -1,0 +1,302 @@
+"""Full-stack simulation assembly (the paper's Fig. 1, end to end).
+
+One :class:`StackSimulation` wires, in dependency order:
+
+  nodes → exporters (CEEMS + DCGM + emissions) → hot TSDB (scrape
+  manager) → recording rules (Eq. 1 per node group) → Thanos
+  (sidecar, compactor) → API server (SQLite, updater, HTTP API) →
+  load balancer → data sources / dashboards
+
+plus the SLURM resource manager and a workload generator feeding it.
+Every periodic activity registers on one :class:`SimClock`, so
+``sim.run(hours=…)`` advances the whole deployment deterministically.
+
+Timer cadence defaults follow the deployment the paper describes:
+15 s scrapes, 30 s rule evaluation, 15 min API-server updates, 1 h
+sidecar uploads, 6 h compaction.  Node physics integrate on the
+scrape cadence (``node_step``) — finer steps change nothing the
+sensors can see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apiserver.api import APIServer
+from repro.apiserver.backup import BackupManager, LitestreamReplicator
+from repro.apiserver.cleanup import CardinalityCleaner
+from repro.apiserver.db import Database
+from repro.apiserver.updater import Updater
+from repro.cluster.topology import NodeGroupSpec
+from repro.common.clock import SimClock
+from repro.common.config import ExporterConfig
+from repro.dashboard.datasource import CEEMSDataSource, PrometheusDataSource
+from repro.emissions import (
+    ElectricityMapsProvider,
+    OWIDProvider,
+    ProviderRegistry,
+    RTEProvider,
+)
+from repro.emissions.pipeline import EmissionsExporter
+from repro.energy.estimator import UnitEnergyEstimator
+from repro.energy.rules_library import emissions_rules, rules_for_group
+from repro.exporter import CEEMSExporter, DCGMExporter
+from repro.hwsim.node import SimulatedNode
+from repro.lb.authz import DBAuthorizer
+from repro.lb.server import LoadBalancer
+from repro.lb.strategies import Backend
+from repro.resourcemgr.slurm import SlurmCluster
+from repro.resourcemgr.workload import WorkloadGenerator, WorkloadMix
+from repro.thanos import Compactor, FanoutStorage, ObjectStore, Sidecar
+from repro.tsdb.http import PromAPI
+from repro.tsdb.promql.engine import PromQLEngine
+from repro.tsdb.rules import RuleManager
+from repro.tsdb.scrape import ScrapeConfig, ScrapeManager, ScrapeTarget
+from repro.tsdb.storage import TSDB
+
+
+@dataclass
+class SimulationConfig:
+    """Cadences and sizes of the simulated deployment."""
+
+    seed: int = 42
+    start_time: float = SimClock.DEFAULT_START
+    scrape_interval: float = 15.0
+    rule_interval: float = 30.0
+    node_step: float = 15.0
+    slurm_step: float = 30.0
+    update_interval: float = 900.0
+    sidecar_interval: float = 3600.0
+    compactor_interval: float = 6 * 3600.0
+    hot_retention: float = 30 * 86400.0
+    cleanup_cutoff: float = 0.0
+    n_prom_backends: int = 2
+    zone: str = "FR"
+    cluster_name: str = "sim-cluster"
+    lb_strategy: str = "round-robin"
+    admin_users: tuple[str, ...] = ("admin",)
+    with_workload: bool = True
+    with_emissions_providers: tuple[str, ...] = ("rte", "electricity_maps", "owid")
+    collectors: tuple[str, ...] = ("cgroup", "rapl", "ipmi", "node", "gpu_map", "self")
+
+    @classmethod
+    def from_stack_config(cls, stack, **overrides) -> "SimulationConfig":
+        """Derive simulation cadences from a single-file StackConfig.
+
+        This is the deployment story the paper describes: one YAML
+        file configures every component; here it configures the whole
+        simulated deployment.
+        """
+        providers = tuple(stack.emissions.providers)
+        base = dict(
+            scrape_interval=stack.tsdb.scrape_interval,
+            node_step=stack.tsdb.scrape_interval,
+            hot_retention=stack.tsdb.retention,
+            update_interval=stack.api_server.update_interval,
+            cleanup_cutoff=stack.api_server.cleanup_cutoff,
+            lb_strategy=stack.lb.strategy,
+            zone=stack.emissions.country,
+            with_emissions_providers=providers,
+            collectors=tuple(stack.exporter.collectors) + (
+                ("self",) if "self" not in stack.exporter.collectors else ()
+            ),
+        )
+        base.update(overrides)
+        return cls(**base)
+
+
+class StackSimulation:
+    """The assembled stack.  Public attributes are the components."""
+
+    def __init__(
+        self,
+        topology: list[NodeGroupSpec],
+        config: SimulationConfig | None = None,
+        workload: WorkloadMix | None = None,
+    ) -> None:
+        self.config = cfg = config or SimulationConfig()
+        self.topology = topology
+        self.clock = SimClock(start=cfg.start_time)
+
+        # -- nodes + exporters ------------------------------------------
+        self.nodes: list[SimulatedNode] = []
+        self.exporters: list[CEEMSExporter] = []
+        self.gpu_exporters: list[DCGMExporter] = []
+        partitions: dict[str, list[SimulatedNode]] = {}
+        exporter_targets: list[ScrapeTarget] = []
+        seed = cfg.seed
+        for group in topology:
+            for i in range(group.count):
+                seed += 1
+                node = SimulatedNode(group.node_spec(i), seed=seed)
+                self.nodes.append(node)
+                partitions.setdefault(group.partition, []).append(node)
+                exporter = CEEMSExporter(
+                    node, self.clock, ExporterConfig(collectors=cfg.collectors)
+                )
+                self.exporters.append(exporter)
+                labels = {"hostname": node.spec.name, "nodegroup": group.nodegroup}
+                exporter_targets.append(
+                    ScrapeTarget(
+                        app=exporter.app,
+                        instance=f"{node.spec.name}:9010",
+                        job="ceems",
+                        group_labels=dict(labels),
+                    )
+                )
+                if group.gpus:
+                    dcgm = DCGMExporter(node, self.clock)
+                    self.gpu_exporters.append(dcgm)
+                    exporter_targets.append(
+                        ScrapeTarget(
+                            app=dcgm.app,
+                            instance=f"{node.spec.name}:9400",
+                            job="dcgm",
+                            group_labels=dict(labels),
+                        )
+                    )
+
+        # -- emissions ------------------------------------------------------
+        self.emission_registry = ProviderRegistry()
+        for provider_name in cfg.with_emissions_providers:
+            if provider_name == "rte":
+                self.emission_registry.register(RTEProvider(seed=cfg.seed))
+            elif provider_name == "electricity_maps":
+                self.emission_registry.register(ElectricityMapsProvider(seed=cfg.seed))
+            elif provider_name == "owid":
+                self.emission_registry.register(OWIDProvider(world_fallback=True))
+        self.emissions_exporter = EmissionsExporter(
+            self.emission_registry, cfg.zone, self.clock
+        )
+        exporter_targets.append(
+            ScrapeTarget(
+                app=self.emissions_exporter.app,
+                instance="emissions:9020",
+                job="emissions",
+            )
+        )
+
+        # -- hot TSDB + scraping + rules -----------------------------------
+        # Cadence-derived query parameters (real Prometheus deployment
+        # rules): the instant lookback delta must exceed the scrape
+        # interval, and rate() windows must hold >= ~4 samples.
+        self.lookback = max(300.0, 2.5 * cfg.scrape_interval)
+        from repro.common.units import format_duration
+
+        self.rate_window = format_duration(max(120.0, 4.0 * cfg.scrape_interval))
+        self.hot_tsdb = TSDB(retention=cfg.hot_retention, name="hot")
+        self.scrape_manager = ScrapeManager(
+            self.hot_tsdb, ScrapeConfig(interval=cfg.scrape_interval)
+        )
+        self.scrape_manager.add_targets(exporter_targets)
+        self.rule_manager = RuleManager(self.hot_tsdb, lookback=self.lookback)
+        seen_rule_groups = set()
+        for group in topology:
+            if group.nodegroup in seen_rule_groups:
+                continue
+            seen_rule_groups.add(group.nodegroup)
+            self.rule_manager.add_group(
+                rules_for_group(group.rule_group(), cfg.rule_interval, self.rate_window)
+            )
+        self.rule_manager.add_group(emissions_rules(cfg.rule_interval))
+
+        # -- Thanos ------------------------------------------------------------
+        self.object_store = ObjectStore()
+        self.sidecar = Sidecar(self.hot_tsdb, self.object_store)
+        self.compactor = Compactor(self.object_store)
+        self.fanout = FanoutStorage(self.hot_tsdb, self.object_store)
+        self.engine = PromQLEngine(self.fanout, lookback=self.lookback)
+
+        # -- resource manager + workload -------------------------------------
+        self.slurm = SlurmCluster(cfg.cluster_name, partitions)
+        self.workload_generator = (
+            WorkloadGenerator(workload or WorkloadMix(), seed=cfg.seed)
+            if cfg.with_workload
+            else None
+        )
+
+        # -- API server ----------------------------------------------------------
+        self.db = Database(":memory:")
+        self.estimator = UnitEnergyEstimator(self.engine, step=cfg.rule_interval)
+        self.cleaner = (
+            CardinalityCleaner(self.db, [self.hot_tsdb], cfg.cleanup_cutoff)
+            if cfg.cleanup_cutoff > 0
+            else None
+        )
+        self.backup_manager = BackupManager(self.db)
+        self.litestream = LitestreamReplicator(self.db, segment_interval=cfg.update_interval)
+        self.updater = Updater(
+            self.db,
+            self.estimator,
+            [self.slurm],
+            interval=cfg.update_interval,
+            cleaner=self.cleaner,
+            backup_manager=self.backup_manager,
+        )
+        self.api_server = APIServer(self.db, admin_users=cfg.admin_users)
+
+        # -- load balancer -----------------------------------------------------------
+        self.prom_apis = [
+            PromAPI(self.fanout, name=f"prom-{i}", lookback=self.lookback)
+            for i in range(cfg.n_prom_backends)
+        ]
+        backends = [Backend(name=api.app.name, app=api.app) for api in self.prom_apis]
+        self.lb = LoadBalancer(
+            backends,
+            DBAuthorizer(self.db, admin_users=cfg.admin_users),
+            strategy=cfg.lb_strategy,
+        )
+
+        self._register_timers()
+
+    # -- wiring --------------------------------------------------------------
+    def _register_timers(self) -> None:
+        cfg = self.config
+        # Ordering within a tick follows registration order: physics
+        # first, then collection, then derivation, then aggregation.
+        self.clock.every(cfg.node_step, self._advance_nodes)
+        if self.workload_generator is not None:
+            self.workload_generator.register_timer(self.clock, self.slurm)
+        self.clock.every(cfg.slurm_step, self.slurm.step)
+        self.scrape_manager.register_timer(self.clock)
+        self.rule_manager.register_timers(self.clock)
+        self.sidecar.register_timer(self.clock, cfg.sidecar_interval)
+        self.compactor.register_timer(self.clock, cfg.compactor_interval)
+        self.updater.register_timer(self.clock)
+        self.litestream.register_timer(self.clock)
+
+    def _advance_nodes(self, now: float) -> None:
+        dt = self.config.node_step
+        for node in self.nodes:
+            node.advance(now, dt)
+
+    # -- driving ----------------------------------------------------------------
+    def run(self, seconds: float) -> None:
+        """Advance the whole deployment by ``seconds`` of logical time."""
+        self.clock.advance(seconds)
+
+    @property
+    def now(self) -> float:
+        return self.clock.now()
+
+    # -- access -------------------------------------------------------------------
+    def prometheus_datasource(self, user: str) -> PrometheusDataSource:
+        """A Grafana-style Prometheus data source going through the LB."""
+        return PrometheusDataSource(self.lb.app, user)
+
+    def ceems_datasource(self, user: str) -> CEEMSDataSource:
+        return CEEMSDataSource(self.api_server.app, user)
+
+    def stats(self) -> dict[str, float]:
+        """Headline deployment statistics (for examples and benches)."""
+        return {
+            "nodes": len(self.nodes),
+            "gpus": sum(len(n.gpus) for n in self.nodes),
+            "tsdb_series": self.hot_tsdb.num_series,
+            "tsdb_samples": self.hot_tsdb.num_samples,
+            "jobs_submitted": self.slurm.jobs_submitted,
+            "jobs_completed": self.slurm.jobs_completed,
+            "jobs_running": self.slurm.running_count,
+            "units_in_db": self.db.count_units(),
+            "thanos_blocks": len(self.object_store.blocks),
+        }

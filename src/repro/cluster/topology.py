@@ -1,0 +1,76 @@
+"""Topology declarations: node groups and their estimation classes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.energy.rules_library import NodeGroup
+from repro.hwsim.node import NodeSpec
+
+
+@dataclass(frozen=True)
+class NodeGroupSpec:
+    """A homogeneous set of nodes sharing one rule variant.
+
+    ``nodegroup`` must match a :class:`~repro.energy.rules_library.
+    NodeGroup` name so the scrape-group label routes these nodes to
+    the right Eq. (1) variant.
+    """
+
+    nodegroup: str
+    count: int
+    partition: str
+    cpu_model: str = "intel-cascadelake"
+    sockets: int = 2
+    cores_per_socket: int = 20
+    memory_gb: int = 192
+    gpus: tuple[str, ...] = ()
+    ipmi_includes_gpu: bool = True
+    dram_profile: str = "ddr4-192g"
+
+    def node_spec(self, index: int) -> NodeSpec:
+        return NodeSpec(
+            name=f"{self.nodegroup}-{index:04d}",
+            cpu_model=self.cpu_model,
+            sockets=self.sockets,
+            cores_per_socket=self.cores_per_socket,
+            memory_gb=self.memory_gb,
+            gpus=self.gpus,
+            ipmi_includes_gpu=self.ipmi_includes_gpu,
+            dram_profile=self.dram_profile,
+        )
+
+    def rule_group(self) -> NodeGroup:
+        return NodeGroup(
+            name=self.nodegroup,
+            has_dram_rapl=self.cpu_model.startswith("intel"),
+            has_gpu=bool(self.gpus),
+            ipmi_includes_gpu=self.ipmi_includes_gpu,
+        )
+
+
+def small_topology(cpu_nodes: int = 3, gpu_nodes: int = 1) -> list[NodeGroupSpec]:
+    """A laptop-sized topology for examples and tests."""
+    groups = [
+        NodeGroupSpec(
+            nodegroup="intel-cpu",
+            count=cpu_nodes,
+            partition="cpu",
+            cores_per_socket=16,
+            memory_gb=128,
+        )
+    ]
+    if gpu_nodes:
+        groups.append(
+            NodeGroupSpec(
+                nodegroup="gpu-ipmi-incl",
+                count=gpu_nodes,
+                partition="gpu",
+                cores_per_socket=16,
+                memory_gb=256,
+                gpus=("A100",) * 4,
+                ipmi_includes_gpu=True,
+                dram_profile="ddr4-384g",
+            )
+        )
+    return groups

@@ -1,0 +1,122 @@
+"""Basic authentication and TLS configuration shared by all components.
+
+The paper notes that *all CEEMS components support basic auth and TLS*.
+This module reproduces that: a :class:`BasicAuth` verifier with
+constant-time comparison and salted password hashing, and a
+:class:`TLSConfig` record.  Since the simulation runs in-process, TLS
+is modelled as configuration validation plus a transport-level marker
+(requests carry a ``secure`` flag the server can require), which is
+exactly the part of TLS the stack's *logic* depends on.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass, field
+
+from repro.common.errors import AuthError, ConfigError
+
+_HASH_ITERATIONS = 1000  # low on purpose: simulation, not production secrets
+
+
+def hash_password(password: str, salt: bytes | None = None) -> str:
+    """Hash a password as ``salthex$digesthex`` (PBKDF2-HMAC-SHA256)."""
+    if salt is None:
+        salt = os.urandom(8)
+    digest = hashlib.pbkdf2_hmac("sha256", password.encode(), salt, _HASH_ITERATIONS)
+    return f"{salt.hex()}${digest.hex()}"
+
+
+def verify_password(password: str, hashed: str) -> bool:
+    """Constant-time verification of a password against its hash."""
+    try:
+        salt_hex, digest_hex = hashed.split("$", 1)
+        salt = bytes.fromhex(salt_hex)
+        expected = bytes.fromhex(digest_hex)
+    except (ValueError, binascii.Error):
+        return False
+    candidate = hashlib.pbkdf2_hmac("sha256", password.encode(), salt, _HASH_ITERATIONS)
+    return hmac.compare_digest(candidate, expected)
+
+
+@dataclass
+class BasicAuth:
+    """HTTP basic-auth verifier.
+
+    ``users`` maps username → password hash (see :func:`hash_password`).
+    An empty user table means authentication is disabled, matching the
+    CEEMS default.
+    """
+
+    users: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def single_user(cls, username: str, password: str) -> "BasicAuth":
+        return cls(users={username: hash_password(password)})
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.users)
+
+    def add_user(self, username: str, password: str) -> None:
+        self.users[username] = hash_password(password)
+
+    def check_header(self, header: str | None) -> str:
+        """Validate an ``Authorization`` header, returning the username.
+
+        Raises :class:`AuthError` (401) when auth is enabled and the
+        header is missing, malformed, or the credentials are wrong.
+        When auth is disabled, returns the empty string.
+        """
+        if not self.enabled:
+            return ""
+        if not header:
+            raise AuthError("missing Authorization header", status=401)
+        parts = header.split(None, 1)
+        if len(parts) != 2 or parts[0].lower() != "basic":
+            raise AuthError("unsupported authorization scheme", status=401)
+        try:
+            decoded = base64.b64decode(parts[1], validate=True).decode()
+            username, _, password = decoded.partition(":")
+        except (binascii.Error, UnicodeDecodeError) as exc:
+            raise AuthError("malformed basic-auth payload", status=401) from exc
+        stored = self.users.get(username)
+        # Always run a verification to keep timing independent of
+        # whether the username exists.
+        ok = verify_password(password, stored if stored else hash_password(""))
+        if stored is None or not ok:
+            raise AuthError("invalid credentials", status=401)
+        return username
+
+
+def make_basic_auth_header(username: str, password: str) -> str:
+    """Build the ``Authorization`` header value for a user/password."""
+    token = base64.b64encode(f"{username}:{password}".encode()).decode()
+    return f"Basic {token}"
+
+
+@dataclass(frozen=True)
+class TLSConfig:
+    """TLS settings for a component endpoint.
+
+    In the simulation, enabling TLS means the server refuses requests
+    whose transport is not marked secure — the behavioural contract the
+    rest of the stack observes.
+    """
+
+    enabled: bool = False
+    cert_file: str | None = None
+    key_file: str | None = None
+    min_version: str = "TLS1.2"
+
+    def validate(self) -> None:
+        if not self.enabled:
+            return
+        if not self.cert_file or not self.key_file:
+            raise ConfigError("TLS enabled but cert_file/key_file missing")
+        if self.min_version not in ("TLS1.2", "TLS1.3"):
+            raise ConfigError(f"unsupported TLS min_version {self.min_version!r}")

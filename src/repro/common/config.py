@@ -1,0 +1,230 @@
+"""Typed configuration for the whole stack, loaded from one YAML file.
+
+The paper: *"All the CEEMS components can be configured in a single
+YAML file where each component will read its relevant configuration."*
+This module defines that file's schema as dataclasses and the loader
+that each component uses to pick out its own section.
+
+Example document::
+
+    exporter:
+      port: 9010
+      collectors: [cgroup, rapl, ipmi, node]
+      basic_auth:
+        username: scraper
+        password: hunter2
+    tsdb:
+      scrape_interval: 15s
+      retention: 30d
+    api_server:
+      update_interval: 15m
+      db_path: ceems.db
+    lb:
+      strategy: round-robin
+      backends: [tsdb-0, tsdb-1]
+    emissions:
+      country: FR
+      providers: [rte, owid]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common import yamlite
+from repro.common.errors import ConfigError
+from repro.common.units import parse_duration
+
+VALID_COLLECTORS = ("cgroup", "rapl", "ipmi", "node", "gpu_map", "self", "ebpf_net", "perf")
+VALID_STRATEGIES = ("round-robin", "least-connection")
+VALID_PROVIDERS = ("owid", "rte", "electricity_maps")
+
+
+def _duration(value: Any, name: str, default: float) -> float:
+    """Coerce a config value into seconds (number or '15s'-style)."""
+    if value is None:
+        return default
+    if isinstance(value, (int, float)):
+        if value <= 0:
+            raise ConfigError(f"{name} must be positive")
+        return float(value)
+    try:
+        seconds = parse_duration(str(value))
+    except ValueError as exc:
+        raise ConfigError(f"invalid duration for {name}: {value!r}") from exc
+    if seconds <= 0:
+        raise ConfigError(f"{name} must be positive")
+    return seconds
+
+
+@dataclass
+class BasicAuthConfig:
+    username: str = ""
+    password: str = ""
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.username)
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any] | None) -> "BasicAuthConfig":
+        if not raw:
+            return cls()
+        return cls(username=str(raw.get("username", "")), password=str(raw.get("password", "")))
+
+
+@dataclass
+class ExporterConfig:
+    """CEEMS exporter section."""
+
+    port: int = 9010
+    collectors: tuple[str, ...] = ("cgroup", "rapl", "ipmi", "node")
+    basic_auth: BasicAuthConfig = field(default_factory=BasicAuthConfig)
+    tls_enabled: bool = False
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any] | None) -> "ExporterConfig":
+        raw = raw or {}
+        collectors = tuple(raw.get("collectors") or cls.collectors)
+        for name in collectors:
+            if name not in VALID_COLLECTORS:
+                raise ConfigError(f"unknown collector {name!r}; valid: {VALID_COLLECTORS}")
+        port = int(raw.get("port", 9010))
+        if not (0 < port < 65536):
+            raise ConfigError(f"exporter port out of range: {port}")
+        return cls(
+            port=port,
+            collectors=collectors,
+            basic_auth=BasicAuthConfig.from_dict(raw.get("basic_auth")),
+            tls_enabled=bool(raw.get("tls_enabled", False)),
+        )
+
+
+@dataclass
+class TSDBConfig:
+    """Hot Prometheus instance section."""
+
+    scrape_interval: float = 15.0
+    retention: float = 30 * 86400.0
+    replicate_to_thanos: bool = True
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any] | None) -> "TSDBConfig":
+        raw = raw or {}
+        return cls(
+            scrape_interval=_duration(raw.get("scrape_interval"), "tsdb.scrape_interval", 15.0),
+            retention=_duration(raw.get("retention"), "tsdb.retention", 30 * 86400.0),
+            replicate_to_thanos=bool(raw.get("replicate_to_thanos", True)),
+        )
+
+
+@dataclass
+class APIServerConfig:
+    """CEEMS API server section."""
+
+    update_interval: float = 900.0
+    db_path: str = ":memory:"
+    backup_interval: float = 86400.0
+    #: Workloads shorter than this are purged from the TSDB (cardinality
+    #: cleanup); 0 disables cleanup.
+    cleanup_cutoff: float = 0.0
+    basic_auth: BasicAuthConfig = field(default_factory=BasicAuthConfig)
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any] | None) -> "APIServerConfig":
+        raw = raw or {}
+        cutoff_raw = raw.get("cleanup_cutoff")
+        cutoff = 0.0 if cutoff_raw in (None, 0, "0") else _duration(cutoff_raw, "api_server.cleanup_cutoff", 0.0)
+        return cls(
+            update_interval=_duration(raw.get("update_interval"), "api_server.update_interval", 900.0),
+            db_path=str(raw.get("db_path", ":memory:")),
+            backup_interval=_duration(raw.get("backup_interval"), "api_server.backup_interval", 86400.0),
+            cleanup_cutoff=cutoff,
+            basic_auth=BasicAuthConfig.from_dict(raw.get("basic_auth")),
+        )
+
+
+@dataclass
+class LBConfig:
+    """CEEMS load balancer section."""
+
+    strategy: str = "round-robin"
+    backends: tuple[str, ...] = ()
+    #: "db" = introspect the API server's SQLite directly; "api" = ask
+    #: the API server over HTTP (paper §II.C / §II.C architecture).
+    authz_mode: str = "db"
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any] | None) -> "LBConfig":
+        raw = raw or {}
+        strategy = str(raw.get("strategy", "round-robin"))
+        if strategy not in VALID_STRATEGIES:
+            raise ConfigError(f"unknown LB strategy {strategy!r}; valid: {VALID_STRATEGIES}")
+        authz_mode = str(raw.get("authz_mode", "db"))
+        if authz_mode not in ("db", "api"):
+            raise ConfigError(f"unknown LB authz_mode {authz_mode!r}")
+        return cls(
+            strategy=strategy,
+            backends=tuple(str(b) for b in (raw.get("backends") or ())),
+            authz_mode=authz_mode,
+        )
+
+
+@dataclass
+class EmissionsConfig:
+    """Emission-factor section."""
+
+    country: str = "FR"
+    providers: tuple[str, ...] = ("rte", "owid")
+    refresh_interval: float = 1800.0
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any] | None) -> "EmissionsConfig":
+        raw = raw or {}
+        providers = tuple(raw.get("providers") or cls.providers)
+        for name in providers:
+            if name not in VALID_PROVIDERS:
+                raise ConfigError(f"unknown emissions provider {name!r}; valid: {VALID_PROVIDERS}")
+        return cls(
+            country=str(raw.get("country", "FR")).upper(),
+            providers=providers,
+            refresh_interval=_duration(raw.get("refresh_interval"), "emissions.refresh_interval", 1800.0),
+        )
+
+
+@dataclass
+class StackConfig:
+    """The full single-file configuration for all components."""
+
+    exporter: ExporterConfig = field(default_factory=ExporterConfig)
+    tsdb: TSDBConfig = field(default_factory=TSDBConfig)
+    api_server: APIServerConfig = field(default_factory=APIServerConfig)
+    lb: LBConfig = field(default_factory=LBConfig)
+    emissions: EmissionsConfig = field(default_factory=EmissionsConfig)
+
+    KNOWN_SECTIONS = ("exporter", "tsdb", "api_server", "lb", "emissions")
+
+    @classmethod
+    def from_dict(cls, raw: dict[str, Any] | None) -> "StackConfig":
+        raw = raw or {}
+        if not isinstance(raw, dict):
+            raise ConfigError("top-level config must be a mapping")
+        unknown = set(raw) - set(cls.KNOWN_SECTIONS)
+        if unknown:
+            raise ConfigError(f"unknown config sections: {sorted(unknown)}")
+        return cls(
+            exporter=ExporterConfig.from_dict(raw.get("exporter")),
+            tsdb=TSDBConfig.from_dict(raw.get("tsdb")),
+            api_server=APIServerConfig.from_dict(raw.get("api_server")),
+            lb=LBConfig.from_dict(raw.get("lb")),
+            emissions=EmissionsConfig.from_dict(raw.get("emissions")),
+        )
+
+    @classmethod
+    def loads(cls, text: str) -> "StackConfig":
+        return cls.from_dict(yamlite.loads(text))
+
+    @classmethod
+    def load_file(cls, path: str) -> "StackConfig":
+        return cls.from_dict(yamlite.load_file(path))

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the CEEMS reproduction.
+
+All stack-specific failures derive from :class:`CEEMSError` so callers
+can catch the whole family with a single ``except`` clause while tests
+can assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class CEEMSError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigError(CEEMSError):
+    """Raised when a configuration file or value is invalid."""
+
+
+class AuthError(CEEMSError):
+    """Raised when authentication or authorization fails.
+
+    The HTTP layers map this to 401 (bad/missing credentials) or 403
+    (authenticated but not allowed), depending on :attr:`status`.
+    """
+
+    def __init__(self, message: str, status: int = 401) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class NotFoundError(CEEMSError):
+    """Raised when a requested entity (unit, user, target…) is absent."""
+
+
+class QueryError(CEEMSError):
+    """Raised for malformed or unevaluable PromQL / API queries."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class StorageError(CEEMSError):
+    """Raised for TSDB / SQLite storage failures (ingest, retention…)."""
+
+
+class ScrapeError(CEEMSError):
+    """Raised when a scrape target cannot be collected or parsed."""
+
+
+class CollectorError(CEEMSError):
+    """Raised inside an exporter collector.
+
+    Mirrors CEEMS behaviour: a failing collector marks itself unhealthy
+    in the ``ceems_exporter_collector_success`` metric instead of
+    failing the whole scrape.
+    """
+
+
+class ProviderError(CEEMSError):
+    """Raised by emission-factor providers (API down, unknown zone…)."""
+
+
+class SimulationError(CEEMSError):
+    """Raised for inconsistencies in the hardware/cluster simulation."""

@@ -1,0 +1,301 @@
+"""In-process HTTP abstraction used by every stack component.
+
+The CEEMS components speak HTTP to each other (exporter ← Prometheus
+scrapes, Grafana → LB → Prometheus, API server ← LB / Grafana).  For a
+deterministic simulation we model HTTP as plain function calls over
+:class:`Request`/:class:`Response` values routed by a :class:`Router`.
+Components expose an :class:`App`; clients call :meth:`App.handle`.
+
+A thin adapter (:func:`serve_threading`) mounts the very same ``App``
+on a real :class:`http.server.ThreadingHTTPServer`, which the
+integration tests use to prove the components genuinely speak HTTP —
+the routing, auth, and handler code is identical in both modes.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import urllib.parse
+import urllib.request
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Iterator
+
+from repro.common.auth import BasicAuth, TLSConfig
+from repro.common.errors import AuthError
+
+
+@dataclass
+class Request:
+    """An HTTP request in the in-process model."""
+
+    method: str
+    path: str
+    query: dict[str, list[str]] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    #: Transport security marker; stands in for "arrived over TLS".
+    secure: bool = False
+    #: Filled by the router from the path pattern (e.g. ``{uuid}``).
+    path_params: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_url(
+        cls,
+        method: str,
+        url: str,
+        *,
+        headers: dict[str, str] | None = None,
+        body: bytes = b"",
+        secure: bool = False,
+    ) -> "Request":
+        """Build a request from a path-with-querystring URL."""
+        parsed = urllib.parse.urlsplit(url)
+        query = urllib.parse.parse_qs(parsed.query, keep_blank_values=True)
+        return cls(
+            method=method.upper(),
+            path=parsed.path or "/",
+            query=query,
+            headers={k.lower(): v for k, v in (headers or {}).items()},
+            body=body,
+            secure=secure,
+        )
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        return self.headers.get(name.lower(), default)
+
+    def param(self, name: str, default: str | None = None) -> str | None:
+        """First value of a query parameter."""
+        values = self.query.get(name)
+        return values[0] if values else default
+
+    def params(self, name: str) -> list[str]:
+        """All values of a repeated query parameter (e.g. ``match[]``)."""
+        return self.query.get(name, [])
+
+    def json(self) -> Any:
+        return json.loads(self.body.decode() or "null")
+
+    @property
+    def form(self) -> dict[str, list[str]]:
+        """Parse an ``application/x-www-form-urlencoded`` body.
+
+        Prometheus accepts query parameters via POST forms; the LB must
+        introspect those too.
+        """
+        ctype = self.header("content-type", "")
+        if ctype and "application/x-www-form-urlencoded" in ctype:
+            return urllib.parse.parse_qs(self.body.decode(), keep_blank_values=True)
+        return {}
+
+
+@dataclass
+class Response:
+    """An HTTP response in the in-process model."""
+
+    status: int = 200
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @classmethod
+    def json(cls, payload: Any, status: int = 200, **headers: str) -> "Response":
+        hdrs = {"content-type": "application/json"}
+        hdrs.update({k.replace("_", "-").lower(): v for k, v in headers.items()})
+        return cls(status=status, headers=hdrs, body=json.dumps(payload).encode())
+
+    @classmethod
+    def text(cls, payload: str, status: int = 200, content_type: str = "text/plain; charset=utf-8") -> "Response":
+        return cls(status=status, headers={"content-type": content_type}, body=payload.encode())
+
+    @classmethod
+    def error(cls, status: int, message: str) -> "Response":
+        return cls.json({"status": "error", "error": message}, status=status)
+
+    def decode_json(self) -> Any:
+        return json.loads(self.body.decode() or "null")
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+Handler = Callable[[Request], Response]
+
+
+class Router:
+    """Method+path router with ``{param}`` captures.
+
+    Routes are matched in registration order; path parameters capture a
+    single segment and are stored in ``request.path_params``.
+    """
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, re.Pattern[str], Handler]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        regex = re.compile(
+            "^" + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", pattern) + "$"
+        )
+        self._routes.append((method.upper(), regex, handler))
+
+    def get(self, pattern: str, handler: Handler) -> None:
+        self.add("GET", pattern, handler)
+
+    def post(self, pattern: str, handler: Handler) -> None:
+        self.add("POST", pattern, handler)
+
+    def delete(self, pattern: str, handler: Handler) -> None:
+        self.add("DELETE", pattern, handler)
+
+    def dispatch(self, request: Request) -> Response:
+        path_matched = False
+        for method, regex, handler in self._routes:
+            match = regex.match(request.path)
+            if match is None:
+                continue
+            path_matched = True
+            if method != request.method:
+                continue
+            request.path_params = {k: urllib.parse.unquote(v) for k, v in match.groupdict().items()}
+            return handler(request)
+        if path_matched:
+            return Response.error(405, "method not allowed")
+        return Response.error(404, f"no route for {request.path}")
+
+
+class App:
+    """A routable HTTP application with optional basic auth and TLS.
+
+    This is the single code path shared by the in-process transport and
+    the real socket server: auth enforcement, TLS requirement and error
+    mapping all live here.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        auth: BasicAuth | None = None,
+        tls: TLSConfig | None = None,
+    ) -> None:
+        self.name = name
+        self.router = Router()
+        self.auth = auth or BasicAuth()
+        self.tls = tls or TLSConfig()
+        self.tls.validate()
+        self._requests_total = 0
+        self._errors_total = 0
+
+    # Stats used by the exporter self-metrics and the LB bench.
+    @property
+    def requests_total(self) -> int:
+        return self._requests_total
+
+    @property
+    def errors_total(self) -> int:
+        return self._errors_total
+
+    def handle(self, request: Request) -> Response:
+        self._requests_total += 1
+        if self.tls.enabled and not request.secure:
+            self._errors_total += 1
+            return Response.error(400, "TLS required")
+        try:
+            request.headers.setdefault("x-auth-user", self.auth.check_header(request.header("authorization")))
+        except AuthError as exc:
+            self._errors_total += 1
+            return Response(
+                status=exc.status,
+                headers={"www-authenticate": f'Basic realm="{self.name}"'},
+                body=json.dumps({"status": "error", "error": str(exc)}).encode(),
+            )
+        try:
+            response = self.router.dispatch(request)
+        except AuthError as exc:
+            response = Response.error(exc.status, str(exc))
+        if response.status >= 400:
+            self._errors_total += 1
+        return response
+
+    # Convenience client methods for in-process calls.
+    def get(self, url: str, **kwargs: Any) -> Response:
+        return self.handle(Request.from_url("GET", url, **kwargs))
+
+    def post(self, url: str, **kwargs: Any) -> Response:
+        return self.handle(Request.from_url("POST", url, **kwargs))
+
+
+class _AppHTTPHandler(BaseHTTPRequestHandler):
+    """Adapter from the stdlib HTTP server onto an :class:`App`."""
+
+    app: App  # injected by serve_threading
+
+    def _serve(self) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        request = Request.from_url(
+            self.command,
+            self.path,
+            headers={k: v for k, v in self.headers.items()},
+            body=body,
+        )
+        response = self.app.handle(request)
+        self.send_response(response.status)
+        for key, value in response.headers.items():
+            self.send_header(key, value)
+        self.send_header("Content-Length", str(len(response.body)))
+        self.end_headers()
+        self.wfile.write(response.body)
+
+    do_GET = do_POST = do_DELETE = do_PUT = _serve
+
+    def log_message(self, fmt: str, *args: Any) -> None:  # silence
+        pass
+
+
+@dataclass
+class RunningServer:
+    """Handle for a live socket server started by :func:`serve_threading`."""
+
+    server: ThreadingHTTPServer
+    thread: threading.Thread
+
+    @property
+    def port(self) -> int:
+        return self.server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def close(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self.thread.join(timeout=5)
+
+
+def serve_threading(app: App, port: int = 0) -> RunningServer:
+    """Mount ``app`` on a real threaded HTTP server (ephemeral port)."""
+    handler = type("Handler", (_AppHTTPHandler,), {"app": app})
+    server = ThreadingHTTPServer(("127.0.0.1", port), handler)
+    thread = threading.Thread(target=server.serve_forever, name=f"http-{app.name}", daemon=True)
+    thread.start()
+    return RunningServer(server=server, thread=thread)
+
+
+def http_get(url: str, headers: dict[str, str] | None = None, timeout: float = 5.0) -> tuple[int, bytes]:
+    """Tiny urllib GET helper for integration tests (no external deps)."""
+    req = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def iter_chunks(data: bytes, size: int) -> Iterator[bytes]:
+    """Yield ``data`` in ``size``-byte chunks (backup streaming helper)."""
+    for i in range(0, len(data), size):
+        yield data[i : i + size]

@@ -1,0 +1,344 @@
+"""A minimal YAML-subset parser for the single-file stack configuration.
+
+The paper configures every CEEMS component from one YAML file.  PyYAML
+is not available in this offline environment, so this module implements
+the subset of YAML the stack's configuration actually needs:
+
+* block mappings and nested mappings via indentation,
+* block sequences (``- item``) of scalars or mappings,
+* flow sequences (``[a, b, c]``) of scalars,
+* scalars: integers, floats, booleans (``true``/``false``), ``null``,
+  single- and double-quoted strings, plain strings,
+* full-line and trailing ``#`` comments,
+* document separators (``---``) are tolerated at the top.
+
+Anchors, aliases, multi-line block scalars and flow mappings are out of
+scope and raise :class:`~repro.common.errors.ConfigError`.
+
+The emitter (:func:`dumps`) produces output that round-trips through
+:func:`loads`, which the config tests rely on.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.common.errors import ConfigError
+
+_BOOue = {"true": True, "True": True, "false": False, "False": False}
+_NULLS = {"null", "~", "None", ""}
+
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?$")
+
+
+def _parse_scalar(token: str) -> Any:
+    """Interpret a scalar token with YAML 1.2 core-schema-ish rules."""
+    token = token.strip()
+    if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+        return token[1:-1].replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+    if token.startswith("'") and token.endswith("'") and len(token) >= 2:
+        return token[1:-1].replace("''", "'")
+    if token in _BOOue:
+        return _BOOue[token]
+    if token in _NULLS:
+        return None
+    if _INT_RE.match(token):
+        return int(token)
+    if _FLOAT_RE.match(token) and token not in {"+", "-"}:
+        return float(token)
+    return token
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a trailing comment, respecting quoted strings."""
+    out = []
+    quote: str | None = None
+    for ch in line:
+        if quote:
+            out.append(ch)
+            if ch == quote:
+                quote = None
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            out.append(ch)
+            continue
+        if ch == "#":
+            break
+        out.append(ch)
+    return "".join(out).rstrip()
+
+
+class _Line:
+    __slots__ = ("indent", "content", "lineno")
+
+    def __init__(self, indent: int, content: str, lineno: int) -> None:
+        self.indent = indent
+        self.content = content
+        self.lineno = lineno
+
+
+def _tokenize(text: str) -> list[_Line]:
+    lines: list[_Line] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+            raise ConfigError(f"line {lineno}: tabs are not allowed in indentation")
+        stripped = _strip_comment(raw)
+        if not stripped.strip():
+            continue
+        if stripped.strip() == "---" and not lines:
+            continue
+        indent = len(stripped) - len(stripped.lstrip(" "))
+        lines.append(_Line(indent, stripped.strip(), lineno))
+    return lines
+
+
+def _split_key(content: str, lineno: int) -> tuple[str, str]:
+    """Split ``key: value`` respecting quoted keys."""
+    if content.startswith(("'", '"')):
+        quote = content[0]
+        end = content.find(quote, 1)
+        if end == -1 or not content[end + 1 :].lstrip().startswith(":"):
+            raise ConfigError(f"line {lineno}: malformed quoted key")
+        key = content[1:end]
+        rest = content[end + 1 :].lstrip()[1:]
+        return key, rest.strip()
+    idx = content.find(":")
+    if idx == -1:
+        raise ConfigError(f"line {lineno}: expected 'key: value', got {content!r}")
+    # Reject "url: http://x" being split at the wrong colon: YAML requires
+    # ': ' or line-final ':'; find the first colon followed by space/EOL.
+    m = re.search(r":(\s|$)", content)
+    if m is None:
+        raise ConfigError(f"line {lineno}: expected 'key: value', got {content!r}")
+    key = content[: m.start()]
+    rest = content[m.end() :]
+    return key.strip(), rest.strip()
+
+
+def _parse_flow_seq(token: str, lineno: int) -> list[Any]:
+    inner = token[1:-1].strip()
+    if not inner:
+        return []
+    items: list[str] = []
+    depth = 0
+    quote: str | None = None
+    current = []
+    for ch in inner:
+        if quote:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            current.append(ch)
+        elif ch == "[":
+            depth += 1
+            current.append(ch)
+        elif ch == "]":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    items.append("".join(current))
+    out: list[Any] = []
+    for item in items:
+        item = item.strip()
+        if item.startswith("[") and item.endswith("]"):
+            out.append(_parse_flow_seq(item, lineno))
+        else:
+            out.append(_parse_scalar(item))
+    return out
+
+
+class _Parser:
+    def __init__(self, lines: list[_Line]) -> None:
+        self.lines = lines
+        self.pos = 0
+
+    def peek(self) -> _Line | None:
+        return self.lines[self.pos] if self.pos < len(self.lines) else None
+
+    def parse_block(self, indent: int) -> Any:
+        line = self.peek()
+        if line is None:
+            return None
+        if line.content.startswith("- "):
+            return self.parse_sequence(line.indent)
+        if line.content == "-":
+            return self.parse_sequence(line.indent)
+        return self.parse_mapping(line.indent)
+
+    def parse_mapping(self, indent: int) -> dict[str, Any]:
+        result: dict[str, Any] = {}
+        while True:
+            line = self.peek()
+            if line is None or line.indent < indent:
+                return result
+            if line.indent > indent:
+                raise ConfigError(f"line {line.lineno}: unexpected indentation")
+            if line.content.startswith("- ") or line.content == "-":
+                raise ConfigError(f"line {line.lineno}: sequence item in mapping context")
+            key, rest = _split_key(line.content, line.lineno)
+            if key in result:
+                raise ConfigError(f"line {line.lineno}: duplicate key {key!r}")
+            self.pos += 1
+            if rest:
+                if rest.startswith("[") and rest.endswith("]"):
+                    result[key] = _parse_flow_seq(rest, line.lineno)
+                elif rest.startswith("{"):
+                    raise ConfigError(f"line {line.lineno}: flow mappings are not supported")
+                elif rest.startswith(("&", "*")):
+                    raise ConfigError(f"line {line.lineno}: anchors/aliases are not supported")
+                elif rest in ("|", ">") or rest.startswith(("|", ">")):
+                    raise ConfigError(f"line {line.lineno}: block scalars are not supported")
+                else:
+                    result[key] = _parse_scalar(rest)
+            else:
+                child = self.peek()
+                if child is None or child.indent <= indent:
+                    result[key] = None
+                else:
+                    result[key] = self.parse_block(child.indent)
+
+    def parse_sequence(self, indent: int) -> list[Any]:
+        result: list[Any] = []
+        while True:
+            line = self.peek()
+            if line is None or line.indent < indent:
+                return result
+            if line.indent > indent:
+                raise ConfigError(f"line {line.lineno}: unexpected indentation in sequence")
+            if not (line.content.startswith("- ") or line.content == "-"):
+                return result
+            rest = line.content[1:].strip()
+            self.pos += 1
+            if not rest:
+                child = self.peek()
+                if child is None or child.indent <= indent:
+                    result.append(None)
+                else:
+                    result.append(self.parse_block(child.indent))
+                continue
+            if ":" in rest and re.search(r":(\s|$)", rest):
+                # "- key: value" starts an inline mapping whose remaining
+                # keys sit two columns deeper (aligned with `key`).
+                key, value = _split_key(rest, line.lineno)
+                item: dict[str, Any] = {}
+                if value:
+                    if value.startswith("[") and value.endswith("]"):
+                        item[key] = _parse_flow_seq(value, line.lineno)
+                    else:
+                        item[key] = _parse_scalar(value)
+                else:
+                    child = self.peek()
+                    item_indent = indent + 2
+                    if child is not None and child.indent > item_indent:
+                        item[key] = self.parse_block(child.indent)
+                    else:
+                        item[key] = None
+                # Continuation keys of the same item.
+                while True:
+                    nxt = self.peek()
+                    if nxt is None or nxt.indent != indent + 2 or nxt.content.startswith("- "):
+                        break
+                    sub = self.parse_mapping(indent + 2)
+                    for k, v in sub.items():
+                        if k in item:
+                            raise ConfigError(f"line {nxt.lineno}: duplicate key {k!r} in sequence item")
+                        item[k] = v
+                result.append(item)
+            elif rest.startswith("[") and rest.endswith("]"):
+                result.append(_parse_flow_seq(rest, line.lineno))
+            else:
+                result.append(_parse_scalar(rest))
+
+
+def loads(text: str) -> Any:
+    """Parse a YAML-subset document into Python objects.
+
+    Returns ``None`` for an empty document, otherwise a dict, list or
+    scalar.  Raises :class:`ConfigError` for unsupported constructs.
+    """
+    lines = _tokenize(text)
+    if not lines:
+        return None
+    parser = _Parser(lines)
+    result = parser.parse_block(lines[0].indent)
+    leftover = parser.peek()
+    if leftover is not None:
+        raise ConfigError(f"line {leftover.lineno}: trailing content {leftover.content!r}")
+    return result
+
+
+def load_file(path: str) -> Any:
+    """Parse a YAML-subset file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads(fh.read())
+
+
+def _needs_quotes(s: str) -> bool:
+    if s == "" or s != s.strip():
+        return True
+    if s in _BOOue or s in _NULLS:
+        return True
+    if _INT_RE.match(s) or _FLOAT_RE.match(s):
+        return True
+    return any(ch in s for ch in ":#[]{},&*'\"\n-") or s.startswith(("-", "?"))
+
+
+def _dump_scalar(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    s = str(value)
+    if _needs_quotes(s):
+        return '"' + s.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n") + '"'
+    return s
+
+
+def dumps(value: Any, _indent: int = 0) -> str:
+    """Emit a YAML-subset document that round-trips through :func:`loads`."""
+    pad = " " * _indent
+    if isinstance(value, dict):
+        if not value:
+            raise ConfigError("cannot emit an empty mapping in block style")
+        lines = []
+        for k, v in value.items():
+            key = _dump_scalar(str(k))
+            if isinstance(v, dict) and v:
+                lines.append(f"{pad}{key}:")
+                lines.append(dumps(v, _indent + 2))
+            elif isinstance(v, list) and v:
+                lines.append(f"{pad}{key}:")
+                lines.append(dumps(v, _indent + 2))
+            elif isinstance(v, (dict, list)):  # empty containers -> flow
+                lines.append(f"{pad}{key}: []" if isinstance(v, list) else f"{pad}{key}: null")
+            else:
+                lines.append(f"{pad}{key}: {_dump_scalar(v)}")
+        return "\n".join(lines)
+    if isinstance(value, list):
+        lines = []
+        for item in value:
+            if isinstance(item, dict) and item:
+                body = dumps(item, _indent + 2)
+                first, _, rest = body.partition("\n")
+                lines.append(f"{pad}- {first.strip()}")
+                if rest:
+                    lines.append(rest)
+            elif isinstance(item, list):
+                inner = ", ".join(_dump_scalar(x) for x in item)
+                lines.append(f"{pad}- [{inner}]")
+            else:
+                lines.append(f"{pad}- {_dump_scalar(item)}")
+        return "\n".join(lines)
+    return pad + _dump_scalar(value)

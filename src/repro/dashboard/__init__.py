@@ -1,0 +1,39 @@
+"""Grafana-like data sources and the paper's Fig. 2 dashboards.
+
+The paper's Fig. 2 shows three Grafana dashboards built on two data
+sources: Prometheus (time-series panels) and the CEEMS API server
+(aggregate/stat panels).  Figures are screenshots and cannot be
+regenerated literally; what *can* be reproduced — and is, here — is
+the data behind each panel:
+
+* :func:`~repro.dashboard.dashboards.fig2a_user_overview` — a user's
+  aggregate CPU/GPU/memory usage, total energy and equivalent
+  emissions over a window (Fig. 2a);
+* :func:`~repro.dashboard.dashboards.fig2b_job_list` — the user's
+  SLURM jobs with per-job aggregate metrics (Fig. 2b);
+* :func:`~repro.dashboard.dashboards.fig2c_job_timeseries` — the
+  time-series CPU metrics of one job (Fig. 2c).
+
+Data sources go through the LB (time series) and the API server
+(aggregates) with the ``X-Grafana-User`` header set, so dashboards
+exercise the full access-control path, not a backdoor.
+"""
+
+from repro.dashboard.datasource import CEEMSDataSource, PrometheusDataSource
+from repro.dashboard.dashboards import (
+    fig2a_user_overview,
+    fig2b_job_list,
+    fig2c_job_timeseries,
+)
+from repro.dashboard.panels import StatPanel, TablePanel, TimeSeriesPanel
+
+__all__ = [
+    "PrometheusDataSource",
+    "CEEMSDataSource",
+    "StatPanel",
+    "TablePanel",
+    "TimeSeriesPanel",
+    "fig2a_user_overview",
+    "fig2b_job_list",
+    "fig2c_job_timeseries",
+]

@@ -1,0 +1,128 @@
+"""The three Fig. 2 dashboards as data-producing functions.
+
+Each function takes the two data sources (Prometheus-via-LB and the
+CEEMS API) plus its parameters and returns fully populated panels.
+The E3/E4/E5 benchmarks call these and print the regenerated rows and
+series.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import format_bytes, format_co2, format_duration, format_energy
+from repro.dashboard.datasource import CEEMSDataSource, PrometheusDataSource
+from repro.dashboard.panels import StatPanel, TablePanel, TimeSeriesPanel
+from repro.energy.rules_library import POWER_METRIC
+
+
+def fig2a_user_overview(
+    ceems: CEEMSDataSource,
+    cluster: str | None = None,
+) -> list[StatPanel]:
+    """Fig. 2a: aggregate usage metrics of the calling user.
+
+    The paper's panel shows average CPU / GPU / memory usage, total
+    energy usage and resulting equivalent emissions over the selected
+    window (3 months in the figure).
+    """
+    rows = ceems.my_usage(cluster)
+    units = ceems.units(**({"cluster": cluster} if cluster else {}))
+    total_energy = sum(r["total_energy_joules"] for r in rows)
+    total_emissions = sum(r["total_emissions_g"] for r in rows)
+    total_cpu_hours = sum(r["total_cpu_hours"] for r in rows)
+    total_gpu_hours = sum(r["total_gpu_hours"] for r in rows)
+    num_units = sum(r["num_units"] for r in rows)
+    finished = [u for u in units if u["elapsed"] > 0]
+    avg_cpu = (
+        sum(u["avg_cpu_usage"] / max(u["cpus"], 1) for u in finished) / len(finished)
+        if finished
+        else 0.0
+    )
+    avg_mem = (
+        sum(u["avg_memory_bytes"] for u in finished) / len(finished) if finished else 0.0
+    )
+    return [
+        StatPanel("Total jobs", float(num_units)),
+        StatPanel("Avg CPU usage", avg_cpu * 100.0, "%", formatted=f"{avg_cpu * 100.0:.1f} %"),
+        StatPanel("Avg memory", avg_mem, "B", formatted=format_bytes(avg_mem)),
+        StatPanel("CPU hours", total_cpu_hours, "h", formatted=f"{total_cpu_hours:.1f} h"),
+        StatPanel("GPU hours", total_gpu_hours, "h", formatted=f"{total_gpu_hours:.1f} h"),
+        StatPanel("Total energy", total_energy, "J", formatted=format_energy(total_energy)),
+        StatPanel("Emissions", total_emissions, "g", formatted=format_co2(total_emissions)),
+    ]
+
+
+def fig2b_job_list(
+    ceems: CEEMSDataSource,
+    cluster: str | None = None,
+    limit: int = 20,
+) -> TablePanel:
+    """Fig. 2b: the user's SLURM jobs with per-job aggregate metrics."""
+    filters = {"limit": str(limit)}
+    if cluster:
+        filters["cluster"] = cluster
+    units = ceems.units(**filters)
+    panel = TablePanel(
+        title=f"Jobs of {ceems.user}",
+        columns=[
+            "JobID",
+            "Name",
+            "Project",
+            "State",
+            "Elapsed",
+            "CPUs",
+            "GPUs",
+            "AvgPower",
+            "Energy",
+            "Emissions",
+        ],
+    )
+    for unit in units:
+        panel.rows.append(
+            [
+                unit["uuid"],
+                unit["name"][:18],
+                unit["project"],
+                unit["state"],
+                format_duration(unit["elapsed"]),
+                str(unit["cpus"]),
+                str(unit["gpus"]),
+                f"{unit['avg_power_watts']:.0f} W",
+                format_energy(unit["energy_joules"]),
+                format_co2(unit["emissions_g"]),
+            ]
+        )
+    return panel
+
+
+def fig2c_job_timeseries(
+    prom: PrometheusDataSource,
+    uuid: str,
+    start: float,
+    end: float,
+    step: float = 60.0,
+) -> TimeSeriesPanel:
+    """Fig. 2c: time-series CPU metrics of one job.
+
+    Goes through the LB, so a user asking for someone else's job gets
+    a 403 — the access-control behaviour the LB exists to provide.
+    """
+    panel = TimeSeriesPanel(title=f"Job {uuid} CPU metrics", unit="cores / W")
+    cpu = prom.query_range(
+        f'sum by (uuid) (instance:unit_cpu_rate{{uuid="{uuid}"}})', start, end, step
+    )
+    for _key, (ts, vs) in cpu.items():
+        panel.add_series("cpu_cores_used", ts, vs)
+    power = prom.query_range(
+        f'sum by (uuid) ({POWER_METRIC}{{uuid="{uuid}"}})', start, end, step
+    )
+    for _key, (ts, vs) in power.items():
+        panel.add_series("power_watts", ts, vs)
+    memory = prom.query_range(
+        f'sum by (uuid) (ceems_compute_unit_memory_current_bytes{{uuid="{uuid}"}}) / 2^30',
+        start,
+        end,
+        step,
+    )
+    for _key, (ts, vs) in memory.items():
+        panel.add_series("memory_gib", ts, vs)
+    return panel

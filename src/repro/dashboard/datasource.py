@@ -1,0 +1,98 @@
+"""Grafana data sources: Prometheus (via the LB) and the CEEMS API.
+
+Both attach the ``X-Grafana-User`` header to every request, the way
+Grafana's ``send_user_header`` option does (paper §II.B.c ref. [19]) —
+which is exactly what lets the LB authorize per-user.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.common.errors import AuthError, QueryError
+from repro.common.httpx import App, Request
+
+USER_HEADER = "X-Grafana-User"
+
+
+class PrometheusDataSource:
+    """Query-side client for the Prometheus API (usually via the LB)."""
+
+    def __init__(self, app: App, user: str) -> None:
+        self.app = app
+        self.user = user
+
+    def _get(self, url: str) -> Any:
+        response = self.app.handle(
+            Request.from_url("GET", url, headers={USER_HEADER: self.user})
+        )
+        payload = response.decode_json()
+        if response.status in (401, 403):
+            raise AuthError(payload.get("error", "denied"), status=response.status)
+        if not response.ok:
+            raise QueryError(payload.get("error", f"HTTP {response.status}"))
+        return payload["data"]
+
+    def query(self, promql: str, at: float) -> list[dict[str, Any]]:
+        """Instant query → list of ``{"metric": {...}, "value": [t, v]}``."""
+        import urllib.parse
+
+        encoded = urllib.parse.quote(promql)
+        data = self._get(f"/api/v1/query?query={encoded}&time={at}")
+        if data["resultType"] == "scalar":
+            return [{"metric": {}, "value": data["result"]}]
+        return data["result"]
+
+    def query_range(
+        self, promql: str, start: float, end: float, step: float
+    ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+        """Range query → series-key → (timestamps, values) arrays."""
+        import urllib.parse
+
+        encoded = urllib.parse.quote(promql)
+        data = self._get(
+            f"/api/v1/query_range?query={encoded}&start={start}&end={end}&step={step}"
+        )
+        out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for item in data["result"]:
+            key = ",".join(f"{k}={v}" for k, v in sorted(item["metric"].items()))
+            ts = np.array([float(t) for t, _v in item["values"]])
+            vs = np.array([float(v) for _t, v in item["values"]])
+            out[key] = (ts, vs)
+        return out
+
+
+class CEEMSDataSource:
+    """Client for the CEEMS API server data source."""
+
+    def __init__(self, app: App, user: str) -> None:
+        self.app = app
+        self.user = user
+
+    def _get(self, url: str) -> Any:
+        response = self.app.handle(
+            Request.from_url("GET", url, headers={USER_HEADER: self.user})
+        )
+        payload = response.decode_json()
+        if response.status in (401, 403):
+            raise AuthError(payload.get("error", "denied"), status=response.status)
+        if not response.ok:
+            raise QueryError(payload.get("error", f"HTTP {response.status}"))
+        return payload["data"]
+
+    def units(self, **filters: str) -> list[dict[str, Any]]:
+        query = "&".join(f"{k}={v}" for k, v in filters.items())
+        return self._get(f"/api/v1/units?{query}" if query else "/api/v1/units")
+
+    def unit(self, uuid: str) -> dict[str, Any]:
+        return self._get(f"/api/v1/units/{uuid}")
+
+    def my_usage(self, cluster: str | None = None) -> list[dict[str, Any]]:
+        suffix = f"?cluster={cluster}" if cluster else ""
+        return self._get(f"/api/v1/usage/current{suffix}")
+
+    def global_usage(self, cluster: str | None = None) -> list[dict[str, Any]]:
+        suffix = f"?cluster={cluster}" if cluster else ""
+        return self._get(f"/api/v1/usage/global{suffix}")

@@ -1,0 +1,217 @@
+"""Grafana dashboard JSON generation.
+
+The real CEEMS ships provisioned Grafana dashboards; this module
+generates the equivalent dashboard-model JSON for the three Fig. 2
+dashboards, wired to the two data sources (the Prometheus one hitting
+the CEEMS LB, and the CEEMS API server one).  The output follows the
+Grafana dashboard schema (schemaVersion 39): panels with ``gridPos``,
+``targets`` carrying PromQL expressions, templating variables for the
+cluster/user/job selection, and the time range the figure uses.
+
+The JSON is deterministic (stable panel ids), and every embedded
+PromQL expression is validated against this repo's parser at build
+time — a dashboard with an unparseable query cannot be generated.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.energy.rules_library import EMISSIONS_METRIC, POWER_METRIC
+from repro.tsdb.promql.parser import parse_expr
+
+PROMETHEUS_DS = {"type": "prometheus", "uid": "ceems-lb"}
+CEEMS_DS = {"type": "ceems-api", "uid": "ceems-api"}
+
+_GRID_W = 24
+
+
+def _validate_promql(expr: str) -> str:
+    """Dashboard queries must parse (with variables substituted)."""
+    substituted = expr.replace("$job", "12345").replace("$user", "u").replace(
+        "$cluster", "c"
+    )
+    parse_expr(substituted)
+    return expr
+
+
+def _stat_panel(panel_id: int, title: str, expr_or_field: str, unit: str, x: int, y: int, *, ceems: bool = False) -> dict[str, Any]:
+    if ceems:
+        target = {"datasource": CEEMS_DS, "field": expr_or_field, "refId": "A"}
+    else:
+        target = {
+            "datasource": PROMETHEUS_DS,
+            "expr": _validate_promql(expr_or_field),
+            "instant": True,
+            "refId": "A",
+        }
+    return {
+        "id": panel_id,
+        "type": "stat",
+        "title": title,
+        "gridPos": {"h": 4, "w": 4, "x": x, "y": y},
+        "datasource": CEEMS_DS if ceems else PROMETHEUS_DS,
+        "fieldConfig": {"defaults": {"unit": unit}},
+        "targets": [target],
+    }
+
+
+def _timeseries_panel(panel_id: int, title: str, exprs: list[tuple[str, str]], unit: str, y: int, h: int = 8) -> dict[str, Any]:
+    return {
+        "id": panel_id,
+        "type": "timeseries",
+        "title": title,
+        "gridPos": {"h": h, "w": _GRID_W, "x": 0, "y": y},
+        "datasource": PROMETHEUS_DS,
+        "fieldConfig": {"defaults": {"unit": unit}},
+        "targets": [
+            {
+                "datasource": PROMETHEUS_DS,
+                "expr": _validate_promql(expr),
+                "legendFormat": legend,
+                "refId": chr(ord("A") + i),
+            }
+            for i, (legend, expr) in enumerate(exprs)
+        ],
+    }
+
+
+def _table_panel(panel_id: int, title: str, path: str, columns: list[str], y: int) -> dict[str, Any]:
+    return {
+        "id": panel_id,
+        "type": "table",
+        "title": title,
+        "gridPos": {"h": 10, "w": _GRID_W, "x": 0, "y": y},
+        "datasource": CEEMS_DS,
+        "targets": [{"datasource": CEEMS_DS, "path": path, "columns": columns, "refId": "A"}],
+    }
+
+
+def _dashboard(uid: str, title: str, panels: list[dict[str, Any]], variables: list[dict[str, Any]], time_from: str) -> dict[str, Any]:
+    return {
+        "uid": uid,
+        "title": title,
+        "schemaVersion": 39,
+        "tags": ["ceems", "energy"],
+        "timezone": "utc",
+        "time": {"from": time_from, "to": "now"},
+        "templating": {"list": variables},
+        "panels": panels,
+    }
+
+
+def _user_variable() -> dict[str, Any]:
+    return {
+        "name": "user",
+        "type": "constant",
+        "label": "User",
+        # Grafana sends X-Grafana-User; the variable mirrors it so
+        # panel titles can show the identity being displayed.
+        "query": "${__user.login}",
+    }
+
+
+def fig2a_dashboard_json() -> dict[str, Any]:
+    """Fig. 2a: aggregate usage metrics of a user."""
+    panels = [
+        _stat_panel(1, "Total jobs", "num_units", "none", 0, 0, ceems=True),
+        _stat_panel(2, "CPU hours", "total_cpu_hours", "h", 4, 0, ceems=True),
+        _stat_panel(3, "GPU hours", "total_gpu_hours", "h", 8, 0, ceems=True),
+        _stat_panel(4, "Total energy", "total_energy_joules", "joule", 12, 0, ceems=True),
+        _stat_panel(5, "Emissions", "total_emissions_g", "mass", 16, 0, ceems=True),
+        _timeseries_panel(
+            6,
+            "Power of running jobs",
+            [("{{uuid}}", f"sum by (uuid) ({POWER_METRIC})")],
+            "watt",
+            4,
+        ),
+        _timeseries_panel(
+            7,
+            "Emission rate of running jobs",
+            [("{{uuid}}", f"sum by (uuid) ({EMISSIONS_METRIC})")],
+            "mass",
+            12,
+        ),
+    ]
+    return _dashboard("ceems-fig2a", "CEEMS / User overview", panels, [_user_variable()], "now-90d")
+
+
+def fig2b_dashboard_json() -> dict[str, Any]:
+    """Fig. 2b: the user's job list with aggregate metrics."""
+    panels = [
+        _table_panel(
+            1,
+            "Jobs",
+            "/api/v1/units",
+            [
+                "uuid",
+                "name",
+                "project",
+                "state",
+                "elapsed",
+                "cpus",
+                "gpus",
+                "avg_power_watts",
+                "energy_joules",
+                "emissions_g",
+            ],
+            0,
+        )
+    ]
+    return _dashboard("ceems-fig2b", "CEEMS / Job list", panels, [_user_variable()], "now-7d")
+
+
+def fig2c_dashboard_json() -> dict[str, Any]:
+    """Fig. 2c: time-series CPU metrics of one job."""
+    job_variable = {
+        "name": "job",
+        "type": "query",
+        "label": "Job",
+        "datasource": CEEMS_DS,
+        "query": "/api/v1/units?state=running",
+    }
+    panels = [
+        _stat_panel(
+            0,
+            "Peak power (24h)",
+            f'max_over_time((sum by (uuid) ({POWER_METRIC}{{uuid="$job"}}))[24h:5m])',
+            "watt",
+            0,
+            0,
+        ),
+        _timeseries_panel(
+            1,
+            "CPU cores used",
+            [("cores", 'sum by (uuid) (instance:unit_cpu_rate{uuid="$job"})')],
+            "none",
+            4,
+        ),
+        _timeseries_panel(
+            2,
+            "Power",
+            [("watts", f'sum by (uuid) ({POWER_METRIC}{{uuid="$job"}})')],
+            "watt",
+            12,
+        ),
+        _timeseries_panel(
+            3,
+            "Memory",
+            [("resident", 'sum by (uuid) (ceems_compute_unit_memory_current_bytes{uuid="$job"})')],
+            "bytes",
+            20,
+        ),
+    ]
+    return _dashboard("ceems-fig2c", "CEEMS / Job detail", panels, [_user_variable(), job_variable], "now-24h")
+
+
+def all_dashboards() -> dict[str, dict[str, Any]]:
+    """uid -> dashboard JSON for every shipped dashboard."""
+    dashboards = [fig2a_dashboard_json(), fig2b_dashboard_json(), fig2c_dashboard_json()]
+    return {d["uid"]: d for d in dashboards}
+
+
+def export_provisioning_bundle() -> str:
+    """The JSON bundle a Grafana provisioning directory would hold."""
+    return json.dumps(all_dashboards(), indent=2, sort_keys=True)

@@ -1,0 +1,93 @@
+"""Panel value objects: stat tiles, tables and time-series panels.
+
+Panels are plain data plus a text renderer, so the examples can print
+dashboard-shaped output and the tests can assert on panel contents
+without a browser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class StatPanel:
+    """A single big-number tile (Fig. 2a style)."""
+
+    title: str
+    value: float
+    unit: str = ""
+    formatted: str = ""
+
+    def render(self) -> str:
+        shown = self.formatted if self.formatted else f"{self.value:g} {self.unit}".strip()
+        return f"{self.title}: {shown}"
+
+
+@dataclass
+class TablePanel:
+    """A rows-and-columns panel (Fig. 2b style)."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, ""]
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+
+@dataclass
+class TimeSeriesPanel:
+    """A chart panel (Fig. 2c style): named series over time."""
+
+    title: str
+    unit: str = ""
+    series: dict[str, tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+
+    def add_series(self, name: str, ts: np.ndarray, vs: np.ndarray) -> None:
+        self.series[name] = (np.asarray(ts), np.asarray(vs))
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """min/mean/max per series — what a chart legend shows."""
+        out = {}
+        for name, (_ts, vs) in self.series.items():
+            if len(vs):
+                out[name] = {
+                    "min": float(vs.min()),
+                    "mean": float(vs.mean()),
+                    "max": float(vs.max()),
+                    "points": float(len(vs)),
+                }
+        return out
+
+    def render(self, width: int = 60) -> str:
+        """ASCII sparkline rendering, one row per series."""
+        blocks = " ▁▂▃▄▅▆▇█"
+        lines = [f"{self.title} ({self.unit})" if self.unit else self.title]
+        for name, (_ts, vs) in sorted(self.series.items()):
+            if len(vs) == 0:
+                lines.append(f"  {name}: (no data)")
+                continue
+            if len(vs) > width:
+                # bucket-average down to the display width
+                idx = np.linspace(0, len(vs), width + 1).astype(int)
+                shown = np.array([vs[a:b].mean() if b > a else vs[min(a, len(vs) - 1)] for a, b in zip(idx[:-1], idx[1:])])
+            else:
+                shown = vs
+            lo, hi = float(shown.min()), float(shown.max())
+            span = (hi - lo) or 1.0
+            chars = "".join(blocks[int((v - lo) / span * (len(blocks) - 1))] for v in shown)
+            lines.append(f"  {name} [{lo:.3g}..{hi:.3g}]: {chars}")
+        return "\n".join(lines)

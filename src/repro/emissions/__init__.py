@@ -1,0 +1,39 @@
+"""Emission-factor providers and the energy → CO2e pipeline.
+
+Paper §II.A.c: equivalent emissions are energy × *emission factor*
+(gCO2e per kWh), where the factor tracks the grid's current energy
+mix.  CEEMS gathers static factors from OWID and real-time factors
+from RTE (France's grid operator) and Electricity Maps.  All three
+sources are reproduced here:
+
+* :mod:`repro.emissions.owid` — the static country table (embedded
+  subset of the OWID carbon-intensity dataset);
+* :mod:`repro.emissions.rte` — a deterministic éco2mix model of the
+  French grid (nuclear baseload, solar midday dip, winter gas peaks)
+  at 15-minute resolution;
+* :mod:`repro.emissions.electricitymaps` — a multi-zone API facade
+  with token auth and a free-tier rate limit, backed by per-zone
+  parametric mix models.
+
+The factor providers feed both the emissions *collector* (a metric
+family the TSDB scrapes, so recording rules can multiply power by the
+live factor) and the API-server aggregation that turns per-unit energy
+into per-unit emissions.
+"""
+
+from repro.emissions.electricitymaps import ElectricityMapsProvider
+from repro.emissions.owid import OWIDProvider
+from repro.emissions.pipeline import EmissionsCalculator, EmissionsCollector
+from repro.emissions.provider import EmissionFactor, EmissionFactorProvider, ProviderRegistry
+from repro.emissions.rte import RTEProvider
+
+__all__ = [
+    "EmissionFactor",
+    "EmissionFactorProvider",
+    "ProviderRegistry",
+    "OWIDProvider",
+    "RTEProvider",
+    "ElectricityMapsProvider",
+    "EmissionsCalculator",
+    "EmissionsCollector",
+]

@@ -1,0 +1,35 @@
+"""OWID static emission-factor provider.
+
+The always-available fallback of the provider chain: answers for any
+zone in the embedded table, and (optionally) with the world average
+for unknown zones, so the emissions pipeline never loses data — it
+just degrades to a coarser factor, exactly the CEEMS design.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ProviderError
+from repro.emissions.owid_data import OWID_FACTORS, WORLD_AVERAGE
+from repro.emissions.provider import EmissionFactor, EmissionFactorProvider
+
+
+class OWIDProvider(EmissionFactorProvider):
+    """Static country-level factors from the OWID dataset."""
+
+    name = "owid"
+    realtime = False
+
+    def __init__(self, *, world_fallback: bool = False) -> None:
+        self.world_fallback = world_fallback
+
+    def factor(self, zone: str, now: float) -> EmissionFactor:
+        zone = zone.upper()
+        value = OWID_FACTORS.get(zone)
+        if value is None:
+            if not self.world_fallback:
+                raise ProviderError(f"OWID has no data for zone {zone!r}")
+            value = WORLD_AVERAGE
+        return EmissionFactor(zone=zone, value=value, provider=self.name, timestamp=now)
+
+    def zones(self) -> list[str]:
+        return sorted(OWID_FACTORS)

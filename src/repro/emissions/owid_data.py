@@ -1,0 +1,51 @@
+"""Embedded subset of the OWID carbon-intensity dataset.
+
+Values are annual-average grid carbon intensity in gCO2e/kWh, rounded
+from the Our World In Data *Carbon intensity of electricity* series
+(2023 vintage).  The real CEEMS ships this data the same way — as a
+static table bundled with the binary — because OWID publishes
+historical yearly data, not an API.
+
+Zones use ISO 3166-1 alpha-2 codes, matching what RTE ("FR") and
+Electricity Maps use, so the fallback chain can hand the same zone
+string to any provider.
+"""
+
+from __future__ import annotations
+
+#: zone -> gCO2e/kWh (2023 annual average)
+OWID_FACTORS: dict[str, float] = {
+    "FR": 56.0,  # nuclear-dominated
+    "DE": 381.0,
+    "GB": 238.0,
+    "ES": 174.0,
+    "IT": 331.0,
+    "NL": 268.0,
+    "BE": 167.0,
+    "CH": 34.0,
+    "AT": 110.0,
+    "PT": 150.0,
+    "PL": 633.0,
+    "CZ": 415.0,
+    "SE": 45.0,
+    "NO": 28.0,  # hydro
+    "FI": 79.0,
+    "DK": 180.0,
+    "IE": 282.0,
+    "US": 369.0,
+    "CA": 128.0,
+    "BR": 98.0,
+    "MX": 423.0,
+    "CN": 582.0,
+    "IN": 713.0,
+    "JP": 462.0,
+    "KR": 436.0,
+    "AU": 501.0,
+    "NZ": 112.0,
+    "ZA": 708.0,
+    "RU": 441.0,
+    "SA": 557.0,
+}
+
+#: The OWID "world" average, used as the last-resort factor.
+WORLD_AVERAGE = 438.0

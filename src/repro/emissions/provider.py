@@ -1,0 +1,91 @@
+"""Emission-factor provider interface and registry."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.common.errors import ProviderError
+
+
+@dataclass(frozen=True)
+class EmissionFactor:
+    """One emission-factor reading.
+
+    ``value`` is in gCO2e/kWh, the unit shared by OWID, RTE and
+    Electricity Maps.  ``timestamp`` is when the factor was valid;
+    static providers report the request time.
+    """
+
+    zone: str
+    value: float
+    provider: str
+    timestamp: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ProviderError(f"negative emission factor from {self.provider}: {self.value}")
+
+
+class EmissionFactorProvider(abc.ABC):
+    """A source of emission factors for one or more grid zones."""
+
+    #: Registry key ("owid", "rte", "electricity_maps").
+    name: str = "provider"
+    #: Whether the factor varies with time.
+    realtime: bool = False
+
+    @abc.abstractmethod
+    def factor(self, zone: str, now: float) -> EmissionFactor:
+        """Current emission factor for ``zone`` at time ``now``.
+
+        Raises :class:`ProviderError` for unknown zones or provider
+        outage conditions.
+        """
+
+    @abc.abstractmethod
+    def zones(self) -> list[str]:
+        """Zones this provider can answer for."""
+
+
+class ProviderRegistry:
+    """Ordered set of providers with fallback resolution.
+
+    Mirrors the CEEMS emissions collector: when the preferred
+    (real-time) provider cannot answer — API down, unknown zone, rate
+    limit — the next provider in order is consulted, ending with the
+    static OWID table.  The answer records which provider produced it,
+    so dashboards can expose data provenance.
+    """
+
+    def __init__(self) -> None:
+        self._providers: list[EmissionFactorProvider] = []
+
+    def register(self, provider: EmissionFactorProvider) -> None:
+        if any(p.name == provider.name for p in self._providers):
+            raise ProviderError(f"duplicate provider {provider.name!r}")
+        self._providers.append(provider)
+
+    @property
+    def providers(self) -> list[EmissionFactorProvider]:
+        return list(self._providers)
+
+    def factor(self, zone: str, now: float) -> EmissionFactor:
+        """Resolve a factor through the fallback chain."""
+        errors: list[str] = []
+        for provider in self._providers:
+            try:
+                return provider.factor(zone, now)
+            except ProviderError as exc:
+                errors.append(f"{provider.name}: {exc}")
+        raise ProviderError(f"no provider could answer for zone {zone!r}: {'; '.join(errors)}")
+
+    def all_factors(self, zone: str, now: float) -> list[EmissionFactor]:
+        """Every provider's answer (for the comparison bench E12)."""
+        out = []
+        for provider in self._providers:
+            try:
+                out.append(provider.factor(zone, now))
+            except ProviderError:
+                continue
+        return out

@@ -1,0 +1,53 @@
+"""Per-workload energy estimation: the paper's Eq. (1) as rules.
+
+The heart of the CEEMS contribution is *configurable* attribution of
+node-level energy to workloads, expressed as Prometheus recording
+rules so operators can adapt the formula to their hardware (paper
+§III.A).  This package ships the rule library for every node class
+deployed on Jean-Zay:
+
+* Intel nodes with CPU+DRAM RAPL → the full Eq. (1);
+* AMD nodes with package-only RAPL → CPU-time-share variant;
+* GPU servers whose IPMI reading includes GPU power → GPU power is
+  measured by DCGM, subtracted from IPMI before the CPU/DRAM split,
+  and credited to the unit bound to each GPU;
+* GPU servers whose IPMI reading excludes GPU power → as above minus
+  the subtraction.
+
+plus the emissions rules multiplying unit power by the live grid
+factor, and :class:`~repro.energy.estimator.UnitEnergyEstimator`, the
+query-side helper the API server uses to integrate recorded power
+into per-unit energy and emissions.
+"""
+
+from repro.energy.estimator import UnitEnergyEstimator
+from repro.energy.extensions import (
+    DRAM_BW_METRIC,
+    FLOPS_PER_WATT_METRIC,
+    POWER_METRIC_NETAWARE,
+    efficiency_rules,
+    network_aware_rules,
+)
+from repro.energy.rules_library import (
+    POWER_METRIC,
+    EMISSIONS_METRIC,
+    NodeGroup,
+    emissions_rules,
+    rules_for_group,
+    standard_rule_groups,
+)
+
+__all__ = [
+    "NodeGroup",
+    "rules_for_group",
+    "emissions_rules",
+    "standard_rule_groups",
+    "network_aware_rules",
+    "efficiency_rules",
+    "UnitEnergyEstimator",
+    "POWER_METRIC",
+    "POWER_METRIC_NETAWARE",
+    "EMISSIONS_METRIC",
+    "FLOPS_PER_WATT_METRIC",
+    "DRAM_BW_METRIC",
+]

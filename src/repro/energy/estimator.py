@@ -1,0 +1,129 @@
+"""Query-side energy/usage aggregation over the recorded series.
+
+The API server needs, per compute unit and update window: total
+energy, total emissions, average CPU utilisation, average/peak memory
+and GPU utilisation.  This module turns PromQL range queries over the
+recorded Eq. (1) series into those aggregates.
+
+Batch-first design: one range query returns every unit's power series
+at once and integration is vectorized per series (trapezoid), so the
+15-minute updater pass over thousands of live units is a handful of
+queries, not thousands — the property the Jean-Zay bench (E7) leans
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.energy.rules_library import EMISSIONS_METRIC, POWER_METRIC
+from repro.tsdb.promql.engine import PromQLEngine, RangeResult
+
+
+@dataclass
+class UnitUsage:
+    """Aggregates for one compute unit over one window."""
+
+    uuid: str
+    energy_joules: float = 0.0
+    emissions_g: float = 0.0
+    avg_power_watts: float = 0.0
+    avg_cpu_usage: float = 0.0  # busy cores (not a fraction)
+    avg_memory_bytes: float = 0.0
+    peak_memory_bytes: float = 0.0
+    avg_gpu_power_watts: float = 0.0
+    samples: int = field(default=0, repr=False)
+
+
+def _integrate(ts: np.ndarray, vs: np.ndarray) -> float:
+    """Trapezoidal integral of a rate series (→ its cumulative total)."""
+    if len(ts) < 2:
+        return 0.0
+    return float(np.trapezoid(vs, ts))
+
+
+def _per_uuid(result: RangeResult) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    out: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    for labels, (ts, vs) in result.series.items():
+        uuid = labels.get("uuid")
+        if uuid:
+            out[uuid] = (ts, vs)
+    return out
+
+
+class UnitEnergyEstimator:
+    """Batch aggregator over the recorded per-unit series."""
+
+    def __init__(self, engine: PromQLEngine, step: float = 60.0) -> None:
+        self.engine = engine
+        self.step = step
+
+    # -- batch queries -------------------------------------------------
+    def usage_window(self, start: float, end: float) -> dict[str, UnitUsage]:
+        """Aggregates for every unit with samples in ``[start, end]``.
+
+        Multi-node units are handled by the ``sum by (uuid)`` in each
+        query — per-host series collapse into one series per unit.
+        """
+        if end <= start:
+            return {}
+        step = min(self.step, max((end - start) / 4, 1.0))
+        power = _per_uuid(
+            self.engine.query_range(f"sum by (uuid) ({POWER_METRIC})", start, end, step)
+        )
+        emissions = _per_uuid(
+            self.engine.query_range(f"sum by (uuid) ({EMISSIONS_METRIC})", start, end, step)
+        )
+        cpu = _per_uuid(
+            self.engine.query_range("sum by (uuid) (instance:unit_cpu_rate)", start, end, step)
+        )
+        memory = _per_uuid(
+            self.engine.query_range(
+                "sum by (uuid) (ceems_compute_unit_memory_current_bytes)", start, end, step
+            )
+        )
+        gpu = _per_uuid(
+            self.engine.query_range("sum by (uuid) (instance:unit_gpu_watts)", start, end, step)
+        )
+
+        out: dict[str, UnitUsage] = {}
+        for uuid, (ts, vs) in power.items():
+            usage = UnitUsage(uuid=uuid)
+            usage.energy_joules = _integrate(ts, vs)
+            usage.avg_power_watts = float(vs.mean()) if len(vs) else 0.0
+            usage.samples = len(vs)
+            out[uuid] = usage
+        for uuid, (ts, vs) in emissions.items():
+            out.setdefault(uuid, UnitUsage(uuid=uuid)).emissions_g = _integrate(ts, vs)
+        for uuid, (ts, vs) in cpu.items():
+            out.setdefault(uuid, UnitUsage(uuid=uuid)).avg_cpu_usage = float(vs.mean())
+        for uuid, (ts, vs) in memory.items():
+            usage = out.setdefault(uuid, UnitUsage(uuid=uuid))
+            usage.avg_memory_bytes = float(vs.mean())
+            usage.peak_memory_bytes = float(vs.max())
+        for uuid, (ts, vs) in gpu.items():
+            out.setdefault(uuid, UnitUsage(uuid=uuid)).avg_gpu_power_watts = float(vs.mean())
+        return out
+
+    # -- single-unit conveniences (dashboards / tests) --------------------
+    def unit_power_series(self, uuid: str, start: float, end: float) -> tuple[np.ndarray, np.ndarray]:
+        result = self.engine.query_range(
+            f'sum by (uuid) ({POWER_METRIC}{{uuid="{uuid}"}})', start, end, self.step
+        )
+        for _labels, (ts, vs) in result.series.items():
+            return ts, vs
+        return np.array([]), np.array([])
+
+    def unit_energy_joules(self, uuid: str, start: float, end: float) -> float:
+        ts, vs = self.unit_power_series(uuid, start, end)
+        return _integrate(ts, vs)
+
+    def unit_emissions_g(self, uuid: str, start: float, end: float) -> float:
+        result = self.engine.query_range(
+            f'sum by (uuid) ({EMISSIONS_METRIC}{{uuid="{uuid}"}})', start, end, self.step
+        )
+        for _labels, (ts, vs) in result.series.items():
+            return _integrate(ts, vs)
+        return 0.0

@@ -1,0 +1,95 @@
+"""Export the rule library as Prometheus rules files.
+
+The paper points users at *"example recording rules for different
+cases … in the etc/prometheus folder of CEEMS GitHub repository"*.
+This module produces that artifact from the same
+:class:`~repro.tsdb.rules.RuleGroup` objects the simulation evaluates,
+so the shipped YAML can never drift from the executed rules.  The
+output follows the Prometheus rules-file schema::
+
+    groups:
+      - name: ceems-power-intel-cpu
+        interval: 30s
+        rules:
+          - record: instance:ipmi_watts
+            expr: sum by (hostname, nodegroup) (...)
+
+Alerting rules export the same way with ``alert``/``for`` keys.
+"""
+
+from __future__ import annotations
+
+from repro.common import yamlite
+from repro.common.units import format_duration
+from repro.tsdb.alerts import AlertingRule
+from repro.tsdb.rules import RuleGroup
+
+
+def rule_group_to_dict(group: RuleGroup) -> dict:
+    rules = []
+    for rule in group.rules:
+        entry: dict = {"record": rule.record, "expr": rule.expr}
+        if rule.labels:
+            entry["labels"] = dict(rule.labels)
+        rules.append(entry)
+    return {
+        "name": group.name,
+        "interval": format_duration(group.interval),
+        "rules": rules,
+    }
+
+
+def alerting_rules_to_dict(name: str, rules: list[AlertingRule], interval: float = 60.0) -> dict:
+    entries = []
+    for rule in rules:
+        entry: dict = {"alert": rule.name, "expr": rule.expr}
+        if rule.hold:
+            entry["for"] = format_duration(rule.hold)
+        if rule.labels:
+            entry["labels"] = dict(rule.labels)
+        if rule.annotations:
+            entry["annotations"] = dict(rule.annotations)
+        entries.append(entry)
+    return {"name": name, "interval": format_duration(interval), "rules": entries}
+
+
+def rules_file(groups: list[RuleGroup], alert_groups: list[dict] | None = None) -> str:
+    """Render a complete Prometheus rules file."""
+    document = {"groups": [rule_group_to_dict(g) for g in groups] + (alert_groups or [])}
+    return yamlite.dumps(document) + "\n"
+
+
+def parse_rules_file(text: str) -> list[RuleGroup]:
+    """Load recording-rule groups back from a rules file.
+
+    Round-trips :func:`rules_file` output; operators can therefore
+    maintain their site rules as YAML and load them into the engine.
+    Alerting entries (``alert:`` instead of ``record:``) are skipped
+    here — they are loaded by the alert manager.
+    """
+    from repro.common.units import parse_duration
+    from repro.tsdb.rules import RecordingRule
+
+    raw = yamlite.loads(text)
+    groups: list[RuleGroup] = []
+    for group_raw in (raw or {}).get("groups", []):
+        rules = []
+        for rule_raw in group_raw.get("rules", []):
+            if "record" not in rule_raw:
+                continue
+            rules.append(
+                RecordingRule(
+                    record=rule_raw["record"],
+                    expr=rule_raw["expr"],
+                    labels=dict(rule_raw.get("labels") or {}),
+                )
+            )
+        if rules:
+            groups.append(
+                RuleGroup(
+                    name=group_raw["name"],
+                    interval=parse_duration(str(group_raw.get("interval", "30s"))),
+                    rules=rules,
+                )
+            )
+    return groups

@@ -1,0 +1,169 @@
+"""Estimation extensions beyond the paper's Eq. (1).
+
+Two rule sets enabled by the §IV future-work collectors:
+
+* **Traffic-weighted network share** — Eq. (1) distributes the
+  0.1·IPMI network share *equally* among a node's jobs because the
+  exporter "does not export any network-related statistics at the
+  moment".  With the eBPF collector it does, so this variant
+  distributes the share by observed TX+RX traffic.  The ablation
+  bench (`benchmarks/bench_ablation.py`) quantifies how much this
+  matters for network-skewed colocations.
+
+* **Efficiency metrics** — FLOPS/W and DRAM bandwidth per unit,
+  recorded by joining the perf counters with the Eq. (1) power
+  series.  These are the job-efficiency signals the paper's operator
+  use-case ("identify users and/or projects that are using the
+  cluster resources inefficiently") needs.
+"""
+
+from __future__ import annotations
+
+from repro.energy.rules_library import (
+    CPU_DRAM_SHARE,
+    NETWORK_SHARE,
+    POWER_METRIC,
+    RATE_WINDOW,
+    NodeGroup,
+    _common_rules,
+)
+from repro.tsdb.rules import RecordingRule, RuleGroup
+
+#: Recorded by the traffic-weighted variant (kept distinct from the
+#: paper-faithful POWER_METRIC so ablations can compare both).
+POWER_METRIC_NETAWARE = "ceems:compute_unit:power_watts:netaware"
+FLOPS_PER_WATT_METRIC = "ceems:compute_unit:flops_per_watt"
+DRAM_BW_METRIC = "ceems:compute_unit:dram_bandwidth_bytes_per_s"
+
+
+def _net_rules(group: NodeGroup, rate_window: str = RATE_WINDOW) -> list[RecordingRule]:
+    """Per-unit and node network-traffic rates from the eBPF series."""
+    g = f'nodegroup="{group.name}"'
+    return [
+        RecordingRule(
+            record="instance:unit_net_rate",
+            expr=(
+                f"sum by (hostname, nodegroup, uuid, manager) "
+                f"(rate(ceems_compute_unit_net_tx_bytes_total{{{g}}}[{rate_window}])) + "
+                f"sum by (hostname, nodegroup, uuid, manager) "
+                f"(rate(ceems_compute_unit_net_rx_bytes_total{{{g}}}[{rate_window}]))"
+            ),
+        ),
+        RecordingRule(
+            record="instance:net_rate",
+            expr=f"sum by (hostname, nodegroup) (instance:unit_net_rate{{{g}}})",
+        ),
+    ]
+
+
+def network_aware_power_rule(group: NodeGroup) -> RecordingRule:
+    """Eq. (1) with the 0.1 share distributed by traffic.
+
+    Only the network term changes; the 0.9·IPMI CPU/DRAM machinery is
+    identical, so the rule reuses the intermediate series the standard
+    group records (``instance:ipmi_watts`` etc.) and this group must
+    therefore be evaluated *after* the standard group for the same
+    ``nodegroup``.
+    """
+    g = f'nodegroup="{group.name}"'
+    if group.has_gpu and group.ipmi_includes_gpu:
+        host_power = (
+            f"(instance:ipmi_watts{{{g}}} - on(hostname, nodegroup) instance:gpu_watts{{{g}}})"
+        )
+    else:
+        host_power = f"instance:ipmi_watts{{{g}}}"
+    cpu_time_share = (
+        f"(instance:unit_cpu_rate{{{g}}} / on(hostname, nodegroup) group_left() instance:cpu_rate{{{g}}})"
+    )
+    net_share = (
+        f"(instance:unit_net_rate{{{g}}} / on(hostname, nodegroup) group_left() instance:net_rate{{{g}}})"
+    )
+    network_term = (
+        f"({NETWORK_SHARE} * {host_power})"
+        f" * on(hostname, nodegroup) group_right() {net_share}"
+    )
+    if group.has_dram_rapl:
+        cpu_fraction = (
+            f"(instance:rapl_package_watts{{{g}}} / on(hostname, nodegroup) "
+            f"(instance:rapl_package_watts{{{g}}} + on(hostname, nodegroup) instance:rapl_dram_watts{{{g}}}))"
+        )
+        dram_fraction = (
+            f"(instance:rapl_dram_watts{{{g}}} / on(hostname, nodegroup) "
+            f"(instance:rapl_package_watts{{{g}}} + on(hostname, nodegroup) instance:rapl_dram_watts{{{g}}}))"
+        )
+        mem_share = (
+            f"(instance:unit_memory{{{g}}} / on(hostname, nodegroup) group_left() instance:node_memory{{{g}}})"
+        )
+        cpu_term = (
+            f"{CPU_DRAM_SHARE} * ({host_power} * on(hostname, nodegroup) {cpu_fraction})"
+            f" * on(hostname, nodegroup) group_right() {cpu_time_share}"
+        )
+        dram_term = (
+            f"{CPU_DRAM_SHARE} * ({host_power} * on(hostname, nodegroup) {dram_fraction})"
+            f" * on(hostname, nodegroup) group_right() {mem_share}"
+        )
+        expr = f"{cpu_term} + {dram_term} + on(hostname, nodegroup, uuid, manager) {network_term}"
+    else:
+        cpu_term = (
+            f"{CPU_DRAM_SHARE} * {host_power}"
+            f" * on(hostname, nodegroup) group_right() {cpu_time_share}"
+        )
+        expr = f"{cpu_term} + on(hostname, nodegroup, uuid, manager) {network_term}"
+    if group.has_gpu:
+        expr = (
+            f"({expr}) + on(hostname, nodegroup, uuid, manager) instance:unit_gpu_watts{{{g}}}"
+            f" or ({expr})"
+        )
+    return RecordingRule(record=POWER_METRIC_NETAWARE, expr=expr)
+
+
+def network_aware_rules(
+    group: NodeGroup,
+    interval: float = 30.0,
+    *,
+    rate_window: str = RATE_WINDOW,
+    standalone: bool = False,
+) -> RuleGroup:
+    """The traffic-weighted variant as its own rule group.
+
+    With ``standalone=True`` the group also records all the common
+    intermediate series, so it can run without the standard group
+    (used by the ablation bench).
+    """
+    rules: list[RecordingRule] = []
+    if standalone:
+        rules.extend(_common_rules(group, rate_window))
+    rules.extend(_net_rules(group, rate_window))
+    rules.append(network_aware_power_rule(group))
+    return RuleGroup(name=f"ceems-power-netaware-{group.name}", interval=interval, rules=rules)
+
+
+def efficiency_rules(interval: float = 30.0, rate_window: str = RATE_WINDOW) -> RuleGroup:
+    """FLOPS/W and DRAM bandwidth per unit (operator efficiency lens)."""
+    return RuleGroup(
+        name="ceems-efficiency",
+        interval=interval,
+        rules=[
+            RecordingRule(
+                record="instance:unit_flops_rate",
+                expr=(
+                    "sum by (hostname, nodegroup, uuid, manager) "
+                    f"(rate(ceems_compute_unit_perf_flops_total[{rate_window}]))"
+                ),
+            ),
+            RecordingRule(
+                record=DRAM_BW_METRIC,
+                expr=(
+                    "sum by (hostname, nodegroup, uuid, manager) "
+                    f"(rate(ceems_compute_unit_perf_dram_bytes_total[{rate_window}]))"
+                ),
+            ),
+            RecordingRule(
+                record=FLOPS_PER_WATT_METRIC,
+                expr=(
+                    "instance:unit_flops_rate "
+                    f"/ on(hostname, nodegroup, uuid, manager) {POWER_METRIC}"
+                ),
+            ),
+        ],
+    )

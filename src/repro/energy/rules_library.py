@@ -1,0 +1,246 @@
+"""The recording-rule library implementing Eq. (1) and its variants.
+
+The paper's Eq. (1), for a node where RAPL exposes CPU and DRAM
+domains and IPMI covers the whole node::
+
+    P_job = 0.9 * P_ipmi * (P_rapl_cpu / (P_rapl_cpu + P_rapl_dram)) * (T_job / T_node)
+          + 0.9 * P_ipmi * (P_rapl_dram / (P_rapl_cpu + P_rapl_dram)) * (M_job / M_node)
+          + 0.1 * P_ipmi / N_jobs
+
+where T are CPU-time *rates*, M are memory usages, and the 0.1 share
+models network power distributed equally among the node's jobs
+(ref. [24] of the paper).  Local storage is assumed to draw nothing
+(Jean-Zay nodes are diskless).
+
+Every term is written in PromQL over the series the exporters expose,
+organised as ordered recording rules so intermediate node-level
+aggregates are recorded once and reused.  Node classes are selected
+with a ``nodegroup`` scrape-group label, exactly how the paper routes
+different hardware to different rules ("grouping them in different
+scrape target groups and defining the recording rules accordingly").
+
+GPU variants: DCGM/AMD-SMI power is joined to compute units through
+the ``ceems_compute_unit_gpu_index_flag`` map series, credited 100 %
+to the bound unit, and — on server classes whose BMC measures GPU
+rails — subtracted from the IPMI reading before the CPU/DRAM split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tsdb.rules import RecordingRule, RuleGroup
+
+#: The final recorded per-unit power series.
+POWER_METRIC = "ceems:compute_unit:power_watts"
+#: The recorded per-unit emissions rate series (gCO2e/s).
+EMISSIONS_METRIC = "ceems:compute_unit:co2_g_per_s"
+#: Recorded node-level power (for operator dashboards).
+NODE_POWER_METRIC = "ceems:node:power_watts"
+
+#: Fraction of node power attributed to CPU+DRAM vs network (Eq. 1).
+CPU_DRAM_SHARE = 0.9
+NETWORK_SHARE = 0.1
+
+RATE_WINDOW = "2m"
+
+
+@dataclass(frozen=True)
+class NodeGroup:
+    """One scrape-target group with homogeneous estimation rules."""
+
+    name: str  # value of the nodegroup label
+    has_dram_rapl: bool
+    has_gpu: bool
+    ipmi_includes_gpu: bool
+
+
+#: The four Jean-Zay classes from paper §III.A.
+JEAN_ZAY_GROUPS = (
+    NodeGroup("intel-cpu", has_dram_rapl=True, has_gpu=False, ipmi_includes_gpu=True),
+    NodeGroup("amd-cpu", has_dram_rapl=False, has_gpu=False, ipmi_includes_gpu=True),
+    NodeGroup("gpu-ipmi-incl", has_dram_rapl=True, has_gpu=True, ipmi_includes_gpu=True),
+    NodeGroup("gpu-ipmi-excl", has_dram_rapl=True, has_gpu=True, ipmi_includes_gpu=False),
+)
+
+
+def _common_rules(group: NodeGroup, rate_window: str = RATE_WINDOW) -> list[RecordingRule]:
+    """Node-level aggregates shared by all variants.
+
+    ``rate_window`` must exceed ~4x the scrape interval or ``rate()``
+    sees fewer than two samples and records nothing (a real
+    Prometheus deployment rule, reproduced here).
+    """
+    g = f'nodegroup="{group.name}"'
+    rules = [
+        RecordingRule(
+            record="instance:ipmi_watts",
+            expr=f"sum by (hostname, nodegroup) (ceems_ipmi_dcmi_current_watts{{{g}}})",
+        ),
+        RecordingRule(
+            record="instance:cpu_rate",
+            expr=(
+                f'sum by (hostname, nodegroup) (rate(ceems_cpu_seconds_total{{{g}, mode=~"user|system"}}[{rate_window}]))'
+            ),
+        ),
+        RecordingRule(
+            record="instance:unit_cpu_rate",
+            expr=(
+                f"sum by (hostname, nodegroup, uuid, manager) "
+                f"(rate(ceems_compute_unit_cpu_user_seconds_total{{{g}}}[{rate_window}])) + "
+                f"sum by (hostname, nodegroup, uuid, manager) "
+                f"(rate(ceems_compute_unit_cpu_system_seconds_total{{{g}}}[{rate_window}]))"
+            ),
+        ),
+        RecordingRule(
+            record="instance:unit_count",
+            expr=f'count by (hostname, nodegroup) (instance:unit_cpu_rate{{{g}}})',
+        ),
+    ]
+    if group.has_dram_rapl:
+        rules += [
+            RecordingRule(
+                record="instance:rapl_package_watts",
+                expr=f"sum by (hostname, nodegroup) (rate(ceems_rapl_package_joules_total{{{g}}}[{rate_window}]))",
+            ),
+            RecordingRule(
+                record="instance:rapl_dram_watts",
+                expr=f"sum by (hostname, nodegroup) (rate(ceems_rapl_dram_joules_total{{{g}}}[{rate_window}]))",
+            ),
+            RecordingRule(
+                record="instance:unit_memory",
+                expr=f"sum by (hostname, nodegroup, uuid, manager) (ceems_compute_unit_memory_current_bytes{{{g}}})",
+            ),
+            RecordingRule(
+                record="instance:node_memory",
+                expr=f"sum by (hostname, nodegroup) (ceems_meminfo_used_bytes{{{g}}})",
+            ),
+        ]
+    if group.has_gpu:
+        rules += [
+            RecordingRule(
+                record="instance:gpu_watts",
+                expr=(
+                    f"sum by (hostname, nodegroup) (DCGM_FI_DEV_POWER_USAGE{{{g}}}) "
+                    f"or sum by (hostname, nodegroup) (amd_gpu_power{{{g}}} / 1e6)"
+                ),
+            ),
+            RecordingRule(
+                record="instance:unit_gpu_watts",
+                expr=(
+                    f"sum by (hostname, nodegroup, uuid, manager) ("
+                    f"ceems_compute_unit_gpu_index_flag{{{g}}} "
+                    f"* on(hostname, index) group_left() "
+                    f'label_replace(DCGM_FI_DEV_POWER_USAGE{{{g}}}, "index", "$1", "gpu", "(.*)")'
+                    f")"
+                ),
+            ),
+        ]
+    return rules
+
+
+def _power_rule(group: NodeGroup) -> RecordingRule:
+    """The per-unit power rule for this node class."""
+    g = f'nodegroup="{group.name}"'
+    # The IPMI power available to the CPU/DRAM/network split.  On
+    # server classes whose BMC measures GPU rails, the measured GPU
+    # power is removed first; it is credited separately below.
+    if group.has_gpu and group.ipmi_includes_gpu:
+        host_power = (
+            f"(instance:ipmi_watts{{{g}}} - on(hostname, nodegroup) instance:gpu_watts{{{g}}})"
+        )
+    else:
+        host_power = f"instance:ipmi_watts{{{g}}}"
+
+    cpu_time_share = (
+        f"(instance:unit_cpu_rate{{{g}}} / on(hostname, nodegroup) group_left() instance:cpu_rate{{{g}}})"
+    )
+    network_term = (
+        f"({NETWORK_SHARE} * {host_power} / on(hostname, nodegroup) group_left() instance:unit_count{{{g}}})"
+        f" * on(hostname, nodegroup) group_right() "
+        f"(instance:unit_cpu_rate{{{g}}} * 0 + 1)"
+    )
+
+    if group.has_dram_rapl:
+        cpu_fraction = (
+            f"(instance:rapl_package_watts{{{g}}} / on(hostname, nodegroup) "
+            f"(instance:rapl_package_watts{{{g}}} + on(hostname, nodegroup) instance:rapl_dram_watts{{{g}}}))"
+        )
+        dram_fraction = (
+            f"(instance:rapl_dram_watts{{{g}}} / on(hostname, nodegroup) "
+            f"(instance:rapl_package_watts{{{g}}} + on(hostname, nodegroup) instance:rapl_dram_watts{{{g}}}))"
+        )
+        mem_share = (
+            f"(instance:unit_memory{{{g}}} / on(hostname, nodegroup) group_left() instance:node_memory{{{g}}})"
+        )
+        cpu_term = (
+            f"{CPU_DRAM_SHARE} * ({host_power} * on(hostname, nodegroup) {cpu_fraction})"
+            f" * on(hostname, nodegroup) group_right() {cpu_time_share}"
+        )
+        dram_term = (
+            f"{CPU_DRAM_SHARE} * ({host_power} * on(hostname, nodegroup) {dram_fraction})"
+            f" * on(hostname, nodegroup) group_right() {mem_share}"
+        )
+        expr = f"{cpu_term} + {dram_term} + {network_term}"
+    else:
+        # AMD: no DRAM domain — the full 0.9 share follows CPU time.
+        cpu_term = (
+            f"{CPU_DRAM_SHARE} * {host_power}"
+            f" * on(hostname, nodegroup) group_right() {cpu_time_share}"
+        )
+        expr = f"{cpu_term} + {network_term}"
+
+    if group.has_gpu:
+        # Credit measured GPU power to the bound unit.  Units with no
+        # GPU still get their CPU/DRAM/network share via `or`.
+        expr = (
+            f"({expr}) + on(hostname, nodegroup, uuid, manager) instance:unit_gpu_watts{{{g}}}"
+            f" or ({expr})"
+        )
+    return RecordingRule(record=POWER_METRIC, expr=expr)
+
+
+def rules_for_group(
+    group: NodeGroup, interval: float = 30.0, rate_window: str = RATE_WINDOW
+) -> RuleGroup:
+    """Build the full ordered rule group for one node class."""
+    rules = _common_rules(group, rate_window)
+    rules.append(_power_rule(group))
+    rules.append(
+        RecordingRule(
+            record=NODE_POWER_METRIC,
+            expr=f'sum by (hostname, nodegroup) (ceems_ipmi_dcmi_current_watts{{nodegroup="{group.name}"}})',
+        )
+    )
+    return RuleGroup(name=f"ceems-power-{group.name}", interval=interval, rules=rules)
+
+
+def emissions_rules(interval: float = 30.0) -> RuleGroup:
+    """Unit power × live grid factor → emissions rate (gCO2e/s)."""
+    return RuleGroup(
+        name="ceems-emissions",
+        interval=interval,
+        rules=[
+            RecordingRule(
+                record=EMISSIONS_METRIC,
+                expr=(
+                    f"{POWER_METRIC} * on() group_left() "
+                    f'(ceems_emissions_gCo2_kWh{{provider="resolved"}}) / 3.6e6'
+                ),
+            )
+        ],
+    )
+
+
+def standard_rule_groups(
+    groups: tuple[NodeGroup, ...] = JEAN_ZAY_GROUPS,
+    interval: float = 30.0,
+    *,
+    rate_window: str = RATE_WINDOW,
+    with_emissions: bool = True,
+) -> list[RuleGroup]:
+    """The default rule set: one group per node class + emissions."""
+    out = [rules_for_group(g, interval, rate_window) for g in groups]
+    if with_emissions:
+        out.append(emissions_rules(interval))
+    return out

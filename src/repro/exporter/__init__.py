@@ -1,0 +1,54 @@
+"""The CEEMS exporter and companion GPU exporters.
+
+One exporter instance runs per compute node (paper §II.B.a).  It is an
+HTTP server answering ``/metrics`` in the Prometheus exposition
+format, composed of independently enable-able *collectors*:
+
+``cgroup``
+    Walks the node's cgroup tree, extracts the compute-unit ``uuid``
+    from the cgroup path (SLURM job id / libvirt instance / k8s pod)
+    and exports per-unit CPU, memory, IO and pid metrics.
+``rapl``
+    Package and DRAM energy counters from the powercap interface.
+``ipmi``
+    Node power from the BMC's DCMI *Get Power Reading*.
+``node``
+    Node-level totals from ``/proc/stat`` and ``/proc/meminfo`` — the
+    denominators of the paper's Eq. (1).
+``gpu_map``
+    The workload→GPU-index map (§II.A.d) that lets dashboards join
+    DCGM/AMD-SMI device metrics to compute units.
+``self``
+    The exporter's own resource footprint, backing the paper's
+    15–20 MB / sub-millisecond-CPU claims (bench E6).
+
+GPU telemetry itself comes from the separate DCGM-style and
+AMD-SMI-style exporters in :mod:`repro.exporter.gpu`, deployed
+alongside the CEEMS exporter exactly as the paper prescribes.
+"""
+
+from repro.exporter.collector import Collector, CollectorRegistry
+from repro.exporter.collectors import (
+    CgroupCollector,
+    GPUMapCollector,
+    IPMICollector,
+    NodeCollector,
+    RAPLCollector,
+    SelfCollector,
+)
+from repro.exporter.gpu import AMDSMIExporter, DCGMExporter
+from repro.exporter.server import CEEMSExporter
+
+__all__ = [
+    "Collector",
+    "CollectorRegistry",
+    "CgroupCollector",
+    "RAPLCollector",
+    "IPMICollector",
+    "NodeCollector",
+    "GPUMapCollector",
+    "SelfCollector",
+    "CEEMSExporter",
+    "DCGMExporter",
+    "AMDSMIExporter",
+]

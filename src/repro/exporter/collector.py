@@ -1,0 +1,69 @@
+"""Collector interface and registry.
+
+A collector turns one hardware/OS data source into metric families.
+The registry runs every enabled collector per scrape and adds the
+``ceems_exporter_collector_success`` health gauge — a failing
+collector reports 0 there instead of failing the whole scrape,
+matching the resilience contract of the Go exporter.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.common.errors import CollectorError
+from repro.tsdb.exposition import MetricFamily
+
+
+class Collector(abc.ABC):
+    """One metrics source inside the exporter."""
+
+    #: Collector name used in CLI options and the success gauge.
+    name: str = "collector"
+
+    @abc.abstractmethod
+    def collect(self, now: float) -> list[MetricFamily]:
+        """Produce this collector's metric families at logical time ``now``."""
+
+    def describe(self) -> str:
+        """One-line description for the exporter's landing page."""
+        return self.__class__.__doc__.splitlines()[0] if self.__class__.__doc__ else self.name
+
+
+class CollectorRegistry:
+    """Runs collectors and assembles the full scrape payload."""
+
+    def __init__(self) -> None:
+        self._collectors: list[Collector] = []
+
+    def register(self, collector: Collector) -> None:
+        if any(c.name == collector.name for c in self._collectors):
+            raise CollectorError(f"duplicate collector {collector.name!r}")
+        self._collectors.append(collector)
+
+    def unregister(self, name: str) -> None:
+        before = len(self._collectors)
+        self._collectors = [c for c in self._collectors if c.name != name]
+        if len(self._collectors) == before:
+            raise CollectorError(f"no collector named {name!r}")
+
+    @property
+    def names(self) -> list[str]:
+        return [c.name for c in self._collectors]
+
+    def collect(self, now: float) -> list[MetricFamily]:
+        """Run every collector; failures degrade to success=0."""
+        families: list[MetricFamily] = []
+        success = MetricFamily(
+            name="ceems_exporter_collector_success",
+            help="1 if the collector succeeded on the last scrape.",
+            type="gauge",
+        )
+        for collector in self._collectors:
+            try:
+                families.extend(collector.collect(now))
+                success.add(1.0, collector=collector.name)
+            except Exception:  # noqa: BLE001 - collector isolation is the point
+                success.add(0.0, collector=collector.name)
+        families.append(success)
+        return families

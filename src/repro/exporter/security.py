@@ -1,0 +1,88 @@
+"""Exporter-side DoS protection: a token-bucket rate limiter.
+
+Paper §II.B.a: *"The exporter supports basic auth and TLS to protect
+it from DoS/DDoS attacks from malicious users."*  Auth and TLS live
+in :mod:`repro.common.auth`; this module adds the third standard
+guard, a per-client token bucket, because authenticated users can
+still hammer the endpoint and a compute node must never spend its
+cycles answering scrapes.
+
+Clients are keyed by the ``X-Forwarded-For`` header when present
+(the scraper fleet sits behind it) and fall back to a single global
+bucket.  Over-limit requests get HTTP 429 with a ``Retry-After``
+hint, which Prometheus treats as a failed scrape — exactly the
+degradation we want under abuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.httpx import Request, Response
+
+
+@dataclass
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, ``burst`` capacity."""
+
+    rate: float
+    burst: float
+    tokens: float = field(default=-1.0)
+    last_refill: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.tokens < 0:
+            self.tokens = self.burst
+
+    def allow(self, now: float, cost: float = 1.0) -> bool:
+        elapsed = max(now - self.last_refill, 0.0)
+        self.tokens = min(self.tokens + elapsed * self.rate, self.burst)
+        self.last_refill = now
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True
+        return False
+
+    def retry_after(self, cost: float = 1.0) -> float:
+        """Seconds until ``cost`` tokens will be available."""
+        deficit = max(cost - self.tokens, 0.0)
+        return deficit / self.rate if self.rate > 0 else float("inf")
+
+
+class RateLimiter:
+    """Per-client request limiter for the exporter's HTTP app."""
+
+    def __init__(self, clock, *, rate: float = 1.0, burst: float = 5.0, max_clients: int = 1024) -> None:
+        self.clock = clock
+        self.rate = rate
+        self.burst = burst
+        self.max_clients = max_clients
+        self._buckets: dict[str, TokenBucket] = {}
+        self.rejected_total = 0
+
+    def _client_key(self, request: Request) -> str:
+        return request.header("x-forwarded-for", "") or "global"
+
+    def check(self, request: Request) -> Response | None:
+        """None when allowed; a 429 response when over the limit."""
+        key = self._client_key(request)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            if len(self._buckets) >= self.max_clients:
+                # Bound memory under address-spraying abuse: evict the
+                # fullest bucket (the least-active client).
+                victim = max(self._buckets, key=lambda k: self._buckets[k].tokens)
+                del self._buckets[victim]
+            bucket = TokenBucket(rate=self.rate, burst=self.burst)
+            self._buckets[key] = bucket
+        if bucket.allow(self.clock.now()):
+            return None
+        self.rejected_total += 1
+        return Response(
+            status=429,
+            headers={
+                "content-type": "application/json",
+                "retry-after": f"{bucket.retry_after():.0f}",
+            },
+            body=b'{"status": "error", "error": "rate limit exceeded"}',
+        )

@@ -1,0 +1,39 @@
+"""Simulated node hardware.
+
+This package is the stand-in for the physical substrate CEEMS runs on:
+server-class compute nodes with RAPL energy counters, a BMC exposing
+IPMI-DCMI power readings, optional NVIDIA/AMD GPUs, and the Linux
+``/sys/fs/cgroup`` + ``/proc`` pseudo-filesystems that resource
+managers populate.
+
+The simulation is *physically closed*: a single ground-truth power
+model (:mod:`repro.hwsim.power_model`) converts workload activity into
+per-component power, and every measurement channel (RAPL, IPMI, GPU
+telemetry) derives from that ground truth with its own realistic
+artefacts — counter wraparound, sampling floors, sensor noise,
+inclusion/exclusion of GPU power per server class.  Because the ground
+truth is known, the tests can quantify exactly how well the CEEMS
+estimation rules (paper Eq. 1) recover per-job power.
+"""
+
+from repro.hwsim.cgroupfs import CgroupFS
+from repro.hwsim.gpu import GPU_PROFILES, GPUDevice
+from repro.hwsim.ipmi import IPMIDCMISensor
+from repro.hwsim.node import NodeSpec, SimulatedNode, Task, UsageProfile
+from repro.hwsim.power_model import NodePowerModel, PowerBreakdown
+from repro.hwsim.rapl import RAPLDomain, RAPLPackage
+
+__all__ = [
+    "CgroupFS",
+    "GPUDevice",
+    "GPU_PROFILES",
+    "IPMIDCMISensor",
+    "NodeSpec",
+    "SimulatedNode",
+    "Task",
+    "UsageProfile",
+    "NodePowerModel",
+    "PowerBreakdown",
+    "RAPLDomain",
+    "RAPLPackage",
+]

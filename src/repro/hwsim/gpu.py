@@ -1,0 +1,97 @@
+"""GPU accelerator simulation (NVIDIA DCGM / AMD SMI telemetry).
+
+CEEMS does not talk to GPUs itself — it relies on the NVIDIA DCGM
+exporter or the AMD SMI exporter running alongside it (paper §II.B.a)
+and on a workload→GPU-index map it collects from the resource manager
+(§II.A.d).  This module provides the device model those exporters
+read: utilisation, memory occupancy, power and total energy per
+device, for the GPU generations deployed on Jean-Zay (V100, A100,
+H100) plus an AMD Instinct profile so the AMD SMI path is exercised.
+
+Power model: idle floor plus a dynamic term that scales with SM/CU
+utilisation, lightly super-linear (tensor-heavy kernels push HBM and
+VRs harder), capped at the board power limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class GPUProfile:
+    """Static characteristics of one GPU SKU."""
+
+    model: str
+    vendor: str  # "nvidia" | "amd"
+    memory_bytes: int
+    idle_w: float
+    max_w: float
+    beta: float = 1.15  # super-linearity of power vs utilisation
+
+    def power(self, util: float) -> float:
+        util = min(max(util, 0.0), 1.0)
+        return min(self.idle_w + (self.max_w - self.idle_w) * util**self.beta, self.max_w)
+
+
+GPU_PROFILES: dict[str, GPUProfile] = {
+    "V100": GPUProfile("Tesla V100-SXM2-32GB", "nvidia", 32 * 1024**3, idle_w=40.0, max_w=300.0),
+    "A100": GPUProfile("NVIDIA A100-SXM4-80GB", "nvidia", 80 * 1024**3, idle_w=55.0, max_w=400.0),
+    "H100": GPUProfile("NVIDIA H100 80GB HBM3", "nvidia", 80 * 1024**3, idle_w=70.0, max_w=700.0),
+    "MI250": GPUProfile("AMD Instinct MI250X", "amd", 128 * 1024**3, idle_w=90.0, max_w=560.0),
+}
+
+
+@dataclass
+class GPUDevice:
+    """One GPU device on a node.
+
+    The node simulation sets the activity (``sm_util``, ``mem_used``)
+    from the task bound to the device and calls :meth:`advance` every
+    integration step; the DCGM / AMD SMI exporters read the public
+    telemetry fields.
+    """
+
+    index: int
+    profile: GPUProfile
+    uuid: str = ""
+
+    sm_util: float = 0.0
+    mem_used_bytes: int = 0
+    #: µJ energy counter, as DCGM's DCGM_FI_DEV_TOTAL_ENERGY_CONSUMPTION
+    #: exposes (in mJ there; we keep µJ and convert on export).
+    energy_uj: float = field(default=0.0, repr=False)
+    power_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.uuid:
+            prefix = "GPU" if self.profile.vendor == "nvidia" else "AMD"
+            self.uuid = f"{prefix}-{self.profile.model.split()[0]}-{self.index:08x}"
+
+    def set_activity(self, sm_util: float, mem_used_bytes: int) -> None:
+        if mem_used_bytes < 0 or mem_used_bytes > self.profile.memory_bytes:
+            raise SimulationError(
+                f"GPU {self.uuid}: mem_used {mem_used_bytes} outside [0, {self.profile.memory_bytes}]"
+            )
+        self.sm_util = min(max(sm_util, 0.0), 1.0)
+        self.mem_used_bytes = mem_used_bytes
+
+    def idle(self) -> None:
+        self.set_activity(0.0, 0)
+
+    def advance(self, dt: float) -> float:
+        """Integrate energy over ``dt`` seconds; returns watts drawn."""
+        self.power_w = self.profile.power(self.sm_util)
+        self.energy_uj += self.power_w * dt * 1e6
+        return self.power_w
+
+    @property
+    def mem_util(self) -> float:
+        return self.mem_used_bytes / self.profile.memory_bytes
+
+    @property
+    def energy_mj(self) -> int:
+        """Total energy in millijoules (DCGM exposition unit)."""
+        return int(self.energy_uj / 1e3)

@@ -1,0 +1,129 @@
+"""IPMI-DCMI power-reading simulation.
+
+Models the BMC's *Get Power Reading* DCMI command that the CEEMS
+exporter's IPMI collector issues (paper §II.A.b):
+
+* readings cover the **whole node** — including components RAPL cannot
+  see (fans, VRMs, NIC, board) — which is why the paper's Eq. (1)
+  anchors on IPMI and only uses RAPL for the CPU/DRAM split;
+* per server class, GPU power is either included in or excluded from
+  the reading (both variants exist on Jean-Zay, §III.A);
+* the BMC samples power at a slow internal cadence (~1 s or slower)
+  and answering the command is itself slow — *"the IPMI-DCMI command
+  is not suitable to use at a high frequency"*.  We model a sampling
+  floor: reads between BMC samples return the previous sample;
+* sensor quantisation (integer watts) and a small calibration noise.
+
+The DCMI response carries current/min/max/average power over a
+statistics window, all of which are reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class DCMIPowerReading:
+    """One DCMI *Get Power Reading* response."""
+
+    current_watts: int
+    minimum_watts: int
+    maximum_watts: int
+    average_watts: int
+    timestamp: float
+    #: Statistics reporting period, milliseconds (DCMI field).
+    period_ms: int = 1000
+    #: Power measurement active state.
+    active: bool = True
+
+
+@dataclass
+class IPMIDCMISensor:
+    """The BMC power sensor of one node.
+
+    Parameters
+    ----------
+    includes_gpu:
+        Whether the node's power rails feeding the GPUs pass through
+        the BMC-monitored PSU measurement (server-class dependent).
+    sample_interval:
+        BMC internal sampling cadence in seconds; reads between
+        samples return stale data.
+    noise_pct:
+        Gaussian calibration error applied per sample (1σ, relative).
+    command_latency:
+        Time the DCMI command itself takes; exported as a metric so
+        the exporter bench can show why IPMI is not scraped fast.
+    """
+
+    includes_gpu: bool = True
+    sample_interval: float = 1.0
+    noise_pct: float = 0.02
+    command_latency: float = 0.15
+    seed: int = 0
+
+    _rng: np.random.Generator = field(init=False, repr=False)
+    _last_sample_time: float = field(default=float("-inf"), init=False, repr=False)
+    _last_sample_watts: float = field(default=0.0, init=False, repr=False)
+    _window_min: float = field(default=float("inf"), init=False, repr=False)
+    _window_max: float = field(default=float("-inf"), init=False, repr=False)
+    _window_sum: float = field(default=0.0, init=False, repr=False)
+    _window_count: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = np.random.default_rng(self.seed)
+
+    def observe(self, now: float, true_total_w: float, gpu_w: float) -> None:
+        """Feed the ground-truth power at time ``now``.
+
+        The node simulation calls this every integration step; the
+        sensor decides internally whether a new BMC sample is due.
+        """
+        if now - self._last_sample_time < self.sample_interval:
+            return
+        visible = true_total_w if self.includes_gpu else true_total_w - gpu_w
+        noisy = visible * (1.0 + self.noise_pct * float(self._rng.standard_normal()))
+        sample = max(noisy, 0.0)
+        self._last_sample_time = now
+        self._last_sample_watts = sample
+        self._window_min = min(self._window_min, sample)
+        self._window_max = max(self._window_max, sample)
+        self._window_sum += sample
+        self._window_count += 1
+
+    def read(self, now: float) -> DCMIPowerReading:
+        """Issue the DCMI *Get Power Reading* command.
+
+        Returns the most recent BMC sample (integer watts) along with
+        window statistics.  ``now`` is accepted for interface symmetry;
+        the reading's timestamp is the BMC sample time, not the read
+        time — real BMCs behave the same way.
+        """
+        current = int(round(self._last_sample_watts))
+        if self._window_count == 0:
+            return DCMIPowerReading(
+                current_watts=0,
+                minimum_watts=0,
+                maximum_watts=0,
+                average_watts=0,
+                timestamp=now,
+                active=False,
+            )
+        return DCMIPowerReading(
+            current_watts=current,
+            minimum_watts=int(round(self._window_min)),
+            maximum_watts=int(round(self._window_max)),
+            average_watts=int(round(self._window_sum / self._window_count)),
+            timestamp=self._last_sample_time,
+            period_ms=int(self.sample_interval * 1000),
+        )
+
+    def reset_statistics(self) -> None:
+        """Reset the min/max/avg statistics window (DCMI supports this)."""
+        self._window_min = float("inf")
+        self._window_max = float("-inf")
+        self._window_sum = 0.0
+        self._window_count = 0

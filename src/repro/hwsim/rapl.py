@@ -1,0 +1,129 @@
+"""RAPL (Running Average Power Limit) counter simulation.
+
+Models the Linux *powercap* sysfs interface
+(``/sys/class/powercap/intel-rapl:<socket>[:<sub>]/energy_uj``) that
+the CEEMS exporter's RAPL collector reads:
+
+* energy is an integer **microjoule** counter,
+* each domain wraps at ``max_energy_range_uj`` (a real constraint —
+  package counters wrap every few hours under load, and naive
+  subtraction goes negative; the exporter must handle this),
+* Intel parts expose ``package`` and ``dram`` domains; AMD parts
+  expose only ``package`` (paper §III.A: *"on AMD compute nodes, only
+  CPU energy counters are reported by RAPL"*),
+* counters are available at effectively arbitrary read granularity
+  (the paper contrasts this with IPMI's slow sampling).
+
+Energy accumulation is exact: the node simulation integrates the
+ground-truth power model into the counters, so the only measurement
+artefacts are quantisation to 1 µJ and wraparound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError
+
+#: Default counter range: the common 32-bit-scaled package window
+#: (~262 kJ, wraps in ~20 min at 200 W — deliberately small enough
+#: that long simulations exercise wraparound handling).
+DEFAULT_MAX_ENERGY_RANGE_UJ = 262_143_328_850
+
+
+@dataclass
+class RAPLDomain:
+    """One RAPL power domain (``package``, ``dram``, ``psys``…)."""
+
+    name: str
+    max_energy_range_uj: int = DEFAULT_MAX_ENERGY_RANGE_UJ
+    #: Exact accumulated energy in microjoules (never wraps; the
+    #: counter view wraps).
+    _energy_uj_exact: float = field(default=0.0, repr=False)
+
+    def add_energy(self, joules: float) -> None:
+        """Integrate ground-truth energy into the counter."""
+        if joules < 0:
+            raise SimulationError(f"negative energy into RAPL domain {self.name}")
+        self._energy_uj_exact += joules * 1e6
+
+    @property
+    def energy_uj(self) -> int:
+        """The wrapped microjoule counter, as ``energy_uj`` exposes it."""
+        return int(self._energy_uj_exact) % self.max_energy_range_uj
+
+    @property
+    def total_energy_joules(self) -> float:
+        """Ground-truth (unwrapped) energy — test oracle only."""
+        return self._energy_uj_exact * 1e-6
+
+    @staticmethod
+    def counter_delta(previous_uj: int, current_uj: int, max_range_uj: int) -> int:
+        """Wraparound-correct difference between two counter reads.
+
+        This is the arithmetic the exporter/TSDB ``rate()`` pipeline
+        must perform.  Assumes at most one wrap between reads.
+        """
+        if current_uj >= previous_uj:
+            return current_uj - previous_uj
+        return current_uj + max_range_uj - previous_uj
+
+
+@dataclass
+class RAPLPackage:
+    """The RAPL domains of one CPU socket.
+
+    ``dram`` is ``None`` on AMD-style parts.
+    """
+
+    socket: int
+    package: RAPLDomain
+    dram: RAPLDomain | None = None
+
+    @classmethod
+    def intel(cls, socket: int) -> "RAPLPackage":
+        return cls(
+            socket=socket,
+            package=RAPLDomain(name=f"package-{socket}"),
+            dram=RAPLDomain(name=f"dram-{socket}", max_energy_range_uj=65_712_999_613),
+        )
+
+    @classmethod
+    def amd(cls, socket: int) -> "RAPLPackage":
+        return cls(socket=socket, package=RAPLDomain(name=f"package-{socket}"), dram=None)
+
+    @property
+    def has_dram(self) -> bool:
+        return self.dram is not None
+
+    def domains(self) -> list[RAPLDomain]:
+        out = [self.package]
+        if self.dram is not None:
+            out.append(self.dram)
+        return out
+
+    def sysfs_entries(self) -> dict[str, int]:
+        """Render the powercap sysfs view of this package.
+
+        Returns a mapping of pseudo-paths to counter values, e.g.::
+
+            intel-rapl:0/energy_uj -> 12345
+            intel-rapl:0/max_energy_range_uj -> ...
+            intel-rapl:0:0/energy_uj -> ...      (dram sub-domain)
+        """
+        base = f"intel-rapl:{self.socket}"
+        entries = {
+            f"{base}/name": self.package.name,
+            f"{base}/energy_uj": self.package.energy_uj,
+            f"{base}/max_energy_range_uj": self.package.max_energy_range_uj,
+        }
+        if self.dram is not None:
+            sub = f"{base}:0"
+            entries.update(
+                {
+                    f"{sub}/name": self.dram.name,
+                    f"{sub}/energy_uj": self.dram.energy_uj,
+                    f"{sub}/max_energy_range_uj": self.dram.max_energy_range_uj,
+                }
+            )
+        return entries

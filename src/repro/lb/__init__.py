@@ -1,0 +1,35 @@
+"""The CEEMS load balancer.
+
+Paper §II.B.c: Prometheus + Grafana lack **access control** — any user
+with a Grafana data source can query any workload's metrics.  The
+CEEMS LB fixes that as a reverse proxy in front of Prometheus/Thanos:
+
+1. it extracts the compute-unit ``uuid`` from every PromQL query it
+   proxies (:mod:`repro.lb.introspect`);
+2. it checks ownership of those units against the API server — either
+   directly against the SQLite DB file when accessible, or via the
+   API server's HTTP endpoint (:mod:`repro.lb.authz`);
+3. allowed queries are forwarded to a backend chosen by the balancing
+   strategy — round-robin or least-connection
+   (:mod:`repro.lb.strategies`).
+
+The user identity comes from the ``X-Grafana-User`` header Grafana
+attaches to every data-source request (``send_user_header``).
+"""
+
+from repro.lb.authz import Authorizer, DBAuthorizer, APIAuthorizer
+from repro.lb.introspect import extract_uuids
+from repro.lb.server import LoadBalancer
+from repro.lb.strategies import Backend, LeastConnection, RoundRobin, make_strategy
+
+__all__ = [
+    "LoadBalancer",
+    "extract_uuids",
+    "Authorizer",
+    "DBAuthorizer",
+    "APIAuthorizer",
+    "Backend",
+    "RoundRobin",
+    "LeastConnection",
+    "make_strategy",
+]

@@ -1,0 +1,70 @@
+"""Ownership authorization for the LB.
+
+Two modes, matching the paper's architecture paragraph: the LB checks
+ownership *"by directly querying the CEEMS API server's DB, when
+available.  If the DB file is not accessible, CEEMS LB makes an API
+request to the CEEMS API server."*
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.apiserver.api import USER_HEADER
+from repro.apiserver.db import Database
+from repro.common.httpx import App, Request
+
+
+class Authorizer(abc.ABC):
+    """Decides whether ``user`` may read units ``uuids``."""
+
+    def __init__(self, admin_users: tuple[str, ...] = ("admin",)) -> None:
+        self.admin_users = set(admin_users)
+        self.checks = 0
+        self.denials = 0
+
+    def allowed(self, user: str, uuids: set[str], *, unbounded: bool) -> bool:
+        self.checks += 1
+        if user in self.admin_users:
+            return True
+        if unbounded:
+            self.denials += 1
+            return False
+        verdict = self._check(user, uuids)
+        if not verdict:
+            self.denials += 1
+        return verdict
+
+    @abc.abstractmethod
+    def _check(self, user: str, uuids: set[str]) -> bool:
+        """Non-admin ownership check for an enumerated uuid set."""
+
+
+class DBAuthorizer(Authorizer):
+    """Direct SQLite lookups (the fast path)."""
+
+    def __init__(self, db: Database, admin_users: tuple[str, ...] = ("admin",)) -> None:
+        super().__init__(admin_users)
+        self.db = db
+
+    def _check(self, user: str, uuids: set[str]) -> bool:
+        for uuid in uuids:
+            owner = self.db.find_unit_owner(uuid)
+            if owner is None or owner[0] != user:
+                return False
+        return True
+
+
+class APIAuthorizer(Authorizer):
+    """HTTP calls to the API server's ``/api/v1/verify`` endpoint."""
+
+    def __init__(self, api_app: App, admin_users: tuple[str, ...] = ("admin",)) -> None:
+        super().__init__(admin_users)
+        self.api_app = api_app
+
+    def _check(self, user: str, uuids: set[str]) -> bool:
+        query = "&".join(f"uuid={uuid}" for uuid in sorted(uuids))
+        response = self.api_app.handle(
+            Request.from_url("GET", f"/api/v1/verify?{query}", headers={USER_HEADER: user})
+        )
+        return response.ok

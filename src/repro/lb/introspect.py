@@ -1,0 +1,100 @@
+"""PromQL query introspection: which compute units does a query touch?
+
+The LB *"intercepts the query request to the backend Prometheus
+instance [and] retrieves the workload unique identifier"* (§II.B.c).
+Rather than regex-scraping the query string, the query is parsed with
+the real PromQL parser and the AST walked for matchers on the ``uuid``
+label:
+
+* ``uuid="123"`` contributes ``123``;
+* ``uuid=~"123|456"`` contributes both (the alternation form Grafana's
+  multi-select variables generate);
+* a query with **no** uuid matcher touches node-level or other users'
+  series, so it is only allowed for admins — the conservative default
+  the access-control argument requires;
+* an unparseable query is rejected outright (fail closed).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import QueryError
+from repro.tsdb.model import MatchOp
+from repro.tsdb.promql.ast import (
+    Aggregation,
+    BinaryOp,
+    Call,
+    Expr,
+    MatrixSelector,
+    Paren,
+    Subquery,
+    UnaryOp,
+    VectorSelector,
+)
+from repro.tsdb.promql.parser import parse_expr
+
+#: Characters allowed in a regex matcher we are willing to expand into
+#: an explicit uuid list.  Anything fancier (wildcards, classes) could
+#: match arbitrary units, so it is treated as "touches everything".
+_SAFE_ALTERNATION = set("0123456789abcdefABCDEF-|_")
+
+
+class QueryScope:
+    """The set of uuids a query touches, or 'unbounded'."""
+
+    def __init__(self) -> None:
+        self.uuids: set[str] = set()
+        #: True when at least one selector has no uuid constraint or a
+        #: non-enumerable regex — i.e. the query can see other units.
+        self.unbounded: bool = False
+
+    def add_selector(self, selector: VectorSelector) -> None:
+        found = False
+        for matcher in selector.matchers:
+            if matcher.name != "uuid":
+                continue
+            if matcher.op is MatchOp.EQ and matcher.value:
+                self.uuids.add(matcher.value)
+                found = True
+            elif matcher.op is MatchOp.RE and set(matcher.value) <= _SAFE_ALTERNATION:
+                parts = [p for p in matcher.value.split("|") if p]
+                if parts:
+                    self.uuids.update(parts)
+                    found = True
+            # NEQ/NRE and exotic regexes don't bound the scope.
+        if not found:
+            self.unbounded = True
+
+
+def _walk(node: Expr, scope: QueryScope) -> None:
+    if isinstance(node, VectorSelector):
+        scope.add_selector(node)
+    elif isinstance(node, MatrixSelector):
+        scope.add_selector(node.selector)
+    elif isinstance(node, Paren):
+        _walk(node.expr, scope)
+    elif isinstance(node, Subquery):
+        _walk(node.expr, scope)
+    elif isinstance(node, UnaryOp):
+        _walk(node.expr, scope)
+    elif isinstance(node, Call):
+        for arg in node.args:
+            _walk(arg, scope)
+    elif isinstance(node, Aggregation):
+        _walk(node.expr, scope)
+        if node.param is not None:
+            _walk(node.param, scope)
+    elif isinstance(node, BinaryOp):
+        _walk(node.lhs, scope)
+        _walk(node.rhs, scope)
+    # literals contribute nothing
+
+
+def extract_uuids(query: str) -> QueryScope:
+    """Analyse one PromQL query string.
+
+    Raises :class:`QueryError` when the query does not parse — the LB
+    turns that into an HTTP 400 before any backend sees the query.
+    """
+    scope = QueryScope()
+    _walk(parse_expr(query), scope)
+    return scope

@@ -1,0 +1,142 @@
+"""The load balancer itself: reverse proxy + access control + balancing.
+
+Request flow for ``/api/v1/query`` and ``/api/v1/query_range``:
+
+1. read the user identity from ``X-Grafana-User`` (reject if absent —
+   without an identity there is nothing to authorize against);
+2. extract the query (GET parameter or POST form), introspect it for
+   the unit uuids it touches;
+3. authorize: admins pass, regular users must own every touched unit
+   and the query scope must be bounded;
+4. pick a backend by the configured strategy and forward the request,
+   tracking in-flight connections for least-connection.
+
+Non-query endpoints (``/api/v1/label/...``, ``/-/healthy``) pass
+through with only the identity requirement, as they expose no
+per-unit samples (series metadata is considered public here, matching
+the CEEMS deployment default).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import QueryError
+from repro.common.httpx import App, Request, Response
+from repro.lb.authz import Authorizer
+from repro.lb.introspect import extract_uuids
+from repro.lb.strategies import Backend, Strategy, make_strategy
+
+USER_HEADER = "x-grafana-user"
+_QUERY_PATHS = ("/api/v1/query", "/api/v1/query_range")
+
+
+class LoadBalancer:
+    """CEEMS LB over one or more Prometheus/Thanos backends.
+
+    Optional time-range-aware routing: when ``longterm_backends`` and
+    ``hot_retention`` are set, queries whose evaluation time (or range
+    start) reaches further back than the hot TSDB's retention are
+    routed to the long-term (Thanos) pool instead — so dashboard
+    queries on recent data never pay the object-store path and
+    year-scale queries never miss data the hot instance dropped.
+    ``clock`` provides "now" for the age computation (logical time in
+    the simulation).
+    """
+
+    def __init__(
+        self,
+        backends: list[Backend],
+        authorizer: Authorizer,
+        *,
+        strategy: str = "round-robin",
+        longterm_backends: list[Backend] | None = None,
+        hot_retention: float = 0.0,
+        clock=None,
+    ) -> None:
+        self.strategy: Strategy = make_strategy(strategy, backends)
+        self.longterm_strategy: Strategy | None = (
+            make_strategy(strategy, longterm_backends) if longterm_backends else None
+        )
+        self.hot_retention = hot_retention
+        self.clock = clock
+        self.authorizer = authorizer
+        self.app = App(name="ceems-lb")
+        self.app.router.add("GET", "/{rest}", self._proxy)
+        self.app.router.add("POST", "/{rest}", self._proxy)
+        # Router patterns match single segments; register the API paths
+        # explicitly so nested paths route too.
+        for path in ("/api/v1/query", "/api/v1/query_range", "/api/v1/series", "/-/healthy"):
+            self.app.router.get(path, self._proxy)
+            self.app.router.post(path, self._proxy)
+        self.app.router.get("/api/v1/label/{name}/values", self._proxy)
+        self.requests_proxied = 0
+        self.requests_denied = 0
+        self.longterm_routed = 0
+
+    # -- core ---------------------------------------------------------------
+    def _proxy(self, request: Request) -> Response:
+        user = request.header(USER_HEADER, "") or ""
+        if not user:
+            self.requests_denied += 1
+            return Response.error(401, f"missing {USER_HEADER} header")
+        if request.path in _QUERY_PATHS:
+            query = request.param("query")
+            if query is None:
+                form = request.form
+                values = form.get("query")
+                query = values[0] if values else None
+            if not query:
+                self.requests_denied += 1
+                return Response.error(400, "missing query parameter")
+            try:
+                scope = extract_uuids(query)
+            except QueryError as exc:
+                self.requests_denied += 1
+                return Response.error(400, f"unparseable query: {exc}")
+            if not self.authorizer.allowed(user, scope.uuids, unbounded=scope.unbounded):
+                self.requests_denied += 1
+                return Response.error(
+                    403, f"user {user} is not allowed to query units {sorted(scope.uuids) or '(all)'}"
+                )
+        backend = self._pick_backend(request)
+        backend.acquire()
+        try:
+            response = backend.app.handle(request)
+        finally:
+            backend.release()
+        self.requests_proxied += 1
+        response.headers["x-ceems-backend"] = backend.name
+        return response
+
+    def _pick_backend(self, request: Request) -> Backend:
+        """Route by query age when a long-term pool is configured."""
+        if (
+            self.longterm_strategy is None
+            or self.hot_retention <= 0
+            or self.clock is None
+            or request.path not in _QUERY_PATHS
+        ):
+            return self.strategy.choose()
+        earliest = self._query_earliest_time(request)
+        if earliest is not None and self.clock.now() - earliest > self.hot_retention:
+            self.longterm_routed += 1
+            return self.longterm_strategy.choose()
+        return self.strategy.choose()
+
+    @staticmethod
+    def _query_earliest_time(request: Request) -> float | None:
+        """Earliest timestamp a query touches (time / start params)."""
+
+        def param(name: str) -> str | None:
+            value = request.param(name)
+            if value is None:
+                values = request.form.get(name)
+                value = values[0] if values else None
+            return value
+
+        raw = param("start") if request.path.endswith("query_range") else param("time")
+        if raw is None:
+            return None
+        try:
+            return float(raw)
+        except ValueError:
+            return None

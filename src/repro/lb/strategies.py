@@ -1,0 +1,91 @@
+"""Load-balancing strategies: round-robin and least-connection.
+
+The paper names exactly these two ("classic strategies like
+round-robin and least connection").  Backends track in-flight request
+counts; least-connection picks the emptiest backend, with stable
+tie-breaking by registration order so tests are deterministic.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.common.errors import CEEMSError
+from repro.common.httpx import App
+
+
+@dataclass
+class Backend:
+    """One Prometheus/Thanos backend behind the LB."""
+
+    name: str
+    app: App
+    healthy: bool = True
+    active_connections: int = 0
+    total_requests: int = 0
+
+    def acquire(self) -> None:
+        self.active_connections += 1
+        self.total_requests += 1
+
+    def release(self) -> None:
+        if self.active_connections <= 0:
+            raise CEEMSError(f"release without acquire on backend {self.name}")
+        self.active_connections -= 1
+
+
+class Strategy(abc.ABC):
+    """Backend selection policy."""
+
+    name = "strategy"
+
+    def __init__(self, backends: list[Backend]) -> None:
+        if not backends:
+            raise CEEMSError("load balancer needs at least one backend")
+        self.backends = backends
+
+    def healthy_backends(self) -> list[Backend]:
+        return [b for b in self.backends if b.healthy]
+
+    @abc.abstractmethod
+    def choose(self) -> Backend:
+        """Pick the backend for the next request."""
+
+
+class RoundRobin(Strategy):
+    """Strict rotation over healthy backends."""
+
+    name = "round-robin"
+
+    def __init__(self, backends: list[Backend]) -> None:
+        super().__init__(backends)
+        self._next = 0
+
+    def choose(self) -> Backend:
+        healthy = self.healthy_backends()
+        if not healthy:
+            raise CEEMSError("no healthy backends")
+        backend = healthy[self._next % len(healthy)]
+        self._next = (self._next + 1) % len(healthy)
+        return backend
+
+
+class LeastConnection(Strategy):
+    """Pick the backend with the fewest in-flight requests."""
+
+    name = "least-connection"
+
+    def choose(self) -> Backend:
+        healthy = self.healthy_backends()
+        if not healthy:
+            raise CEEMSError("no healthy backends")
+        return min(healthy, key=lambda b: b.active_connections)
+
+
+def make_strategy(name: str, backends: list[Backend]) -> Strategy:
+    if name == "round-robin":
+        return RoundRobin(backends)
+    if name == "least-connection":
+        return LeastConnection(backends)
+    raise CEEMSError(f"unknown LB strategy {name!r}")

@@ -1,0 +1,37 @@
+"""Resource-manager simulators: SLURM, OpenStack (libvirt), Kubernetes.
+
+The defining property of CEEMS is being *resource manager agnostic*
+(it is in the paper's title): SLURM batch jobs, OpenStack VMs and
+Kubernetes pods are all just cgroups plus an accounting source.  This
+package provides all three managers over one common interface:
+
+* each manager **places workloads on simulated nodes**, creating the
+  cgroup hierarchy its real counterpart would create (which the
+  exporter's path patterns recognise);
+* each manager exposes an **accounting view** (``sacct`` for SLURM,
+  the server list for OpenStack, the pod list for kubelet) that the
+  CEEMS API server syncs into its unified compute-unit schema;
+* :mod:`repro.resourcemgr.workload` generates deterministic,
+  realistic workload streams (arrival processes, size and duration
+  distributions, user/project populations) to drive them.
+"""
+
+from repro.resourcemgr.base import ComputeUnit, ResourceManager, UnitState
+from repro.resourcemgr.k8s import KubernetesCluster, PodSpec
+from repro.resourcemgr.openstack import OpenStackCluster, ServerSpec
+from repro.resourcemgr.slurm import JobSpec, SlurmCluster
+from repro.resourcemgr.workload import WorkloadGenerator, WorkloadMix
+
+__all__ = [
+    "ComputeUnit",
+    "ResourceManager",
+    "UnitState",
+    "SlurmCluster",
+    "JobSpec",
+    "OpenStackCluster",
+    "ServerSpec",
+    "KubernetesCluster",
+    "PodSpec",
+    "WorkloadGenerator",
+    "WorkloadMix",
+]

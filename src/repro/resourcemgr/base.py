@@ -1,0 +1,126 @@
+"""Common resource-manager interface and the unified compute unit.
+
+The CEEMS API server *"serves as an abstraction layer for different
+resource managers by defining a unified DB schema to store compute
+units of different resource managers"* (paper §II.B.b).
+:class:`ComputeUnit` is that unified record: a SLURM job, an OpenStack
+VM and a Kubernetes pod all map onto it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Iterable
+
+from repro.hwsim.node import SimulatedNode
+
+
+class UnitState(str, Enum):
+    """Lifecycle states, superset of the three managers' vocabularies."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMEOUT = "timeout"
+    OOM = "oom"
+
+    @property
+    def terminal(self) -> bool:
+        return self not in (UnitState.PENDING, UnitState.RUNNING)
+
+
+@dataclass
+class ComputeUnit:
+    """The unified compute-unit record shared by all managers.
+
+    ``uuid`` is manager-scoped but globally unique in a deployment
+    (SLURM job id, OpenStack instance UUID, k8s pod UID).  ``project``
+    is the SLURM account / OpenStack project / k8s namespace.
+    """
+
+    uuid: str
+    name: str
+    manager: str  # "slurm" | "openstack" | "k8s"
+    cluster: str
+    user: str
+    project: str
+    created_at: float
+    started_at: float | None = None
+    ended_at: float | None = None
+    state: UnitState = UnitState.PENDING
+    cpus: int = 0
+    memory_bytes: int = 0
+    gpus: int = 0
+    nodelist: tuple[str, ...] = ()
+    exit_code: int = 0
+
+    @property
+    def elapsed(self) -> float:
+        """Wall time the unit has run (0 while pending)."""
+        if self.started_at is None:
+            return 0.0
+        end = self.ended_at if self.ended_at is not None else self.started_at
+        return max(end - self.started_at, 0.0)
+
+    def snapshot(self) -> "ComputeUnit":
+        """Immutable copy for handing to the API server."""
+        return replace(self)
+
+
+class ResourceManager(abc.ABC):
+    """What the CEEMS API server needs from any resource manager."""
+
+    #: Manager kind, matches the exporter's cgroup path patterns.
+    manager: str = "generic"
+
+    def __init__(self, cluster_name: str, nodes: Iterable[SimulatedNode]) -> None:
+        self.cluster_name = cluster_name
+        self.nodes: dict[str, SimulatedNode] = {n.spec.name: n for n in nodes}
+        self._units: dict[str, ComputeUnit] = {}
+
+    # -- accounting view (what the API server syncs) -------------------
+    def list_units(self, start: float, end: float) -> list[ComputeUnit]:
+        """Units active at any point within ``[start, end]``.
+
+        This is the ``sacct -S -E`` / server-list / pod-list analogue.
+        Includes units that started before ``start`` but were still
+        running, and units still running at ``end``.
+        """
+        out = []
+        for unit in self._units.values():
+            begin = unit.started_at if unit.started_at is not None else unit.created_at
+            finish = unit.ended_at if unit.ended_at is not None else float("inf")
+            if begin <= end and finish >= start:
+                out.append(unit.snapshot())
+        out.sort(key=lambda u: (u.created_at, u.uuid))
+        return out
+
+    def get_unit(self, uuid: str) -> ComputeUnit | None:
+        unit = self._units.get(uuid)
+        return unit.snapshot() if unit else None
+
+    def active_units(self) -> list[ComputeUnit]:
+        return [u.snapshot() for u in self._units.values() if u.state is UnitState.RUNNING]
+
+    @property
+    def total_units(self) -> int:
+        return len(self._units)
+
+    # -- lifecycle driving ------------------------------------------------
+    @abc.abstractmethod
+    def step(self, now: float) -> None:
+        """Advance manager state: schedule, start, finish workloads."""
+
+    def register_timer(self, clock, interval: float = 30.0) -> None:
+        clock.every(interval, self.step)
+
+    # -- shared helpers -----------------------------------------------------
+    def _record_unit(self, unit: ComputeUnit) -> None:
+        self._units[unit.uuid] = unit
+
+    def nodes_with_capacity(self, ncores: int, ngpus: int) -> list[SimulatedNode]:
+        return [n for n in self.nodes.values() if n.can_fit(ncores, ngpus)]

@@ -1,0 +1,118 @@
+"""Kubernetes (kubelet) simulator.
+
+Kubelet places each pod in a slice under ``kubepods.slice``, nested by
+QoS class, with the pod UID embedded in the slice name — the third
+path pattern the exporter recognises.  Namespaces play the role of
+projects; pods may complete (batch pods) or run indefinitely (service
+pods, ended by deletion).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError
+from repro.hwsim.node import SimulatedNode, UsageProfile
+from repro.resourcemgr.base import ComputeUnit, ResourceManager, UnitState
+
+QOS_CLASSES = ("guaranteed", "burstable", "besteffort")
+
+
+@dataclass
+class PodSpec:
+    """A pod creation request (the scheduler-relevant subset)."""
+
+    user: str
+    namespace: str
+    cpus: int = 1
+    memory_bytes: int = 2 * 1024**3
+    gpus: int = 0
+    qos: str = "burstable"
+    name: str = "pod"
+    #: None = service pod (runs until deleted); otherwise batch runtime.
+    duration: float | None = None
+    profile: UsageProfile = field(default_factory=lambda: UsageProfile.constant(0.5))
+
+    def __post_init__(self) -> None:
+        if self.qos not in QOS_CLASSES:
+            raise SimulationError(f"unknown QoS class {self.qos!r}")
+
+
+class KubernetesCluster(ResourceManager):
+    """A kubelet-level view of a Kubernetes cluster."""
+
+    manager = "k8s"
+    CGROUP_TEMPLATE = "/kubepods.slice/kubepods-{qos}-pod{uid}.slice"
+
+    def __init__(self, cluster_name: str, nodes: list[SimulatedNode]) -> None:
+        super().__init__(cluster_name, nodes)
+        self._uid_seq = itertools.count(1)
+        self._placements: dict[str, SimulatedNode] = {}
+        self._deadlines: dict[str, float] = {}
+
+    def create_pod(self, spec: PodSpec, now: float) -> str:
+        """Schedule a pod; returns the pod UID."""
+        candidates = self.nodes_with_capacity(spec.cpus, spec.gpus)
+        if not candidates:
+            raise SimulationError("0/{} nodes available: insufficient cpu".format(len(self.nodes)))
+        node = min(candidates, key=lambda n: len(n.tasks))
+        uid = f"{next(self._uid_seq):08x}-0000-4000-8000-000000000000"
+        cgroup_uid = uid.replace("-", "_")
+        cgroup_path = self.CGROUP_TEMPLATE.format(qos=spec.qos, uid=cgroup_uid)
+        node.place_task(
+            uuid=uid,
+            cgroup_path=cgroup_path,
+            ncores=spec.cpus,
+            memory_limit_bytes=spec.memory_bytes,
+            profile=spec.profile,
+            start_time=now,
+            ngpus=spec.gpus,
+        )
+        unit = ComputeUnit(
+            uuid=uid,
+            name=spec.name,
+            manager=self.manager,
+            cluster=self.cluster_name,
+            user=spec.user,
+            project=spec.namespace,
+            created_at=now,
+            started_at=now,
+            state=UnitState.RUNNING,
+            cpus=spec.cpus,
+            memory_bytes=spec.memory_bytes,
+            gpus=spec.gpus,
+            nodelist=(node.spec.name,),
+        )
+        self._record_unit(unit)
+        self._placements[uid] = node
+        if spec.duration is not None:
+            self._deadlines[uid] = now + spec.duration
+        return uid
+
+    def delete_pod(self, uid: str, now: float) -> None:
+        node = self._placements.pop(uid, None)
+        if node is None:
+            raise SimulationError(f"no pod {uid}")
+        node.remove_task(uid)
+        self._deadlines.pop(uid, None)
+        unit = self._units[uid]
+        unit.state = UnitState.CANCELLED if unit.state is UnitState.RUNNING else unit.state
+        unit.ended_at = now
+
+    def step(self, now: float) -> None:
+        """Complete batch pods whose runtime elapsed."""
+        done = [uid for uid, deadline in self._deadlines.items() if now >= deadline]
+        for uid in done:
+            node = self._placements.pop(uid)
+            node.remove_task(uid)
+            del self._deadlines[uid]
+            unit = self._units[uid]
+            unit.state = UnitState.COMPLETED
+            unit.ended_at = now
+
+    def list_pods(self, namespace: str | None = None) -> list[ComputeUnit]:
+        pods = [u.snapshot() for u in self._units.values()]
+        if namespace is not None:
+            pods = [p for p in pods if p.project == namespace]
+        return sorted(pods, key=lambda p: p.created_at)

@@ -1,0 +1,128 @@
+"""OpenStack / libvirt simulator.
+
+On an OpenStack compute node, Nova asks libvirt to start a qemu/KVM
+machine per server; systemd places it in a ``machine.slice`` scope
+cgroup named after the libvirt domain, which embeds the instance UUID
+— that is the path pattern the exporter's ``libvirt`` rule matches.
+
+VMs differ from batch jobs in the ways that matter to the stack: they
+are **long-lived** (no natural completion; they run until deleted),
+sized by **flavors**, and owned by a **project** (tenant) rather than
+an account.  The accounting view is the server list.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError
+from repro.hwsim.node import SimulatedNode, UsageProfile
+from repro.resourcemgr.base import ComputeUnit, ResourceManager, UnitState
+
+
+@dataclass(frozen=True)
+class Flavor:
+    """An OpenStack flavor: the VM size menu."""
+
+    name: str
+    vcpus: int
+    memory_bytes: int
+    gpus: int = 0
+
+
+DEFAULT_FLAVORS: dict[str, Flavor] = {
+    "m1.small": Flavor("m1.small", vcpus=2, memory_bytes=4 * 1024**3),
+    "m1.large": Flavor("m1.large", vcpus=8, memory_bytes=16 * 1024**3),
+    "m1.xlarge": Flavor("m1.xlarge", vcpus=16, memory_bytes=64 * 1024**3),
+    "g1.gpu": Flavor("g1.gpu", vcpus=16, memory_bytes=96 * 1024**3, gpus=1),
+}
+
+
+@dataclass
+class ServerSpec:
+    """A server-create request."""
+
+    user: str
+    project: str
+    flavor: str = "m1.large"
+    name: str = "server"
+    profile: UsageProfile = field(default_factory=lambda: UsageProfile.constant(0.4))
+
+
+class OpenStackCluster(ResourceManager):
+    """Nova+libvirt over simulated compute nodes."""
+
+    manager = "openstack"
+    CGROUP_TEMPLATE = "/machine.slice/machine-qemu-{domain_id}-instance-{uuid}.scope"
+
+    def __init__(
+        self,
+        cluster_name: str,
+        nodes: list[SimulatedNode],
+        flavors: dict[str, Flavor] | None = None,
+    ) -> None:
+        super().__init__(cluster_name, nodes)
+        self.flavors = flavors or dict(DEFAULT_FLAVORS)
+        self._domain_ids = itertools.count(1)
+        self._instance_seq = itertools.count(1)
+        self._placements: dict[str, SimulatedNode] = {}
+
+    # -- server lifecycle ------------------------------------------------
+    def create_server(self, spec: ServerSpec, now: float) -> str:
+        """``openstack server create``; returns the instance UUID."""
+        flavor = self.flavors.get(spec.flavor)
+        if flavor is None:
+            raise SimulationError(f"no flavor {spec.flavor!r}")
+        candidates = self.nodes_with_capacity(flavor.vcpus, flavor.gpus)
+        if not candidates:
+            raise SimulationError("no valid host found (all hosts full)")
+        node = min(candidates, key=lambda n: len(n.tasks))  # spread scheduler
+        uuid = f"{next(self._instance_seq):08x}"
+        cgroup_path = self.CGROUP_TEMPLATE.format(domain_id=next(self._domain_ids), uuid=uuid)
+        node.place_task(
+            uuid=uuid,
+            cgroup_path=cgroup_path,
+            ncores=flavor.vcpus,
+            memory_limit_bytes=flavor.memory_bytes,
+            profile=spec.profile,
+            start_time=now,
+            ngpus=flavor.gpus,
+        )
+        unit = ComputeUnit(
+            uuid=uuid,
+            name=spec.name,
+            manager=self.manager,
+            cluster=self.cluster_name,
+            user=spec.user,
+            project=spec.project,
+            created_at=now,
+            started_at=now,
+            state=UnitState.RUNNING,
+            cpus=flavor.vcpus,
+            memory_bytes=flavor.memory_bytes,
+            gpus=flavor.gpus,
+            nodelist=(node.spec.name,),
+        )
+        self._record_unit(unit)
+        self._placements[uuid] = node
+        return uuid
+
+    def delete_server(self, uuid: str, now: float) -> None:
+        node = self._placements.pop(uuid, None)
+        if node is None:
+            raise SimulationError(f"no server {uuid}")
+        node.remove_task(uuid)
+        unit = self._units[uuid]
+        unit.state = UnitState.COMPLETED
+        unit.ended_at = now
+
+    def step(self, now: float) -> None:
+        """VMs have no natural end; nothing to reap."""
+
+    # -- accounting view -----------------------------------------------------
+    def list_servers(self, project: str | None = None) -> list[ComputeUnit]:
+        servers = [u.snapshot() for u in self._units.values()]
+        if project is not None:
+            servers = [s for s in servers if s.project == project]
+        return sorted(servers, key=lambda s: s.created_at)

@@ -1,0 +1,163 @@
+"""Thanos compactor: block merging and downsampling.
+
+Two jobs, as in real Thanos:
+
+* **horizontal compaction**: adjacent small raw blocks merge into
+  larger ones (2h → 8h → 2d), keeping the block ledger shallow;
+* **downsampling**: raw data older than ``downsample_after`` is
+  aggregated into 5-minute points, and 5m data older than a larger
+  horizon into 1-hour points.  Each downsampled point is the *mean*
+  of its bucket plus recorded min/max series (``<name>:min`` /
+  ``<name>:max``) so peak-style dashboards stay honest.
+
+Downsampling is what turns the E8 year-long aggregate query from
+millions of raw points into thousands — reproducing the systems
+argument for the API server (it is still orders slower than the API
+server's precomputed rollups).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.thanos.store import BlockMeta, ObjectStore
+from repro.tsdb.model import Labels
+from repro.tsdb.storage import TSDB
+
+
+def _downsample_series(ts: np.ndarray, vs: np.ndarray, bucket: float) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Bucket-average a series; returns (bucket_ts, mean, min, max)."""
+    if len(ts) == 0:
+        return np.array([]), np.array([]), np.array([]), np.array([])
+    buckets = np.floor(ts / bucket).astype(np.int64)
+    # group contiguous equal bucket ids (ts sorted)
+    change = np.concatenate(([True], buckets[1:] != buckets[:-1]))
+    starts = np.flatnonzero(change)
+    ends = np.concatenate((starts[1:], [len(ts)]))
+    out_ts = (buckets[starts] + 1) * bucket  # right edge = sample time
+    means = np.array([vs[s:e].mean() for s, e in zip(starts, ends)])
+    mins = np.array([vs[s:e].min() for s, e in zip(starts, ends)])
+    maxs = np.array([vs[s:e].max() for s, e in zip(starts, ends)])
+    return out_ts, means, mins, maxs
+
+
+class Compactor:
+    """Background compaction over one object store."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        *,
+        downsample_5m_after: float = 2 * 86400.0,
+        downsample_1h_after: float = 14 * 86400.0,
+        compaction_levels: tuple[float, ...] = (8 * 3600.0, 2 * 86400.0),
+    ) -> None:
+        self.store = store
+        self.downsample_5m_after = downsample_5m_after
+        self.downsample_1h_after = downsample_1h_after
+        self.compaction_levels = compaction_levels
+        self._downsampled_until = {"5m": None, "1h": None}
+        self.compactions = 0
+        self.downsample_passes = 0
+
+    # -- horizontal compaction ---------------------------------------------
+    def compact_blocks(self) -> int:
+        """Merge adjacent raw blocks into the next level's window size.
+
+        Sample data lives in the shared per-resolution TSDB, so the
+        merge only rewrites the ledger — exactly the cheap-metadata /
+        immutable-chunks split of the real design.
+        """
+        merged_total = 0
+        for level, window in enumerate(self.compaction_levels, start=2):
+            blocks = [b for b in self.store.blocks_at("raw") if b.level == level - 1]
+            groups: dict[int, list[BlockMeta]] = {}
+            for block in blocks:
+                groups.setdefault(int(block.min_time // window), []).append(block)
+            for slot, members in groups.items():
+                span = sum(b.max_time - b.min_time for b in members)
+                if span < window:  # window not complete yet
+                    continue
+                for member in members:
+                    self.store.drop_block(member.ulid)
+                self.store.add_block(
+                    BlockMeta(
+                        ulid=self.store.new_ulid(),
+                        min_time=min(b.min_time for b in members),
+                        max_time=max(b.max_time for b in members),
+                        resolution="raw",
+                        num_samples=sum(b.num_samples for b in members),
+                        num_series=max(b.num_series for b in members),
+                        level=level,
+                        source_ulids=tuple(b.ulid for b in members),
+                    )
+                )
+                merged_total += len(members)
+                self.compactions += 1
+        return merged_total
+
+    # -- downsampling -------------------------------------------------------------
+    def downsample(self, now: float) -> dict[str, int]:
+        """Produce 5m and 1h resolutions for data old enough."""
+        produced = {"5m": 0, "1h": 0}
+        produced["5m"] = self._downsample_into(
+            src=self.store.tsdb("raw"),
+            dst=self.store.tsdb("5m"),
+            bucket=300.0,
+            until=now - self.downsample_5m_after,
+            key="5m",
+        )
+        produced["1h"] = self._downsample_into(
+            src=self.store.tsdb("5m"),
+            dst=self.store.tsdb("1h"),
+            bucket=3600.0,
+            until=now - self.downsample_1h_after,
+            key="1h",
+        )
+        self.downsample_passes += 1
+        return produced
+
+    def _downsample_into(self, src: TSDB, dst: TSDB, bucket: float, until: float, key: str) -> int:
+        start = self._downsampled_until[key]
+        # Only whole buckets: stop at the last complete bucket edge.
+        until = np.floor(until / bucket) * bucket
+        if until <= (start or -np.inf):
+            return 0
+        produced = 0
+        for series in src.all_series():
+            lo = start if start is not None else (series.min_time or 0.0)
+            ts, vs = series.window(lo, until - 1e-9)
+            # Staleness markers do not survive downsampling (they mark
+            # raw-resolution disappearance; downsampled buckets are
+            # sparse anyway).
+            keep = ~np.isnan(vs)
+            ts, vs = ts[keep], vs[keep]
+            if len(ts) == 0:
+                continue
+            # Downsampling data that is already sparser than the bucket
+            # produces 3 output series per input point for zero
+            # compression — skip such series (coarse scrape configs).
+            if len(ts) > 1 and float(np.median(np.diff(ts))) > bucket:
+                continue
+            base = series.labels.metric_name
+            # Do not re-downsample the min/max helper series.
+            if base.endswith((":min", ":max")):
+                continue
+            b_ts, means, mins, maxs = _downsample_series(ts, vs, bucket)
+            min_labels = series.labels.with_name(base + ":min")
+            max_labels = series.labels.with_name(base + ":max")
+            for i in range(len(b_ts)):
+                dst.append(series.labels, float(b_ts[i]), float(means[i]))
+                dst.append(min_labels, float(b_ts[i]), float(mins[i]))
+                dst.append(max_labels, float(b_ts[i]), float(maxs[i]))
+                produced += 3
+        self._downsampled_until[key] = until
+        return produced
+
+    def run(self, now: float) -> None:
+        self.compact_blocks()
+        self.downsample(now)
+        self.store.apply_retention(now)
+
+    def register_timer(self, clock, interval: float = 6 * 3600.0) -> None:
+        clock.every(interval, self.run)

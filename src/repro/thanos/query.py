@@ -1,0 +1,65 @@
+"""Fan-out querier merging hot-TSDB and object-store data.
+
+Implements the ``select`` contract the PromQL engine expects, so one
+engine instance can transparently answer over the full history: the
+hot TSDB serves recent samples, the store serves older ones, and
+overlap deduplicates in favour of the hot data (it is rawer).
+
+:meth:`FanoutStorage.at_resolution` exposes the downsampled views for
+long-range queries — the E8 bench evaluates the same PromQL over raw
+and downsampled data to reproduce the latency cliff that motivates
+the CEEMS API server.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.tsdb.model import Labels, Matcher
+from repro.tsdb.storage import Series, TSDB
+from repro.thanos.store import ObjectStore
+
+
+def merge_series(primary: Series | None, secondary: Series | None, labels: Labels) -> Series:
+    """Merge two sample streams; primary wins on timestamp collisions."""
+    if primary is None and secondary is None:
+        return Series(labels=labels)
+    if secondary is None:
+        return primary  # type: ignore[return-value]
+    if primary is None:
+        return secondary
+    p_ts = np.asarray(primary.timestamps)
+    s_ts = np.asarray(secondary.timestamps)
+    # Keep secondary samples not present (by timestamp) in primary.
+    keep = ~np.isin(s_ts, p_ts)
+    ts = np.concatenate([s_ts[keep], p_ts])
+    vs = np.concatenate([np.asarray(secondary.values)[keep], np.asarray(primary.values)])
+    order = np.argsort(ts, kind="stable")
+    merged = Series(labels=labels)
+    merged.timestamps = ts[order].tolist()
+    merged.values = vs[order].tolist()
+    return merged
+
+
+class FanoutStorage:
+    """Hot + store querier with dedup."""
+
+    def __init__(self, hot: TSDB, store: ObjectStore) -> None:
+        self.hot = hot
+        self.store = store
+
+    def select(self, matchers: Sequence[Matcher]) -> list[Series]:
+        hot_series = {s.labels: s for s in self.hot.select(matchers)}
+        store_series = {s.labels: s for s in self.store.tsdb("raw").select(matchers)}
+        keys = sorted(set(hot_series) | set(store_series), key=tuple)
+        return [merge_series(hot_series.get(k), store_series.get(k), k) for k in keys]
+
+    def at_resolution(self, resolution: str) -> TSDB:
+        """Direct view of one downsampled resolution."""
+        return self.store.tsdb(resolution)
+
+    def label_values(self, name: str) -> list[str]:
+        values = set(self.hot.label_values(name)) | set(self.store.tsdb("raw").label_values(name))
+        return sorted(values)

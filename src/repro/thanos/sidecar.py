@@ -1,0 +1,75 @@
+"""Thanos sidecar: ships the hot TSDB's completed blocks to the store.
+
+Prometheus cuts a block every 2 hours; the sidecar uploads each
+completed block to object storage.  Here the sidecar tracks a
+watermark and, on every :meth:`upload` pass, copies all hot samples in
+completed 2-hour windows beyond the watermark into the store's raw
+resolution, registering one :class:`~repro.thanos.store.BlockMeta`
+per window.
+
+The hot TSDB keeps its own (short) retention; together they give the
+paper's architecture: recent data answered locally, history answered
+by Thanos.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.thanos.store import BlockMeta, ObjectStore
+from repro.tsdb.storage import TSDB
+
+BLOCK_SECONDS = 2 * 3600.0
+
+
+class Sidecar:
+    """Replicates one hot TSDB into one object store."""
+
+    def __init__(self, hot: TSDB, store: ObjectStore, *, block_seconds: float = BLOCK_SECONDS) -> None:
+        self.hot = hot
+        self.store = store
+        self.block_seconds = block_seconds
+        self._watermark: float | None = None
+        self.blocks_uploaded = 0
+        self.samples_uploaded = 0
+
+    def upload(self, now: float) -> int:
+        """Upload every completed block window; returns blocks shipped."""
+        if self.hot.min_time is None:
+            return 0
+        if self._watermark is None:
+            self._watermark = math.floor(self.hot.min_time / self.block_seconds) * self.block_seconds
+        uploaded = 0
+        raw = self.store.tsdb("raw")
+        while self._watermark + self.block_seconds <= now:
+            lo = self._watermark
+            hi = lo + self.block_seconds
+            samples = 0
+            series_count = 0
+            for series in self.hot.all_series():
+                ts, vs = series.window(lo, hi - 1e-9)
+                if len(ts) == 0:
+                    continue
+                series_count += 1
+                for t, v in zip(ts.tolist(), vs.tolist()):
+                    raw.append(series.labels, t, v)
+                    samples += 1
+            if samples:
+                self.store.add_block(
+                    BlockMeta(
+                        ulid=self.store.new_ulid(),
+                        min_time=lo,
+                        max_time=hi,
+                        resolution="raw",
+                        num_samples=samples,
+                        num_series=series_count,
+                    )
+                )
+                self.blocks_uploaded += 1
+                self.samples_uploaded += samples
+                uploaded += 1
+            self._watermark = hi
+        return uploaded
+
+    def register_timer(self, clock, interval: float = 3600.0) -> None:
+        clock.every(interval, lambda now: self.upload(now))

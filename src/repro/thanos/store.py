@@ -1,0 +1,113 @@
+"""The Thanos object store: blocks + per-resolution sample storage.
+
+Real Thanos stores immutable TSDB blocks in object storage and keeps
+an index per resolution (raw, 5m, 1h).  Here each resolution is one
+:class:`~repro.tsdb.storage.TSDB` (reusing its label index and window
+reads) plus a block ledger carrying the metadata compaction decisions
+are made from.  The behavioural contract — what uploads, what gets
+downsampled, what a long-range query reads — is preserved.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.common.errors import StorageError
+from repro.tsdb.storage import TSDB
+
+#: Thanos resolution levels, seconds per downsampled point.
+RESOLUTIONS = ("raw", "5m", "1h")
+RESOLUTION_SECONDS = {"raw": 0.0, "5m": 300.0, "1h": 3600.0}
+
+
+@dataclass
+class BlockMeta:
+    """Metadata of one uploaded/compacted block."""
+
+    ulid: str
+    min_time: float
+    max_time: float
+    resolution: str
+    num_samples: int
+    num_series: int
+    #: Compaction level: 1 = fresh upload, grows when merged.
+    level: int = 1
+    source_ulids: tuple[str, ...] = ()
+
+
+@dataclass
+class ObjectStore:
+    """Block ledger plus per-resolution sample stores."""
+
+    raw_retention: float = 0.0  # 0 = keep forever
+    five_m_retention: float = 0.0
+    one_h_retention: float = 0.0
+
+    blocks: list[BlockMeta] = field(default_factory=list)
+    _ulid_seq: itertools.count = field(default_factory=lambda: itertools.count(1), repr=False)
+
+    def __post_init__(self) -> None:
+        self.tsdbs: dict[str, TSDB] = {
+            "raw": TSDB(name="thanos-raw"),
+            "5m": TSDB(name="thanos-5m"),
+            "1h": TSDB(name="thanos-1h"),
+        }
+
+    # -- block management ------------------------------------------------
+    def new_ulid(self) -> str:
+        return f"01BLOCK{next(self._ulid_seq):012d}"
+
+    def add_block(self, meta: BlockMeta) -> None:
+        if meta.resolution not in RESOLUTIONS:
+            raise StorageError(f"unknown resolution {meta.resolution!r}")
+        if meta.max_time < meta.min_time:
+            raise StorageError("block max_time before min_time")
+        self.blocks.append(meta)
+
+    def blocks_at(self, resolution: str) -> list[BlockMeta]:
+        return sorted(
+            (b for b in self.blocks if b.resolution == resolution), key=lambda b: b.min_time
+        )
+
+    def drop_block(self, ulid: str) -> None:
+        self.blocks = [b for b in self.blocks if b.ulid != ulid]
+
+    # -- querying -----------------------------------------------------------
+    def tsdb(self, resolution: str) -> TSDB:
+        try:
+            return self.tsdbs[resolution]
+        except KeyError:
+            raise StorageError(f"unknown resolution {resolution!r}") from None
+
+    def pick_resolution(self, range_seconds: float) -> str:
+        """Thanos auto-downsampling heuristic: keep point counts sane.
+
+        Queries spanning more than ~2 days read the 5m resolution;
+        more than ~2 weeks, the 1h resolution (when populated).
+        """
+        if range_seconds > 14 * 86400 and self.tsdbs["1h"].num_series:
+            return "1h"
+        if range_seconds > 2 * 86400 and self.tsdbs["5m"].num_series:
+            return "5m"
+        return "raw"
+
+    # -- retention ------------------------------------------------------------
+    def apply_retention(self, now: float) -> dict[str, int]:
+        """Per-resolution retention (mirrors Thanos's compactor flags)."""
+        dropped: dict[str, int] = {}
+        for resolution, horizon in (
+            ("raw", self.raw_retention),
+            ("5m", self.five_m_retention),
+            ("1h", self.one_h_retention),
+        ):
+            if horizon <= 0:
+                continue
+            tsdb = self.tsdbs[resolution]
+            tsdb.retention = horizon
+            samples, _series = tsdb.apply_retention(now)
+            dropped[resolution] = samples
+            cutoff = now - horizon
+            for block in [b for b in self.blocks_at(resolution) if b.max_time < cutoff]:
+                self.drop_block(block.ulid)
+        return dropped

@@ -1,0 +1,44 @@
+"""A miniature Prometheus: the TSDB substrate of the stack.
+
+The paper builds CEEMS around Prometheus: exporters expose metrics in
+the text exposition format, a scrape manager pulls them on an
+interval, recording rules derive the per-job power series (Eq. 1),
+and Grafana / the API server query the result with PromQL.  This
+package reproduces each of those pieces:
+
+``repro.tsdb.model``
+    Label sets, samples, matchers.
+``repro.tsdb.storage``
+    An append-optimised in-memory TSDB with an inverted label index,
+    retention, and series deletion (the cardinality-cleanup target).
+``repro.tsdb.exposition``
+    The Prometheus text exposition format — renderer and parser.
+``repro.tsdb.scrape``
+    Scrape targets, target groups, and the scrape loop.
+``repro.tsdb.promql``
+    A PromQL subset: lexer, parser and evaluation engine (instant and
+    range queries, rate/increase, aggregations, binary operators with
+    vector matching — everything Eq. (1) and the dashboards need).
+``repro.tsdb.rules``
+    Recording-rule groups evaluated on an interval.
+"""
+
+from repro.tsdb.model import Labels, Matcher, MatchOp, Sample
+from repro.tsdb.promql.engine import PromQLEngine
+from repro.tsdb.rules import RecordingRule, RuleGroup
+from repro.tsdb.scrape import ScrapeConfig, ScrapeManager, ScrapeTarget
+from repro.tsdb.storage import TSDB
+
+__all__ = [
+    "Labels",
+    "Matcher",
+    "MatchOp",
+    "Sample",
+    "TSDB",
+    "PromQLEngine",
+    "RecordingRule",
+    "RuleGroup",
+    "ScrapeConfig",
+    "ScrapeManager",
+    "ScrapeTarget",
+]

@@ -1,0 +1,211 @@
+"""Alerting rules and a miniature Alertmanager.
+
+The real CEEMS deployment ships Prometheus alerting rules alongside
+its recording rules (node down, exporter collector failures, power
+anomalies).  This module adds the alerting half of the rules engine:
+
+* :class:`AlertingRule` — a PromQL expression plus a ``for`` hold
+  duration; series matching the expression become *pending* and fire
+  once they have matched continuously for the hold period (Prometheus
+  semantics);
+* :class:`AlertManager` — groups firing alerts, deduplicates
+  notifications, and resolves alerts whose condition cleared.
+  Notifications go to pluggable receivers (the tests use a list; a
+  real deployment would post to Slack/email).
+
+Operator alert packs for the CEEMS deployment are in
+:func:`ceems_alert_rules`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import QueryError
+from repro.tsdb.model import Labels
+from repro.tsdb.promql.ast import Expr
+from repro.tsdb.promql.engine import PromQLEngine
+from repro.tsdb.promql.parser import parse_expr
+
+
+class AlertState(str, enum.Enum):
+    PENDING = "pending"
+    FIRING = "firing"
+    RESOLVED = "resolved"
+
+
+@dataclass
+class AlertInstance:
+    """One alert for one label set."""
+
+    name: str
+    labels: Labels
+    state: AlertState
+    active_since: float
+    value: float
+    annotations: dict[str, str] = field(default_factory=dict)
+    fired_at: float | None = None
+    resolved_at: float | None = None
+
+
+@dataclass
+class AlertingRule:
+    """``alert: <name>  expr: <promql>  for: <hold>`` (Prometheus)."""
+
+    name: str
+    expr: str
+    hold: float = 0.0
+    labels: dict[str, str] = field(default_factory=dict)
+    annotations: dict[str, str] = field(default_factory=dict)
+    _ast: Expr | None = field(default=None, repr=False)
+    #: label-set -> first time the condition matched continuously
+    _pending: dict[Labels, float] = field(default_factory=dict, repr=False)
+    _firing: set = field(default_factory=set, repr=False)
+
+    def ast(self) -> Expr:
+        if self._ast is None:
+            self._ast = parse_expr(self.expr)
+        return self._ast
+
+    def evaluate(self, engine: PromQLEngine, now: float) -> list[AlertInstance]:
+        """One evaluation; returns state *transitions* (fire/resolve)."""
+        try:
+            result = engine.query(self.ast(), now)
+        except QueryError:
+            return []
+        current = {el.labels.drop("__name__"): el.value for el in result.vector}
+        transitions: list[AlertInstance] = []
+
+        # new or continuing matches
+        for labels, value in current.items():
+            if labels not in self._pending:
+                self._pending[labels] = now
+            active_since = self._pending[labels]
+            if labels not in self._firing and now - active_since >= self.hold:
+                self._firing.add(labels)
+                transitions.append(
+                    AlertInstance(
+                        name=self.name,
+                        labels=labels.merge(self.labels),
+                        state=AlertState.FIRING,
+                        active_since=active_since,
+                        value=value,
+                        annotations=dict(self.annotations),
+                        fired_at=now,
+                    )
+                )
+
+        # cleared matches
+        for labels in list(self._pending):
+            if labels in current:
+                continue
+            del self._pending[labels]
+            if labels in self._firing:
+                self._firing.discard(labels)
+                transitions.append(
+                    AlertInstance(
+                        name=self.name,
+                        labels=labels.merge(self.labels),
+                        state=AlertState.RESOLVED,
+                        active_since=now,
+                        value=0.0,
+                        annotations=dict(self.annotations),
+                        resolved_at=now,
+                    )
+                )
+        return transitions
+
+    @property
+    def firing_count(self) -> int:
+        return len(self._firing)
+
+
+Receiver = Callable[[AlertInstance], None]
+
+
+class AlertManager:
+    """Evaluates alerting rules and routes notifications."""
+
+    def __init__(self, engine: PromQLEngine, interval: float = 60.0) -> None:
+        self.engine = engine
+        self.interval = interval
+        self.rules: list[AlertingRule] = []
+        self.receivers: list[Receiver] = []
+        self.notifications: list[AlertInstance] = []
+        self.evaluations = 0
+
+    def add_rule(self, rule: AlertingRule) -> None:
+        if any(r.name == rule.name for r in self.rules):
+            raise QueryError(f"duplicate alerting rule {rule.name!r}")
+        self.rules.append(rule)
+
+    def add_receiver(self, receiver: Receiver) -> None:
+        self.receivers.append(receiver)
+
+    def evaluate(self, now: float) -> list[AlertInstance]:
+        """One evaluation pass over every rule; dispatches transitions."""
+        self.evaluations += 1
+        transitions: list[AlertInstance] = []
+        for rule in self.rules:
+            transitions.extend(rule.evaluate(self.engine, now))
+        for alert in transitions:
+            self.notifications.append(alert)
+            for receiver in self.receivers:
+                receiver(alert)
+        return transitions
+
+    def firing(self) -> dict[str, int]:
+        """Currently-firing alert counts per rule name."""
+        return {rule.name: rule.firing_count for rule in self.rules if rule.firing_count}
+
+    def register_timer(self, clock) -> None:
+        clock.every(self.interval, self.evaluate)
+
+
+def ceems_alert_rules() -> list[AlertingRule]:
+    """The operator alert pack for a CEEMS deployment."""
+    return [
+        AlertingRule(
+            name="CEEMSTargetDown",
+            expr="up == 0",
+            hold=120.0,
+            labels={"severity": "critical"},
+            annotations={"summary": "scrape target has been down for 2 minutes"},
+        ),
+        AlertingRule(
+            name="CEEMSCollectorFailed",
+            expr="ceems_exporter_collector_success == 0",
+            hold=300.0,
+            labels={"severity": "warning"},
+            annotations={"summary": "an exporter collector keeps failing"},
+        ),
+        AlertingRule(
+            name="NodePowerAnomaly",
+            # a node drawing >95% of the cluster's per-node maximum for
+            # 10 minutes; placeholder threshold per deployment.
+            expr="instance:ipmi_watts > 2500",
+            hold=600.0,
+            labels={"severity": "warning"},
+            annotations={"summary": "node power draw near PSU limit"},
+        ),
+        AlertingRule(
+            name="JobLowCpuEfficiency",
+            # a unit using <5% of its allocated cores for 30 minutes
+            expr=(
+                "(instance:unit_cpu_rate / on(hostname, nodegroup, uuid, manager) "
+                "sum by (hostname, nodegroup, uuid, manager) (ceems_compute_unit_cpus)) < 0.05"
+            ),
+            hold=1800.0,
+            labels={"severity": "info"},
+            annotations={"summary": "job is using <5% of its allocated CPUs"},
+        ),
+        AlertingRule(
+            name="EmissionFactorStale",
+            expr='absent(ceems_emissions_gCo2_kWh{provider="resolved"})',
+            hold=900.0,
+            labels={"severity": "warning"},
+            annotations={"summary": "no emission factor has been scraped recently"},
+        ),
+    ]

@@ -1,0 +1,219 @@
+"""Prometheus text exposition format — renderer and parser.
+
+The exporter renders its metrics in this format (paper §II.B.a: the
+exporter *"sends the metrics response to every request in a format
+understandable by Prometheus"*); the scrape manager parses it back.
+Both directions are implemented so the wire contract is real text, not
+shared Python objects.
+
+Supported format features: ``# HELP`` / ``# TYPE`` comments, label
+escaping (``\\``, ``\"``, ``\\n``), ``NaN``/``+Inf``/``-Inf`` values,
+and optional millisecond timestamps — the subset the Prometheus
+ecosystem actually exchanges for counters and gauges.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.common.errors import ScrapeError
+from repro.tsdb.model import METRIC_NAME_LABEL, Labels
+
+VALID_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+@dataclass
+class MetricPoint:
+    """One exposed sample: labels (without ``__name__``) + value."""
+
+    labels: dict[str, str]
+    value: float
+    timestamp_ms: int | None = None
+
+
+@dataclass
+class MetricFamily:
+    """A named metric with HELP/TYPE metadata and its points."""
+
+    name: str
+    help: str = ""
+    type: str = "gauge"
+    points: list[MetricPoint] = field(default_factory=list)
+
+    def add(self, value: float, timestamp_ms: int | None = None, **labels: str) -> None:
+        self.points.append(MetricPoint(labels=labels, value=value, timestamp_ms=timestamp_ms))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render(families: list[MetricFamily]) -> str:
+    """Render metric families to exposition text."""
+    lines: list[str] = []
+    for family in families:
+        if family.help:
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.type}")
+        for point in family.points:
+            if point.labels:
+                label_str = ",".join(
+                    f'{k}="{_escape_label_value(v)}"' for k, v in sorted(point.labels.items())
+                )
+                series = f"{family.name}{{{label_str}}}"
+            else:
+                series = family.name
+            line = f"{series} {_format_value(point.value)}"
+            if point.timestamp_ms is not None:
+                line += f" {point.timestamp_ms}"
+            lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(text: str, lineno: int) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        # label name
+        j = i
+        while j < len(text) and (text[j].isalnum() or text[j] == "_"):
+            j += 1
+        name = text[i:j]
+        if not name:
+            raise ScrapeError(f"line {lineno}: empty label name in {text!r}")
+        if j >= len(text) or text[j] != "=":
+            raise ScrapeError(f"line {lineno}: expected '=' after label {name!r}")
+        j += 1
+        if j >= len(text) or text[j] != '"':
+            raise ScrapeError(f"line {lineno}: expected '\"' for label {name!r}")
+        j += 1
+        value_chars: list[str] = []
+        while j < len(text):
+            ch = text[j]
+            if ch == "\\":
+                if j + 1 >= len(text):
+                    raise ScrapeError(f"line {lineno}: dangling escape")
+                nxt = text[j + 1]
+                value_chars.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, nxt))
+                j += 2
+                continue
+            if ch == '"':
+                break
+            value_chars.append(ch)
+            j += 1
+        else:
+            raise ScrapeError(f"line {lineno}: unterminated label value")
+        labels[name] = "".join(value_chars)
+        j += 1  # past closing quote
+        if j < len(text) and text[j] == ",":
+            j += 1
+        i = j
+    return labels
+
+
+def _parse_value(token: str, lineno: int) -> float:
+    try:
+        if token == "NaN":
+            return math.nan
+        if token in ("+Inf", "Inf"):
+            return math.inf
+        if token == "-Inf":
+            return -math.inf
+        return float(token)
+    except ValueError as exc:
+        raise ScrapeError(f"line {lineno}: bad value {token!r}") from exc
+
+
+def parse(text: str) -> list[MetricFamily]:
+    """Parse exposition text back into metric families.
+
+    Families are keyed by name; TYPE/HELP comments ahead of samples
+    attach metadata.  Unknown comment lines are ignored (Prometheus
+    behaviour).
+    """
+    families: dict[str, MetricFamily] = {}
+
+    def family(name: str) -> MetricFamily:
+        if name not in families:
+            families[name] = MetricFamily(name=name, type="untyped")
+        return families[name]
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                if len(parts) < 4 or parts[3] not in VALID_TYPES:
+                    raise ScrapeError(f"line {lineno}: bad TYPE line {line!r}")
+                family(parts[2]).type = parts[3]
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                family(parts[2]).help = parts[3] if len(parts) > 3 else ""
+            continue
+        # sample line: name{labels} value [timestamp]
+        if "{" in line:
+            name_part, _, rest = line.partition("{")
+            # Find the closing brace outside quoted label values —
+            # values may legally contain '}' inside quotes.
+            quote = False
+            escaped = False
+            end = -1
+            for idx, ch in enumerate(rest):
+                if escaped:
+                    escaped = False
+                    continue
+                if ch == "\\":
+                    escaped = True
+                elif ch == '"':
+                    quote = not quote
+                elif ch == "}" and not quote:
+                    end = idx
+                    break
+            if end == -1:
+                raise ScrapeError(f"line {lineno}: unterminated label set")
+            labels = _parse_labels(rest[:end], lineno)
+            tokens = rest[end + 1 :].split()
+        else:
+            tokens = line.split()
+            name_part = tokens[0]
+            labels = {}
+            tokens = tokens[1:]
+        if not tokens:
+            raise ScrapeError(f"line {lineno}: sample without value")
+        name = name_part.strip()
+        if not name:
+            raise ScrapeError(f"line {lineno}: sample without metric name")
+        value = _parse_value(tokens[0], lineno)
+        timestamp_ms = int(tokens[1]) if len(tokens) > 1 else None
+        family(name).points.append(MetricPoint(labels=labels, value=value, timestamp_ms=timestamp_ms))
+    return list(families.values())
+
+
+def to_labels(family_name: str, point: MetricPoint, extra: dict[str, str] | None = None) -> Labels:
+    """Combine a parsed point with target labels into a series identity.
+
+    ``extra`` (the scrape target's labels, e.g. ``instance``/``job``)
+    loses against metric-own labels on conflict, matching Prometheus's
+    ``honor_labels: true`` mode which CEEMS uses for exporter-supplied
+    identity labels like ``uuid``.
+    """
+    merged: dict[str, str] = dict(extra or {})
+    merged.update(point.labels)
+    merged[METRIC_NAME_LABEL] = family_name
+    return Labels(merged)

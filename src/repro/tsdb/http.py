@@ -1,0 +1,145 @@
+"""Prometheus HTTP API facade over a storage + engine pair.
+
+The load balancer proxies to, and Grafana reads from, the Prometheus
+HTTP API.  This app reproduces the endpoints the stack uses, with the
+documented response envelope (``{"status":"success","data":{...}}``):
+
+* ``GET/POST /api/v1/query`` — instant query (``query``, ``time``),
+* ``GET/POST /api/v1/query_range`` — range query (``query``,
+  ``start``, ``end``, ``step``),
+* ``GET /api/v1/series`` — series metadata for ``match[]`` selectors,
+* ``GET /api/v1/label/{name}/values``,
+* ``GET /-/healthy``.
+
+POST form bodies are honoured (Grafana sends long queries that way),
+which matters for the LB: it must introspect both transports.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import QueryError, StorageError
+from repro.common.httpx import App, Request, Response
+from repro.tsdb.model import Matcher, MatchOp
+from repro.tsdb.promql.engine import PromQLEngine
+from repro.tsdb.promql.parser import parse_expr
+from repro.tsdb.promql.ast import VectorSelector
+
+
+def _selector_matchers(selector_text: str) -> list[Matcher]:
+    ast = parse_expr(selector_text)
+    if not isinstance(ast, VectorSelector):
+        raise QueryError("match[] must be a plain series selector")
+    return list(ast.matchers)
+
+
+class PromAPI:
+    """One queryable Prometheus endpoint (hot TSDB or Thanos querier)."""
+
+    def __init__(self, storage, name: str = "prometheus", lookback: float = 300.0) -> None:
+        self.storage = storage
+        self.engine = PromQLEngine(storage, lookback=lookback)
+        self.app = App(name=name)
+        r = self.app.router
+        r.get("/api/v1/query", self._query)
+        r.post("/api/v1/query", self._query)
+        r.get("/api/v1/query_range", self._query_range)
+        r.post("/api/v1/query_range", self._query_range)
+        r.get("/api/v1/series", self._series)
+        r.get("/api/v1/label/{name}/values", self._label_values)
+        r.get("/-/healthy", lambda _req: Response.text("ok"))
+        self.queries_served = 0
+
+    # -- parameter handling -------------------------------------------------
+    @staticmethod
+    def _param(request: Request, name: str) -> str | None:
+        value = request.param(name)
+        if value is None:
+            form = request.form
+            values = form.get(name)
+            value = values[0] if values else None
+        return value
+
+    # -- endpoints ---------------------------------------------------------------
+    def _query(self, request: Request) -> Response:
+        query = self._param(request, "query")
+        if not query:
+            return Response.error(400, "missing query parameter")
+        time_param = self._param(request, "time")
+        if time_param is None:
+            return Response.error(400, "missing time parameter (no wall clock in simulation)")
+        self.queries_served += 1
+        try:
+            result = self.engine.query(query, float(time_param))
+        except (QueryError, StorageError, ValueError) as exc:
+            return Response.error(400, str(exc))
+        if result.is_scalar:
+            data = {"resultType": "scalar", "result": [result.timestamp, str(result.scalar)]}
+        else:
+            data = {
+                "resultType": "vector",
+                "result": [
+                    {
+                        "metric": el.labels.as_dict(),
+                        "value": [result.timestamp, str(el.value)],
+                    }
+                    for el in result.vector
+                ],
+            }
+        return Response.json({"status": "success", "data": data})
+
+    def _query_range(self, request: Request) -> Response:
+        query = self._param(request, "query")
+        if not query:
+            return Response.error(400, "missing query parameter")
+        try:
+            start = float(self._param(request, "start"))
+            end = float(self._param(request, "end"))
+            step = float(self._param(request, "step"))
+        except (TypeError, ValueError):
+            return Response.error(400, "start/end/step must be numbers")
+        self.queries_served += 1
+        try:
+            result = self.engine.query_range(query, start, end, step)
+        except (QueryError, StorageError, ValueError) as exc:
+            return Response.error(400, str(exc))
+        data = {
+            "resultType": "matrix",
+            "result": [
+                {
+                    "metric": labels.as_dict(),
+                    "values": [[float(t), str(v)] for t, v in zip(ts.tolist(), vs.tolist())],
+                }
+                for labels, (ts, vs) in sorted(result.series.items(), key=lambda kv: tuple(kv[0]))
+            ],
+        }
+        return Response.json({"status": "success", "data": data})
+
+    def _series(self, request: Request) -> Response:
+        selectors = request.params("match[]")
+        if not selectors:
+            return Response.error(400, "missing match[] parameter")
+        try:
+            out = []
+            seen = set()
+            for selector in selectors:
+                for series in self.storage.select(_selector_matchers(selector)):
+                    if series.labels not in seen:
+                        seen.add(series.labels)
+                        out.append(series.labels.as_dict())
+        except (QueryError, StorageError) as exc:
+            return Response.error(400, str(exc))
+        return Response.json({"status": "success", "data": out})
+
+    def _label_values(self, request: Request) -> Response:
+        name = request.path_params["name"]
+        values = self.storage.label_values(name)
+        return Response.json({"status": "success", "data": values})
+
+
+def delete_series_matchers(uuid: str) -> list[Matcher]:
+    """Matchers selecting every series of one compute unit.
+
+    Used by the API server's cardinality cleanup (Admin API analogue
+    of ``/api/v1/admin/tsdb/delete_series?match[]={uuid="..."}``).
+    """
+    return [Matcher("uuid", MatchOp.EQ, uuid)]

@@ -1,0 +1,15 @@
+"""PromQL subset: lexer, parser and evaluation engine.
+
+Implements the slice of PromQL the CEEMS stack exercises — instant
+and range queries over vector selectors with label matchers, offsets
+and range windows; ``rate``/``increase`` and the ``*_over_time``
+family; aggregations with ``by``/``without`` (including ``topk``/
+``quantile``); and binary arithmetic/comparison operators with vector
+matching (``on``/``ignoring``, ``group_left``/``group_right``) — the
+machinery the paper's Eq. (1) recording rules are written in.
+"""
+
+from repro.tsdb.promql.engine import InstantResult, PromQLEngine, RangeResult
+from repro.tsdb.promql.parser import parse_expr
+
+__all__ = ["PromQLEngine", "parse_expr", "InstantResult", "RangeResult"]

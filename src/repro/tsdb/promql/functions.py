@@ -1,0 +1,224 @@
+"""PromQL function implementations.
+
+Functions fall into three families the engine dispatches on:
+
+* **range functions** (``rate``, ``increase``, ``*_over_time``…):
+  consume one matrix selector window per series and produce one value.
+  Counter semantics (reset detection, boundary extrapolation) follow
+  Prometheus's ``extrapolatedRate`` so recorded power series behave
+  like the real system's.
+* **element-wise functions** (``abs``, ``clamp_min``…): map over the
+  values of an instant vector.
+* **special forms** (``scalar``, ``vector``, ``time``, ``timestamp``,
+  ``label_replace``, ``label_join``, ``absent``, ``sort``…): need
+  evaluation context and are implemented inside the engine; they are
+  listed here so the parser recognises the names.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+RangeFunc = Callable[[np.ndarray, np.ndarray, float, float], float | None]
+
+
+def _counter_corrected(values: np.ndarray) -> np.ndarray:
+    """Undo counter resets: add the pre-reset value at each drop."""
+    if len(values) < 2:
+        return values
+    # At a reset from v_prev to v_new the counter really advanced by
+    # v_new, so v_prev is added to everything after the reset point.
+    resets = np.where(np.diff(values) < 0)[0]
+    if len(resets) == 0:
+        return values
+    corrected = values.astype(np.float64).copy()
+    for idx in resets:
+        corrected[idx + 1 :] += values[idx]
+    return corrected
+
+
+def _extrapolated_delta(
+    ts: np.ndarray,
+    vs: np.ndarray,
+    start: float,
+    end: float,
+    *,
+    is_counter: bool,
+) -> float | None:
+    """Prometheus ``extrapolatedRate`` core.
+
+    Computes the increase over the window with boundary extrapolation:
+    the sampled delta is scaled up to cover the gaps between the first/
+    last samples and the window edges, but by no more than half an
+    average sample interval (and, for counters, never extrapolating
+    below zero).
+    """
+    if len(ts) < 2:
+        return None
+    values = _counter_corrected(vs) if is_counter else vs
+    sampled_delta = float(values[-1] - values[0])
+    sampled_interval = float(ts[-1] - ts[0])
+    if sampled_interval <= 0:
+        return None
+    average_interval = sampled_interval / (len(ts) - 1)
+    # Gap to each boundary.
+    start_gap = float(ts[0] - start)
+    end_gap = float(end - ts[-1])
+    extension_threshold = average_interval * 1.1
+    extend_start = start_gap if start_gap < extension_threshold else average_interval / 2
+    extend_end = end_gap if end_gap < extension_threshold else average_interval / 2
+    if is_counter and sampled_delta > 0 and float(values[0]) >= 0:
+        # Never extrapolate a counter below zero at the window start.
+        zero_point = sampled_interval * float(values[0]) / sampled_delta
+        extend_start = min(extend_start, zero_point)
+    extrapolated_interval = sampled_interval + extend_start + extend_end
+    return sampled_delta * extrapolated_interval / sampled_interval
+
+
+def _rate(ts: np.ndarray, vs: np.ndarray, start: float, end: float) -> float | None:
+    delta = _extrapolated_delta(ts, vs, start, end, is_counter=True)
+    if delta is None:
+        return None
+    return delta / (end - start)
+
+
+def _increase(ts: np.ndarray, vs: np.ndarray, start: float, end: float) -> float | None:
+    return _extrapolated_delta(ts, vs, start, end, is_counter=True)
+
+
+def _delta(ts: np.ndarray, vs: np.ndarray, start: float, end: float) -> float | None:
+    return _extrapolated_delta(ts, vs, start, end, is_counter=False)
+
+
+def _irate(ts: np.ndarray, vs: np.ndarray, start: float, end: float) -> float | None:
+    if len(ts) < 2:
+        return None
+    dv = float(vs[-1] - vs[-2])
+    if dv < 0:  # counter reset between the last two samples
+        dv = float(vs[-1])
+    dt = float(ts[-1] - ts[-2])
+    return dv / dt if dt > 0 else None
+
+
+def _idelta(ts: np.ndarray, vs: np.ndarray, start: float, end: float) -> float | None:
+    if len(ts) < 2:
+        return None
+    return float(vs[-1] - vs[-2])
+
+
+def _deriv(ts: np.ndarray, vs: np.ndarray, start: float, end: float) -> float | None:
+    """Least-squares slope, as Prometheus's deriv()."""
+    if len(ts) < 2:
+        return None
+    x = ts - ts[0]
+    n = len(x)
+    sx = float(x.sum())
+    sy = float(vs.sum())
+    sxy = float((x * vs).sum())
+    sxx = float((x * x).sum())
+    denom = n * sxx - sx * sx
+    if denom == 0:
+        return None
+    return (n * sxy - sx * sy) / denom
+
+
+def _changes(ts: np.ndarray, vs: np.ndarray, start: float, end: float) -> float | None:
+    if len(vs) == 0:
+        return None
+    return float(np.count_nonzero(np.diff(vs) != 0))
+
+
+def _resets(ts: np.ndarray, vs: np.ndarray, start: float, end: float) -> float | None:
+    if len(vs) == 0:
+        return None
+    return float(np.count_nonzero(np.diff(vs) < 0))
+
+
+def _over_time(reducer: Callable[[np.ndarray], float]) -> RangeFunc:
+    def func(ts: np.ndarray, vs: np.ndarray, start: float, end: float) -> float | None:
+        if len(vs) == 0:
+            return None
+        return float(reducer(vs))
+
+    return func
+
+
+def _last_over_time(ts: np.ndarray, vs: np.ndarray, start: float, end: float) -> float | None:
+    return float(vs[-1]) if len(vs) else None
+
+
+def _present_over_time(ts: np.ndarray, vs: np.ndarray, start: float, end: float) -> float | None:
+    return 1.0 if len(vs) else None
+
+
+#: Range functions: name -> implementation.
+RANGE_FUNCTIONS: dict[str, RangeFunc] = {
+    "rate": _rate,
+    "irate": _irate,
+    "increase": _increase,
+    "delta": _delta,
+    "idelta": _idelta,
+    "deriv": _deriv,
+    "changes": _changes,
+    "resets": _resets,
+    "avg_over_time": _over_time(np.mean),
+    "sum_over_time": _over_time(np.sum),
+    "min_over_time": _over_time(np.min),
+    "max_over_time": _over_time(np.max),
+    "count_over_time": _over_time(len),
+    "stddev_over_time": _over_time(lambda v: float(np.std(v))),
+    "stdvar_over_time": _over_time(lambda v: float(np.var(v))),
+    "last_over_time": _last_over_time,
+    "present_over_time": _present_over_time,
+}
+
+#: quantile_over_time takes a scalar parameter; handled by the engine
+#: with this helper.
+def quantile_over_time(q: float, vs: np.ndarray) -> float:
+    if len(vs) == 0:
+        return math.nan
+    if q < 0:
+        return -math.inf
+    if q > 1:
+        return math.inf
+    return float(np.quantile(vs, q))
+
+
+ElementFunc = Callable[..., float]
+
+#: Element-wise functions over instant vectors; extra scalar args allowed.
+ELEMENT_FUNCTIONS: dict[str, ElementFunc] = {
+    "abs": abs,
+    "ceil": math.ceil,
+    "floor": math.floor,
+    "sqrt": math.sqrt,
+    "exp": math.exp,
+    "ln": lambda v: math.log(v) if v > 0 else (-math.inf if v == 0 else math.nan),
+    "log2": lambda v: math.log2(v) if v > 0 else (-math.inf if v == 0 else math.nan),
+    "log10": lambda v: math.log10(v) if v > 0 else (-math.inf if v == 0 else math.nan),
+    "sgn": lambda v: float((v > 0) - (v < 0)),
+    "round": lambda v, to=1.0: round(v / to) * to if to else math.nan,
+    "clamp": lambda v, lo, hi: min(max(v, lo), hi),
+    "clamp_min": lambda v, lo: max(v, lo),
+    "clamp_max": lambda v, hi: min(v, hi),
+}
+
+#: Special forms implemented inside the engine.
+SPECIAL_FUNCTIONS = (
+    "scalar",
+    "vector",
+    "time",
+    "timestamp",
+    "absent",
+    "sort",
+    "sort_desc",
+    "label_replace",
+    "label_join",
+    "quantile_over_time",
+)
+
+#: Every callable name the parser should accept.
+FUNCTIONS = frozenset(RANGE_FUNCTIONS) | frozenset(ELEMENT_FUNCTIONS) | frozenset(SPECIAL_FUNCTIONS)

@@ -1,0 +1,164 @@
+"""PromQL lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.common.errors import QueryError
+
+
+class TokenType(Enum):
+    IDENT = auto()  # metric names, keywords, function names
+    NUMBER = auto()
+    STRING = auto()
+    DURATION = auto()
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACE = auto()
+    RBRACE = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    COMMA = auto()
+    COLON = auto()  # subquery separator [range:step]
+    OP = auto()  # + - * / % ^ == != >= <= > < =~ !~ =
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    pos: int
+
+
+KEYWORDS = frozenset(
+    {
+        "by",
+        "without",
+        "on",
+        "ignoring",
+        "group_left",
+        "group_right",
+        "offset",
+        "bool",
+        "and",
+        "or",
+        "unless",
+    }
+)
+
+_DURATION_UNITS = ("ms", "s", "m", "h", "d", "w", "y")
+
+
+def _is_ident_start(ch: str) -> bool:
+    # ':' may appear *inside* recording-rule names but not start one
+    # (Prometheus rule); a leading ':' is the subquery separator.
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in ("_", ":")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a PromQL expression.  Raises :class:`QueryError`."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\n\r":
+            i += 1
+            continue
+        if ch == "#":  # comment to end of line
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        start = i
+        # punctuation
+        simple = {
+            "(": TokenType.LPAREN,
+            ")": TokenType.RPAREN,
+            "{": TokenType.LBRACE,
+            "}": TokenType.RBRACE,
+            "[": TokenType.LBRACKET,
+            "]": TokenType.RBRACKET,
+            ",": TokenType.COMMA,
+            ":": TokenType.COLON,
+        }
+        if ch in simple:
+            tokens.append(Token(simple[ch], ch, start))
+            i += 1
+            continue
+        # multi-char operators first
+        two = text[i : i + 2]
+        if two in ("==", "!=", ">=", "<=", "=~", "!~"):
+            tokens.append(Token(TokenType.OP, two, start))
+            i += 2
+            continue
+        if ch in "+-*/%^><=":
+            tokens.append(Token(TokenType.OP, ch, start))
+            i += 1
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            i += 1
+            chars: list[str] = []
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    nxt = text[i + 1]
+                    chars.append({"n": "\n", "t": "\t", quote: quote, "\\": "\\"}.get(nxt, nxt))
+                    i += 2
+                    continue
+                chars.append(text[i])
+                i += 1
+            if i >= n:
+                raise QueryError("unterminated string", position=start)
+            i += 1  # closing quote
+            tokens.append(Token(TokenType.STRING, "".join(chars), start))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            # scientific notation
+            if j < n and text[j] in "eE":
+                k = j + 1
+                if k < n and text[k] in "+-":
+                    k += 1
+                if k < n and text[k].isdigit():
+                    j = k
+                    while j < n and text[j].isdigit():
+                        j += 1
+                    tokens.append(Token(TokenType.NUMBER, text[i:j], start))
+                    i = j
+                    continue
+            # duration suffix?  (15s, 5m, 1h30m…)
+            if j < n and text[j].isalpha():
+                k = j
+                dur = True
+                while k < n and (text[k].isalnum()):
+                    k += 1
+                candidate = text[i:k]
+                # validate it decomposes into number+unit pairs
+                import re as _re
+
+                if _re.fullmatch(r"(\d+(?:\.\d+)?(?:ms|s|m|h|d|w|y))+", candidate):
+                    tokens.append(Token(TokenType.DURATION, candidate, start))
+                    i = k
+                    continue
+                del dur
+            tokens.append(Token(TokenType.NUMBER, text[i:j], start))
+            i = j
+            continue
+        if _is_ident_start(ch):
+            j = i
+            while j < n and _is_ident_char(text[j]):
+                j += 1
+            tokens.append(Token(TokenType.IDENT, text[i:j], start))
+            i = j
+            continue
+        raise QueryError(f"unexpected character {ch!r}", position=i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

@@ -1,0 +1,132 @@
+"""Prometheus recording rules.
+
+Recording rules are the paper's configurability mechanism: *"using
+recording rules, it is possible to estimate the same derived metric
+using different rules according to the needs and underlying hardware
+of the DC"* (§I).  The per-job power estimation of Eq. (1) is written
+as recording rules, with a different rule group per node class
+(§III.A) selected by label matchers on the scrape target group.
+
+Rules in a group are evaluated **in order**, so later rules can use
+series recorded by earlier rules in the same evaluation cycle — this
+matches Prometheus, and the Eq. (1) rule set exploits it (per-job CPU
+and DRAM power are recorded first, then summed into total job power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import QueryError
+from repro.tsdb.model import METRIC_NAME_LABEL, Labels
+from repro.tsdb.promql.ast import Expr
+from repro.tsdb.promql.engine import PromQLEngine
+from repro.tsdb.promql.parser import parse_expr
+from repro.tsdb.storage import TSDB
+
+
+@dataclass
+class RecordingRule:
+    """One recording rule: evaluate ``expr``, store as ``record``."""
+
+    record: str
+    expr: str
+    #: Extra labels attached to every recorded sample.
+    labels: dict[str, str] = field(default_factory=dict)
+    _ast: Expr | None = field(default=None, repr=False)
+    #: Output series produced by the previous evaluation; outputs that
+    #: vanish get staleness markers (Prometheus rule semantics).
+    _previous_outputs: set = field(default_factory=set, repr=False)
+
+    def ast(self) -> Expr:
+        if self._ast is None:
+            self._ast = parse_expr(self.expr)
+        return self._ast
+
+
+@dataclass
+class RuleGroup:
+    """A named group of rules sharing an evaluation interval."""
+
+    name: str
+    interval: float
+    rules: list[RecordingRule] = field(default_factory=list)
+
+    #: evaluation bookkeeping
+    evaluations: int = 0
+    last_samples: int = 0
+    last_error: str = ""
+
+    def evaluate(self, storage: TSDB, at: float, *, engine: PromQLEngine | None = None) -> int:
+        """Evaluate every rule at timestamp ``at``, appending results.
+
+        Returns the number of samples recorded.  A rule whose
+        expression fails (e.g. its inputs have not been scraped yet)
+        is skipped and reported via :attr:`last_error`, without
+        aborting the group — Prometheus behaviour.
+        """
+        engine = engine or PromQLEngine(storage)
+        recorded = 0
+        self.last_error = ""
+        for rule in self.rules:
+            try:
+                result = engine.query(rule.ast(), at)
+            except (QueryError, ZeroDivisionError) as exc:
+                self.last_error = f"{rule.record}: {exc}"
+                continue
+            outputs: set[Labels] = set()
+            if result.is_scalar:
+                labels = Labels({METRIC_NAME_LABEL: rule.record, **rule.labels})
+                storage.append(labels, at, float(result.scalar))
+                outputs.add(labels)
+                recorded += 1
+            else:
+                for el in result.vector:
+                    d = el.labels.as_dict()
+                    d[METRIC_NAME_LABEL] = rule.record
+                    d.update(rule.labels)
+                    labels = Labels(d)
+                    storage.append(labels, at, el.value)
+                    outputs.add(labels)
+                    recorded += 1
+            # Stale-mark output series that vanished this evaluation
+            # (e.g. a finished unit's power series) so downstream
+            # reads don't see zombie values for the lookback window.
+            # Series already deleted from storage (cardinality
+            # cleanup) are skipped — marking them would re-create
+            # exactly what the cleanup removed.
+            for labels in rule._previous_outputs - outputs:
+                if storage.has_series(labels):
+                    storage.append(labels, at, float("nan"))
+            rule._previous_outputs = outputs
+        self.evaluations += 1
+        self.last_samples = recorded
+        return recorded
+
+
+class RuleManager:
+    """Evaluates rule groups on their intervals against one storage.
+
+    ``lookback`` is the instant-query lookback delta the rule engine
+    uses; it must exceed the scrape interval (Prometheus's
+    ``--query.lookback-delta`` deployment rule).
+    """
+
+    def __init__(self, storage: TSDB, lookback: float = 300.0) -> None:
+        self.storage = storage
+        self.groups: list[RuleGroup] = []
+        self._engine = PromQLEngine(storage, lookback=lookback)
+
+    def add_group(self, group: RuleGroup) -> None:
+        if any(g.name == group.name for g in self.groups):
+            raise QueryError(f"duplicate rule group {group.name!r}")
+        self.groups.append(group)
+
+    def evaluate_all(self, at: float) -> int:
+        """Evaluate every group once (used by simulation-driven loops)."""
+        return sum(group.evaluate(self.storage, at, engine=self._engine) for group in self.groups)
+
+    def register_timers(self, clock) -> None:
+        """Attach each group to a :class:`~repro.common.clock.SimClock`."""
+        for group in self.groups:
+            clock.every(group.interval, lambda now, g=group: g.evaluate(self.storage, now, engine=self._engine))

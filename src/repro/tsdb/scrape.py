@@ -1,0 +1,148 @@
+"""Scrape manager: pulls exporter metrics into the TSDB.
+
+Models Prometheus's scrape layer (paper Fig. 1: *"A hot TSDB instance
+will scrape these compute nodes at a configured interval"*):
+
+* **targets** are HTTP apps (the in-process :class:`~repro.common.
+  httpx.App` of an exporter) with attached identity labels
+  (``instance``, ``job``) and optional basic-auth credentials;
+* **target groups** carry extra labels — this is how Jean-Zay's node
+  classes are told apart so that the right Eq. (1) rule variant
+  applies (§III.A: *"grouping them in different scrape target groups
+  and defining the recording rules accordingly"*);
+* each scrape GETs ``/metrics``, parses the exposition text and
+  appends every sample at the scrape timestamp;
+* scrape health is recorded as the synthetic ``up`` series, exactly
+  like Prometheus, and per-scrape duration/sample counts are kept for
+  the benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.common.auth import make_basic_auth_header
+from repro.common.errors import ScrapeError
+from repro.common.httpx import App, Request
+from repro.tsdb import exposition
+from repro.tsdb.model import Labels
+from repro.tsdb.storage import TSDB
+
+
+@dataclass
+class ScrapeTarget:
+    """One scrape endpoint plus its identity labels."""
+
+    app: App
+    instance: str
+    job: str = "ceems"
+    group_labels: dict[str, str] = field(default_factory=dict)
+    metrics_path: str = "/metrics"
+    username: str = ""
+    password: str = ""
+
+    #: health bookkeeping
+    last_scrape_ok: bool = False
+    last_scrape_duration: float = 0.0
+    last_scrape_samples: int = 0
+    scrapes_total: int = 0
+    scrape_failures_total: int = 0
+    #: Series seen in the previous successful scrape; series absent
+    #: from the next scrape get a staleness marker.
+    _previous_series: set = field(default_factory=set, repr=False)
+
+    def identity_labels(self) -> dict[str, str]:
+        labels = {"instance": self.instance, "job": self.job}
+        labels.update(self.group_labels)
+        return labels
+
+
+@dataclass
+class ScrapeConfig:
+    """Scrape loop settings."""
+
+    interval: float = 15.0
+    timeout: float = 10.0
+    #: Run storage retention every this many scrape cycles.
+    retention_every: int = 40
+
+
+class ScrapeManager:
+    """Scrapes a set of targets into one TSDB."""
+
+    def __init__(self, storage: TSDB, config: ScrapeConfig | None = None) -> None:
+        self.storage = storage
+        self.config = config or ScrapeConfig()
+        self.targets: list[ScrapeTarget] = []
+        self._cycles = 0
+
+    def add_target(self, target: ScrapeTarget) -> None:
+        if any(t.instance == target.instance and t.job == target.job for t in self.targets):
+            raise ScrapeError(f"duplicate target {target.job}/{target.instance}")
+        self.targets.append(target)
+
+    def add_targets(self, targets: list[ScrapeTarget]) -> None:
+        for t in targets:
+            self.add_target(t)
+
+    # -- scraping ---------------------------------------------------------
+    def scrape_target(self, target: ScrapeTarget, now: float) -> int:
+        """Scrape one target at logical time ``now``.
+
+        Returns the number of samples ingested (not counting ``up``).
+        Failures are recorded as ``up == 0`` rather than raised, so one
+        bad node never stalls the cluster scrape — Prometheus
+        behaviour the Jean-Zay scale bench depends on.
+        """
+        target.scrapes_total += 1
+        identity = target.identity_labels()
+        started = time.perf_counter()
+        samples = 0
+        try:
+            headers = {}
+            if target.username:
+                headers["authorization"] = make_basic_auth_header(target.username, target.password)
+            response = target.app.handle(Request.from_url("GET", target.metrics_path, headers=headers))
+            if response.status != 200:
+                raise ScrapeError(f"scrape returned HTTP {response.status}")
+            families = exposition.parse(response.body.decode())
+            seen: set[Labels] = set()
+            for family in families:
+                for point in family.points:
+                    labels = exposition.to_labels(family.name, point, identity)
+                    self.storage.append(labels, now, point.value)
+                    seen.add(labels)
+                    samples += 1
+            # Staleness markers: series this target exposed last time
+            # but not now have disappeared (e.g. a finished job's
+            # cgroup) — mark them stale so instant queries stop
+            # returning zombie values during the lookback window.
+            for labels in target._previous_series - seen:
+                self.storage.append(labels, now, float("nan"))
+            target._previous_series = seen
+            target.last_scrape_ok = True
+        except ScrapeError:
+            target.last_scrape_ok = False
+            target.scrape_failures_total += 1
+        target.last_scrape_duration = time.perf_counter() - started
+        target.last_scrape_samples = samples
+        up_labels = Labels({"__name__": "up", **identity})
+        self.storage.append(up_labels, now, 1.0 if target.last_scrape_ok else 0.0)
+        return samples
+
+    def scrape_all(self, now: float) -> int:
+        """One scrape cycle over every target; applies retention."""
+        total = sum(self.scrape_target(target, now) for target in self.targets)
+        self._cycles += 1
+        if self.config.retention_every and self._cycles % self.config.retention_every == 0:
+            self.storage.apply_retention(now)
+        return total
+
+    def register_timer(self, clock) -> None:
+        """Drive the scrape loop from a :class:`SimClock`."""
+        clock.every(self.config.interval, lambda now: self.scrape_all(now))
+
+    # -- health ------------------------------------------------------------
+    def healthy_targets(self) -> int:
+        return sum(1 for t in self.targets if t.last_scrape_ok)

@@ -1,0 +1,65 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import StackSimulation, small_topology
+from repro.cluster.simulation import SimulationConfig
+from repro.common.clock import SimClock
+from repro.hwsim import NodeSpec, SimulatedNode, UsageProfile
+from repro.resourcemgr.workload import SizeClass, WorkloadMix
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock(start=0.0)
+
+
+@pytest.fixture
+def cpu_node() -> SimulatedNode:
+    """A plain Intel CPU node."""
+    return SimulatedNode(NodeSpec(name="n1"), seed=1)
+
+
+@pytest.fixture
+def gpu_node() -> SimulatedNode:
+    """An A100 GPU node whose IPMI covers GPU power."""
+    return SimulatedNode(NodeSpec(name="g1", gpus=("A100",) * 4, memory_gb=384, dram_profile="ddr4-384g"), seed=2)
+
+
+@pytest.fixture
+def amd_node() -> SimulatedNode:
+    """An AMD node (no DRAM RAPL domain)."""
+    return SimulatedNode(NodeSpec(name="a1", cpu_model="amd-milan", cores_per_socket=32, memory_gb=256, dram_profile="ddr4-384g"), seed=3)
+
+
+def make_profile(cpu: float = 0.8, mem: float = 0.5, gpu: float = 0.0) -> UsageProfile:
+    return UsageProfile.constant(cpu, mem, gpu)
+
+
+SMALL_MIX = WorkloadMix(
+    mean_interarrival=200.0,
+    duration_mu=6.9,
+    sizes=(
+        SizeClass("small", weight=0.6, ncores=4, memory_gb=8),
+        SizeClass("medium", weight=0.25, ncores=16, memory_gb=32),
+        SizeClass("gpu", weight=0.15, ncores=8, ngpus=1, memory_gb=64, partition="gpu"),
+    ),
+)
+
+
+@pytest.fixture(scope="session")
+def small_sim() -> StackSimulation:
+    """A fully-run small deployment shared by read-only tests.
+
+    Two hours of simulated life on 3 CPU + 1 GPU nodes.  Session
+    scoped: tests using it must not mutate its state.
+    """
+    sim = StackSimulation(
+        small_topology(cpu_nodes=3, gpu_nodes=1),
+        SimulationConfig(seed=11, update_interval=600.0),
+        workload=SMALL_MIX,
+    )
+    sim.run(2 * 3600)
+    return sim

@@ -1,0 +1,175 @@
+"""Tests for alerting rules and the mini Alertmanager."""
+
+import math
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import QueryError
+from repro.tsdb.alerts import (
+    AlertingRule,
+    AlertManager,
+    AlertState,
+    ceems_alert_rules,
+)
+from repro.tsdb.model import Labels
+from repro.tsdb.promql.engine import PromQLEngine
+from repro.tsdb.storage import TSDB
+
+
+def mk(name: str, **labels: str) -> Labels:
+    return Labels({"__name__": name, **labels})
+
+
+@pytest.fixture
+def db() -> TSDB:
+    return TSDB()
+
+
+@pytest.fixture
+def engine(db) -> PromQLEngine:
+    return PromQLEngine(db)
+
+
+def feed_up(db: TSDB, instance: str, value: float, t: float) -> None:
+    db.append(mk("up", instance=instance, job="ceems"), t, value)
+
+
+class TestAlertingRule:
+    def test_fires_immediately_without_hold(self, db, engine):
+        feed_up(db, "n1", 0.0, 10.0)
+        rule = AlertingRule(name="Down", expr="up == 0")
+        transitions = rule.evaluate(engine, now=10.0)
+        assert len(transitions) == 1
+        assert transitions[0].state is AlertState.FIRING
+        assert transitions[0].labels.get("instance") == "n1"
+
+    def test_hold_delays_firing(self, db, engine):
+        rule = AlertingRule(name="Down", expr="up == 0", hold=120.0)
+        feed_up(db, "n1", 0.0, 0.0)
+        assert rule.evaluate(engine, now=0.0) == []
+        feed_up(db, "n1", 0.0, 60.0)
+        assert rule.evaluate(engine, now=60.0) == []  # still pending
+        feed_up(db, "n1", 0.0, 120.0)
+        transitions = rule.evaluate(engine, now=120.0)
+        assert len(transitions) == 1 and transitions[0].state is AlertState.FIRING
+
+    def test_pending_resets_if_condition_clears(self, db, engine):
+        rule = AlertingRule(name="Down", expr="up == 0", hold=120.0)
+        feed_up(db, "n1", 0.0, 0.0)
+        rule.evaluate(engine, now=0.0)
+        feed_up(db, "n1", 1.0, 60.0)  # back up
+        rule.evaluate(engine, now=60.0)
+        feed_up(db, "n1", 0.0, 120.0)  # down again: hold restarts
+        assert rule.evaluate(engine, now=120.0) == []
+        feed_up(db, "n1", 0.0, 240.0)
+        transitions = rule.evaluate(engine, now=240.0)
+        assert transitions and transitions[0].state is AlertState.FIRING
+
+    def test_resolve_transition(self, db, engine):
+        rule = AlertingRule(name="Down", expr="up == 0")
+        feed_up(db, "n1", 0.0, 0.0)
+        rule.evaluate(engine, now=0.0)
+        feed_up(db, "n1", 1.0, 60.0)
+        transitions = rule.evaluate(engine, now=60.0)
+        assert len(transitions) == 1
+        assert transitions[0].state is AlertState.RESOLVED
+        assert rule.firing_count == 0
+
+    def test_one_alert_per_label_set(self, db, engine):
+        feed_up(db, "n1", 0.0, 0.0)
+        feed_up(db, "n2", 0.0, 0.0)
+        rule = AlertingRule(name="Down", expr="up == 0")
+        transitions = rule.evaluate(engine, now=0.0)
+        assert len(transitions) == 2
+        # re-evaluating does not re-fire
+        assert rule.evaluate(engine, now=30.0) == []
+
+    def test_static_labels_and_annotations(self, db, engine):
+        feed_up(db, "n1", 0.0, 0.0)
+        rule = AlertingRule(
+            name="Down", expr="up == 0",
+            labels={"severity": "critical"},
+            annotations={"summary": "node down"},
+        )
+        alert = rule.evaluate(engine, now=0.0)[0]
+        assert alert.labels.get("severity") == "critical"
+        assert alert.annotations["summary"] == "node down"
+
+    def test_bad_expression_is_silent(self, db, engine):
+        rule = AlertingRule(name="Bad", expr="up ==")
+        assert rule.evaluate(engine, now=0.0) == []
+
+    def test_alert_value_captured(self, db, engine):
+        db.append(mk("power", instance="n1"), 0.0, 3000.0)
+        rule = AlertingRule(name="Hot", expr="power > 2500")
+        alert = rule.evaluate(engine, now=0.0)[0]
+        assert alert.value == 3000.0
+
+
+class TestAlertManager:
+    def test_duplicate_rule_rejected(self, engine):
+        manager = AlertManager(engine)
+        manager.add_rule(AlertingRule(name="A", expr="up == 0"))
+        with pytest.raises(QueryError):
+            manager.add_rule(AlertingRule(name="A", expr="up == 0"))
+
+    def test_receivers_notified(self, db, engine):
+        manager = AlertManager(engine)
+        manager.add_rule(AlertingRule(name="Down", expr="up == 0"))
+        received = []
+        manager.add_receiver(received.append)
+        feed_up(db, "n1", 0.0, 0.0)
+        manager.evaluate(now=0.0)
+        assert len(received) == 1
+        assert received[0].name == "Down"
+
+    def test_firing_summary(self, db, engine):
+        manager = AlertManager(engine)
+        manager.add_rule(AlertingRule(name="Down", expr="up == 0"))
+        feed_up(db, "n1", 0.0, 0.0)
+        feed_up(db, "n2", 0.0, 0.0)
+        manager.evaluate(now=0.0)
+        assert manager.firing() == {"Down": 2}
+
+    def test_timer_driven(self, db, engine):
+        clock = SimClock(start=0.0)
+        manager = AlertManager(engine, interval=60.0)
+        manager.add_rule(AlertingRule(name="Down", expr="up == 0", hold=120.0))
+        manager.register_timer(clock)
+
+        def keep_down(now):
+            feed_up(db, "n1", 0.0, now)
+
+        clock.every(15.0, keep_down)
+        clock.advance(300.0)
+        assert manager.evaluations == 5
+        assert manager.firing() == {"Down": 1}
+        firing = [n for n in manager.notifications if n.state is AlertState.FIRING]
+        assert len(firing) == 1
+        assert firing[0].fired_at >= 120.0
+
+
+class TestCEEMSAlertPack:
+    def test_pack_parses(self):
+        for rule in ceems_alert_rules():
+            rule.ast()
+
+    def test_target_down_fires_in_live_stack(self, small_sim):
+        """Against the shared sim: no targets are down, the collector
+        success alert is quiet, and injecting a down sample fires."""
+        manager = AlertManager(small_sim.engine)
+        for rule in ceems_alert_rules():
+            manager.add_rule(rule)
+        manager.evaluate(now=small_sim.now)
+        assert "CEEMSTargetDown" not in manager.firing()
+        assert "EmissionFactorStale" not in manager.firing()
+
+    def test_emission_factor_stale_alert(self, db, engine):
+        manager = AlertManager(engine)
+        rules = {r.name: r for r in ceems_alert_rules()}
+        rule = rules["EmissionFactorStale"]
+        rule.hold = 0.0
+        manager.add_rule(rule)
+        transitions = manager.evaluate(now=0.0)  # nothing scraped -> absent fires
+        assert any(t.name == "EmissionFactorStale" for t in transitions)

@@ -1,0 +1,114 @@
+"""Tests for the operator analytics module."""
+
+import pytest
+
+from repro.analytics import (
+    ClusterUtilisation,
+    UserEfficiency,
+    cluster_utilisation_report,
+    efficiency_report,
+)
+from repro.apiserver.db import Database
+from repro.resourcemgr.base import UnitState
+from tests.test_apiserver_db import FakeUsage, unit
+
+
+def seed_db() -> Database:
+    db = Database()
+    db.upsert_units(
+        [
+            # busy user: 16 cores, high cpu usage
+            unit("1", user="busy", project="p1", state=UnitState.COMPLETED,
+                 started_at=0.0, ended_at=3600.0, cpus=16),
+            # waster: 32 cores allocated, barely used
+            unit("2", user="waster", project="p2", state=UnitState.COMPLETED,
+                 started_at=0.0, ended_at=3600.0, cpus=32),
+            # short unit: excluded by min_elapsed
+            unit("3", user="short", project="p3", state=UnitState.COMPLETED,
+                 started_at=0.0, ended_at=60.0, cpus=4),
+        ],
+        now=4000.0,
+    )
+    busy_usage = FakeUsage(energy=2.0e6, emissions=30.0)
+    busy_usage.avg_cpu_usage = 14.0  # of 16 cores
+    busy_usage.peak_memory_bytes = 0.9 * 2**30
+    waster_usage = FakeUsage(energy=2.5e6, emissions=40.0)
+    waster_usage.avg_cpu_usage = 2.0  # of 32 cores
+    waster_usage.peak_memory_bytes = 0.1 * 2**30
+    db.add_unit_usage("test", {"1": busy_usage, "2": waster_usage}, now=4000.0)
+    return db
+
+
+class TestEfficiencyReport:
+    def test_scores(self):
+        report = efficiency_report(seed_db())
+        rows = {r.user: r for r in report.rows}
+        assert rows["busy"].cpu_efficiency == pytest.approx(14 / 16, rel=0.01)
+        assert rows["waster"].cpu_efficiency == pytest.approx(2 / 32, rel=0.01)
+        assert rows["busy"].memory_efficiency == pytest.approx(0.9, rel=0.01)
+
+    def test_short_units_excluded(self):
+        report = efficiency_report(seed_db(), min_elapsed=300.0)
+        assert "short" not in {r.user for r in report.rows}
+
+    def test_flagging(self):
+        report = efficiency_report(seed_db(), inefficiency_threshold=0.25)
+        assert [r.user for r in report.flagged] == ["waster"]
+
+    def test_energy_per_core_hour(self):
+        report = efficiency_report(seed_db())
+        rows = {r.user: r for r in report.rows}
+        assert rows["busy"].core_hours_allocated == pytest.approx(16.0)
+        assert rows["busy"].energy_per_core_hour == pytest.approx(2.0e6 / 16.0)
+
+    def test_render_marks_flagged(self):
+        text = efficiency_report(seed_db()).render()
+        assert "waster" in text and "⚠" in text
+        assert "busy" in text
+
+    def test_empty_db(self):
+        report = efficiency_report(Database())
+        assert report.rows == []
+        assert report.flagged == []
+
+    def test_cluster_filter(self):
+        db = seed_db()
+        assert efficiency_report(db, cluster="other").rows == []
+        assert len(efficiency_report(db, cluster="test").rows) == 2
+
+
+class TestClusterUtilisation:
+    def test_against_live_stack(self, small_sim):
+        report = cluster_utilisation_report(small_sim.engine, small_sim.now)
+        assert report.nodes_total == 4
+        assert report.total_power_w > 0
+        assert 0.0 < report.attribution_ratio <= 1.0
+        assert report.carbon_intensity_g_per_kwh > 10.0
+        assert set(report.power_by_nodegroup) <= {"intel-cpu", "gpu-ipmi-incl"}
+        assert sum(report.power_by_nodegroup.values()) == pytest.approx(report.total_power_w)
+
+    def test_idle_detection_consistency(self, small_sim):
+        report = cluster_utilisation_report(small_sim.engine, small_sim.now)
+        busy_nodes = sum(1 for n in small_sim.nodes if n.tasks)
+        # idle per the report = nodes with no attributed unit power;
+        # allow ±1 for jobs inside the rate-window warmup.
+        assert abs((report.nodes_total - report.nodes_idle) - busy_nodes) <= 1
+
+    def test_render(self, small_sim):
+        text = cluster_utilisation_report(small_sim.engine, small_sim.now).render()
+        assert "cluster power" in text
+        assert "idle nodes" in text
+        assert "gCO2e/kWh" in text
+
+
+class TestDataclasses:
+    def test_user_efficiency_zero_core_hours(self):
+        row = UserEfficiency(
+            user="u", project="p", num_units=0, core_hours_allocated=0.0,
+            cpu_efficiency=0.0, memory_efficiency=0.0, energy_joules=0.0, emissions_g=0.0,
+        )
+        assert row.energy_per_core_hour == 0.0
+
+    def test_utilisation_zero_power(self):
+        report = ClusterUtilisation(at=0.0, total_power_w=0.0, attributed_power_w=0.0)
+        assert report.attribution_ratio == 0.0

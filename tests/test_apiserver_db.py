@@ -1,0 +1,278 @@
+"""Tests for the API server's SQLite layer, backups and cleanup."""
+
+import pytest
+
+from repro.apiserver.backup import BackupManager, LitestreamReplicator, Snapshot
+from repro.apiserver.cleanup import CardinalityCleaner
+from repro.apiserver.db import Database
+from repro.apiserver.schema import SCHEMA_VERSION
+from repro.common.errors import NotFoundError, StorageError
+from repro.resourcemgr.base import ComputeUnit, UnitState
+from repro.tsdb.model import Labels
+from repro.tsdb.storage import TSDB
+
+
+def unit(uuid: str, user: str = "alice", project: str = "p1", state=UnitState.RUNNING, **kwargs) -> ComputeUnit:
+    defaults = dict(
+        name=f"job-{uuid}",
+        manager="slurm",
+        cluster="test",
+        created_at=0.0,
+        started_at=10.0,
+        cpus=4,
+        memory_bytes=2**30,
+    )
+    defaults.update(kwargs)
+    return ComputeUnit(uuid=uuid, user=user, project=project, state=state, **defaults)
+
+
+class FakeUsage:
+    def __init__(self, energy=1000.0, emissions=5.0):
+        self.energy_joules = energy
+        self.emissions_g = emissions
+        self.avg_power_watts = 100.0
+        self.avg_cpu_usage = 3.5
+        self.avg_memory_bytes = 1e9
+        self.peak_memory_bytes = 2e9
+        self.avg_gpu_power_watts = 0.0
+
+
+class TestMigrations:
+    def test_fresh_db_at_current_version(self):
+        db = Database(":memory:")
+        assert db.schema_version() == SCHEMA_VERSION
+
+    def test_migrate_idempotent(self):
+        db = Database(":memory:")
+        db.migrate()
+        assert db.schema_version() == SCHEMA_VERSION
+
+    def test_integrity(self):
+        assert Database(":memory:").integrity_check()
+
+
+class TestUnits:
+    def test_upsert_and_get(self):
+        db = Database()
+        db.upsert_units([unit("1"), unit("2", user="bob")], now=100.0)
+        row = db.get_unit("test", "1")
+        assert row["user"] == "alice"
+        assert db.count_units() == 2
+
+    def test_get_missing_raises(self):
+        with pytest.raises(NotFoundError):
+            Database().get_unit("test", "404")
+
+    def test_upsert_updates_lifecycle(self):
+        db = Database()
+        db.upsert_units([unit("1")], now=100.0)
+        done = unit("1", state=UnitState.COMPLETED, ended_at=500.0)
+        db.upsert_units([done], now=600.0)
+        row = db.get_unit("test", "1")
+        assert row["state"] == "completed"
+        assert row["elapsed"] == pytest.approx(490.0)
+        assert db.count_units() == 1
+
+    def test_running_unit_elapsed_uses_now(self):
+        db = Database()
+        db.upsert_units([unit("1", started_at=10.0)], now=110.0)
+        assert db.get_unit("test", "1")["elapsed"] == pytest.approx(100.0)
+
+    def test_list_filters(self):
+        db = Database()
+        db.upsert_units(
+            [
+                unit("1", user="alice", project="p1"),
+                unit("2", user="bob", project="p2", state=UnitState.COMPLETED),
+                unit("3", user="alice", project="p2", started_at=5000.0),
+            ],
+            now=100.0,
+        )
+        assert len(db.list_units(user="alice")) == 2
+        assert len(db.list_units(project="p2")) == 2
+        assert len(db.list_units(state="completed")) == 1
+        assert len(db.list_units(started_after=1000.0)) == 1
+        assert len(db.list_units(started_before=1000.0)) == 2
+        assert len(db.list_units(limit=1)) == 1
+
+    def test_find_unit_owner(self):
+        db = Database()
+        db.upsert_units([unit("7", user="carol", project="px")], now=0.0)
+        assert db.find_unit_owner("7") == ("carol", "px")
+        assert db.find_unit_owner("999") is None
+
+    def test_add_unit_usage_accumulates(self):
+        db = Database()
+        db.upsert_units([unit("1")], now=0.0)
+        db.add_unit_usage("test", {"1": FakeUsage(energy=100.0)}, now=10.0)
+        db.add_unit_usage("test", {"1": FakeUsage(energy=50.0)}, now=20.0)
+        row = db.get_unit("test", "1")
+        assert row["energy_joules"] == 150.0
+        assert row["peak_memory_bytes"] == 2e9
+
+    def test_usage_for_unknown_unit_ignored(self):
+        db = Database()
+        assert db.add_unit_usage("test", {"404": FakeUsage()}, now=0.0) == 0
+
+
+class TestRollups:
+    def test_rebuild_usage(self):
+        db = Database()
+        db.upsert_units(
+            [
+                unit("1", user="alice", state=UnitState.COMPLETED, ended_at=110.0),
+                unit("2", user="alice", state=UnitState.COMPLETED, ended_at=210.0),
+                unit("3", user="bob", state=UnitState.COMPLETED, ended_at=110.0),
+            ],
+            now=300.0,
+        )
+        db.add_unit_usage("test", {"1": FakeUsage(100.0, 1.0), "2": FakeUsage(200.0, 2.0), "3": FakeUsage(400.0, 4.0)}, now=300.0)
+        db.rebuild_usage_rollups("test", now=300.0)
+        rows = db.usage_rows(user="alice")
+        assert len(rows) == 1
+        assert rows[0].num_units == 2
+        assert rows[0].total_energy_joules == 300.0
+        assert rows[0].total_emissions_g == 3.0
+        assert rows[0].total_cpu_hours == pytest.approx((100 + 200) * 4 / 3600.0)
+
+    def test_rollups_ordered_by_energy(self):
+        db = Database()
+        db.upsert_units([unit("1", user="a"), unit("2", user="b")], now=0.0)
+        db.add_unit_usage("test", {"1": FakeUsage(10.0), "2": FakeUsage(500.0)}, now=0.0)
+        db.rebuild_usage_rollups("test", now=0.0)
+        rows = db.usage_rows()
+        assert rows[0].user == "b"
+
+    def test_sync_state(self):
+        db = Database()
+        assert db.last_sync("test") == 0.0
+        db.set_last_sync("test", 1234.0)
+        assert db.last_sync("test") == 1234.0
+
+    def test_clusters(self):
+        db = Database()
+        db.upsert_units([unit("1"), unit("2", cluster="other")], now=0.0)
+        assert db.clusters() == ["other", "test"]
+
+
+class TestBackups:
+    def make_db(self):
+        db = Database()
+        db.upsert_units([unit("1"), unit("2")], now=0.0)
+        return db
+
+    def test_snapshot_restore(self):
+        db = self.make_db()
+        snapshot = Snapshot.of(db, now=100.0)
+        restored = snapshot.restore()
+        assert restored.count_units() == 2
+        assert restored.get_unit("test", "1")["user"] == "alice"
+
+    def test_checksum_detects_corruption(self):
+        db = self.make_db()
+        snapshot = Snapshot.of(db, now=0.0)
+        corrupted = Snapshot(taken_at=0.0, compressed=snapshot.compressed, checksum="0" * 64)
+        with pytest.raises(StorageError, match="checksum"):
+            corrupted.restore()
+
+    def test_backup_manager_interval(self):
+        db = self.make_db()
+        manager = BackupManager(db, interval=100.0, keep=2)
+        assert manager.maybe_backup(now=0.0)
+        assert not manager.maybe_backup(now=50.0)
+        assert manager.maybe_backup(now=150.0)
+        assert manager.maybe_backup(now=300.0)
+        assert len(manager.snapshots) == 2  # keep=2
+
+    def test_restore_latest(self):
+        db = self.make_db()
+        manager = BackupManager(db)
+        manager.backup(now=0.0)
+        db.upsert_units([unit("3")], now=10.0)
+        manager.backup(now=20.0)
+        assert manager.restore_latest().count_units() == 3
+
+    def test_no_backup_raises(self):
+        with pytest.raises(StorageError):
+            BackupManager(Database()).latest()
+
+
+class TestLitestream:
+    def test_ship_only_on_changes(self):
+        db = Database()
+        replicator = LitestreamReplicator(db)
+        assert replicator.ship(now=0.0)  # initial generation
+        assert not replicator.ship(now=60.0)  # no writes since
+        db.upsert_units([unit("1")], now=70.0)
+        assert replicator.ship(now=120.0)
+        assert replicator.segments_shipped == 1
+
+    def test_point_in_time_restore(self):
+        db = Database()
+        replicator = LitestreamReplicator(db)
+        replicator.ship(now=0.0)
+        db.upsert_units([unit("1")], now=10.0)
+        replicator.ship(now=60.0)
+        db.upsert_units([unit("2")], now=70.0)
+        replicator.ship(now=120.0)
+        assert replicator.restore(at=60.0).count_units() == 1
+        assert replicator.restore(at=120.0).count_units() == 2
+        assert replicator.restore().count_units() == 2
+
+    def test_restore_before_any_state_raises(self):
+        db = Database()
+        replicator = LitestreamReplicator(db)
+        with pytest.raises(StorageError):
+            replicator.restore()
+        replicator.ship(now=100.0)
+        with pytest.raises(StorageError):
+            replicator.restore(at=50.0)
+
+    def test_new_generation_after_segment_budget(self):
+        db = Database()
+        replicator = LitestreamReplicator(db, snapshot_every=2)
+        replicator.ship(now=0.0)
+        for i in range(5):
+            db.upsert_units([unit(str(i))], now=float(i))
+            replicator.ship(now=float(i * 60 + 60))
+        assert len(replicator.generations) >= 2
+
+
+class TestCardinalityCleaner:
+    def make_env(self, cutoff=300.0):
+        db = Database()
+        tsdb = TSDB()
+        # short finished unit, long finished unit, short running unit
+        db.upsert_units(
+            [
+                unit("short", state=UnitState.COMPLETED, started_at=0.0, ended_at=100.0),
+                unit("long", state=UnitState.COMPLETED, started_at=0.0, ended_at=5000.0),
+                unit("live", state=UnitState.RUNNING, started_at=0.0),
+            ],
+            now=100.0,
+        )
+        for uuid in ("short", "long", "live"):
+            for metric in ("cpu", "mem"):
+                tsdb.append(Labels({"__name__": metric, "uuid": uuid}), 1.0, 1.0)
+        return db, tsdb, CardinalityCleaner(db, [tsdb], cutoff)
+
+    def test_only_short_finished_units_cleaned(self):
+        db, tsdb, cleaner = self.make_env()
+        stats = cleaner.run(now=200.0)
+        assert stats.units_cleaned == 1
+        assert stats.series_deleted == 2
+        uuids = {s.labels.get("uuid") for s in tsdb.all_series()}
+        assert uuids == {"long", "live"}
+        # the accounting record survives
+        assert db.get_unit("test", "short")["state"] == "completed"
+
+    def test_idempotent_across_runs(self):
+        _db, _tsdb, cleaner = self.make_env()
+        cleaner.run(now=200.0)
+        stats = cleaner.run(now=300.0)
+        assert stats.units_cleaned == 1  # not double counted
+
+    def test_disabled_when_cutoff_zero(self):
+        _db, tsdb, cleaner = self.make_env(cutoff=0.0)
+        cleaner.run(now=200.0)
+        assert tsdb.num_series == 6

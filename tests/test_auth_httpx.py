@@ -1,0 +1,213 @@
+"""Tests for basic auth, TLS config, and the HTTP abstraction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.auth import (
+    BasicAuth,
+    TLSConfig,
+    hash_password,
+    make_basic_auth_header,
+    verify_password,
+)
+from repro.common.errors import AuthError, ConfigError
+from repro.common.httpx import (
+    App,
+    Request,
+    Response,
+    Router,
+    http_get,
+    serve_threading,
+)
+
+
+class TestPasswordHashing:
+    def test_roundtrip(self):
+        assert verify_password("s3cret", hash_password("s3cret"))
+
+    def test_wrong_password(self):
+        assert not verify_password("wrong", hash_password("s3cret"))
+
+    def test_salts_differ(self):
+        assert hash_password("x") != hash_password("x")
+
+    def test_malformed_hash_is_false(self):
+        assert not verify_password("x", "notahash")
+        assert not verify_password("x", "zz$zz")
+
+    @given(st.text(min_size=0, max_size=40))
+    def test_any_password_roundtrips_property(self, password):
+        assert verify_password(password, hash_password(password))
+
+
+class TestBasicAuth:
+    def test_disabled_auth_allows_everything(self):
+        auth = BasicAuth()
+        assert auth.check_header(None) == ""
+
+    def test_valid_credentials(self):
+        auth = BasicAuth.single_user("alice", "pw")
+        header = make_basic_auth_header("alice", "pw")
+        assert auth.check_header(header) == "alice"
+
+    def test_missing_header_rejected(self):
+        auth = BasicAuth.single_user("alice", "pw")
+        with pytest.raises(AuthError):
+            auth.check_header(None)
+
+    def test_wrong_password_rejected(self):
+        auth = BasicAuth.single_user("alice", "pw")
+        with pytest.raises(AuthError):
+            auth.check_header(make_basic_auth_header("alice", "nope"))
+
+    def test_unknown_user_rejected(self):
+        auth = BasicAuth.single_user("alice", "pw")
+        with pytest.raises(AuthError):
+            auth.check_header(make_basic_auth_header("bob", "pw"))
+
+    def test_malformed_scheme_rejected(self):
+        auth = BasicAuth.single_user("alice", "pw")
+        with pytest.raises(AuthError):
+            auth.check_header("Bearer token")
+
+    def test_garbage_base64_rejected(self):
+        auth = BasicAuth.single_user("alice", "pw")
+        with pytest.raises(AuthError):
+            auth.check_header("Basic !!!notbase64!!!")
+
+    def test_add_user(self):
+        auth = BasicAuth()
+        auth.add_user("bob", "pw2")
+        assert auth.check_header(make_basic_auth_header("bob", "pw2")) == "bob"
+
+
+class TestTLSConfig:
+    def test_disabled_is_valid(self):
+        TLSConfig().validate()
+
+    def test_enabled_requires_files(self):
+        with pytest.raises(ConfigError):
+            TLSConfig(enabled=True).validate()
+
+    def test_enabled_with_files_ok(self):
+        TLSConfig(enabled=True, cert_file="a.pem", key_file="b.pem").validate()
+
+    def test_bad_min_version(self):
+        with pytest.raises(ConfigError):
+            TLSConfig(enabled=True, cert_file="a", key_file="b", min_version="SSL3").validate()
+
+
+class TestRequest:
+    def test_from_url_parses_query(self):
+        req = Request.from_url("GET", "/x?a=1&a=2&b=hello")
+        assert req.params("a") == ["1", "2"]
+        assert req.param("b") == "hello"
+        assert req.param("missing") is None
+        assert req.param("missing", "d") == "d"
+
+    def test_headers_lowercased(self):
+        req = Request.from_url("GET", "/", headers={"X-Grafana-User": "u"})
+        assert req.header("x-grafana-user") == "u"
+
+    def test_form_parsing(self):
+        req = Request.from_url(
+            "POST",
+            "/q",
+            headers={"content-type": "application/x-www-form-urlencoded"},
+            body=b"query=up&time=5",
+        )
+        assert req.form["query"] == ["up"]
+
+    def test_form_requires_content_type(self):
+        req = Request.from_url("POST", "/q", body=b"query=up")
+        assert req.form == {}
+
+    def test_json_body(self):
+        req = Request.from_url("POST", "/", body=b'{"a": 1}')
+        assert req.json() == {"a": 1}
+
+
+class TestRouter:
+    def test_path_params_captured(self):
+        router = Router()
+        router.get("/api/v1/units/{uuid}", lambda req: Response.text(req.path_params["uuid"]))
+        response = router.dispatch(Request.from_url("GET", "/api/v1/units/1234"))
+        assert response.body == b"1234"
+
+    def test_404_for_unknown_path(self):
+        router = Router()
+        router.get("/a", lambda req: Response.text("a"))
+        assert router.dispatch(Request.from_url("GET", "/b")).status == 404
+
+    def test_405_for_wrong_method(self):
+        router = Router()
+        router.get("/a", lambda req: Response.text("a"))
+        assert router.dispatch(Request.from_url("POST", "/a")).status == 405
+
+    def test_url_decoding_of_path_params(self):
+        router = Router()
+        router.get("/u/{name}", lambda req: Response.text(req.path_params["name"]))
+        response = router.dispatch(Request.from_url("GET", "/u/hello%20world"))
+        assert response.body == b"hello world"
+
+
+class TestApp:
+    def test_auth_enforced(self):
+        app = App("t", auth=BasicAuth.single_user("u", "p"))
+        app.router.get("/", lambda req: Response.text("ok"))
+        denied = app.get("/")
+        assert denied.status == 401
+        assert "www-authenticate" in denied.headers
+        allowed = app.get("/", headers={"authorization": make_basic_auth_header("u", "p")})
+        assert allowed.status == 200
+
+    def test_tls_required(self):
+        app = App("t", tls=TLSConfig(enabled=True, cert_file="c", key_file="k"))
+        app.router.get("/", lambda req: Response.text("ok"))
+        assert app.get("/").status == 400
+        assert app.handle(Request.from_url("GET", "/", secure=True)).status == 200
+
+    def test_error_counting(self):
+        app = App("t")
+        app.router.get("/", lambda req: Response.text("ok"))
+        app.get("/")
+        app.get("/missing")
+        assert app.requests_total == 2
+        assert app.errors_total == 1
+
+    def test_response_helpers(self):
+        r = Response.json({"a": 1}, status=201)
+        assert r.status == 201 and r.decode_json() == {"a": 1}
+        assert Response.error(403, "no").status == 403
+        assert not Response.error(403, "no").ok
+
+
+class TestRealSocketServer:
+    def test_app_served_over_real_http(self):
+        """The same App code must work over an actual TCP socket."""
+        app = App("sock")
+        app.router.get("/hello", lambda req: Response.json({"msg": "hi"}))
+        server = serve_threading(app)
+        try:
+            status, body = http_get(f"{server.url}/hello")
+            assert status == 200
+            assert b'"msg"' in body
+            status, _ = http_get(f"{server.url}/nope")
+            assert status == 404
+        finally:
+            server.close()
+
+    def test_basic_auth_over_real_http(self):
+        app = App("sock-auth", auth=BasicAuth.single_user("u", "p"))
+        app.router.get("/", lambda req: Response.text("ok"))
+        server = serve_threading(app)
+        try:
+            status, _ = http_get(server.url + "/")
+            assert status == 401
+            status, body = http_get(
+                server.url + "/", headers={"Authorization": make_basic_auth_header("u", "p")}
+            )
+            assert status == 200 and body == b"ok"
+        finally:
+            server.close()

@@ -1,0 +1,180 @@
+"""Tests for the cgroup pseudo-filesystem."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.hwsim.cgroupfs import Cgroup, CgroupFS, parse_cpuset, _format_cpuset
+
+
+class TestHierarchy:
+    def test_create_and_get(self):
+        fs = CgroupFS()
+        fs.create("/system.slice/slurmstepd.scope/job_1")
+        assert fs.exists("/system.slice/slurmstepd.scope/job_1")
+        assert fs.get("/system.slice/slurmstepd.scope/job_1").path.endswith("job_1")
+
+    def test_create_makes_ancestors(self):
+        fs = CgroupFS()
+        fs.create("/a/b/c")
+        assert fs.exists("/a")
+        assert fs.exists("/a/b")
+
+    def test_get_missing_raises(self):
+        fs = CgroupFS()
+        with pytest.raises(SimulationError, match="no such cgroup"):
+            fs.get("/nope")
+
+    def test_delete_leaf(self):
+        fs = CgroupFS()
+        fs.create("/a/b")
+        fs.delete("/a/b")
+        assert not fs.exists("/a/b")
+        assert fs.exists("/a")
+
+    def test_delete_with_children_rejected(self):
+        """Kernel rule: a populated cgroup directory cannot be removed."""
+        fs = CgroupFS()
+        fs.create("/a/b")
+        with pytest.raises(SimulationError, match="has children"):
+            fs.delete("/a")
+
+    def test_delete_missing_raises(self):
+        fs = CgroupFS()
+        with pytest.raises(SimulationError):
+            fs.delete("/ghost")
+
+    def test_create_with_attrs(self):
+        fs = CgroupFS()
+        cg = fs.create("/a", memory_limit=1024, cpuset_cpus=(0, 1))
+        assert cg.memory_limit == 1024
+        assert cg.cpuset_cpus == (0, 1)
+
+    def test_create_with_unknown_attr_rejected(self):
+        fs = CgroupFS()
+        with pytest.raises(SimulationError, match="unknown cgroup attribute"):
+            fs.create("/a", quantum_flux=3)
+
+    def test_walk_depth_first_sorted(self):
+        fs = CgroupFS()
+        for path in ("/b/x", "/a/y", "/a/z"):
+            fs.create(path)
+        paths = [c.path for c in fs.walk()]
+        assert paths == ["/a", "/a/y", "/a/z", "/b", "/b/x"]
+
+    def test_leaves_only(self):
+        fs = CgroupFS()
+        fs.create("/a/b")
+        fs.create("/a/c")
+        assert sorted(c.path for c in fs.leaves()) == ["/a/b", "/a/c"]
+
+
+class TestAccounting:
+    def test_cpu_charge_accumulates(self):
+        cg = Cgroup(path="/j")
+        cg.charge_cpu(user_usec=900, system_usec=100)
+        cg.charge_cpu(user_usec=900, system_usec=100)
+        assert cg.usage_usec == 2000
+        assert cg.user_usec == 1800
+        assert cg.system_usec == 200
+
+    def test_negative_charge_rejected(self):
+        cg = Cgroup(path="/j")
+        with pytest.raises(SimulationError):
+            cg.charge_cpu(user_usec=-1, system_usec=0)
+
+    def test_memory_peak_tracks_maximum(self):
+        cg = Cgroup(path="/j")
+        cg.set_memory(100)
+        cg.set_memory(500)
+        cg.set_memory(200)
+        assert cg.memory_current == 200
+        assert cg.memory_peak == 500
+
+    def test_memory_limit_oom_clamp(self):
+        """Usage above the limit clamps and records an OOM event."""
+        cg = Cgroup(path="/j", memory_limit=1000)
+        cg.set_memory(1500)
+        assert cg.memory_current == 1000
+        assert cg.memory_oom_events == 1
+
+    def test_io_charging(self):
+        cg = Cgroup(path="/j")
+        cg.charge_io("259:0", rbytes=100, wbytes=50, rios=2, wios=1)
+        cg.charge_io("259:0", rbytes=100)
+        assert cg.io["259:0"].rbytes == 200
+        assert cg.io["259:0"].wbytes == 50
+
+
+class TestKernelFileFormats:
+    def test_cpu_stat_format(self):
+        cg = Cgroup(path="/j")
+        cg.charge_cpu(user_usec=920_000, system_usec=80_000)
+        text = cg.files()["cpu.stat"]
+        assert "usage_usec 1000000\n" in text
+        assert "user_usec 920000\n" in text
+        assert "system_usec 80000\n" in text
+
+    def test_memory_files(self):
+        cg = Cgroup(path="/j", memory_limit=2048)
+        cg.set_memory(1024)
+        files = cg.files()
+        assert files["memory.current"] == "1024\n"
+        assert files["memory.peak"] == "1024\n"
+        assert files["memory.max"] == "2048\n"
+
+    def test_memory_max_unlimited(self):
+        assert Cgroup(path="/j").files()["memory.max"] == "max\n"
+
+    def test_io_stat_format(self):
+        cg = Cgroup(path="/j")
+        cg.charge_io("259:0", rbytes=10, wbytes=20, rios=1, wios=2)
+        line = cg.files()["io.stat"].strip()
+        assert line.startswith("259:0 ")
+        assert "rbytes=10" in line and "wbytes=20" in line
+
+    def test_pids_files(self):
+        cg = Cgroup(path="/j", pids_current=7)
+        files = cg.files()
+        assert files["pids.current"] == "7\n"
+        assert files["pids.max"] == "max\n"
+
+    def test_cpu_max_quota(self):
+        cg = Cgroup(path="/j", cpu_quota_usec=400000)
+        assert cg.files()["cpu.max"] == "400000 100000\n"
+
+    def test_read_through_fs(self):
+        fs = CgroupFS()
+        fs.create("/j", pids_current=3)
+        assert fs.read("/j", "pids.current") == "3\n"
+        with pytest.raises(SimulationError, match="no file"):
+            fs.read("/j", "bogus.file")
+
+    def test_v1_compat_view(self):
+        cg = Cgroup(path="/j")
+        cg.charge_cpu(user_usec=1_000_000, system_usec=0)
+        cg.set_memory(4096)
+        v1 = cg.v1_files()
+        assert v1["cpuacct/cpuacct.usage"] == "1000000000\n"  # nanoseconds
+        assert v1["memory/memory.usage_in_bytes"] == "4096\n"
+
+
+class TestCpusetFormatting:
+    @pytest.mark.parametrize(
+        "cpus,expected",
+        [
+            ((), ""),
+            ((0,), "0"),
+            ((0, 1, 2, 3), "0-3"),
+            ((0, 2, 4), "0,2,4"),
+            ((0, 1, 2, 8, 10, 11), "0-2,8,10-11"),
+        ],
+    )
+    def test_format(self, cpus, expected):
+        assert _format_cpuset(cpus) == expected
+
+    @given(st.frozensets(st.integers(min_value=0, max_value=255), max_size=64))
+    def test_roundtrip_property(self, cpus):
+        formatted = _format_cpuset(tuple(cpus))
+        assert parse_cpuset(formatted) == tuple(sorted(cpus))

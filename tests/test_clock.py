@@ -1,0 +1,160 @@
+"""Unit tests for the simulation clock and timer queue."""
+
+import pytest
+
+from repro.common.clock import SimClock, WallClock
+
+
+class TestSimClockBasics:
+    def test_initial_time(self):
+        assert SimClock(start=100.0).now() == 100.0
+
+    def test_default_start_is_2024(self):
+        assert SimClock().now() == SimClock.DEFAULT_START
+
+    def test_advance_moves_time(self):
+        clock = SimClock(start=0.0)
+        clock.advance(10.0)
+        assert clock.now() == 10.0
+
+    def test_advance_backwards_rejected(self):
+        clock = SimClock(start=0.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(-5.0)
+
+
+class TestPeriodicTimers:
+    def test_fires_on_interval(self):
+        clock = SimClock(start=0.0)
+        fired = []
+        clock.every(10.0, fired.append)
+        clock.advance(35.0)
+        assert fired == [10.0, 20.0, 30.0]
+
+    def test_callback_sees_scheduled_time(self):
+        clock = SimClock(start=0.0)
+        seen = []
+        clock.every(7.0, lambda now: seen.append((now, clock.now())))
+        clock.advance(7.0)
+        assert seen == [(7.0, 7.0)]
+
+    def test_first_at_override(self):
+        clock = SimClock(start=0.0)
+        fired = []
+        clock.every(10.0, fired.append, first_at=3.0)
+        clock.advance(25.0)
+        assert fired == [3.0, 13.0, 23.0]
+
+    def test_no_drift_over_long_run(self):
+        clock = SimClock(start=0.0)
+        fired = []
+        clock.every(0.7, fired.append)
+        clock.advance(700.0)
+        # Reschedule-from-scheduled-time: no cumulative drift beyond
+        # float rounding (the 1000th firing may land an ulp past 700).
+        assert len(fired) in (999, 1000)
+        assert fired[-1] == pytest.approx(700.0, abs=0.7)
+        deltas = [b - a for a, b in zip(fired, fired[1:])]
+        assert max(deltas) == pytest.approx(0.7, abs=1e-9)
+
+    def test_zero_interval_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.every(0.0, lambda now: None)
+
+    def test_cancel_stops_firings(self):
+        clock = SimClock(start=0.0)
+        fired = []
+        handle = clock.every(5.0, fired.append)
+        clock.advance(12.0)
+        handle.cancel()
+        clock.advance(20.0)
+        assert fired == [5.0, 10.0]
+        assert handle.cancelled
+
+    def test_cancel_from_within_callback(self):
+        clock = SimClock(start=0.0)
+        fired = []
+        handle = clock.every(5.0, lambda now: (fired.append(now), handle.cancel()))
+        clock.advance(30.0)
+        assert fired == [5.0]
+
+
+class TestOneShotTimers:
+    def test_fires_once(self):
+        clock = SimClock(start=0.0)
+        fired = []
+        clock.at(4.0, fired.append)
+        clock.advance(20.0)
+        assert fired == [4.0]
+
+    def test_past_scheduling_rejected(self):
+        clock = SimClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.at(5.0, lambda now: None)
+
+    def test_chained_reschedule(self):
+        """A one-shot that re-registers itself acts like a jittered loop."""
+        clock = SimClock(start=0.0)
+        fired = []
+
+        def step(now):
+            fired.append(now)
+            if now < 30:
+                clock.at(now + 10.0, step)
+
+        clock.at(10.0, step)
+        clock.advance(100.0)
+        assert fired == [10.0, 20.0, 30.0]
+
+
+class TestOrdering:
+    def test_tie_break_by_registration_order(self):
+        clock = SimClock(start=0.0)
+        order = []
+        clock.every(10.0, lambda now: order.append("a"))
+        clock.every(10.0, lambda now: order.append("b"))
+        clock.advance(10.0)
+        assert order == ["a", "b"]
+
+    def test_interleaving_respects_timestamps(self):
+        clock = SimClock(start=0.0)
+        order = []
+        clock.every(3.0, lambda now: order.append(("x", now)))
+        clock.every(5.0, lambda now: order.append(("y", now)))
+        clock.advance(15.0)
+        assert order == [
+            ("x", 3.0),
+            ("y", 5.0),
+            ("x", 6.0),
+            ("x", 9.0),
+            ("y", 10.0),
+            ("x", 12.0),
+            ("x", 15.0),
+            ("y", 15.0),
+        ]
+
+    def test_advance_returns_fire_count(self):
+        clock = SimClock(start=0.0)
+        clock.every(1.0, lambda now: None)
+        assert clock.advance(10.0) == 10
+
+    def test_pending_counts_live_timers(self):
+        clock = SimClock(start=0.0)
+        h1 = clock.every(1.0, lambda now: None)
+        clock.at(5.0, lambda now: None)
+        assert clock.pending() == 2
+        h1.cancel()
+        assert clock.pending() == 1
+
+
+class TestWallClock:
+    def test_returns_float_time(self):
+        import time
+
+        before = time.time()
+        now = WallClock().now()
+        after = time.time()
+        assert before <= now <= after

@@ -1,0 +1,156 @@
+"""Tests for topology declarations and the simulation assembly."""
+
+import pytest
+
+from repro.cluster import StackSimulation, jean_zay_topology, small_topology
+from repro.cluster.jean_zay import topology_stats
+from repro.cluster.simulation import SimulationConfig
+from repro.resourcemgr.workload import SizeClass, WorkloadMix
+
+
+class TestTopologies:
+    def test_small_topology_shape(self):
+        groups = small_topology(cpu_nodes=2, gpu_nodes=1)
+        assert len(groups) == 2
+        assert groups[0].nodegroup == "intel-cpu"
+        assert groups[1].gpus == ("A100",) * 4
+
+    def test_small_topology_no_gpu(self):
+        groups = small_topology(cpu_nodes=2, gpu_nodes=0)
+        assert len(groups) == 1
+
+    def test_jean_zay_headline_numbers(self):
+        """Paper §III: ~1400 nodes, >3500 GPUs."""
+        stats = topology_stats(jean_zay_topology(scale=1.0))
+        assert stats["nodes"] >= 1400
+        assert stats["gpus"] >= 3500
+
+    def test_jean_zay_has_both_ipmi_classes(self):
+        groups = jean_zay_topology()
+        gpu_groups = [g for g in groups if g.gpus]
+        assert any(g.ipmi_includes_gpu for g in gpu_groups)
+        assert any(not g.ipmi_includes_gpu for g in gpu_groups)
+
+    def test_jean_zay_has_intel_and_amd(self):
+        models = {g.cpu_model.split("-")[0] for g in jean_zay_topology()}
+        assert models >= {"intel", "amd"}
+
+    def test_scaling(self):
+        full = topology_stats(jean_zay_topology(1.0))
+        tenth = topology_stats(jean_zay_topology(0.1))
+        assert tenth["nodes"] == pytest.approx(full["nodes"] * 0.1, rel=0.1)
+        assert all(g.count >= 1 for g in jean_zay_topology(0.001))
+
+    def test_node_spec_generation(self):
+        group = jean_zay_topology()[0]
+        spec = group.node_spec(7)
+        assert spec.name == "intel-cpu-0007"
+        assert spec.ncores == group.sockets * group.cores_per_socket
+
+    def test_rule_group_derivation(self):
+        groups = {g.nodegroup: g.rule_group() for g in jean_zay_topology()}
+        assert groups["intel-cpu"].has_dram_rapl
+        assert not groups["amd-cpu"].has_dram_rapl
+        assert groups["gpu-ipmi-incl"].ipmi_includes_gpu
+        assert not groups["gpu-ipmi-excl"].ipmi_includes_gpu
+
+
+class TestStackSimulation:
+    def test_shared_sim_stats(self, small_sim):
+        stats = small_sim.stats()
+        assert stats["nodes"] == 4
+        assert stats["gpus"] == 4
+        assert stats["jobs_submitted"] > 10
+        assert stats["tsdb_series"] > 100
+        assert stats["units_in_db"] == stats["jobs_submitted"]
+
+    def test_deterministic_given_seed(self):
+        mix = WorkloadMix(
+            mean_interarrival=300.0,
+            sizes=(SizeClass("s", weight=1.0, ncores=4),),
+        )
+        def build():
+            sim = StackSimulation(
+                small_topology(cpu_nodes=1, gpu_nodes=0),
+                SimulationConfig(seed=99, update_interval=600.0),
+                workload=mix,
+            )
+            sim.run(1800.0)
+            return sim
+
+        a, b = build(), build()
+        assert a.stats() == b.stats()
+        assert a.hot_tsdb.samples_ingested == b.hot_tsdb.samples_ingested
+        ra = a.engine.query("sum(ceems:compute_unit:power_watts)", at=a.now)
+        rb = b.engine.query("sum(ceems:compute_unit:power_watts)", at=b.now)
+        if ra.vector and rb.vector:
+            assert ra.vector[0].value == rb.vector[0].value
+
+    def test_no_workload_mode(self):
+        sim = StackSimulation(
+            small_topology(cpu_nodes=1, gpu_nodes=0),
+            SimulationConfig(seed=1, with_workload=False),
+        )
+        sim.run(600.0)
+        assert sim.slurm.jobs_submitted == 0
+        assert sim.hot_tsdb.num_samples > 0  # node metrics still flow
+
+    def test_cleanup_wired_when_configured(self):
+        sim = StackSimulation(
+            small_topology(cpu_nodes=1, gpu_nodes=0),
+            SimulationConfig(seed=1, cleanup_cutoff=300.0, with_workload=False),
+        )
+        assert sim.cleaner is not None
+        sim_no = StackSimulation(
+            small_topology(cpu_nodes=1, gpu_nodes=0),
+            SimulationConfig(seed=1, with_workload=False),
+        )
+        assert sim_no.cleaner is None
+
+    def test_lb_strategy_configurable(self):
+        sim = StackSimulation(
+            small_topology(cpu_nodes=1, gpu_nodes=0),
+            SimulationConfig(seed=1, lb_strategy="least-connection", with_workload=False),
+        )
+        assert sim.lb.strategy.name == "least-connection"
+
+
+class TestCadenceDerivedQueryParams:
+    """Prometheus deployment rules: lookback and rate windows must
+    scale with the scrape interval (surfaced by the 90-day bench)."""
+
+    def test_default_cadence_uses_standard_values(self):
+        sim = StackSimulation(
+            small_topology(cpu_nodes=1, gpu_nodes=0),
+            SimulationConfig(seed=1, with_workload=False),
+        )
+        assert sim.lookback == 300.0
+        assert sim.rate_window == "2m"
+
+    def test_coarse_cadence_scales_parameters(self):
+        sim = StackSimulation(
+            small_topology(cpu_nodes=1, gpu_nodes=0),
+            SimulationConfig(seed=1, with_workload=False,
+                             scrape_interval=600.0, node_step=600.0,
+                             rule_interval=600.0),
+        )
+        assert sim.lookback == 1500.0
+        assert sim.rate_window == "40m"
+
+    def test_coarse_cadence_still_records_power(self):
+        """With 10-minute scrapes the Eq. (1) pipeline must still work."""
+        from repro.hwsim import UsageProfile
+
+        sim = StackSimulation(
+            small_topology(cpu_nodes=1, gpu_nodes=0),
+            SimulationConfig(seed=1, with_workload=False,
+                             scrape_interval=600.0, node_step=600.0,
+                             rule_interval=600.0),
+        )
+        sim.nodes[0].place_task(
+            "9001", "/system.slice/slurmstepd.scope/job_9001",
+            8, 16 * 2**30, UsageProfile.constant(0.8, 0.4), sim.now,
+        )
+        sim.run(2.0 * 3600)
+        result = sim.engine.query('ceems:compute_unit:power_watts{uuid="9001"}', at=sim.now)
+        assert result.vector and result.vector[0].value > 0

@@ -1,0 +1,132 @@
+"""Tests for the single-file stack configuration."""
+
+import pytest
+
+from repro.common.config import (
+    APIServerConfig,
+    EmissionsConfig,
+    ExporterConfig,
+    LBConfig,
+    StackConfig,
+    TSDBConfig,
+)
+from repro.common.errors import ConfigError
+
+FULL_DOC = """
+exporter:
+  port: 9011
+  collectors: [cgroup, rapl, ipmi, node, gpu_map]
+  basic_auth:
+    username: scraper
+    password: hunter2
+  tls_enabled: true
+tsdb:
+  scrape_interval: 30s
+  retention: 15d
+  replicate_to_thanos: false
+api_server:
+  update_interval: 10m
+  db_path: /var/lib/ceems/ceems.db
+  backup_interval: 12h
+  cleanup_cutoff: 5m
+lb:
+  strategy: least-connection
+  backends: [prom-0, prom-1]
+  authz_mode: api
+emissions:
+  country: fr
+  providers: [rte, electricity_maps, owid]
+  refresh_interval: 15m
+"""
+
+
+class TestFullDocument:
+    def test_all_sections_parse(self):
+        cfg = StackConfig.loads(FULL_DOC)
+        assert cfg.exporter.port == 9011
+        assert cfg.exporter.collectors == ("cgroup", "rapl", "ipmi", "node", "gpu_map")
+        assert cfg.exporter.basic_auth.username == "scraper"
+        assert cfg.exporter.tls_enabled is True
+        assert cfg.tsdb.scrape_interval == 30.0
+        assert cfg.tsdb.retention == 15 * 86400.0
+        assert cfg.tsdb.replicate_to_thanos is False
+        assert cfg.api_server.update_interval == 600.0
+        assert cfg.api_server.db_path == "/var/lib/ceems/ceems.db"
+        assert cfg.api_server.cleanup_cutoff == 300.0
+        assert cfg.lb.strategy == "least-connection"
+        assert cfg.lb.backends == ("prom-0", "prom-1")
+        assert cfg.lb.authz_mode == "api"
+        assert cfg.emissions.country == "FR"  # normalised to upper
+        assert cfg.emissions.providers == ("rte", "electricity_maps", "owid")
+
+    def test_empty_document_gives_defaults(self):
+        cfg = StackConfig.loads("")
+        assert cfg.exporter.port == 9010
+        assert cfg.tsdb.scrape_interval == 15.0
+        assert cfg.api_server.cleanup_cutoff == 0.0
+        assert cfg.lb.strategy == "round-robin"
+        assert cfg.emissions.country == "FR"
+
+    def test_partial_document(self):
+        cfg = StackConfig.loads("tsdb:\n  scrape_interval: 60")
+        assert cfg.tsdb.scrape_interval == 60.0
+        assert cfg.exporter.port == 9010  # untouched section defaults
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ConfigError, match="unknown config sections"):
+            StackConfig.loads("surprises:\n  a: 1")
+
+    def test_load_file(self, tmp_path):
+        path = tmp_path / "ceems.yml"
+        path.write_text(FULL_DOC)
+        cfg = StackConfig.load_file(str(path))
+        assert cfg.exporter.port == 9011
+
+
+class TestExporterConfig:
+    def test_unknown_collector_rejected(self):
+        with pytest.raises(ConfigError, match="unknown collector"):
+            ExporterConfig.from_dict({"collectors": ["cgroup", "quantum"]})
+
+    @pytest.mark.parametrize("port", [0, -1, 70000])
+    def test_bad_port_rejected(self, port):
+        with pytest.raises(ConfigError, match="port"):
+            ExporterConfig.from_dict({"port": port})
+
+    def test_basic_auth_disabled_by_default(self):
+        assert not ExporterConfig.from_dict({}).basic_auth.enabled
+
+
+class TestDurationCoercion:
+    def test_numeric_duration(self):
+        assert TSDBConfig.from_dict({"scrape_interval": 20}).scrape_interval == 20.0
+
+    def test_string_duration(self):
+        assert TSDBConfig.from_dict({"scrape_interval": "1m30s"}).scrape_interval == 90.0
+
+    @pytest.mark.parametrize("bad", ["soon", "-5s", 0, -3])
+    def test_bad_duration_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            TSDBConfig.from_dict({"scrape_interval": bad})
+
+    def test_cleanup_cutoff_zero_means_disabled(self):
+        assert APIServerConfig.from_dict({"cleanup_cutoff": 0}).cleanup_cutoff == 0.0
+
+
+class TestLBConfig:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigError, match="strategy"):
+            LBConfig.from_dict({"strategy": "random"})
+
+    def test_unknown_authz_mode_rejected(self):
+        with pytest.raises(ConfigError, match="authz_mode"):
+            LBConfig.from_dict({"authz_mode": "blockchain"})
+
+
+class TestEmissionsConfig:
+    def test_unknown_provider_rejected(self):
+        with pytest.raises(ConfigError, match="provider"):
+            EmissionsConfig.from_dict({"providers": ["owid", "crystal_ball"]})
+
+    def test_country_uppercased(self):
+        assert EmissionsConfig.from_dict({"country": "de"}).country == "DE"

@@ -1,0 +1,131 @@
+"""Tests for the Grafana-like panels, data sources and Fig. 2 dashboards."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import AuthError
+from repro.dashboard import (
+    StatPanel,
+    TablePanel,
+    TimeSeriesPanel,
+    fig2a_user_overview,
+    fig2b_job_list,
+    fig2c_job_timeseries,
+)
+
+
+class TestPanels:
+    def test_stat_panel_render(self):
+        assert StatPanel("Energy", 5.0, "kWh").render() == "Energy: 5 kWh"
+        assert StatPanel("Energy", 5.0, formatted="5.00 kWh").render() == "Energy: 5.00 kWh"
+
+    def test_table_panel_render(self):
+        panel = TablePanel(title="Jobs", columns=["Id", "State"])
+        panel.rows.append(["1", "running"])
+        panel.rows.append(["123456", "done"])
+        text = panel.render()
+        lines = text.splitlines()
+        assert lines[0] == "Jobs"
+        assert "Id" in lines[2] and "State" in lines[2]
+        assert len(lines) == 6
+
+    def test_timeseries_summary(self):
+        panel = TimeSeriesPanel(title="cpu")
+        panel.add_series("a", np.arange(5.0), np.array([1.0, 2.0, 3.0, 4.0, 5.0]))
+        summary = panel.summary()
+        assert summary["a"] == {"min": 1.0, "mean": 3.0, "max": 5.0, "points": 5.0}
+
+    def test_timeseries_sparkline(self):
+        panel = TimeSeriesPanel(title="cpu")
+        panel.add_series("a", np.arange(100.0), np.linspace(0, 1, 100))
+        text = panel.render(width=20)
+        assert "a [" in text
+        # rising signal: last block should be the darkest
+        spark = text.splitlines()[1].split(": ")[1]
+        assert spark[-1] == "█"
+
+    def test_timeseries_empty_series(self):
+        panel = TimeSeriesPanel(title="cpu")
+        panel.add_series("a", np.array([]), np.array([]))
+        assert "(no data)" in panel.render()
+
+
+class TestFig2Dashboards:
+    """Against the fully-run shared simulation."""
+
+    @pytest.fixture(scope="class")
+    def heavy_user(self, small_sim):
+        usage = small_sim.ceems_datasource("admin").global_usage()
+        return max(usage, key=lambda r: r["num_units"])["user"]
+
+    def test_fig2a_panels(self, small_sim, heavy_user):
+        panels = fig2a_user_overview(small_sim.ceems_datasource(heavy_user))
+        by_title = {p.title: p for p in panels}
+        assert by_title["Total jobs"].value >= 1
+        assert by_title["Total energy"].value > 0
+        assert by_title["Emissions"].value > 0
+        assert 0 <= by_title["Avg CPU usage"].value <= 100
+
+    def test_fig2a_emissions_consistent_with_energy(self, small_sim, heavy_user):
+        panels = {p.title: p for p in fig2a_user_overview(small_sim.ceems_datasource(heavy_user))}
+        kwh = panels["Total energy"].value / 3.6e6
+        implied_factor = panels["Emissions"].value / kwh
+        assert 15.0 < implied_factor < 160.0  # French grid territory
+
+    def test_fig2b_rows(self, small_sim, heavy_user):
+        panel = fig2b_job_list(small_sim.ceems_datasource(heavy_user), limit=10)
+        assert panel.columns[0] == "JobID"
+        assert 1 <= len(panel.rows) <= 10
+        states = {row[3] for row in panel.rows}
+        assert states <= {"running", "completed", "pending", "cancelled", "timeout", "failed", "oom"}
+
+    def test_fig2c_series(self, small_sim, heavy_user):
+        ceems = small_sim.ceems_datasource(heavy_user)
+        finished = [u for u in ceems.units() if u["state"] == "completed" and u["elapsed"] > 600]
+        if not finished:
+            pytest.skip("no long-finished job for this user in the shared sim")
+        job = finished[0]
+        prom = small_sim.prometheus_datasource(heavy_user)
+        panel = fig2c_job_timeseries(prom, job["uuid"], job["started_at"], job["ended_at"])
+        summary = panel.summary()
+        assert "cpu_cores_used" in summary
+        assert "power_watts" in summary
+        assert summary["power_watts"]["mean"] > 0
+        assert summary["cpu_cores_used"]["max"] <= job["cpus"] + 0.5
+
+    def test_fig2c_denied_for_foreign_job(self, small_sim, heavy_user):
+        ceems = small_sim.ceems_datasource("admin")
+        foreign = [u for u in ceems.units(all="true") if u["user"] != heavy_user][0]
+        prom = small_sim.prometheus_datasource(heavy_user)
+        with pytest.raises(AuthError):
+            fig2c_job_timeseries(prom, foreign["uuid"], 0.0, small_sim.now)
+
+
+class TestDataSources:
+    def test_prometheus_ds_instant(self, small_sim):
+        prom = small_sim.prometheus_datasource("admin")
+        result = prom.query("sum(up)", small_sim.now)
+        assert float(result[0]["value"][1]) > 0
+
+    def test_prometheus_ds_range(self, small_sim):
+        prom = small_sim.prometheus_datasource("admin")
+        series = prom.query_range("sum(up)", small_sim.now - 600, small_sim.now, 60.0)
+        assert len(series) == 1
+        (_key, (ts, vs)), = series.items()
+        assert len(ts) == 11
+
+    def test_prometheus_ds_denied(self, small_sim):
+        prom = small_sim.prometheus_datasource("user_that_owns_nothing")
+        with pytest.raises(AuthError):
+            prom.query("sum(up)", small_sim.now)
+
+    def test_ceems_ds_units_scoped(self, small_sim):
+        usage = small_sim.ceems_datasource("admin").global_usage()
+        user = usage[0]["user"]
+        ds = small_sim.ceems_datasource(user)
+        units = ds.units()
+        assert all(u["user"] == user for u in units)
+
+    def test_ceems_ds_admin_global(self, small_sim):
+        ds = small_sim.ceems_datasource("admin")
+        assert len(ds.global_usage()) >= 1

@@ -1,0 +1,114 @@
+"""Direct tests for the query-side unit-energy estimator."""
+
+import numpy as np
+import pytest
+
+from repro.energy.estimator import UnitEnergyEstimator, UnitUsage, _integrate
+from repro.energy.rules_library import EMISSIONS_METRIC, POWER_METRIC
+from repro.tsdb.model import Labels
+from repro.tsdb.promql.engine import PromQLEngine
+from repro.tsdb.storage import TSDB
+
+
+def seed_db() -> TSDB:
+    """Two units with recorded power/emissions/cpu/memory series."""
+    db = TSDB()
+    for i in range(61):
+        t = i * 30.0
+        for uuid, watts in (("1", 200.0), ("2", 100.0)):
+            db.append(
+                Labels({"__name__": POWER_METRIC, "uuid": uuid, "hostname": "n1",
+                        "manager": "slurm", "nodegroup": "g"}),
+                t, watts,
+            )
+            db.append(
+                Labels({"__name__": EMISSIONS_METRIC, "uuid": uuid, "hostname": "n1",
+                        "manager": "slurm", "nodegroup": "g"}),
+                t, watts * 56.0 / 3.6e6,
+            )
+            db.append(
+                Labels({"__name__": "instance:unit_cpu_rate", "uuid": uuid,
+                        "hostname": "n1", "manager": "slurm", "nodegroup": "g"}),
+                t, 4.0,
+            )
+            db.append(
+                Labels({"__name__": "ceems_compute_unit_memory_current_bytes",
+                        "uuid": uuid, "hostname": "n1", "manager": "slurm"}),
+                t, 2.0e9 + i * 1e7,
+            )
+    return db
+
+
+@pytest.fixture
+def estimator() -> UnitEnergyEstimator:
+    return UnitEnergyEstimator(PromQLEngine(seed_db()), step=30.0)
+
+
+class TestIntegrate:
+    def test_constant_rate(self):
+        ts = np.arange(0, 101.0, 10.0)
+        vs = np.full_like(ts, 5.0)
+        assert _integrate(ts, vs) == pytest.approx(500.0)
+
+    def test_short_series_zero(self):
+        assert _integrate(np.array([1.0]), np.array([5.0])) == 0.0
+        assert _integrate(np.array([]), np.array([])) == 0.0
+
+
+class TestUsageWindow:
+    def test_all_units_aggregated(self, estimator):
+        usage = estimator.usage_window(0.0, 1800.0)
+        assert set(usage) == {"1", "2"}
+        u1 = usage["1"]
+        assert u1.energy_joules == pytest.approx(200.0 * 1800.0, rel=0.01)
+        assert u1.avg_power_watts == pytest.approx(200.0, rel=0.01)
+        assert u1.emissions_g == pytest.approx(200.0 * 1800.0 / 3.6e6 * 56.0, rel=0.01)
+        assert u1.avg_cpu_usage == pytest.approx(4.0)
+        assert u1.peak_memory_bytes >= u1.avg_memory_bytes
+
+    def test_empty_window(self, estimator):
+        assert estimator.usage_window(10_000.0, 20_000.0) == {}
+
+    def test_inverted_window(self, estimator):
+        assert estimator.usage_window(100.0, 100.0) == {}
+        assert estimator.usage_window(200.0, 100.0) == {}
+
+    def test_energy_additive_over_subwindows(self, estimator):
+        whole = estimator.usage_window(0.0, 1800.0)["1"].energy_joules
+        first = estimator.usage_window(0.0, 900.0)["1"].energy_joules
+        second = estimator.usage_window(900.0, 1800.0)["1"].energy_joules
+        assert first + second == pytest.approx(whole, rel=1e-9)
+
+    def test_step_clamped_for_tiny_windows(self, estimator):
+        """A window smaller than 4 steps still integrates."""
+        usage = estimator.usage_window(0.0, 60.0)
+        assert usage["1"].energy_joules > 0
+
+
+class TestSingleUnitHelpers:
+    def test_unit_power_series(self, estimator):
+        ts, vs = estimator.unit_power_series("1", 0.0, 600.0)
+        assert len(ts) == 21
+        assert np.allclose(vs, 200.0)
+
+    def test_unit_energy(self, estimator):
+        assert estimator.unit_energy_joules("1", 0.0, 1800.0) == pytest.approx(
+            200.0 * 1800.0, rel=0.01
+        )
+
+    def test_unknown_unit_is_empty(self, estimator):
+        ts, _vs = estimator.unit_power_series("404", 0.0, 1800.0)
+        assert len(ts) == 0
+        assert estimator.unit_energy_joules("404", 0.0, 1800.0) == 0.0
+        assert estimator.unit_emissions_g("404", 0.0, 1800.0) == 0.0
+
+    def test_unit_emissions(self, estimator):
+        grams = estimator.unit_emissions_g("2", 0.0, 1800.0)
+        assert grams == pytest.approx(100.0 * 1800.0 / 3.6e6 * 56.0, rel=0.01)
+
+
+class TestUnitUsageDataclass:
+    def test_defaults(self):
+        usage = UnitUsage(uuid="x")
+        assert usage.energy_joules == 0.0
+        assert usage.samples == 0

@@ -1,0 +1,159 @@
+"""Tests for the Prometheus text exposition format."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ScrapeError
+from repro.tsdb.exposition import (
+    MetricFamily,
+    MetricPoint,
+    parse,
+    render,
+    to_labels,
+)
+
+
+class TestRender:
+    def test_basic_family(self):
+        family = MetricFamily("up", help="Target up.", type="gauge")
+        family.add(1.0, job="ceems")
+        text = render([family])
+        assert "# HELP up Target up." in text
+        assert "# TYPE up gauge" in text
+        assert 'up{job="ceems"} 1' in text
+
+    def test_no_labels(self):
+        family = MetricFamily("total", type="counter")
+        family.add(42.5)
+        assert "total 42.5" in render([family])
+
+    def test_label_escaping(self):
+        family = MetricFamily("m", type="gauge")
+        family.add(1.0, path='C:\\dir "quoted"\nnewline')
+        text = render([family])
+        assert '\\\\' in text and '\\"' in text and "\\n" in text
+
+    def test_special_values(self):
+        family = MetricFamily("m", type="gauge")
+        family.points = [
+            MetricPoint({"k": "nan"}, math.nan),
+            MetricPoint({"k": "inf"}, math.inf),
+            MetricPoint({"k": "ninf"}, -math.inf),
+        ]
+        text = render([family])
+        assert " NaN" in text and " +Inf" in text and " -Inf" in text
+
+    def test_timestamp_rendering(self):
+        family = MetricFamily("m", type="gauge")
+        family.add(1.0, timestamp_ms=1700000000000)
+        assert "m 1 1700000000000" in render([family])
+
+    def test_labels_sorted(self):
+        family = MetricFamily("m", type="gauge")
+        family.add(1.0, zeta="1", alpha="2")
+        assert 'm{alpha="2",zeta="1"}' in render([family])
+
+
+class TestParse:
+    def test_parse_basic(self):
+        families = parse('# TYPE up gauge\nup{job="x"} 1\n')
+        assert len(families) == 1
+        assert families[0].name == "up"
+        assert families[0].type == "gauge"
+        assert families[0].points[0].labels == {"job": "x"}
+        assert families[0].points[0].value == 1.0
+
+    def test_parse_help(self):
+        families = parse("# HELP up Target is up\n# TYPE up gauge\nup 1\n")
+        assert families[0].help == "Target is up"
+
+    def test_parse_without_metadata(self):
+        families = parse("raw_metric 3.5\n")
+        assert families[0].type == "untyped"
+        assert families[0].points[0].value == 3.5
+
+    def test_parse_special_values(self):
+        families = parse("m NaN\n")
+        assert math.isnan(families[0].points[0].value)
+        families = parse("m +Inf\nm2 -Inf\n")
+        assert families[0].points[0].value == math.inf
+
+    def test_parse_timestamp(self):
+        families = parse("m 1 1700000000000\n")
+        assert families[0].points[0].timestamp_ms == 1700000000000
+
+    def test_parse_escaped_labels(self):
+        families = parse('m{path="a\\\\b\\"c\\nd"} 1\n')
+        assert families[0].points[0].labels["path"] == 'a\\b"c\nd'
+
+    def test_blank_lines_and_comments_skipped(self):
+        families = parse("\n# random comment\nm 1\n\n")
+        assert len(families) == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "m{a=} 1",
+            'm{a="unterminated} 1',
+            "m{=x} 1",
+            "m",
+            "m{} notanumber",
+            "# TYPE m sometype\nm 1",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ScrapeError):
+            parse(bad)
+
+    def test_multiple_families(self):
+        text = "# TYPE a counter\na 1\n# TYPE b gauge\nb{x=\"1\"} 2\nb{x=\"2\"} 3\n"
+        families = {f.name: f for f in parse(text)}
+        assert families["a"].type == "counter"
+        assert len(families["b"].points) == 2
+
+
+class TestToLabels:
+    def test_metric_labels_win_over_target_labels(self):
+        """honor_labels semantics for exporter-supplied identity."""
+        point = MetricPoint({"uuid": "123", "instance": "from-metric"}, 1.0)
+        labels = to_labels("m", point, {"instance": "target:9010", "job": "ceems"})
+        assert labels.get("instance") == "from-metric"
+        assert labels.get("job") == "ceems"
+        assert labels.get("uuid") == "123"
+        assert labels.metric_name == "m"
+
+
+_label_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), min_size=0, max_size=15
+)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.from_regex(r"[a-z_][a-z0-9_]{0,6}", fullmatch=True),
+            _label_values,
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+        ),
+        min_size=1,
+        max_size=8,
+        unique_by=lambda t: (t[0], t[1]),
+    )
+)
+def test_render_parse_roundtrip_property(points):
+    """Anything rendered must parse back identically."""
+    family = MetricFamily("test_metric", help="h", type="gauge")
+    for label_name, label_value, value in points:
+        family.add(value, **{label_name: label_value})
+    parsed = parse(render([family]))
+    assert len(parsed) == 1
+    reparsed = parsed[0]
+    assert reparsed.name == "test_metric"
+    originals = {tuple(sorted(p.labels.items())): p.value for p in family.points}
+    observed = {tuple(sorted(p.labels.items())): p.value for p in reparsed.points}
+    assert set(observed) == set(originals)
+    for key, value in observed.items():
+        assert value == pytest.approx(originals[key], rel=1e-6)

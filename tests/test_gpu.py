@@ -1,0 +1,74 @@
+"""Tests for the GPU device simulation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.hwsim.gpu import GPU_PROFILES, GPUDevice
+
+
+class TestProfiles:
+    def test_known_skus_present(self):
+        assert set(GPU_PROFILES) >= {"V100", "A100", "H100", "MI250"}
+
+    def test_vendor_split(self):
+        assert GPU_PROFILES["V100"].vendor == "nvidia"
+        assert GPU_PROFILES["MI250"].vendor == "amd"
+
+    def test_power_curve_bounds(self):
+        for name, profile in GPU_PROFILES.items():
+            assert profile.power(0.0) == pytest.approx(profile.idle_w), name
+            assert profile.power(1.0) <= profile.max_w + 1e-9, name
+
+    def test_generation_ordering(self):
+        assert GPU_PROFILES["H100"].max_w > GPU_PROFILES["A100"].max_w > GPU_PROFILES["V100"].max_w
+
+    @given(st.floats(min_value=0, max_value=0.95))
+    def test_power_monotone_property(self, util):
+        profile = GPU_PROFILES["A100"]
+        assert profile.power(util) <= profile.power(util + 0.05) + 1e-9
+
+
+class TestDevice:
+    def test_uuid_generated(self):
+        gpu = GPUDevice(index=3, profile=GPU_PROFILES["A100"])
+        assert gpu.uuid.startswith("GPU-")
+        amd = GPUDevice(index=0, profile=GPU_PROFILES["MI250"])
+        assert amd.uuid.startswith("AMD-")
+
+    def test_set_activity_clamps_util(self):
+        gpu = GPUDevice(index=0, profile=GPU_PROFILES["V100"])
+        gpu.set_activity(1.7, 0)
+        assert gpu.sm_util == 1.0
+        gpu.set_activity(-0.3, 0)
+        assert gpu.sm_util == 0.0
+
+    def test_memory_over_capacity_rejected(self):
+        gpu = GPUDevice(index=0, profile=GPU_PROFILES["V100"])
+        with pytest.raises(SimulationError):
+            gpu.set_activity(0.5, gpu.profile.memory_bytes + 1)
+
+    def test_energy_integrates_power(self):
+        gpu = GPUDevice(index=0, profile=GPU_PROFILES["A100"])
+        gpu.set_activity(1.0, 0)
+        for _ in range(10):
+            gpu.advance(1.0)
+        expected_mj = gpu.profile.max_w * 10.0 * 1000
+        assert gpu.energy_mj == pytest.approx(expected_mj, rel=1e-6)
+
+    def test_idle_resets_activity(self):
+        gpu = GPUDevice(index=0, profile=GPU_PROFILES["A100"])
+        gpu.set_activity(0.9, 1024)
+        gpu.idle()
+        assert gpu.sm_util == 0.0 and gpu.mem_used_bytes == 0
+
+    def test_mem_util_fraction(self):
+        gpu = GPUDevice(index=0, profile=GPU_PROFILES["V100"])
+        gpu.set_activity(0.0, gpu.profile.memory_bytes // 2)
+        assert gpu.mem_util == pytest.approx(0.5)
+
+    def test_advance_returns_watts(self):
+        gpu = GPUDevice(index=0, profile=GPU_PROFILES["H100"])
+        gpu.set_activity(0.0, 0)
+        assert gpu.advance(1.0) == pytest.approx(gpu.profile.idle_w)

@@ -1,0 +1,245 @@
+"""Tests for the CEEMS load balancer: strategies, introspection, authz, proxy."""
+
+import pytest
+
+from repro.apiserver.api import APIServer
+from repro.apiserver.db import Database
+from repro.common.errors import CEEMSError
+from repro.common.httpx import App, Request, Response
+from repro.lb import (
+    APIAuthorizer,
+    Backend,
+    DBAuthorizer,
+    LeastConnection,
+    LoadBalancer,
+    RoundRobin,
+    extract_uuids,
+    make_strategy,
+)
+from repro.resourcemgr.base import UnitState
+from repro.tsdb.http import PromAPI
+from repro.tsdb.model import Labels
+from repro.tsdb.storage import TSDB
+from tests.test_apiserver_db import unit
+
+
+def echo_app(name: str) -> App:
+    app = App(name)
+    app.router.get("/api/v1/query", lambda req: Response.json({"from": name}))
+    app.router.post("/api/v1/query", lambda req: Response.json({"from": name}))
+    app.router.get("/-/healthy", lambda req: Response.text("ok"))
+    return app
+
+
+class TestStrategies:
+    def test_round_robin_rotates(self):
+        backends = [Backend(str(i), echo_app(str(i))) for i in range(3)]
+        strategy = RoundRobin(backends)
+        chosen = [strategy.choose().name for _ in range(6)]
+        assert chosen == ["0", "1", "2", "0", "1", "2"]
+
+    def test_round_robin_skips_unhealthy(self):
+        backends = [Backend(str(i), echo_app(str(i))) for i in range(3)]
+        backends[1].healthy = False
+        strategy = RoundRobin(backends)
+        chosen = {strategy.choose().name for _ in range(4)}
+        assert chosen == {"0", "2"}
+
+    def test_least_connection_picks_emptiest(self):
+        backends = [Backend(str(i), echo_app(str(i))) for i in range(3)]
+        backends[0].active_connections = 5
+        backends[1].active_connections = 1
+        backends[2].active_connections = 3
+        assert LeastConnection(backends).choose().name == "1"
+
+    def test_least_connection_tie_break_stable(self):
+        backends = [Backend(str(i), echo_app(str(i))) for i in range(3)]
+        assert LeastConnection(backends).choose().name == "0"
+
+    def test_no_backends_rejected(self):
+        with pytest.raises(CEEMSError):
+            RoundRobin([])
+
+    def test_all_unhealthy_raises(self):
+        backends = [Backend("0", echo_app("0"))]
+        backends[0].healthy = False
+        with pytest.raises(CEEMSError, match="no healthy"):
+            RoundRobin(backends).choose()
+
+    def test_release_without_acquire_rejected(self):
+        backend = Backend("0", echo_app("0"))
+        with pytest.raises(CEEMSError):
+            backend.release()
+
+    def test_make_strategy(self):
+        backends = [Backend("0", echo_app("0"))]
+        assert isinstance(make_strategy("round-robin", backends), RoundRobin)
+        assert isinstance(make_strategy("least-connection", backends), LeastConnection)
+        with pytest.raises(CEEMSError):
+            make_strategy("chaos", backends)
+
+
+class TestIntrospection:
+    def test_eq_matcher(self):
+        scope = extract_uuids('ceems:compute_unit:power_watts{uuid="123"}')
+        assert scope.uuids == {"123"} and not scope.unbounded
+
+    def test_regex_alternation(self):
+        scope = extract_uuids('sum(rate(x{uuid=~"12|34|56"}[5m]))')
+        assert scope.uuids == {"12", "34", "56"} and not scope.unbounded
+
+    def test_no_uuid_matcher_is_unbounded(self):
+        scope = extract_uuids("sum(node_cpu_seconds_total)")
+        assert scope.unbounded
+
+    def test_wildcard_regex_is_unbounded(self):
+        scope = extract_uuids('x{uuid=~".*"}')
+        assert scope.unbounded
+
+    def test_neq_does_not_bound(self):
+        scope = extract_uuids('x{uuid!="1"}')
+        assert scope.unbounded
+
+    def test_mixed_selectors(self):
+        scope = extract_uuids('x{uuid="1"} + on() group_left() y')
+        assert scope.uuids == {"1"} and scope.unbounded  # y is unbounded
+
+    def test_uuid_in_function_args(self):
+        scope = extract_uuids('clamp_min(rate(x{uuid="9"}[5m]), 0) * 2')
+        assert scope.uuids == {"9"} and not scope.unbounded
+
+    def test_unparseable_raises(self):
+        from repro.common.errors import QueryError
+
+        with pytest.raises(QueryError):
+            extract_uuids("x{{{")
+
+
+@pytest.fixture
+def authz_db() -> Database:
+    db = Database()
+    db.upsert_units(
+        [
+            unit("1", user="alice"),
+            unit("2", user="alice"),
+            unit("3", user="bob"),
+        ],
+        now=0.0,
+    )
+    return db
+
+
+class TestAuthorizers:
+    def test_db_authorizer_owner(self, authz_db):
+        authz = DBAuthorizer(authz_db)
+        assert authz.allowed("alice", {"1", "2"}, unbounded=False)
+        assert not authz.allowed("alice", {"1", "3"}, unbounded=False)
+        assert not authz.allowed("alice", {"404"}, unbounded=False)
+
+    def test_db_authorizer_unbounded_denied(self, authz_db):
+        authz = DBAuthorizer(authz_db)
+        assert not authz.allowed("alice", set(), unbounded=True)
+
+    def test_admin_bypasses_everything(self, authz_db):
+        authz = DBAuthorizer(authz_db)
+        assert authz.allowed("admin", {"3"}, unbounded=False)
+        assert authz.allowed("admin", set(), unbounded=True)
+
+    def test_denials_counted(self, authz_db):
+        authz = DBAuthorizer(authz_db)
+        authz.allowed("alice", {"3"}, unbounded=False)
+        authz.allowed("alice", {"1"}, unbounded=False)
+        assert authz.checks == 2 and authz.denials == 1
+
+    def test_api_authorizer_delegates(self, authz_db):
+        api = APIServer(authz_db)
+        authz = APIAuthorizer(api.app)
+        assert authz.allowed("alice", {"1"}, unbounded=False)
+        assert not authz.allowed("bob", {"1"}, unbounded=False)
+        assert not authz.allowed("alice", {"404"}, unbounded=False)
+
+
+class TestLoadBalancer:
+    def make_lb(self, authz_db, strategy="round-robin", n_backends=2):
+        backends = [Backend(f"prom-{i}", echo_app(f"prom-{i}")) for i in range(n_backends)]
+        return LoadBalancer(backends, DBAuthorizer(authz_db), strategy=strategy), backends
+
+    def query(self, lb, user, promql='x{uuid="1"}'):
+        import urllib.parse
+
+        headers = {"x-grafana-user": user} if user else {}
+        return lb.app.get(f"/api/v1/query?query={urllib.parse.quote(promql)}&time=0", headers=headers)
+
+    def test_missing_identity_rejected(self, authz_db):
+        lb, _ = self.make_lb(authz_db)
+        assert self.query(lb, user=None).status == 401
+
+    def test_owner_query_proxied(self, authz_db):
+        lb, _ = self.make_lb(authz_db)
+        response = self.query(lb, user="alice")
+        assert response.ok
+        assert response.headers["x-ceems-backend"] == "prom-0"
+
+    def test_foreign_query_denied(self, authz_db):
+        lb, _ = self.make_lb(authz_db)
+        assert self.query(lb, user="bob").status == 403
+        assert lb.requests_denied == 1
+
+    def test_unbounded_query_denied_for_users(self, authz_db):
+        lb, _ = self.make_lb(authz_db)
+        assert self.query(lb, user="alice", promql="sum(node_power)").status == 403
+
+    def test_admin_unbounded_allowed(self, authz_db):
+        lb, _ = self.make_lb(authz_db)
+        assert self.query(lb, user="admin", promql="sum(node_power)").ok
+
+    def test_malformed_query_400(self, authz_db):
+        lb, _ = self.make_lb(authz_db)
+        assert self.query(lb, user="alice", promql="x{{{").status == 400
+
+    def test_missing_query_param_400(self, authz_db):
+        lb, _ = self.make_lb(authz_db)
+        response = lb.app.get("/api/v1/query?time=0", headers={"x-grafana-user": "alice"})
+        assert response.status == 400
+
+    def test_round_robin_across_backends(self, authz_db):
+        lb, _ = self.make_lb(authz_db)
+        names = [self.query(lb, "alice").headers["x-ceems-backend"] for _ in range(4)]
+        assert names == ["prom-0", "prom-1", "prom-0", "prom-1"]
+
+    def test_backend_request_counts(self, authz_db):
+        lb, backends = self.make_lb(authz_db)
+        for _ in range(6):
+            self.query(lb, "alice")
+        assert [b.total_requests for b in backends] == [3, 3]
+        assert all(b.active_connections == 0 for b in backends)
+
+    def test_post_form_query_introspected(self, authz_db):
+        lb, _ = self.make_lb(authz_db)
+        request = Request.from_url(
+            "POST",
+            "/api/v1/query",
+            headers={
+                "x-grafana-user": "bob",
+                "content-type": "application/x-www-form-urlencoded",
+            },
+            body=b'query=x%7Buuid%3D%221%22%7D&time=0',
+        )
+        assert lb.app.handle(request).status == 403
+
+    def test_non_query_path_passes_with_identity(self, authz_db):
+        lb, _ = self.make_lb(authz_db)
+        response = lb.app.get("/-/healthy", headers={"x-grafana-user": "alice"})
+        assert response.ok
+
+    def test_end_to_end_against_real_promapi(self, authz_db):
+        """LB in front of a real PromAPI: data flows for owners only."""
+        tsdb = TSDB()
+        tsdb.append(Labels({"__name__": "power", "uuid": "1"}), 0.0, 111.0)
+        tsdb.append(Labels({"__name__": "power", "uuid": "3"}), 0.0, 333.0)
+        api = PromAPI(tsdb)
+        lb = LoadBalancer([Backend("prom", api.app)], DBAuthorizer(authz_db))
+        response = self.query(lb, "alice", 'power{uuid="1"}')
+        data = response.decode_json()["data"]
+        assert float(data["result"][0]["value"][1]) == 111.0
+        assert self.query(lb, "alice", 'power{uuid="3"}').status == 403

@@ -1,0 +1,166 @@
+"""Tests for time-aware LB routing and exporter rate limiting."""
+
+import urllib.parse
+
+import pytest
+
+from repro.apiserver.db import Database
+from repro.common.clock import SimClock
+from repro.common.config import ExporterConfig
+from repro.common.httpx import App, Request, Response
+from repro.exporter import CEEMSExporter
+from repro.exporter.security import RateLimiter, TokenBucket
+from repro.hwsim import NodeSpec, SimulatedNode
+from repro.lb import Backend, DBAuthorizer, LoadBalancer
+from tests.test_apiserver_db import unit
+
+DAY = 86400.0
+
+
+def echo(name: str) -> App:
+    app = App(name)
+    for path in ("/api/v1/query", "/api/v1/query_range"):
+        app.router.get(path, lambda req, n=name: Response.json({"from": n}))
+    return app
+
+
+@pytest.fixture
+def routing_lb():
+    db = Database()
+    db.upsert_units([unit("1", user="alice")], now=0.0)
+    clock = SimClock(start=100 * DAY)
+    hot = [Backend("hot-0", echo("hot-0")), Backend("hot-1", echo("hot-1"))]
+    cold = [Backend("thanos-0", echo("thanos-0"))]
+    lb = LoadBalancer(
+        hot,
+        DBAuthorizer(db),
+        longterm_backends=cold,
+        hot_retention=30 * DAY,
+        clock=clock,
+    )
+    return lb, clock
+
+
+def q(lb, at: float | None = None, start: float | None = None):
+    promql = urllib.parse.quote('x{uuid="1"}')
+    if start is not None:
+        url = f"/api/v1/query_range?query={promql}&start={start}&end={start + 3600}&step=60"
+    else:
+        url = f"/api/v1/query?query={promql}&time={at}"
+    return lb.app.get(url, headers={"x-grafana-user": "alice"})
+
+
+class TestTimeAwareRouting:
+    def test_recent_instant_query_goes_hot(self, routing_lb):
+        lb, clock = routing_lb
+        response = q(lb, at=clock.now() - DAY)
+        assert response.headers["x-ceems-backend"].startswith("hot")
+        assert lb.longterm_routed == 0
+
+    def test_old_instant_query_goes_longterm(self, routing_lb):
+        lb, clock = routing_lb
+        response = q(lb, at=clock.now() - 60 * DAY)
+        assert response.headers["x-ceems-backend"] == "thanos-0"
+        assert lb.longterm_routed == 1
+
+    def test_range_query_routed_by_start(self, routing_lb):
+        lb, clock = routing_lb
+        recent = q(lb, start=clock.now() - 2 * DAY)
+        assert recent.headers["x-ceems-backend"].startswith("hot")
+        old = q(lb, start=clock.now() - 90 * DAY)
+        assert old.headers["x-ceems-backend"] == "thanos-0"
+
+    def test_boundary_is_retention(self, routing_lb):
+        lb, clock = routing_lb
+        just_inside = q(lb, at=clock.now() - 30 * DAY + 10)
+        assert just_inside.headers["x-ceems-backend"].startswith("hot")
+        just_outside = q(lb, at=clock.now() - 30 * DAY - 10)
+        assert just_outside.headers["x-ceems-backend"] == "thanos-0"
+
+    def test_no_longterm_pool_means_everything_hot(self):
+        db = Database()
+        db.upsert_units([unit("1", user="alice")], now=0.0)
+        lb = LoadBalancer([Backend("hot", echo("hot"))], DBAuthorizer(db))
+        response = q(lb, at=0.0)
+        assert response.headers["x-ceems-backend"] == "hot"
+
+    def test_hot_pool_still_balances(self, routing_lb):
+        lb, clock = routing_lb
+        names = [q(lb, at=clock.now()).headers["x-ceems-backend"] for _ in range(4)]
+        assert names == ["hot-0", "hot-1", "hot-0", "hot-1"]
+
+
+class TestTokenBucket:
+    def test_burst_then_throttle(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        assert all(bucket.allow(0.0) for _ in range(3))
+        assert not bucket.allow(0.0)
+
+    def test_refill_over_time(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        for _ in range(3):
+            bucket.allow(0.0)
+        assert not bucket.allow(0.5)
+        assert bucket.allow(2.0)
+
+    def test_capacity_capped(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        bucket.allow(0.0)
+        assert bucket.allow(100.0)
+        assert bucket.allow(100.0)
+        assert not bucket.allow(100.0)  # burst, not rate*elapsed
+
+    def test_retry_after(self):
+        bucket = TokenBucket(rate=0.5, burst=1.0)
+        bucket.allow(0.0)
+        assert bucket.retry_after() == pytest.approx(2.0)
+
+
+class TestExporterRateLimiting:
+    def make_exporter(self, clock, rate=1.0, burst=2.0):
+        node = SimulatedNode(NodeSpec(name="n"), seed=1)
+        node.advance(5.0, 5.0)
+        limiter = RateLimiter(clock, rate=rate, burst=burst)
+        return CEEMSExporter(node, clock, ExporterConfig(), rate_limiter=limiter), limiter
+
+    def test_burst_allowed_then_429(self):
+        clock = SimClock(start=10.0)
+        exporter, limiter = self.make_exporter(clock)
+        assert exporter.app.get("/metrics").status == 200
+        assert exporter.app.get("/metrics").status == 200
+        rejected = exporter.app.get("/metrics")
+        assert rejected.status == 429
+        assert "retry-after" in rejected.headers
+        assert limiter.rejected_total == 1
+
+    def test_tokens_refill_with_clock(self):
+        clock = SimClock(start=10.0)
+        exporter, _ = self.make_exporter(clock, rate=1.0, burst=1.0)
+        assert exporter.app.get("/metrics").status == 200
+        assert exporter.app.get("/metrics").status == 429
+        clock.advance(2.0)
+        assert exporter.app.get("/metrics").status == 200
+
+    def test_per_client_buckets(self):
+        clock = SimClock(start=10.0)
+        exporter, _ = self.make_exporter(clock, rate=0.1, burst=1.0)
+        a = {"x-forwarded-for": "10.0.0.1"}
+        b = {"x-forwarded-for": "10.0.0.2"}
+        assert exporter.app.get("/metrics", headers=a).status == 200
+        assert exporter.app.get("/metrics", headers=a).status == 429
+        assert exporter.app.get("/metrics", headers=b).status == 200  # own bucket
+
+    def test_client_table_bounded(self):
+        clock = SimClock(start=10.0)
+        limiter = RateLimiter(clock, rate=1.0, burst=1.0, max_clients=4)
+        for i in range(20):
+            request = Request.from_url("GET", "/metrics", headers={"x-forwarded-for": f"10.0.0.{i}"})
+            limiter.check(request)
+        assert len(limiter._buckets) <= 4
+
+    def test_health_endpoint_not_limited(self):
+        clock = SimClock(start=10.0)
+        exporter, _ = self.make_exporter(clock, rate=0.1, burst=1.0)
+        exporter.app.get("/metrics")
+        assert exporter.app.get("/metrics").status == 429
+        assert exporter.app.get("/health").status == 200  # monitoring stays up

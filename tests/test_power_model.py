@@ -1,0 +1,103 @@
+"""Tests for the ground-truth node power model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hwsim.power_model import (
+    CPU_PROFILES,
+    DRAM_PROFILES,
+    CPUPowerParams,
+    DRAMPowerParams,
+    NodePowerModel,
+    PlatformPowerParams,
+    PowerBreakdown,
+)
+
+
+class TestCPUCurve:
+    def test_idle_at_zero(self):
+        params = CPUPowerParams(idle_w=30, max_w=200)
+        assert params.power(0.0) == 30.0
+
+    def test_max_at_full(self):
+        params = CPUPowerParams(idle_w=30, max_w=200)
+        assert params.power(1.0) == pytest.approx(200.0)
+
+    def test_sublinear_response(self):
+        """alpha < 1: half utilisation draws more than half the dynamic range."""
+        params = CPUPowerParams(idle_w=0, max_w=100, alpha=0.85)
+        assert params.power(0.5) > 50.0
+
+    def test_clamps_out_of_range(self):
+        params = CPUPowerParams(idle_w=30, max_w=200)
+        assert params.power(-0.5) == 30.0
+        assert params.power(1.5) == pytest.approx(200.0)
+
+    @given(st.floats(min_value=0, max_value=1))
+    def test_monotone_property(self, util):
+        params = CPUPowerParams()
+        assert params.power(util) <= params.power(min(util + 0.05, 1.0)) + 1e-9
+
+
+class TestDRAMAndPlatform:
+    def test_dram_range(self):
+        params = DRAMPowerParams(idle_w=8, max_w=40)
+        assert params.power(0.0) == 8.0
+        assert params.power(1.0) == 40.0
+
+    def test_platform_floor(self):
+        params = PlatformPowerParams(floor_w=60, activity_w=25)
+        assert params.power(0.0) == 60.0
+        assert params.power(1.0) == 85.0
+
+
+class TestNodePowerModel:
+    def test_idle_node_draws_floor_power(self):
+        model = NodePowerModel(sockets=2)
+        bd = model.evaluate(cpu_util=0.0, mem_activity=0.0)
+        assert bd.cpu_w == 2 * model.cpu.idle_w
+        assert bd.dram_w == 2 * model.dram.idle_w
+        assert bd.gpu_w == 0.0
+        assert bd.platform_w == model.platform.floor_w
+
+    def test_total_is_sum_of_components(self):
+        model = NodePowerModel()
+        bd = model.evaluate(0.7, 0.4, gpu_power_w=300.0)
+        assert bd.total_w == pytest.approx(bd.cpu_w + bd.dram_w + bd.gpu_w + bd.platform_w)
+
+    def test_rapl_visible_excludes_gpu_and_platform(self):
+        bd = PowerBreakdown(cpu_w=100, dram_w=30, gpu_w=400, platform_w=70)
+        assert bd.rapl_visible_w == 130.0
+
+    def test_gpu_activity_raises_platform_power(self):
+        """Fans spin up for GPU load even when CPUs idle."""
+        model = NodePowerModel()
+        with_gpu = model.evaluate(0.0, 0.0, gpu_power_w=500.0)
+        without = model.evaluate(0.0, 0.0, gpu_power_w=0.0)
+        assert with_gpu.platform_w > without.platform_w
+
+    @given(
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=0, max_value=2000),
+    )
+    def test_power_always_positive_and_bounded_property(self, cpu, mem, gpu):
+        model = NodePowerModel(sockets=2)
+        bd = model.evaluate(cpu, mem, gpu)
+        assert bd.total_w > 0
+        ceiling = 2 * (model.cpu.max_w + model.dram.max_w) + gpu + model.platform.floor_w + model.platform.activity_w
+        assert bd.total_w <= ceiling + 1e-6
+
+
+class TestProfiles:
+    def test_profiles_are_physically_ordered(self):
+        """Newer/larger parts draw more power at full tilt."""
+        assert CPU_PROFILES["intel-sapphirerapids"].max_w > CPU_PROFILES["intel-cascadelake"].max_w
+        assert CPU_PROFILES["amd-milan"].max_w > CPU_PROFILES["amd-rome"].max_w
+
+    def test_all_profiles_have_idle_below_max(self):
+        for name, params in CPU_PROFILES.items():
+            assert params.idle_w < params.max_w, name
+        for name, params in DRAM_PROFILES.items():
+            assert params.idle_w < params.max_w, name

@@ -1,0 +1,102 @@
+"""Tests for the Prometheus HTTP API facade."""
+
+import pytest
+
+from repro.common.httpx import Request
+from repro.tsdb.http import PromAPI, delete_series_matchers
+from repro.tsdb.model import Labels
+from repro.tsdb.storage import TSDB
+
+
+@pytest.fixture
+def api() -> PromAPI:
+    db = TSDB()
+    for i in range(11):
+        t = i * 15.0
+        db.append(Labels({"__name__": "power", "uuid": "1"}), t, 100.0)
+        db.append(Labels({"__name__": "power", "uuid": "2"}), t, 200.0)
+    return PromAPI(db)
+
+
+class TestInstantQuery:
+    def test_vector_result(self, api):
+        response = api.app.get("/api/v1/query?query=power&time=150")
+        data = response.decode_json()["data"]
+        assert data["resultType"] == "vector"
+        assert len(data["result"]) == 2
+        assert data["result"][0]["metric"]["__name__"] == "power"
+        assert data["result"][0]["value"][1] in ("100.0", "100")
+
+    def test_scalar_result(self, api):
+        response = api.app.get("/api/v1/query?query=1%2B1&time=0")
+        data = response.decode_json()["data"]
+        assert data["resultType"] == "scalar"
+        assert float(data["result"][1]) == 2.0
+
+    def test_missing_query_param(self, api):
+        assert api.app.get("/api/v1/query?time=0").status == 400
+
+    def test_missing_time_param(self, api):
+        assert api.app.get("/api/v1/query?query=power").status == 400
+
+    def test_bad_query_is_400(self, api):
+        response = api.app.get("/api/v1/query?query=power{&time=0")
+        assert response.status == 400
+
+    def test_post_form_body(self, api):
+        response = api.app.handle(
+            Request.from_url(
+                "POST",
+                "/api/v1/query",
+                headers={"content-type": "application/x-www-form-urlencoded"},
+                body=b"query=sum(power)&time=150",
+            )
+        )
+        assert response.ok
+        data = response.decode_json()["data"]
+        assert float(data["result"][0]["value"][1]) == 300.0
+
+
+class TestRangeQuery:
+    def test_matrix_result(self, api):
+        response = api.app.get("/api/v1/query_range?query=power&start=0&end=150&step=15")
+        data = response.decode_json()["data"]
+        assert data["resultType"] == "matrix"
+        assert len(data["result"]) == 2
+        assert len(data["result"][0]["values"]) == 11
+
+    def test_bad_params(self, api):
+        assert api.app.get("/api/v1/query_range?query=power&start=x&end=1&step=1").status == 400
+        assert api.app.get("/api/v1/query_range?query=power&start=0&end=1").status == 400
+
+
+class TestMetadata:
+    def test_series_endpoint(self, api):
+        response = api.app.get("/api/v1/series?match[]=power")
+        data = response.decode_json()["data"]
+        assert len(data) == 2
+        assert {d["uuid"] for d in data} == {"1", "2"}
+
+    def test_series_requires_selector(self, api):
+        assert api.app.get("/api/v1/series").status == 400
+
+    def test_series_rejects_expressions(self, api):
+        assert api.app.get("/api/v1/series?match[]=sum(power)").status == 400
+
+    def test_label_values(self, api):
+        response = api.app.get("/api/v1/label/uuid/values")
+        assert response.decode_json()["data"] == ["1", "2"]
+
+    def test_healthy(self, api):
+        assert api.app.get("/-/healthy").ok
+
+    def test_queries_counted(self, api):
+        api.app.get("/api/v1/query?query=power&time=0")
+        api.app.get("/api/v1/query_range?query=power&start=0&end=10&step=5")
+        assert api.queries_served == 2
+
+
+def test_delete_series_matchers():
+    matchers = delete_series_matchers("1234")
+    assert len(matchers) == 1
+    assert matchers[0].name == "uuid" and matchers[0].value == "1234"

@@ -1,0 +1,113 @@
+"""AST stringification round-trip tests for the PromQL parser.
+
+Every AST node renders back to PromQL via ``__str__``; re-parsing that
+rendering must yield an equivalent AST.  This pins down precedence
+and associativity handling with a corpus covering every construct.
+"""
+
+import math
+
+import pytest
+
+from repro.tsdb.model import Labels
+from repro.tsdb.promql.engine import PromQLEngine
+from repro.tsdb.promql.parser import parse_expr
+from repro.tsdb.storage import TSDB
+
+CORPUS = [
+    "up",
+    'up{job="ceems"}',
+    'metric{a="1", b!="2", c=~"x.*", d!~"y+"}',
+    "rate(ceems_rapl_package_joules_total[5m])",
+    "increase(c[1h30m])",
+    "sum(rate(x[2m]))",
+    "sum by (hostname, nodegroup) (rate(x[2m]))",
+    "avg without (uuid) (x)",
+    "topk(5, x)",
+    "quantile(0.99, x)",
+    "quantile_over_time(0.5, x[10m])",
+    "x + y",
+    "x * on(instance) y",
+    "x / ignoring(uuid) y",
+    "x * on(host) group_left(role) y",
+    "x * on(host) group_right() y",
+    "x > 100",
+    "x > bool 100",
+    "x and y",
+    "x or y unless z",
+    "-x + 3",
+    "2 ^ 3 ^ 2",
+    "(x + y) * 2",
+    "clamp_min(x, 0)",
+    'label_replace(x, "dst", "$1", "src", "(.*)")',
+    "x offset 1h",
+    "rate(x[5m] offset 30m)",
+    "abs(x) + sqrt(y)",
+    "sort_desc(sum by (uuid) (x))",
+    "scalar(x) * 2",
+    "vector(1)",
+    "time()",
+    "absent(x)",
+    'ceems:compute_unit:power_watts{uuid="123"} * on() group_left() (f) / 3.6e6',
+]
+
+
+def normalize(node):
+    """Strip semantically-transparent Paren nodes for comparison."""
+    from dataclasses import fields, is_dataclass
+
+    from repro.tsdb.promql.ast import Paren
+
+    while isinstance(node, Paren):
+        node = node.expr
+    if not is_dataclass(node):
+        return node
+    values = []
+    for f in fields(node):
+        value = getattr(node, f.name)
+        if isinstance(value, tuple):
+            value = tuple(normalize(v) if hasattr(v, "__dataclass_fields__") else v for v in value)
+        elif hasattr(value, "__dataclass_fields__") and f.name in ("lhs", "rhs", "expr", "param", "selector"):
+            value = normalize(value)
+        values.append((f.name, value))
+    return (type(node).__name__, tuple(values))
+
+
+@pytest.mark.parametrize("query", CORPUS)
+def test_str_roundtrip(query):
+    """parse(str(parse(q))) must be structurally equal to parse(q)."""
+    first = parse_expr(query)
+    second = parse_expr(str(first))
+    assert normalize(second) == normalize(first)
+
+
+@pytest.mark.parametrize("query", CORPUS)
+def test_roundtrip_evaluates_identically(query):
+    """Where evaluable, the round-tripped AST gives the same result."""
+    db = TSDB()
+    for name in ("up", "x", "y", "z", "f", "c", "metric",
+                 "ceems_rapl_package_joules_total"):
+        for i in range(30):
+            db.append(Labels({"__name__": name, "job": "ceems", "instance": "n1",
+                              "host": "h1", "uuid": "123", "hostname": "n1",
+                              "nodegroup": "g", "src": "val", "role": "r"}),
+                      i * 15.0, float(i * 2))
+    db.append(Labels({"__name__": "ceems:compute_unit:power_watts", "uuid": "123"}), 450.0, 100.0)
+    engine = PromQLEngine(db)
+    first = parse_expr(query)
+    second = parse_expr(str(first))
+
+    def evaluate(ast):
+        try:
+            result = engine.query(ast, at=450.0)
+        except Exception as exc:  # noqa: BLE001 - compare failure parity
+            return ("error", type(exc).__name__)
+        if result.is_scalar:
+            return ("scalar", result.scalar)
+        return ("vector", tuple((el.labels, round(el.value, 9)) for el in result.vector))
+
+    a, b = evaluate(first), evaluate(second)
+    if a[0] == "scalar" and isinstance(a[1], float) and math.isnan(a[1]):
+        assert b[0] == "scalar" and math.isnan(b[1])
+    else:
+        assert a == b

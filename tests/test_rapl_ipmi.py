@@ -1,0 +1,143 @@
+"""Tests for the RAPL counter and IPMI-DCMI sensor simulations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SimulationError
+from repro.hwsim.ipmi import IPMIDCMISensor
+from repro.hwsim.rapl import DEFAULT_MAX_ENERGY_RANGE_UJ, RAPLDomain, RAPLPackage
+
+
+class TestRAPLDomain:
+    def test_energy_accumulates(self):
+        domain = RAPLDomain(name="package-0")
+        domain.add_energy(1.5)
+        domain.add_energy(2.5)
+        assert domain.energy_uj == 4_000_000
+        assert domain.total_energy_joules == pytest.approx(4.0)
+
+    def test_negative_energy_rejected(self):
+        domain = RAPLDomain(name="package-0")
+        with pytest.raises(SimulationError):
+            domain.add_energy(-1.0)
+
+    def test_counter_wraps(self):
+        domain = RAPLDomain(name="package-0", max_energy_range_uj=1_000_000)
+        domain.add_energy(1.75)  # 1.75 J = 1_750_000 µJ -> wraps once
+        assert domain.energy_uj == 750_000
+        assert domain.total_energy_joules == pytest.approx(1.75)
+
+    def test_counter_delta_no_wrap(self):
+        assert RAPLDomain.counter_delta(100, 400, 1000) == 300
+
+    def test_counter_delta_with_wrap(self):
+        assert RAPLDomain.counter_delta(900, 100, 1000) == 200
+
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=0, max_value=10**9),
+    )
+    def test_delta_reconstructs_true_energy_property(self, start_uj, delta_uj):
+        """Wraparound-corrected reads recover the true consumption."""
+        max_range = 2**30
+        domain = RAPLDomain(name="d", max_energy_range_uj=max_range)
+        domain.add_energy(start_uj / 1e6)
+        first = domain.energy_uj
+        domain.add_energy(delta_uj / 1e6)
+        second = domain.energy_uj
+        if delta_uj < max_range:  # single-wrap assumption of the decoder
+            recovered = RAPLDomain.counter_delta(first, second, max_range)
+            assert abs(recovered - delta_uj) <= 1  # µJ truncation
+
+
+class TestRAPLPackage:
+    def test_intel_has_dram(self):
+        pkg = RAPLPackage.intel(0)
+        assert pkg.has_dram
+        assert len(pkg.domains()) == 2
+
+    def test_amd_has_no_dram(self):
+        pkg = RAPLPackage.amd(1)
+        assert not pkg.has_dram
+        assert len(pkg.domains()) == 1
+
+    def test_sysfs_entries_intel(self):
+        pkg = RAPLPackage.intel(0)
+        pkg.package.add_energy(1.0)
+        pkg.dram.add_energy(0.5)
+        entries = pkg.sysfs_entries()
+        assert entries["intel-rapl:0/energy_uj"] == 1_000_000
+        assert entries["intel-rapl:0:0/energy_uj"] == 500_000
+        assert entries["intel-rapl:0/name"] == "package-0"
+        assert entries["intel-rapl:0/max_energy_range_uj"] == DEFAULT_MAX_ENERGY_RANGE_UJ
+
+    def test_sysfs_entries_amd_lack_dram(self):
+        entries = RAPLPackage.amd(0).sysfs_entries()
+        assert not any(":0:0" in key for key in entries)
+
+
+class TestIPMISensor:
+    def test_no_reading_before_first_sample(self):
+        sensor = IPMIDCMISensor(seed=1)
+        reading = sensor.read(0.0)
+        assert not reading.active
+        assert reading.current_watts == 0
+
+    def test_reports_after_observe(self):
+        sensor = IPMIDCMISensor(seed=1, noise_pct=0.0)
+        sensor.observe(0.0, true_total_w=400.0, gpu_w=0.0)
+        reading = sensor.read(0.0)
+        assert reading.active
+        assert reading.current_watts == 400
+
+    def test_sampling_floor_returns_stale_data(self):
+        """Reads between BMC samples see the previous sample."""
+        sensor = IPMIDCMISensor(seed=1, noise_pct=0.0, sample_interval=1.0)
+        sensor.observe(0.0, 400.0, 0.0)
+        sensor.observe(0.5, 900.0, 0.0)  # within the sampling floor
+        assert sensor.read(0.5).current_watts == 400
+        sensor.observe(1.0, 900.0, 0.0)  # new sample due
+        assert sensor.read(1.0).current_watts == 900
+
+    def test_gpu_exclusion(self):
+        incl = IPMIDCMISensor(includes_gpu=True, seed=1, noise_pct=0.0)
+        excl = IPMIDCMISensor(includes_gpu=False, seed=1, noise_pct=0.0)
+        incl.observe(0.0, 1000.0, 600.0)
+        excl.observe(0.0, 1000.0, 600.0)
+        assert incl.read(0.0).current_watts == 1000
+        assert excl.read(0.0).current_watts == 400
+
+    def test_window_statistics(self):
+        sensor = IPMIDCMISensor(seed=1, noise_pct=0.0)
+        for i, watts in enumerate([100.0, 300.0, 200.0]):
+            sensor.observe(float(i), watts, 0.0)
+        reading = sensor.read(3.0)
+        assert reading.minimum_watts == 100
+        assert reading.maximum_watts == 300
+        assert reading.average_watts == 200
+
+    def test_reset_statistics(self):
+        sensor = IPMIDCMISensor(seed=1, noise_pct=0.0)
+        sensor.observe(0.0, 500.0, 0.0)
+        sensor.reset_statistics()
+        assert not sensor.read(1.0).active
+
+    def test_noise_is_deterministic_per_seed(self):
+        a, b = IPMIDCMISensor(seed=9), IPMIDCMISensor(seed=9)
+        a.observe(0.0, 500.0, 0.0)
+        b.observe(0.0, 500.0, 0.0)
+        assert a.read(0.0).current_watts == b.read(0.0).current_watts
+
+    def test_noise_stays_reasonable(self):
+        sensor = IPMIDCMISensor(seed=3, noise_pct=0.02)
+        for i in range(200):
+            sensor.observe(float(i), 500.0, 0.0)
+        reading = sensor.read(200.0)
+        assert 400 < reading.average_watts < 600
+
+    def test_never_negative(self):
+        sensor = IPMIDCMISensor(seed=4, noise_pct=5.0)  # absurd noise
+        for i in range(50):
+            sensor.observe(float(i), 10.0, 0.0)
+        assert sensor.read(50.0).minimum_watts >= 0

@@ -1,0 +1,410 @@
+"""Tests for the SLURM / OpenStack / Kubernetes resource managers."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.hwsim import NodeSpec, SimulatedNode, UsageProfile
+from repro.resourcemgr import (
+    JobSpec,
+    KubernetesCluster,
+    OpenStackCluster,
+    PodSpec,
+    ServerSpec,
+    SlurmCluster,
+    UnitState,
+    WorkloadGenerator,
+    WorkloadMix,
+)
+from repro.resourcemgr.openstack import DEFAULT_FLAVORS
+from repro.resourcemgr.workload import SizeClass
+
+
+def make_slurm(n_cpu: int = 2, n_gpu: int = 1) -> SlurmCluster:
+    cpu = [SimulatedNode(NodeSpec(name=f"c{i}"), seed=i) for i in range(n_cpu)]
+    gpu = [
+        SimulatedNode(NodeSpec(name=f"g{i}", gpus=("A100",) * 4, memory_gb=384, dram_profile="ddr4-384g"), seed=10 + i)
+        for i in range(n_gpu)
+    ]
+    return SlurmCluster("test", {"cpu": cpu, "gpu": gpu})
+
+
+def job(ncores=4, duration=600.0, walltime=None, **kwargs) -> JobSpec:
+    return JobSpec(
+        user=kwargs.pop("user", "alice"),
+        account=kwargs.pop("account", "proj1"),
+        ncores=ncores,
+        memory_bytes=kwargs.pop("memory_bytes", 8 * 2**30),
+        walltime=walltime if walltime is not None else duration * 2,
+        duration=duration,
+        **kwargs,
+    )
+
+
+class TestSlurmLifecycle:
+    def test_submit_then_schedule(self):
+        cluster = make_slurm()
+        job_id = cluster.submit(job(), now=0.0)
+        unit = cluster.get_unit(job_id)
+        assert unit.state is UnitState.PENDING
+        cluster.step(now=30.0)
+        unit = cluster.get_unit(job_id)
+        assert unit.state is UnitState.RUNNING
+        assert unit.started_at == 30.0
+        assert len(unit.nodelist) == 1
+
+    def test_cgroup_created_on_start(self):
+        cluster = make_slurm()
+        job_id = cluster.submit(job(), now=0.0)
+        cluster.step(now=30.0)
+        unit = cluster.get_unit(job_id)
+        node = cluster.nodes[unit.nodelist[0]]
+        assert node.cgroupfs.exists(f"/system.slice/slurmstepd.scope/job_{job_id}")
+
+    def test_completion(self):
+        cluster = make_slurm()
+        job_id = cluster.submit(job(duration=100.0), now=0.0)
+        cluster.step(now=30.0)
+        cluster.step(now=200.0)
+        unit = cluster.get_unit(job_id)
+        assert unit.state is UnitState.COMPLETED
+        assert unit.exit_code == 0
+        assert unit.ended_at == pytest.approx(130.0)
+        node = cluster.nodes[unit.nodelist[0]]
+        assert not node.cgroupfs.exists(f"/system.slice/slurmstepd.scope/job_{job_id}")
+
+    def test_timeout(self):
+        cluster = make_slurm()
+        job_id = cluster.submit(job(duration=1000.0, walltime=100.0), now=0.0)
+        cluster.step(now=0.0)
+        cluster.step(now=200.0)
+        unit = cluster.get_unit(job_id)
+        assert unit.state is UnitState.TIMEOUT
+        assert unit.exit_code == 1
+
+    def test_cancel_pending(self):
+        cluster = make_slurm(n_cpu=1, n_gpu=0)
+        # fill the cluster so the job stays pending
+        blocker = cluster.submit(job(ncores=40, duration=5000.0), now=0.0)
+        cluster.step(now=0.0)
+        job_id = cluster.submit(job(ncores=40), now=1.0)
+        cluster.step(now=2.0)
+        assert cluster.get_unit(job_id).state is UnitState.PENDING
+        cluster.cancel(job_id, now=3.0)
+        assert cluster.get_unit(job_id).state is UnitState.CANCELLED
+        del blocker
+
+    def test_cancel_running(self):
+        cluster = make_slurm()
+        job_id = cluster.submit(job(duration=5000.0), now=0.0)
+        cluster.step(now=0.0)
+        cluster.cancel(job_id, now=100.0)
+        unit = cluster.get_unit(job_id)
+        assert unit.state is UnitState.CANCELLED
+        assert unit.exit_code == 130
+
+    def test_cancel_unknown_raises(self):
+        with pytest.raises(SimulationError):
+            make_slurm().cancel("999", now=0.0)
+
+    def test_gpu_job_gets_devices(self):
+        cluster = make_slurm()
+        job_id = cluster.submit(job(ncores=8, ngpus=2, partition="gpu"), now=0.0)
+        cluster.step(now=0.0)
+        unit = cluster.get_unit(job_id)
+        node = cluster.nodes[unit.nodelist[0]]
+        assert node.tasks[job_id].gpu_indices == (0, 1)
+
+    def test_multinode_job(self):
+        cluster = make_slurm(n_cpu=3)
+        job_id = cluster.submit(job(ncores=40, nnodes=2), now=0.0)
+        cluster.step(now=0.0)
+        unit = cluster.get_unit(job_id)
+        assert len(unit.nodelist) == 2
+        for name in unit.nodelist:
+            assert cluster.nodes[name].cgroupfs.exists(
+                f"/system.slice/slurmstepd.scope/job_{job_id}"
+            )
+        assert unit.cpus == 80
+
+    def test_fifo_queueing_when_full(self):
+        cluster = make_slurm(n_cpu=1, n_gpu=0)
+        first = cluster.submit(job(ncores=40, duration=500.0), now=0.0)
+        second = cluster.submit(job(ncores=40, duration=500.0), now=1.0)
+        cluster.step(now=10.0)
+        assert cluster.get_unit(first).state is UnitState.RUNNING
+        assert cluster.get_unit(second).state is UnitState.PENDING
+        assert cluster.queue_depth == 1
+        cluster.step(now=600.0)  # first finishes, second starts
+        assert cluster.get_unit(first).state is UnitState.COMPLETED
+        assert cluster.get_unit(second).state is UnitState.RUNNING
+
+    def test_unknown_partition_rejected(self):
+        with pytest.raises(SimulationError):
+            make_slurm().submit(job(partition="bigmem"), now=0.0)
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(SimulationError):
+            JobSpec(user="u", account="a", ncores=0, memory_bytes=1, walltime=10, duration=5)
+        with pytest.raises(SimulationError):
+            JobSpec(user="u", account="a", ncores=1, memory_bytes=1, walltime=0, duration=5)
+
+
+class TestSacct:
+    def test_time_window_query(self):
+        cluster = make_slurm()
+        early = cluster.submit(job(duration=100.0), now=0.0)
+        cluster.step(now=0.0)
+        cluster.step(now=150.0)  # early done at 100
+        late = cluster.submit(job(duration=100.0), now=1000.0)
+        cluster.step(now=1000.0)
+        units = cluster.sacct(0.0, 500.0)
+        assert [u.uuid for u in units] == [early]
+        units = cluster.sacct(0.0, 2000.0)
+        assert {u.uuid for u in units} == {early, late}
+
+    def test_user_filter(self):
+        cluster = make_slurm()
+        a = cluster.submit(job(user="alice"), now=0.0)
+        b = cluster.submit(job(user="bob"), now=0.0)
+        cluster.step(now=0.0)
+        assert [u.uuid for u in cluster.sacct(0, 100, user="alice")] == [a]
+        del b
+
+    def test_running_units_included(self):
+        cluster = make_slurm()
+        job_id = cluster.submit(job(duration=10000.0), now=0.0)
+        cluster.step(now=0.0)
+        units = cluster.sacct(500.0, 600.0)
+        assert [u.uuid for u in units] == [job_id]
+
+
+class TestOpenStack:
+    def make(self, n=2):
+        nodes = [SimulatedNode(NodeSpec(name=f"os{i}"), seed=i) for i in range(n)]
+        return OpenStackCluster("cloud", nodes)
+
+    def test_create_server_places_vm(self):
+        cloud = self.make()
+        uuid = cloud.create_server(ServerSpec(user="alice", project="t1"), now=0.0)
+        unit = cloud.get_unit(uuid)
+        assert unit.state is UnitState.RUNNING
+        assert unit.manager == "openstack"
+        node = cloud.nodes[unit.nodelist[0]]
+        assert any("machine-qemu" in c.path for c in node.cgroupfs.leaves())
+
+    def test_flavor_sizing(self):
+        cloud = self.make()
+        uuid = cloud.create_server(ServerSpec(user="a", project="t", flavor="m1.xlarge"), now=0.0)
+        unit = cloud.get_unit(uuid)
+        assert unit.cpus == DEFAULT_FLAVORS["m1.xlarge"].vcpus
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(SimulationError):
+            self.make().create_server(ServerSpec(user="a", project="t", flavor="m9"), now=0.0)
+
+    def test_spread_scheduling(self):
+        cloud = self.make(n=2)
+        first = cloud.create_server(ServerSpec(user="a", project="t"), now=0.0)
+        second = cloud.create_server(ServerSpec(user="a", project="t"), now=1.0)
+        assert cloud.get_unit(first).nodelist != cloud.get_unit(second).nodelist
+
+    def test_delete_server(self):
+        cloud = self.make()
+        uuid = cloud.create_server(ServerSpec(user="a", project="t"), now=0.0)
+        cloud.delete_server(uuid, now=100.0)
+        unit = cloud.get_unit(uuid)
+        assert unit.state is UnitState.COMPLETED
+        assert unit.ended_at == 100.0
+        with pytest.raises(SimulationError):
+            cloud.delete_server(uuid, now=101.0)
+
+    def test_capacity_exhaustion(self):
+        nodes = [SimulatedNode(NodeSpec(name="tiny", sockets=1, cores_per_socket=4), seed=1)]
+        cloud = OpenStackCluster("small", nodes)
+        cloud.create_server(ServerSpec(user="a", project="t", flavor="m1.small"), now=0.0)
+        cloud.create_server(ServerSpec(user="a", project="t", flavor="m1.small"), now=0.0)
+        with pytest.raises(SimulationError, match="no valid host"):
+            cloud.create_server(ServerSpec(user="a", project="t", flavor="m1.large"), now=0.0)
+
+    def test_list_servers_by_project(self):
+        cloud = self.make()
+        cloud.create_server(ServerSpec(user="a", project="t1"), now=0.0)
+        cloud.create_server(ServerSpec(user="b", project="t2"), now=1.0)
+        assert len(cloud.list_servers(project="t1")) == 1
+        assert len(cloud.list_servers()) == 2
+
+
+class TestKubernetes:
+    def make(self, n=2):
+        nodes = [SimulatedNode(NodeSpec(name=f"k{i}"), seed=i) for i in range(n)]
+        return KubernetesCluster("kube", nodes)
+
+    def test_pod_cgroup_path_by_qos(self):
+        kube = self.make()
+        uid = kube.create_pod(PodSpec(user="a", namespace="ml", qos="guaranteed"), now=0.0)
+        unit = kube.get_unit(uid)
+        node = kube.nodes[unit.nodelist[0]]
+        paths = [c.path for c in node.cgroupfs.leaves()]
+        assert any("kubepods-guaranteed-pod" in p for p in paths)
+
+    def test_bad_qos_rejected(self):
+        with pytest.raises(SimulationError):
+            PodSpec(user="a", namespace="x", qos="platinum")
+
+    def test_batch_pod_completes(self):
+        kube = self.make()
+        uid = kube.create_pod(PodSpec(user="a", namespace="ml", duration=100.0), now=0.0)
+        kube.step(now=150.0)
+        assert kube.get_unit(uid).state is UnitState.COMPLETED
+
+    def test_service_pod_runs_until_deleted(self):
+        kube = self.make()
+        uid = kube.create_pod(PodSpec(user="a", namespace="web"), now=0.0)
+        kube.step(now=1e6)
+        assert kube.get_unit(uid).state is UnitState.RUNNING
+        kube.delete_pod(uid, now=1e6)
+        assert kube.get_unit(uid).state is UnitState.CANCELLED
+
+    def test_namespace_is_project(self):
+        kube = self.make()
+        kube.create_pod(PodSpec(user="a", namespace="ml"), now=0.0)
+        kube.create_pod(PodSpec(user="b", namespace="web"), now=0.0)
+        assert len(kube.list_pods(namespace="ml")) == 1
+
+
+class TestWorkloadGenerator:
+    def test_deterministic_per_seed(self):
+        a = WorkloadGenerator(seed=5)
+        b = WorkloadGenerator(seed=5)
+        for _ in range(10):
+            ja, jb = a.sample_job(), b.sample_job()
+            assert (ja.user, ja.ncores, ja.duration) == (jb.user, jb.ncores, jb.duration)
+
+    def test_different_seeds_differ(self):
+        a = WorkloadGenerator(seed=1)
+        b = WorkloadGenerator(seed=2)
+        jobs_a = [(a.sample_job().duration) for _ in range(5)]
+        jobs_b = [(b.sample_job().duration) for _ in range(5)]
+        assert jobs_a != jobs_b
+
+    def test_user_project_stable(self):
+        gen = WorkloadGenerator(seed=3)
+        for _ in range(50):
+            job = gen.sample_job()
+            assert job.account == gen.user_project(job.user)
+
+    def test_zipf_skew(self):
+        """Few users dominate submissions."""
+        gen = WorkloadGenerator(WorkloadMix(mean_interarrival=1.0), seed=7)
+        users = [gen.sample_job().user for _ in range(500)]
+        from collections import Counter
+
+        counts = Counter(users).most_common()
+        assert counts[0][1] > 5 * counts[-1][1]
+
+    def test_durations_bounded(self):
+        mix = WorkloadMix(max_duration=3600.0)
+        gen = WorkloadGenerator(mix, seed=1)
+        for _ in range(100):
+            job = gen.sample_job()
+            assert 60.0 <= job.duration <= 3600.0
+            assert job.walltime == pytest.approx(job.duration * mix.walltime_factor)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            WorkloadMix(sizes=(SizeClass("a", weight=0.5, ncores=1),))
+
+    def test_submit_stream(self):
+        cluster = make_slurm()
+        gen = WorkloadGenerator(WorkloadMix(mean_interarrival=60.0), seed=9)
+        ids = gen.submit_stream(cluster, 0.0, 3600.0)
+        assert len(ids) > 20
+        assert cluster.jobs_submitted == len(ids)
+
+    def test_gpu_jobs_request_gpus(self):
+        mix = WorkloadMix(
+            sizes=(SizeClass("gpu", weight=1.0, ncores=4, ngpus=2, partition="gpu"),)
+        )
+        gen = WorkloadGenerator(mix, seed=1)
+        job = gen.sample_job()
+        assert job.ngpus == 2 and job.partition == "gpu"
+        assert job.profile.gpu_base > 0
+
+
+class TestNodeFailure:
+    def test_jobs_on_failed_node_fail(self):
+        cluster = make_slurm()
+        job_id = cluster.submit(job(duration=5000.0), now=0.0)
+        cluster.step(now=0.0)
+        node = cluster.get_unit(job_id).nodelist[0]
+        affected = cluster.fail_node(node, now=100.0)
+        assert affected == [job_id]
+        unit_record = cluster.get_unit(job_id)
+        assert unit_record.state is UnitState.FAILED
+        assert unit_record.exit_code == 1
+        assert node in cluster.down_nodes
+
+    def test_down_node_excluded_from_scheduling(self):
+        cluster = make_slurm(n_cpu=1, n_gpu=0)
+        cluster.fail_node("c0", now=0.0)
+        job_id = cluster.submit(job(), now=1.0)
+        cluster.step(now=30.0)
+        assert cluster.get_unit(job_id).state is UnitState.PENDING
+        cluster.resume_node("c0")
+        cluster.step(now=60.0)
+        assert cluster.get_unit(job_id).state is UnitState.RUNNING
+
+    def test_requeue_resubmits(self):
+        cluster = make_slurm()
+        job_id = cluster.submit(job(duration=5000.0), now=0.0)
+        cluster.step(now=0.0)
+        node = cluster.get_unit(job_id).nodelist[0]
+        cluster.fail_node(node, now=100.0, requeue=True)
+        cluster.step(now=130.0)
+        # a fresh job id is running on a surviving node
+        running = cluster.active_units()
+        assert len(running) == 1
+        assert running[0].uuid != job_id
+        assert running[0].nodelist[0] != node
+
+    def test_multinode_job_dies_with_any_node(self):
+        cluster = make_slurm(n_cpu=3)
+        job_id = cluster.submit(job(ncores=40, nnodes=2, duration=5000.0), now=0.0)
+        cluster.step(now=0.0)
+        nodes = cluster.get_unit(job_id).nodelist
+        cluster.fail_node(nodes[1], now=50.0)
+        assert cluster.get_unit(job_id).state is UnitState.FAILED
+        # the surviving node's resources are freed
+        assert cluster.nodes[nodes[0]].can_fit(40)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(SimulationError):
+            make_slurm().fail_node("ghost", now=0.0)
+
+
+class TestDiurnalModulation:
+    def test_flat_by_default(self):
+        gen = WorkloadGenerator(seed=1)
+        assert gen.arrival_intensity(0.0) == 1.0
+        assert gen.arrival_intensity(50000.0) == 1.0
+
+    def test_peak_at_14h_trough_at_2h(self):
+        gen = WorkloadGenerator(WorkloadMix(diurnal_amplitude=0.6), seed=1)
+        assert gen.arrival_intensity(14 * 3600.0) == pytest.approx(1.6)
+        assert gen.arrival_intensity(2 * 3600.0) == pytest.approx(0.4)
+
+    def test_daytime_gets_more_submissions(self):
+        mix = WorkloadMix(mean_interarrival=60.0, diurnal_amplitude=0.8)
+        gen = WorkloadGenerator(mix, seed=5)
+        cluster = make_slurm(n_cpu=8, n_gpu=0)
+        ids = gen.submit_stream(cluster, 0.0, 2 * 86400.0)
+        day, night = 0, 0
+        for unit_record in cluster.list_units(0, 2 * 86400.0):
+            hour = (unit_record.created_at % 86400.0) / 3600.0
+            if 9 <= hour < 19:
+                day += 1
+            elif hour < 5 or hour >= 23:
+                night += 1
+        # 10 day-hours vs 7 night-hours, but the rate ratio dominates
+        assert day > 2.0 * night
+        del ids

@@ -1,0 +1,121 @@
+"""Tests for rules-file export and config-driven stack assembly."""
+
+import pytest
+
+from repro.cluster import StackSimulation, small_topology
+from repro.cluster.simulation import SimulationConfig
+from repro.common.config import StackConfig
+from repro.energy import NodeGroup, rules_for_group, standard_rule_groups
+from repro.energy.export import (
+    alerting_rules_to_dict,
+    parse_rules_file,
+    rule_group_to_dict,
+    rules_file,
+)
+from repro.tsdb.alerts import ceems_alert_rules
+from repro.tsdb.model import Labels
+from repro.tsdb.rules import RuleManager
+from repro.tsdb.storage import TSDB
+
+
+class TestRulesExport:
+    def test_group_dict_shape(self):
+        group = rules_for_group(NodeGroup("intel-cpu", True, False, True), 30.0)
+        d = rule_group_to_dict(group)
+        assert d["name"] == "ceems-power-intel-cpu"
+        assert d["interval"] == "30s"
+        assert all("record" in r and "expr" in r for r in d["rules"])
+
+    def test_full_rules_file_roundtrip(self):
+        groups = standard_rule_groups()
+        text = rules_file(groups)
+        reloaded = parse_rules_file(text)
+        assert [g.name for g in reloaded] == [g.name for g in groups]
+        for orig, back in zip(groups, reloaded):
+            assert [r.record for r in orig.rules] == [r.record for r in back.rules]
+            assert [r.expr for r in orig.rules] == [r.expr for r in back.rules]
+            assert back.interval == orig.interval
+
+    def test_reloaded_rules_evaluate(self):
+        """YAML-roundtripped rules still execute against a TSDB."""
+        db = TSDB()
+        for i in range(20):
+            db.append(Labels({"__name__": "ceems_ipmi_dcmi_current_watts",
+                              "hostname": "n1", "nodegroup": "intel-cpu"}), i * 15.0, 400.0)
+        group = rules_for_group(NodeGroup("intel-cpu", True, False, True), 30.0)
+        reloaded = parse_rules_file(rules_file([group]))[0]
+        manager = RuleManager(db)
+        manager.add_group(reloaded)
+        recorded = manager.evaluate_all(at=300.0)
+        assert recorded >= 1  # at least instance:ipmi_watts
+
+    def test_alerting_rules_export(self):
+        d = alerting_rules_to_dict("ceems-alerts", ceems_alert_rules())
+        assert d["name"] == "ceems-alerts"
+        entries = {e["alert"]: e for e in d["rules"]}
+        assert entries["CEEMSTargetDown"]["for"] == "2m"
+        assert entries["CEEMSTargetDown"]["labels"]["severity"] == "critical"
+
+    def test_alerts_embed_in_rules_file(self):
+        text = rules_file(
+            standard_rule_groups()[:1],
+            alert_groups=[alerting_rules_to_dict("ceems-alerts", ceems_alert_rules())],
+        )
+        from repro.common import yamlite
+
+        raw = yamlite.loads(text)
+        names = [g["name"] for g in raw["groups"]]
+        assert "ceems-alerts" in names
+
+
+class TestConfigDrivenAssembly:
+    def test_from_stack_config(self):
+        stack = StackConfig.loads(
+            """
+tsdb:
+  scrape_interval: 30s
+  retention: 7d
+api_server:
+  update_interval: 5m
+  cleanup_cutoff: 2m
+lb:
+  strategy: least-connection
+emissions:
+  country: DE
+  providers: [electricity_maps, owid]
+exporter:
+  collectors: [cgroup, rapl, ipmi, node]
+"""
+        )
+        cfg = SimulationConfig.from_stack_config(stack, seed=5)
+        assert cfg.scrape_interval == 30.0
+        assert cfg.hot_retention == 7 * 86400.0
+        assert cfg.update_interval == 300.0
+        assert cfg.cleanup_cutoff == 120.0
+        assert cfg.lb_strategy == "least-connection"
+        assert cfg.zone == "DE"
+        assert cfg.with_emissions_providers == ("electricity_maps", "owid")
+        assert cfg.collectors == ("cgroup", "rapl", "ipmi", "node", "self")
+        assert cfg.seed == 5
+
+    def test_config_driven_sim_runs(self):
+        stack = StackConfig.loads(
+            "tsdb:\n  scrape_interval: 30s\nemissions:\n  country: DE\n  providers: [owid]\n"
+        )
+        cfg = SimulationConfig.from_stack_config(stack, seed=1, with_workload=False)
+        sim = StackSimulation(small_topology(cpu_nodes=1, gpu_nodes=0), cfg)
+        sim.run(600.0)
+        assert sim.hot_tsdb.num_samples > 0
+        assert sim.config.zone == "DE"
+        # emission factor for DE must be scraped and resolved via OWID
+        result = sim.engine.query(
+            'ceems_emissions_gCo2_kWh{provider="resolved"}', at=sim.now
+        )
+        assert result.vector[0].labels.get("country") == "DE"
+
+    def test_shipped_example_config_is_valid(self):
+        config = StackConfig.load_file("etc/ceems.yml")
+        assert config.exporter.collectors[-1] == "perf"
+        assert config.api_server.cleanup_cutoff == 300.0
+        cfg = SimulationConfig.from_stack_config(config)
+        assert cfg.cleanup_cutoff == 300.0

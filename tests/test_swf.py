@@ -1,0 +1,143 @@
+"""Tests for the SWF trace reader/converter/replayer."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import SimulationError
+from repro.hwsim import NodeSpec, SimulatedNode
+from repro.resourcemgr.slurm import SlurmCluster
+from repro.resourcemgr.swf import (
+    STATUS_COMPLETED,
+    SWFJob,
+    parse_swf,
+    replay,
+    to_job_specs,
+    write_swf,
+)
+
+SAMPLE = """\
+; Computer: Test Cluster
+; Format: SWF v2.2
+1 0 10 3600 64 3200 1048576 64 7200 -1 1 3 2 5 1 1 -1 -1
+2 120 0 600 4 540 524288 4 1200 -1 1 7 2 9 1 1 -1 -1
+3 300 30 86400 128 60000 2097152 128 90000 -1 0 3 2 5 1 1 -1 -1
+"""
+
+
+class TestParse:
+    def test_parses_records(self):
+        jobs = parse_swf(SAMPLE)
+        assert len(jobs) == 3
+        assert jobs[0].job_id == 1
+        assert jobs[0].allocated_procs == 64
+        assert jobs[0].run_time == 3600.0
+        assert jobs[2].status == 0  # failed
+
+    def test_comments_skipped(self):
+        assert len(parse_swf("; only comments\n;\n")) == 0
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(SimulationError, match="18 fields"):
+            parse_swf("1 2 3\n")
+
+    def test_non_numeric_rejected(self):
+        bad = SAMPLE.replace("3600", "abc", 1)
+        with pytest.raises(SimulationError, match="non-numeric"):
+            parse_swf(bad)
+
+    def test_cpu_utilisation(self):
+        jobs = parse_swf(SAMPLE)
+        assert jobs[0].cpu_utilisation == pytest.approx(3200 / 3600)
+        missing = SWFJob(
+            job_id=9, submit_time=0, wait_time=0, run_time=100, allocated_procs=1,
+            avg_cpu_time=-1, used_memory_kb=-1, requested_procs=1, requested_time=200,
+            requested_memory_kb=-1, status=1, user_id=1, group_id=1, executable=1,
+            queue=1, partition=1, preceding_job=-1, think_time=-1,
+        )
+        assert missing.cpu_utilisation == 0.75
+
+    def test_roundtrip(self):
+        jobs = parse_swf(SAMPLE)
+        assert parse_swf(write_swf(jobs)) == jobs
+
+
+class TestConversion:
+    def test_single_node_job(self):
+        jobs = parse_swf(SAMPLE)
+        specs = to_job_specs(jobs, cores_per_node=64)
+        submit, spec = specs[0]
+        assert submit == 0.0
+        assert spec.nnodes == 1 and spec.ncores == 64
+        assert spec.user == "user003"
+        assert spec.account == "group02"
+        assert spec.duration == 3600.0
+
+    def test_multi_node_mapping(self):
+        jobs = parse_swf(SAMPLE)
+        specs = to_job_specs(jobs, cores_per_node=64)
+        _submit, big = specs[2]
+        assert big.nnodes == 2 and big.ncores == 64  # 128 procs over 2 nodes
+
+    def test_memory_from_trace(self):
+        jobs = parse_swf(SAMPLE)
+        _submit, spec = to_job_specs(jobs, cores_per_node=64)[0]
+        # 1 GiB/proc * 64 procs
+        assert spec.memory_bytes == 64 * 1024**3
+
+    def test_profile_reproduces_trace_utilisation(self):
+        jobs = parse_swf(SAMPLE)
+        _submit, spec = to_job_specs(jobs, cores_per_node=64)[0]
+        assert spec.profile.cpu_base == pytest.approx(3200 / 3600)
+
+    def test_sorted_by_submit_time(self):
+        jobs = list(reversed(parse_swf(SAMPLE)))
+        specs = to_job_specs(jobs, cores_per_node=64)
+        times = [t for t, _ in specs]
+        assert times == sorted(times)
+
+
+class TestReplay:
+    def make_cluster(self):
+        nodes = [SimulatedNode(NodeSpec(name=f"c{i}", cores_per_socket=32), seed=i) for i in range(4)]
+        return SlurmCluster("swf", {"cpu": nodes})
+
+    def test_jobs_submitted_at_trace_times(self):
+        clock = SimClock(start=1000.0)
+        cluster = self.make_cluster()
+        specs = to_job_specs(parse_swf(SAMPLE), cores_per_node=64)
+        scheduled = replay(clock, cluster, specs)
+        assert scheduled == 3
+        cluster.register_timer(clock, 30.0)
+        clock.advance(50.0)
+        assert cluster.jobs_submitted == 1  # only job 1 (t=0) so far
+        clock.advance(300.0)
+        assert cluster.jobs_submitted == 3
+
+    def test_replayed_job_runs_to_trace_duration(self):
+        clock = SimClock(start=0.0)
+        cluster = self.make_cluster()
+        specs = to_job_specs(parse_swf(SAMPLE), cores_per_node=64)
+        replay(clock, cluster, specs)
+        cluster.register_timer(clock, 30.0)
+        clock.advance(1500.0)
+        # job 2: submitted at 120, runs 600 s
+        unit = [u for u in cluster.list_units(0, clock.now()) if u.name == "swf-2"][0]
+        assert unit.state.value == "completed"
+        assert unit.elapsed == pytest.approx(600.0, abs=30.0)
+
+    def test_utilisation_fidelity_end_to_end(self):
+        """The replayed job's cgroup CPU time matches the trace's."""
+        clock = SimClock(start=0.0)
+        cluster = self.make_cluster()
+        for node in cluster.nodes.values():
+            clock.every(15.0, lambda now, n=node: n.advance(now, 15.0))
+        specs = to_job_specs(parse_swf(SAMPLE), cores_per_node=64)
+        replay(clock, cluster, specs)
+        cluster.register_timer(clock, 30.0)
+        clock.advance(600.0)  # job swf-2 (t=120, 600 s) is still running
+        unit = [u for u in cluster.list_units(0, clock.now()) if u.name == "swf-2"][0]
+        node = cluster.nodes[unit.nodelist[0]]
+        cg = node.cgroupfs.get(f"/system.slice/slurmstepd.scope/job_{unit.uuid}")
+        elapsed = clock.now() - unit.started_at
+        expected_usec = (540 / 600) * 4 * elapsed * 1e6  # util * cores * time
+        assert cg.usage_usec == pytest.approx(expected_usec, rel=0.1)

@@ -1,0 +1,224 @@
+"""Tests for the Thanos substrate: sidecar, store, compactor, fanout."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import StorageError
+from repro.thanos.compact import Compactor, _downsample_series
+from repro.thanos.query import FanoutStorage, merge_series
+from repro.thanos.sidecar import Sidecar
+from repro.thanos.store import BlockMeta, ObjectStore
+from repro.tsdb.model import Labels, Matcher
+from repro.tsdb.promql.engine import PromQLEngine
+from repro.tsdb.storage import TSDB, Series
+
+
+def mk(name: str, **labels: str) -> Labels:
+    return Labels({"__name__": name, **labels})
+
+
+def fill(db: TSDB, hours: float, step: float = 60.0) -> None:
+    t = 0.0
+    while t <= hours * 3600.0:
+        db.append(mk("m", instance="n1"), t, t / 60.0)
+        t += step
+
+
+class TestSidecar:
+    def test_uploads_completed_blocks_only(self):
+        hot = TSDB()
+        fill(hot, hours=5)
+        store = ObjectStore()
+        sidecar = Sidecar(hot, store)
+        uploaded = sidecar.upload(now=5 * 3600.0)
+        assert uploaded == 2  # two complete 2h windows; the third is open
+        assert store.tsdb("raw").num_samples == 2 * 120
+
+    def test_incremental_upload(self):
+        hot = TSDB()
+        fill(hot, hours=2)
+        store = ObjectStore()
+        sidecar = Sidecar(hot, store)
+        sidecar.upload(now=2 * 3600.0)
+        first = store.tsdb("raw").num_samples
+        fill_more = TSDB()  # extend hot in place instead
+        t = 2 * 3600.0 + 60.0
+        while t <= 4 * 3600.0:
+            hot.append(mk("m", instance="n1"), t, t / 60.0)
+            t += 60.0
+        sidecar.upload(now=4 * 3600.0)
+        assert store.tsdb("raw").num_samples > first
+        assert sidecar.blocks_uploaded == 2
+        del fill_more
+
+    def test_block_metadata(self):
+        hot = TSDB()
+        fill(hot, hours=2)
+        store = ObjectStore()
+        Sidecar(hot, store).upload(now=2 * 3600.0)
+        block = store.blocks_at("raw")[0]
+        assert block.min_time == 0.0
+        assert block.max_time == 7200.0
+        assert block.num_series == 1
+        assert block.level == 1
+
+    def test_nothing_to_upload(self):
+        sidecar = Sidecar(TSDB(), ObjectStore())
+        assert sidecar.upload(now=1e6) == 0
+
+
+class TestDownsampling:
+    def test_bucket_means(self):
+        ts = np.arange(0, 600, 60.0)
+        vs = np.arange(10, dtype=np.float64)
+        b_ts, means, mins, maxs = _downsample_series(ts, vs, bucket=300.0)
+        assert b_ts.tolist() == [300.0, 600.0]
+        assert means.tolist() == [2.0, 7.0]
+        assert mins.tolist() == [0.0, 5.0]
+        assert maxs.tolist() == [4.0, 9.0]
+
+    def test_compactor_produces_5m_resolution(self):
+        hot = TSDB()
+        fill(hot, hours=8, step=60.0)
+        store = ObjectStore()
+        Sidecar(hot, store).upload(now=8 * 3600.0)
+        compactor = Compactor(store, downsample_5m_after=3600.0)
+        produced = compactor.downsample(now=8 * 3600.0)
+        assert produced["5m"] > 0
+        five = store.tsdb("5m")
+        mean_series = five.select([Matcher.name_eq("m")])
+        assert len(mean_series) == 1
+        # 5m averages of a linear signal match the signal midpoint
+        ts, vs = mean_series[0].window(300.0, 3600.0)
+        for t, v in zip(ts.tolist(), vs.tolist()):
+            assert v == pytest.approx((t - 150.0) / 60.0, abs=0.6)
+
+    def test_min_max_helper_series(self):
+        hot = TSDB()
+        fill(hot, hours=4)
+        store = ObjectStore()
+        Sidecar(hot, store).upload(now=4 * 3600.0)
+        Compactor(store, downsample_5m_after=0.0).downsample(now=4 * 3600.0)
+        names = store.tsdb("5m").metric_names()
+        assert set(names) == {"m", "m:min", "m:max"}
+
+    def test_downsample_idempotent(self):
+        hot = TSDB()
+        fill(hot, hours=4)
+        store = ObjectStore()
+        Sidecar(hot, store).upload(now=4 * 3600.0)
+        compactor = Compactor(store, downsample_5m_after=0.0)
+        first = compactor.downsample(now=4 * 3600.0)
+        second = compactor.downsample(now=4 * 3600.0)
+        assert second["5m"] == 0  # nothing new to do
+
+    def test_1h_resolution_from_5m(self):
+        hot = TSDB()
+        fill(hot, hours=30, step=300.0)
+        store = ObjectStore()
+        Sidecar(hot, store).upload(now=30 * 3600.0)
+        compactor = Compactor(store, downsample_5m_after=0.0, downsample_1h_after=0.0)
+        produced = compactor.downsample(now=30 * 3600.0)
+        assert produced["1h"] > 0
+        assert store.tsdb("1h").num_samples > 0
+
+
+class TestCompaction:
+    def test_blocks_merge_to_higher_levels(self):
+        hot = TSDB()
+        fill(hot, hours=17, step=120.0)
+        store = ObjectStore()
+        Sidecar(hot, store).upload(now=17 * 3600.0)
+        assert len(store.blocks_at("raw")) == 8
+        compactor = Compactor(store)
+        merged = compactor.compact_blocks()
+        assert merged == 8  # 8 level-1 blocks -> 2 level-2 blocks
+        level2 = [b for b in store.blocks_at("raw") if b.level == 2]
+        assert len(level2) == 2
+        assert all(b.max_time - b.min_time == 8 * 3600.0 for b in level2)
+
+    def test_incomplete_window_not_merged(self):
+        hot = TSDB()
+        fill(hot, hours=5, step=120.0)
+        store = ObjectStore()
+        Sidecar(hot, store).upload(now=5 * 3600.0)
+        compactor = Compactor(store)
+        compactor.compact_blocks()
+        assert all(b.level == 1 for b in store.blocks_at("raw"))
+
+
+class TestObjectStore:
+    def test_bad_resolution_rejected(self):
+        store = ObjectStore()
+        with pytest.raises(StorageError):
+            store.tsdb("3m")
+        with pytest.raises(StorageError):
+            store.add_block(BlockMeta("u", 0, 1, "3m", 0, 0))
+
+    def test_inverted_block_rejected(self):
+        store = ObjectStore()
+        with pytest.raises(StorageError):
+            store.add_block(BlockMeta("u", 10, 5, "raw", 0, 0))
+
+    def test_pick_resolution_heuristic(self):
+        store = ObjectStore()
+        store.tsdb("5m").append(mk("m"), 0.0, 1.0)
+        store.tsdb("1h").append(mk("m"), 0.0, 1.0)
+        assert store.pick_resolution(3600.0) == "raw"
+        assert store.pick_resolution(3 * 86400.0) == "5m"
+        assert store.pick_resolution(30 * 86400.0) == "1h"
+
+    def test_retention_per_resolution(self):
+        store = ObjectStore(raw_retention=3600.0)
+        for t in range(0, 7200, 600):
+            store.tsdb("raw").append(mk("m"), float(t), 1.0)
+        store.add_block(BlockMeta("old", 0.0, 1800.0, "raw", 3, 1))
+        store.add_block(BlockMeta("new", 5400.0, 7200.0, "raw", 3, 1))
+        dropped = store.apply_retention(now=7200.0)
+        assert dropped["raw"] > 0
+        assert [b.ulid for b in store.blocks_at("raw")] == ["new"]
+
+
+class TestFanout:
+    def test_merge_prefers_primary(self):
+        labels = mk("m")
+        hot = Series(labels=labels)
+        hot.append(10.0, 100.0)
+        hot.append(20.0, 200.0)
+        cold = Series(labels=labels)
+        cold.append(0.0, -1.0)
+        cold.append(10.0, -2.0)  # overlapping timestamp: hot wins
+        merged = merge_series(hot, cold, labels)
+        assert merged.timestamps == [0.0, 10.0, 20.0]
+        assert merged.values == [-1.0, 100.0, 200.0]
+
+    def test_merge_handles_missing_sides(self):
+        labels = mk("m")
+        only = Series(labels=labels)
+        only.append(1.0, 1.0)
+        assert merge_series(only, None, labels) is only
+        assert merge_series(None, only, labels) is only
+        assert merge_series(None, None, labels).nsamples == 0
+
+    def test_fanout_spans_hot_and_store(self):
+        hot = TSDB(retention=3600.0)
+        fill(hot, hours=4)
+        store = ObjectStore()
+        Sidecar(hot, store).upload(now=4 * 3600.0)
+        hot.apply_retention(now=4 * 3600.0)  # hot now holds only 1h
+        fanout = FanoutStorage(hot, store)
+        engine = PromQLEngine(fanout)
+        # query a point that only exists in the store
+        result = engine.query("m", at=1800.0)
+        assert len(result.vector) == 1
+        # and a recent point that exists in hot
+        result = engine.query("m", at=4 * 3600.0)
+        assert len(result.vector) == 1
+
+    def test_fanout_label_values(self):
+        hot = TSDB()
+        hot.append(mk("m", instance="hot1"), 0.0, 1.0)
+        store = ObjectStore()
+        store.tsdb("raw").append(mk("m", instance="cold1"), 0.0, 1.0)
+        fanout = FanoutStorage(hot, store)
+        assert fanout.label_values("instance") == ["cold1", "hot1"]

@@ -1,0 +1,122 @@
+"""Tests for the TSDB data model (labels, matchers)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tsdb.model import (
+    METRIC_NAME_LABEL,
+    Labels,
+    Matcher,
+    MatchOp,
+    match_all,
+)
+
+
+class TestLabels:
+    def test_metric_name(self):
+        labels = Labels({"__name__": "up", "job": "ceems"})
+        assert labels.metric_name == "up"
+
+    def test_equality_is_order_independent(self):
+        assert Labels({"a": "1", "b": "2"}) == Labels({"b": "2", "a": "1"})
+        assert hash(Labels({"a": "1", "b": "2"})) == hash(Labels({"b": "2", "a": "1"}))
+
+    def test_invalid_label_name_rejected(self):
+        with pytest.raises(ValueError):
+            Labels({"not-valid": "x"})
+        with pytest.raises(ValueError):
+            Labels({"0start": "x"})
+
+    def test_colons_allowed_in_metric_name_only(self):
+        Labels({"__name__": "ceems:unit:power"})  # ok
+        with pytest.raises(ValueError):
+            Labels({"a:b": "x"})
+
+    def test_non_string_value_rejected(self):
+        with pytest.raises(ValueError):
+            Labels({"a": 5})  # type: ignore[dict-item]
+
+    def test_get_and_contains(self):
+        labels = Labels({"a": "1"})
+        assert labels.get("a") == "1"
+        assert labels.get("z", "dflt") == "dflt"
+        assert "a" in labels and "z" not in labels
+
+    def test_drop_keep_without_name(self):
+        labels = Labels({"__name__": "m", "a": "1", "b": "2"})
+        assert labels.without_name() == Labels({"a": "1", "b": "2"})
+        assert labels.drop("a") == Labels({"__name__": "m", "b": "2"})
+        assert labels.keep(["a"]) == Labels({"a": "1"})
+
+    def test_with_name_and_merge(self):
+        labels = Labels({"a": "1"})
+        named = labels.with_name("metric")
+        assert named.metric_name == "metric"
+        merged = labels.merge({"b": "2"})
+        assert merged == Labels({"a": "1", "b": "2"})
+
+    def test_str_rendering(self):
+        labels = Labels({"__name__": "up", "job": "x"})
+        assert str(labels) == 'up{job="x"}'
+        assert str(Labels({"__name__": "up"})) == "up"
+
+    def test_iteration_sorted(self):
+        labels = Labels({"z": "1", "a": "2"})
+        assert [k for k, _ in labels] == ["a", "z"]
+
+
+class TestMatchers:
+    def test_eq(self):
+        m = Matcher.eq("job", "ceems")
+        assert m.matches(Labels({"job": "ceems"}))
+        assert not m.matches(Labels({"job": "other"}))
+        assert not m.matches(Labels({}))
+
+    def test_neq(self):
+        m = Matcher("job", MatchOp.NEQ, "ceems")
+        assert not m.matches(Labels({"job": "ceems"}))
+        assert m.matches(Labels({"job": "other"}))
+        assert m.matches(Labels({}))  # absent label != value
+
+    def test_regex_fully_anchored(self):
+        m = Matcher.re("uuid", "12")
+        assert m.matches(Labels({"uuid": "12"}))
+        assert not m.matches(Labels({"uuid": "123"}))  # anchored
+
+    def test_regex_alternation(self):
+        m = Matcher.re("uuid", "a|b")
+        assert m.matches(Labels({"uuid": "a"}))
+        assert m.matches(Labels({"uuid": "b"}))
+        assert not m.matches(Labels({"uuid": "c"}))
+
+    def test_nre(self):
+        m = Matcher("uuid", MatchOp.NRE, "1.*")
+        assert not m.matches(Labels({"uuid": "123"}))
+        assert m.matches(Labels({"uuid": "456"}))
+
+    def test_name_eq_helper(self):
+        m = Matcher.name_eq("up")
+        assert m.name == METRIC_NAME_LABEL
+        assert m.matches(Labels({"__name__": "up"}))
+
+    def test_match_all(self):
+        labels = Labels({"__name__": "up", "job": "x", "instance": "n1"})
+        assert match_all([Matcher.name_eq("up"), Matcher.eq("job", "x")], labels)
+        assert not match_all([Matcher.name_eq("up"), Matcher.eq("job", "y")], labels)
+
+    def test_str(self):
+        assert str(Matcher.re("a", "b.*")) == 'a=~"b.*"'
+
+
+@given(
+    st.dictionaries(
+        st.from_regex(r"[a-z_][a-z0-9_]{0,8}", fullmatch=True),
+        st.text(min_size=0, max_size=10),
+        max_size=5,
+    )
+)
+def test_labels_roundtrip_property(mapping):
+    labels = Labels(mapping)
+    assert labels.as_dict() == mapping
+    assert Labels(labels.as_dict()) == labels

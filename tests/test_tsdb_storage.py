@@ -1,0 +1,203 @@
+"""Tests for the TSDB storage layer."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import StorageError
+from repro.tsdb.model import Labels, Matcher, MatchOp
+from repro.tsdb.storage import TSDB, Series
+
+
+def mklabels(name: str, **labels: str) -> Labels:
+    return Labels({"__name__": name, **labels})
+
+
+class TestAppend:
+    def test_append_creates_series(self):
+        db = TSDB()
+        db.append(mklabels("up", job="a"), 1.0, 1.0)
+        assert db.num_series == 1
+        assert db.num_samples == 1
+
+    def test_series_needs_metric_name(self):
+        db = TSDB()
+        with pytest.raises(StorageError, match="metric name"):
+            db.append(Labels({"job": "a"}), 1.0, 1.0)
+
+    def test_out_of_order_rejected(self):
+        db = TSDB()
+        labels = mklabels("up")
+        db.append(labels, 10.0, 1.0)
+        with pytest.raises(StorageError, match="out-of-order"):
+            db.append(labels, 5.0, 2.0)
+
+    def test_duplicate_timestamp_overwrites(self):
+        """Last-write-wins keeps rule re-evaluation idempotent."""
+        db = TSDB()
+        labels = mklabels("up")
+        db.append(labels, 10.0, 1.0)
+        db.append(labels, 10.0, 2.0)
+        series = db.select([Matcher.name_eq("up")])[0]
+        assert series.nsamples == 1
+        assert series.values[-1] == 2.0
+
+    def test_min_max_time_tracked(self):
+        db = TSDB()
+        db.append(mklabels("a"), 5.0, 1.0)
+        db.append(mklabels("b"), 2.0, 1.0)
+        db.append(mklabels("a"), 9.0, 1.0)
+        assert db.min_time == 2.0
+        assert db.max_time == 9.0
+
+    def test_append_many(self):
+        db = TSDB()
+        n = db.append_many([(mklabels("x"), float(i), float(i)) for i in range(10)])
+        assert n == 10 and db.num_samples == 10
+
+
+class TestSelect:
+    def setup_method(self):
+        self.db = TSDB()
+        for node in ("n1", "n2"):
+            for uuid in ("1", "2"):
+                self.db.append(mklabels("power", instance=node, uuid=uuid), 1.0, 1.0)
+        self.db.append(mklabels("up", instance="n1"), 1.0, 1.0)
+
+    def test_select_by_name(self):
+        assert len(self.db.select([Matcher.name_eq("power")])) == 4
+
+    def test_select_intersection(self):
+        out = self.db.select([Matcher.name_eq("power"), Matcher.eq("instance", "n1")])
+        assert len(out) == 2
+
+    def test_select_regex(self):
+        out = self.db.select([Matcher.name_eq("power"), Matcher.re("uuid", "1|2")])
+        assert len(out) == 4
+
+    def test_select_neq(self):
+        out = self.db.select([Matcher.name_eq("power"), Matcher("uuid", MatchOp.NEQ, "1")])
+        assert len(out) == 2
+
+    def test_select_no_match_returns_empty(self):
+        assert self.db.select([Matcher.name_eq("missing")]) == []
+
+    def test_select_requires_matchers(self):
+        with pytest.raises(StorageError):
+            self.db.select([])
+
+    def test_results_sorted_by_labels(self):
+        out = self.db.select([Matcher.name_eq("power")])
+        keys = [tuple(s.labels) for s in out]
+        assert keys == sorted(keys)
+
+    def test_label_values(self):
+        assert self.db.label_values("instance") == ["n1", "n2"]
+        assert self.db.metric_names() == ["power", "up"]
+
+    def test_cardinality_by_metric(self):
+        assert self.db.cardinality_by_metric() == {"power": 4, "up": 1}
+
+
+class TestSeriesReads:
+    def test_window(self):
+        series = Series(labels=mklabels("x"))
+        for i in range(10):
+            series.append(float(i), float(i * 10))
+        ts, vs = series.window(2.0, 5.0)
+        assert ts.tolist() == [2.0, 3.0, 4.0, 5.0]
+        assert vs.tolist() == [20.0, 30.0, 40.0, 50.0]
+
+    def test_window_empty(self):
+        series = Series(labels=mklabels("x"))
+        ts, vs = series.window(0, 10)
+        assert len(ts) == 0
+
+    def test_at_or_before_with_lookback(self):
+        series = Series(labels=mklabels("x"))
+        series.append(100.0, 7.0)
+        assert series.at_or_before(100.0, 300.0) == (100.0, 7.0)
+        assert series.at_or_before(350.0, 300.0) == (100.0, 7.0)
+        assert series.at_or_before(400.1, 300.0) is None  # outside lookback
+        assert series.at_or_before(99.0, 300.0) is None  # before first sample
+
+    def test_stale_marker_hides_series(self):
+        series = Series(labels=mklabels("x"))
+        series.append(100.0, 7.0)
+        series.append(115.0, math.nan)  # staleness marker
+        assert series.at_or_before(110.0, 300.0) == (100.0, 7.0)
+        assert series.at_or_before(120.0, 300.0) is None
+
+    def test_series_resumes_after_stale(self):
+        series = Series(labels=mklabels("x"))
+        series.append(100.0, 7.0)
+        series.append(115.0, math.nan)
+        series.append(130.0, 9.0)
+        assert series.at_or_before(135.0, 300.0) == (130.0, 9.0)
+
+
+class TestRetention:
+    def test_old_samples_dropped(self):
+        db = TSDB(retention=100.0)
+        labels = mklabels("x")
+        for t in range(0, 300, 10):
+            db.append(labels, float(t), 1.0)
+        dropped, _ = db.apply_retention(now=290.0)
+        assert dropped == 19  # everything strictly before t=190
+        series = db.select([Matcher.name_eq("x")])[0]
+        assert series.min_time == 190.0
+
+    def test_empty_series_removed(self):
+        db = TSDB(retention=10.0)
+        db.append(mklabels("old"), 0.0, 1.0)
+        db.append(mklabels("new"), 100.0, 1.0)
+        _, series_dropped = db.apply_retention(now=100.0)
+        assert series_dropped == 1
+        assert db.num_series == 1
+        assert db.metric_names() == ["new"]
+
+    def test_zero_retention_keeps_everything(self):
+        db = TSDB(retention=0.0)
+        db.append(mklabels("x"), 0.0, 1.0)
+        assert db.apply_retention(now=1e9) == (0, 0)
+
+
+class TestDeleteSeries:
+    def test_delete_by_uuid(self):
+        db = TSDB()
+        for uuid in ("1", "2"):
+            for metric in ("cpu", "mem"):
+                db.append(mklabels(metric, uuid=uuid), 1.0, 1.0)
+        deleted = db.delete_series([Matcher.eq("uuid", "1")])
+        assert deleted == 2
+        assert db.num_series == 2
+        assert all(s.labels.get("uuid") == "2" for s in db.all_series())
+
+    def test_delete_cleans_index(self):
+        db = TSDB()
+        db.append(mklabels("cpu", uuid="1"), 1.0, 1.0)
+        db.delete_series([Matcher.eq("uuid", "1")])
+        assert db.label_values("uuid") == []
+        assert db.select([Matcher.eq("uuid", "1")]) == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=1000), st.floats(allow_nan=False, allow_infinity=False, width=32)),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_window_read_matches_naive_property(points):
+    """Window reads agree with a brute-force filter."""
+    points = sorted({t: v for t, v in points}.items())
+    series = Series(labels=mklabels("p"))
+    for t, v in points:
+        series.append(float(t), v)
+    lo, hi = 200.0, 800.0
+    ts, vs = series.window(lo, hi)
+    expected = [(float(t), v) for t, v in points if lo <= t <= hi]
+    assert list(zip(ts.tolist(), vs.tolist())) == expected

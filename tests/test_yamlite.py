@@ -1,0 +1,171 @@
+"""Tests for the YAML-subset configuration parser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import yamlite
+from repro.common.errors import ConfigError
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("key: 42", {"key": 42}),
+            ("key: -7", {"key": -7}),
+            ("key: 3.14", {"key": 3.14}),
+            ("key: 1e3", {"key": 1000.0}),
+            ("key: true", {"key": True}),
+            ("key: false", {"key": False}),
+            ("key: null", {"key": None}),
+            ("key: ~", {"key": None}),
+            ("key: hello", {"key": "hello"}),
+            ('key: "quoted: string"', {"key": "quoted: string"}),
+            ("key: 'single'", {"key": "single"}),
+            ('key: "with \\"escape\\""', {"key": 'with "escape"'}),
+            ("key: 15s", {"key": "15s"}),  # durations stay strings
+        ],
+    )
+    def test_scalar_parsing(self, text, expected):
+        assert yamlite.loads(text) == expected
+
+    def test_empty_document(self):
+        assert yamlite.loads("") is None
+        assert yamlite.loads("\n\n  \n") is None
+
+    def test_document_separator_tolerated(self):
+        assert yamlite.loads("---\nkey: 1") == {"key": 1}
+
+
+class TestComments:
+    def test_full_line_comment(self):
+        assert yamlite.loads("# a comment\nkey: 1") == {"key": 1}
+
+    def test_trailing_comment(self):
+        assert yamlite.loads("key: 1  # trailing") == {"key": 1}
+
+    def test_hash_inside_quotes_kept(self):
+        assert yamlite.loads('key: "a#b"') == {"key": "a#b"}
+
+
+class TestNesting:
+    def test_nested_mapping(self):
+        doc = """
+parent:
+  child: 1
+  other:
+    deep: yes_string
+"""
+        assert yamlite.loads(doc) == {"parent": {"child": 1, "other": {"deep": "yes_string"}}}
+
+    def test_empty_value_is_none(self):
+        assert yamlite.loads("a:\nb: 2") == {"a": None, "b": 2}
+
+    def test_sequence_of_scalars(self):
+        doc = """
+items:
+  - 1
+  - two
+  - 3.0
+"""
+        assert yamlite.loads(doc) == {"items": [1, "two", 3.0]}
+
+    def test_sequence_of_mappings(self):
+        doc = """
+targets:
+  - name: a
+    port: 1
+  - name: b
+    port: 2
+"""
+        assert yamlite.loads(doc) == {
+            "targets": [{"name": "a", "port": 1}, {"name": "b", "port": 2}]
+        }
+
+    def test_flow_sequence(self):
+        assert yamlite.loads("xs: [1, 2, three]") == {"xs": [1, 2, "three"]}
+
+    def test_empty_flow_sequence(self):
+        assert yamlite.loads("xs: []") == {"xs": []}
+
+    def test_nested_flow_sequence(self):
+        assert yamlite.loads("xs: [[1, 2], [3]]") == {"xs": [[1, 2], [3]]}
+
+    def test_top_level_sequence(self):
+        assert yamlite.loads("- 1\n- 2") == [1, 2]
+
+    def test_url_value_with_colon(self):
+        assert yamlite.loads("url: http://example.com:9090/path") == {
+            "url": "http://example.com:9090/path"
+        }
+
+
+class TestErrors:
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            yamlite.loads("a: 1\na: 2")
+
+    def test_tabs_rejected(self):
+        with pytest.raises(ConfigError, match="tabs"):
+            yamlite.loads("a:\n\tb: 1")
+
+    def test_anchor_rejected(self):
+        with pytest.raises(ConfigError, match="anchors"):
+            yamlite.loads("a: &anchor 1")
+
+    def test_flow_mapping_rejected(self):
+        with pytest.raises(ConfigError, match="flow mappings"):
+            yamlite.loads("a: {b: 1}")
+
+    def test_block_scalar_rejected(self):
+        with pytest.raises(ConfigError, match="block scalars"):
+            yamlite.loads("a: |\n  text")
+
+    def test_bad_indent_rejected(self):
+        with pytest.raises(ConfigError):
+            yamlite.loads("a: 1\n   b: 2")
+
+
+class TestDumps:
+    def test_simple_roundtrip(self):
+        doc = {"a": 1, "b": "text", "c": [1, 2], "d": {"e": True, "f": None}}
+        assert yamlite.loads(yamlite.dumps(doc)) == doc
+
+    def test_sequence_of_mappings_roundtrip(self):
+        doc = {"targets": [{"name": "a", "port": 1}, {"name": "b", "port": 2}]}
+        assert yamlite.loads(yamlite.dumps(doc)) == doc
+
+    def test_quoting_of_tricky_strings(self):
+        doc = {"a": "15s", "b": "true", "c": "with: colon", "d": "1.5"}
+        reparsed = yamlite.loads(yamlite.dumps(doc))
+        # values that look like other types must survive as strings
+        assert reparsed == doc
+
+
+# Strategy for round-trippable documents.
+_scalars = st.one_of(
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.booleans(),
+    st.none(),
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters=" _"),
+        min_size=1,
+        max_size=20,
+    ).map(str.strip).filter(bool),
+)
+_keys = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_"),
+    min_size=1,
+    max_size=12,
+)
+_docs = st.recursive(
+    st.dictionaries(_keys, _scalars, min_size=1, max_size=4),
+    lambda children: st.dictionaries(_keys, st.one_of(_scalars, children, st.lists(_scalars, min_size=1, max_size=4)), min_size=1, max_size=4),
+    max_leaves=12,
+)
+
+
+@given(_docs)
+def test_dumps_loads_roundtrip_property(doc):
+    assert yamlite.loads(yamlite.dumps(doc)) == doc
