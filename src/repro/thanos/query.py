@@ -44,17 +44,63 @@ def merge_series(primary: Series | None, secondary: Series | None, labels: Label
 
 
 class FanoutStorage:
-    """Hot + store querier with dedup."""
+    """Hot + store querier with dedup.
+
+    Merged selector results are memoised keyed by the matcher tuple.
+    Unlike the in-TSDB memo (which survives appends because ``Series``
+    mutate in place), a merged series is a *copy* frozen at merge time,
+    so the memo entry is validated against the data epochs of both
+    backends and rebuilt whenever either side mutated.  A dashboard
+    burst or a columnar range query touching the same selectors between
+    scrapes pays the merge once.
+    """
+
+    #: Upper bound on memoised fan-out selections before wholesale reset.
+    SELECT_CACHE_MAX = 128
 
     def __init__(self, hot: TSDB, store: ObjectStore) -> None:
         self.hot = hot
         self.store = store
+        self._select_cache: dict[
+            tuple[Matcher, ...], tuple[tuple[int, int, int, int], list[Series]]
+        ] = {}
+        self.select_cache_hits = 0
+        self.select_cache_misses = 0
+
+    def _epochs(self) -> tuple[int, int, int, int]:
+        raw = self.store.tsdb("raw")
+        return (
+            self.hot.series_epoch,
+            self.hot.data_epoch,
+            raw.series_epoch,
+            raw.data_epoch,
+        )
 
     def select(self, matchers: Sequence[Matcher]) -> list[Series]:
+        key = tuple(matchers)
+        epochs = self._epochs()
+        cached = self._select_cache.get(key)
+        if cached is not None and cached[0] == epochs:
+            self.select_cache_hits += 1
+            return cached[1]
+        self.select_cache_misses += 1
         hot_series = {s.labels: s for s in self.hot.select(matchers)}
         store_series = {s.labels: s for s in self.store.tsdb("raw").select(matchers)}
         keys = sorted(set(hot_series) | set(store_series), key=tuple)
-        return [merge_series(hot_series.get(k), store_series.get(k), k) for k in keys]
+        result = [merge_series(hot_series.get(k), store_series.get(k), k) for k in keys]
+        if len(self._select_cache) >= self.SELECT_CACHE_MAX:
+            self._select_cache.clear()
+        self._select_cache[key] = (epochs, result)
+        return result
+
+    def selector_cache_stats(self) -> dict[str, float]:
+        """Hit/miss counters of the fan-out selector memo."""
+        total = self.select_cache_hits + self.select_cache_misses
+        return {
+            "hits": float(self.select_cache_hits),
+            "misses": float(self.select_cache_misses),
+            "hit_rate": self.select_cache_hits / total if total else 0.0,
+        }
 
     def at_resolution(self, resolution: str) -> TSDB:
         """Direct view of one downsampled resolution."""

@@ -80,6 +80,19 @@ class ObjectStore:
         except KeyError:
             raise StorageError(f"unknown resolution {resolution!r}") from None
 
+    def select(self, matchers):
+        """Batched-select contract (raw resolution), so a PromQL engine
+        — per-step or columnar — can point at the store gateway
+        directly; selection rides the raw TSDB's selector memo."""
+        return self.tsdbs["raw"].select(matchers)
+
+    def selector_cache_stats(self) -> dict[str, dict[str, float]]:
+        """Per-resolution selector-memo counters (bench observability)."""
+        return {
+            resolution: tsdb.selector_cache_stats()
+            for resolution, tsdb in self.tsdbs.items()
+        }
+
     def pick_resolution(self, range_seconds: float) -> str:
         """Thanos auto-downsampling heuristic: keep point counts sane.
 

@@ -7,6 +7,11 @@ documented response envelope (``{"status":"success","data":{...}}``):
 * ``GET/POST /api/v1/query`` — instant query (``query``, ``time``),
 * ``GET/POST /api/v1/query_range`` — range query (``query``,
   ``start``, ``end``, ``step``),
+
+  Both accept an optional ``strategy`` parameter (``columnar`` /
+  ``per_step``) selecting the evaluator — an escape hatch for
+  debugging; an unknown value is a 400.
+
 * ``GET /api/v1/series`` — series metadata for ``match[]`` selectors,
 * ``GET /api/v1/label/{name}/values``,
 * ``GET /-/healthy``.
@@ -68,8 +73,9 @@ class PromAPI:
         if time_param is None:
             return Response.error(400, "missing time parameter (no wall clock in simulation)")
         self.queries_served += 1
+        strategy = self._param(request, "strategy") or "per_step"
         try:
-            result = self.engine.query(query, float(time_param))
+            result = self.engine.query(query, float(time_param), strategy=strategy)
         except (QueryError, StorageError, ValueError) as exc:
             return Response.error(400, str(exc))
         if result.is_scalar:
@@ -98,8 +104,9 @@ class PromAPI:
         except (TypeError, ValueError):
             return Response.error(400, "start/end/step must be numbers")
         self.queries_served += 1
+        strategy = self._param(request, "strategy") or "columnar"
         try:
-            result = self.engine.query_range(query, start, end, step)
+            result = self.engine.query_range(query, start, end, step, strategy=strategy)
         except (QueryError, StorageError, ValueError) as exc:
             return Response.error(400, str(exc))
         data = {

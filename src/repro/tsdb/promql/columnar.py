@@ -1,0 +1,816 @@
+"""Columnar (vectorized) PromQL range evaluation.
+
+The per-step evaluator in :mod:`repro.tsdb.promql.engine` re-walks the
+AST and re-runs ``storage.select`` once per step timestamp: a 90-day
+query at 1 h resolution is ~2160 full instant evaluations, each doing
+fresh index intersections and per-series bisects.  This module
+evaluates the whole range in one pass instead:
+
+* every selector is resolved **once per query** (through the storage
+  selector memo) and each matched series is materialised once as
+  cached ndarrays (:meth:`Series.arrays`);
+* instant-vector lookback is computed for **all step timestamps at
+  once** with ``np.searchsorted``;
+* range functions evaluate as vectorized window kernels
+  (:data:`repro.tsdb.promql.functions.WINDOW_FUNCTIONS`);
+* binary operators, aggregations and element functions execute along
+  the step axis as ``(n_series × n_steps)`` matrix operations.
+
+Values flow through evaluation as one of three shapes:
+
+* :class:`_Matrix` — an instant vector per step: row labels plus a
+  ``(S, T)`` value matrix and a same-shaped boolean **presence mask**.
+  Presence is tracked separately from NaN because a present element
+  may legitimately carry a NaN *value* (``0 / 0``), which aggregations
+  must see, while an absent element must not participate at all.
+* ``np.ndarray`` of shape ``(T,)`` — a scalar per step (always
+  present, may be NaN-valued).
+* ``str`` — a string literal.
+
+Bit-identity with the per-step reference evaluator is a hard contract
+(the differential harness in ``tests/test_promql_reference.py``
+asserts it): every elementwise formula reproduces the scalar code's
+operation order, aggregation accumulates rows in the same sequential
+order the reference accumulates vector elements (absent entries
+contribute an exact ``+0.0``), and anything that cannot be reproduced
+vectorially (counter windows containing resets, most ``*_over_time``
+reducers, ``^``/``%`` edge semantics, element functions that may
+raise) falls back to the scalar implementation per window/element.
+
+Known, deliberate divergence: ``sort()`` inside a *range* query is an
+ordering no-op (range results are keyed by labels, not ordered), so an
+aggregation nested *outside* a ``sort()``/``topk()`` may accumulate in
+a different element order than the per-step path.  Prometheus itself
+defines sort order only for instant-query presentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import QueryError
+from repro.tsdb.model import METRIC_NAME_LABEL, Labels
+from repro.tsdb.promql.ast import (
+    Aggregation,
+    BinaryOp,
+    Call,
+    Expr,
+    MatrixSelector,
+    NumberLiteral,
+    Paren,
+    StringLiteral,
+    Subquery,
+    UnaryOp,
+    VectorSelector,
+)
+from repro.tsdb.promql.engine import (
+    PromQLEngine,
+    VectorElement,
+    _compile_anchored,
+    _Vector,
+)
+from repro.tsdb.promql.functions import (
+    ELEMENT_FUNCTIONS,
+    RANGE_FUNCTIONS,
+    WINDOW_FUNCTIONS,
+    quantile_over_time,
+)
+
+_COMPARISONS = ("==", "!=", ">", "<", ">=", "<=")
+
+
+@dataclass
+class _Matrix:
+    """An instant vector at every step: rows are elements, columns steps."""
+
+    labels: list[Labels]
+    values: np.ndarray  # (S, T) float64
+    present: np.ndarray  # (S, T) bool
+
+    @property
+    def nrows(self) -> int:
+        return len(self.labels)
+
+
+def eval_range_columnar(
+    engine: PromQLEngine, ast: Expr, steps: np.ndarray
+) -> dict[Labels, tuple[np.ndarray, np.ndarray]]:
+    """Evaluate ``ast`` at every step; returns RangeResult.series data."""
+    ev = _ColumnarEval(engine, steps)
+    return ev.materialize(ev.eval(ast))
+
+
+def eval_instant_columnar(engine: PromQLEngine, ast: Expr, at: float):
+    """Single-step columnar evaluation returning the engine's internal
+    value types (``_Vector`` / float / str), for ``query(strategy=
+    "columnar")`` — the path rule groups use."""
+    ev = _ColumnarEval(engine, np.asarray([float(at)], dtype=np.float64))
+    value = ev.eval(ast)
+    if isinstance(value, _Matrix):
+        vec = _Vector(
+            VectorElement(value.labels[i], float(value.values[i, 0]))
+            for i in range(value.nrows)
+            if value.present[i, 0]
+        )
+        if isinstance(ast, Call) and ast.func in ("sort", "sort_desc"):
+            vec = _Vector(
+                sorted(vec, key=lambda el: el.value, reverse=(ast.func == "sort_desc"))
+            )
+        return vec
+    if isinstance(value, np.ndarray):
+        return float(value[0])
+    return value
+
+
+class _ColumnarEval:
+    def __init__(self, engine: PromQLEngine, steps: np.ndarray) -> None:
+        self.engine = engine
+        self.storage = engine.storage
+        self.lookback = engine.lookback
+        self.steps = steps
+        self.T = len(steps)
+        # Per-query memos: identical selector / matrix-selector nodes
+        # (e.g. rate(m[5m]) + increase(m[5m])) are resolved once.
+        self._selector_memo: dict[Expr, _Matrix] = {}
+        self._window_memo: dict[Expr, tuple] = {}
+
+    # -- materialization -------------------------------------------------
+    def materialize(self, value) -> dict[Labels, tuple[np.ndarray, np.ndarray]]:
+        steps = self.steps
+        if isinstance(value, _Matrix):
+            acc: dict[Labels, tuple[np.ndarray, np.ndarray]] = {}
+            for i, labels in enumerate(value.labels):
+                pres = value.present[i]
+                if not pres.any():
+                    continue
+                ts = steps[pres]
+                vs = value.values[i][pres]
+                prev = acc.get(labels)
+                if prev is not None:
+                    # Duplicate output labels (label_replace collisions):
+                    # interleave by timestamp, earlier row first on ties
+                    # — the per-step append order.
+                    ts = np.concatenate([prev[0], ts])
+                    vs = np.concatenate([prev[1], vs])
+                    order = np.argsort(ts, kind="stable")
+                    ts, vs = ts[order], vs[order]
+                acc[labels] = (ts, vs)
+            return acc
+        if isinstance(value, np.ndarray):
+            if not len(steps):
+                return {}
+            return {Labels(): (steps.copy(), np.asarray(value, dtype=np.float64))}
+        # String expressions accumulate nothing, as in the per-step loop.
+        return {}
+
+    # -- dispatch --------------------------------------------------------
+    def eval(self, node: Expr):
+        if isinstance(node, NumberLiteral):
+            return np.full(self.T, float(node.value))
+        if isinstance(node, StringLiteral):
+            return node.value
+        if isinstance(node, Paren):
+            return self.eval(node.expr)
+        if isinstance(node, UnaryOp):
+            inner = self.eval(node.expr)
+            if isinstance(inner, _Matrix):
+                return _Matrix(
+                    [l.without_name() for l in inner.labels],
+                    -inner.values,
+                    inner.present.copy(),
+                )
+            return -inner
+        if isinstance(node, VectorSelector):
+            return self._selector(node)
+        if isinstance(node, (MatrixSelector, Subquery)):
+            raise QueryError("range selector only valid as a range-function argument")
+        if isinstance(node, Call):
+            return self._call(node)
+        if isinstance(node, Aggregation):
+            return self._aggregation(node)
+        if isinstance(node, BinaryOp):
+            return self._binary(node)
+        raise QueryError(f"cannot evaluate node {node!r}")
+
+    # -- coercions -------------------------------------------------------
+    def _vector(self, node: Expr) -> _Matrix:
+        value = self.eval(node)
+        if not isinstance(value, _Matrix):
+            raise QueryError("expected an instant vector")
+        return value
+
+    def _scalar(self, node: Expr) -> np.ndarray:
+        value = self.eval(node)
+        if isinstance(value, _Matrix):
+            raise QueryError("expected a scalar")
+        if isinstance(value, str):
+            return np.full(self.T, float(value))
+        return value
+
+    def _string(self, node: Expr) -> str:
+        value = self.eval(node)
+        if not isinstance(value, str):
+            raise QueryError("expected a string literal")
+        return value
+
+    # -- selectors -------------------------------------------------------
+    def _selector(self, node: VectorSelector) -> _Matrix:
+        cached = self._selector_memo.get(node)
+        if cached is not None:
+            return cached
+        series_list = self.storage.select(node.matchers)
+        ats = self.steps - node.offset
+        S = len(series_list)
+        values = np.full((S, self.T), np.nan)
+        present = np.zeros((S, self.T), dtype=bool)
+        labels: list[Labels] = []
+        if self.T == 1:
+            # Instant fast path (rule evaluation): one bisect per
+            # series beats per-series searchsorted setup.
+            at = float(ats[0])
+            for i, series in enumerate(series_list):
+                labels.append(series.labels)
+                point = series.at_or_before(at, self.lookback)
+                if point is not None:
+                    values[i, 0] = point[1]
+                    present[i, 0] = True
+        else:
+            for i, series in enumerate(series_list):
+                labels.append(series.labels)
+                ts_a, vs_a = series.arrays()
+                if not len(ts_a):
+                    continue
+                idx = np.searchsorted(ts_a, ats, side="right") - 1
+                ok = idx >= 0
+                safe = np.maximum(idx, 0)
+                t_found = ts_a[safe]
+                v_found = vs_a[safe]
+                ok &= t_found > ats - self.lookback
+                ok &= ~np.isnan(v_found)  # staleness marker
+                values[i, ok] = v_found[ok]
+                present[i] = ok
+        mat = _Matrix(labels, values, present)
+        self._selector_memo[node] = mat
+        return mat
+
+    # -- range-vector windows --------------------------------------------
+    def _window_data(self, node):
+        """Per-series window bounds for a matrix selector / subquery.
+
+        Returns ``(starts, ends, rows)`` where each row is
+        ``(labels, ts, vs, los, his)``: the series' (compressed) sample
+        arrays plus per-step ``[lo, hi)`` bounds into them.
+        """
+        cached = self._window_memo.get(node)
+        if cached is not None:
+            return cached
+        if isinstance(node, Subquery):
+            data = self._subquery_window_data(node)
+        else:
+            ends = self.steps - node.selector.offset
+            starts = ends - node.range_seconds
+            rows = []
+            for series in self.storage.select(node.selector.matchers):
+                ts_a, vs_a = series.arrays()
+                if len(vs_a):
+                    nan = np.isnan(vs_a)
+                    if nan.any():
+                        # Staleness markers delimit a series' life; range
+                        # functions never see them.  Filtering before the
+                        # window search selects the same sample set as
+                        # the reference's filter-after-slice.
+                        keep = ~nan
+                        ts_a, vs_a = ts_a[keep], vs_a[keep]
+                los = np.searchsorted(ts_a, starts, side="left")
+                his = np.searchsorted(ts_a, ends, side="right")
+                rows.append((series.labels, ts_a, vs_a, los, his))
+            data = (starts, ends, rows)
+        self._window_memo[node] = data
+        return data
+
+    def _subquery_window_data(self, node: Subquery):
+        """Range-vector windows from an instant sub-expression.
+
+        Subquery steps live on the absolute grid ``m * step`` (exactly
+        the reference's index-generated timestamps), so one inner
+        columnar evaluation over the union grid serves every window.
+        """
+        ends = self.steps - node.offset
+        starts = ends - node.range_seconds
+        sstep = node.step_seconds
+        k_lo = np.ceil(starts / sstep).astype(np.int64)
+        k_hi = np.floor((ends + 1e-9) / sstep).astype(np.int64)
+        # One-ULP corrections so membership exactly matches the
+        # reference's `t <= end + 1e-9` loop condition.
+        k_hi += ((k_hi + 1) * sstep <= ends + 1e-9).astype(np.int64)
+        k_hi -= (k_hi * sstep > ends + 1e-9).astype(np.int64)
+        first_ts = k_lo * sstep
+        last_ts = k_hi * sstep
+        if not len(k_lo) or k_hi.max() < k_lo.min():
+            return starts, ends, []
+        m0 = int(k_lo.min())
+        grid = np.arange(m0, int(k_hi.max()) + 1, dtype=np.int64) * sstep
+        inner = _ColumnarEval(self.engine, grid).eval(node.expr)
+        if isinstance(inner, np.ndarray):
+            inner = _Matrix(
+                [Labels()],
+                np.asarray(inner, dtype=np.float64).reshape(1, -1),
+                np.ones((1, len(grid)), dtype=bool),
+            )
+        elif not isinstance(inner, _Matrix):
+            return starts, ends, []  # string sub-expression: no series
+        rows = []
+        for i, labels in enumerate(inner.labels):
+            pres = inner.present[i]
+            tsf = grid[pres]
+            vsf = inner.values[i][pres]
+            los = np.searchsorted(tsf, first_ts, side="left")
+            his = np.searchsorted(tsf, last_ts, side="right")
+            # NaN *values* are kept: the reference only filters
+            # staleness markers for raw matrix selectors, not for
+            # synthesised subquery windows.
+            rows.append((labels, tsf, vsf, los, his))
+        return starts, ends, rows
+
+    # -- calls -----------------------------------------------------------
+    def _call(self, node: Call):
+        func = node.func
+        if func in RANGE_FUNCTIONS:
+            if len(node.args) != 1 or not isinstance(node.args[0], (MatrixSelector, Subquery)):
+                raise QueryError(f"{func}() expects a single range-vector argument")
+            starts, ends, rows = self._window_data(node.args[0])
+            kernel = WINDOW_FUNCTIONS[func]
+            values = np.full((len(rows), self.T), np.nan)
+            labels = []
+            for i, (lbl, tsf, vsf, los, his) in enumerate(rows):
+                labels.append(lbl.without_name())
+                values[i] = kernel(tsf, vsf, los, his, starts, ends)
+            # The per-step engine drops None/NaN range-function results.
+            return _Matrix(labels, values, ~np.isnan(values))
+        if func == "quantile_over_time":
+            if len(node.args) != 2 or not isinstance(node.args[1], (MatrixSelector, Subquery)):
+                raise QueryError("quantile_over_time(scalar, range-vector) expected")
+            q = self._scalar(node.args[0])
+            starts, ends, rows = self._window_data(node.args[1])
+            values = np.full((len(rows), self.T), np.nan)
+            present = np.zeros((len(rows), self.T), dtype=bool)
+            labels = []
+            for i, (lbl, tsf, vsf, los, his) in enumerate(rows):
+                labels.append(lbl.without_name())
+                for j in np.nonzero(his > los)[0]:
+                    values[i, j] = quantile_over_time(float(q[j]), vsf[los[j] : his[j]])
+                    present[i, j] = True  # NaN quantiles stay present
+            return _Matrix(labels, values, present)
+        if func in ELEMENT_FUNCTIONS:
+            return self._element_call(node)
+        return self._special(node)
+
+    def _element_call(self, node: Call) -> _Matrix:
+        func = node.func
+        if not node.args:
+            raise QueryError(f"{func}() needs at least one argument")
+        vec = self._vector(node.args[0])
+        extras = [self._scalar(arg) for arg in node.args[1:]]
+        labels = [l.without_name() for l in vec.labels]
+        values = np.full_like(vec.values, np.nan)
+        if func == "abs":
+            np.copyto(values, np.abs(vec.values), where=vec.present)
+        elif func == "sqrt":
+            if bool((vec.present & (vec.values < 0)).any()):
+                raise ValueError("math domain error")  # as math.sqrt raises
+            np.copyto(values, np.sqrt(vec.values), where=vec.present)
+        else:
+            # Python impls may raise (exp overflow, floor of NaN…);
+            # apply them per present element so semantics — including
+            # exceptions — match the per-step engine exactly.
+            impl = ELEMENT_FUNCTIONS[func]
+            vals = vec.values
+            for i, j in zip(*np.nonzero(vec.present)):
+                # Plain Python floats in, as the per-step engine passes.
+                values[i, j] = float(impl(float(vals[i, j]), *(float(e[j]) for e in extras)))
+        return _Matrix(labels, values, vec.present.copy())
+
+    # -- special forms ---------------------------------------------------
+    def _special(self, node: Call):
+        func = node.func
+        T = self.T
+        if func == "time":
+            return self.steps.copy()
+        if func == "scalar":
+            vec = self._vector(node.args[0])
+            out = np.full(T, np.nan)
+            if vec.nrows:
+                counts = vec.present.sum(axis=0)
+                first = np.argmax(vec.present, axis=0)
+                chosen = vec.values[first, np.arange(T)]
+                one = counts == 1
+                out[one] = chosen[one]
+            return out
+        if func == "vector":
+            value = self._scalar(node.args[0])
+            return _Matrix(
+                [Labels()],
+                np.asarray(value, dtype=np.float64).reshape(1, -1).copy(),
+                np.ones((1, T), dtype=bool),
+            )
+        if func == "timestamp":
+            vec = self._vector(node.args[0])
+            values = np.where(vec.present, self.steps, np.nan)
+            return _Matrix(
+                [l.without_name() for l in vec.labels], values, vec.present.copy()
+            )
+        if func == "absent":
+            vec = self._vector(node.args[0])
+            any_present = (
+                vec.present.any(axis=0) if vec.nrows else np.zeros(T, dtype=bool)
+            )
+            labels = {}
+            arg = node.args[0]
+            if isinstance(arg, VectorSelector):
+                for m in arg.matchers:
+                    if m.op.value == "=" and m.name != METRIC_NAME_LABEL:
+                        labels[m.name] = m.value
+            present = ~any_present
+            return _Matrix(
+                [Labels(labels)],
+                np.where(present, 1.0, np.nan).reshape(1, -1),
+                present.reshape(1, -1),
+            )
+        if func in ("sort", "sort_desc"):
+            # Ordering is instant-query presentation; range results are
+            # keyed by labels.  eval_instant_columnar re-applies it.
+            return self._vector(node.args[0])
+        if func == "label_replace":
+            if len(node.args) != 5:
+                raise QueryError("label_replace(v, dst, replacement, src, regex) expected")
+            vec = self._vector(node.args[0])
+            dst, replacement, src, regex = (self._string(a) for a in node.args[1:])
+            pattern = _compile_anchored(regex)
+            new_labels = []
+            for l in vec.labels:
+                match = pattern.match(l.get(src, ""))
+                if match:
+                    new_value = match.expand(replacement.replace("$", "\\"))
+                    d = l.as_dict()
+                    if new_value:
+                        d[dst] = new_value
+                    else:
+                        d.pop(dst, None)
+                    new_labels.append(Labels(d))
+                else:
+                    new_labels.append(l)
+            return _Matrix(new_labels, vec.values.copy(), vec.present.copy())
+        if func == "label_join":
+            if len(node.args) < 3:
+                raise QueryError("label_join(v, dst, sep, src...) expected")
+            vec = self._vector(node.args[0])
+            dst = self._string(node.args[1])
+            sep = self._string(node.args[2])
+            sources = [self._string(a) for a in node.args[3:]]
+            new_labels = []
+            for l in vec.labels:
+                d = l.as_dict()
+                d[dst] = sep.join(l.get(s, "") for s in sources)
+                new_labels.append(Labels(d))
+            return _Matrix(new_labels, vec.values.copy(), vec.present.copy())
+        raise QueryError(f"unknown function {func!r}")
+
+    # -- aggregations ----------------------------------------------------
+    def _aggregation(self, node: Aggregation) -> _Matrix:
+        vec = self._vector(node.expr)
+        param = self._scalar(node.param) if node.param is not None else None
+        T = self.T
+
+        def group_key(labels: Labels) -> Labels:
+            if node.without:
+                return labels.drop(*node.grouping, METRIC_NAME_LABEL)
+            if node.grouping:
+                return labels.keep(node.grouping)
+            return Labels()
+
+        groups: dict[Labels, list[int]] = {}
+        for i, labels in enumerate(vec.labels):
+            groups.setdefault(group_key(labels), []).append(i)
+
+        op = node.op
+        if op in ("topk", "bottomk"):
+            return self._topk(node, vec, groups, param)
+
+        out_labels: list[Labels] = []
+        out_rows: list[np.ndarray] = []
+        out_present: list[np.ndarray] = []
+        with np.errstate(divide="ignore", invalid="ignore"):
+            for key, rows in groups.items():
+                sub_vals = vec.values[rows]
+                sub_pres = vec.present[rows]
+                count = sub_pres.sum(axis=0)
+                col_present = count > 0
+                if op in ("sum", "avg", "stddev", "stdvar"):
+                    # Row-sequential masked accumulation: absent cells
+                    # add an exact +0.0, so each column reproduces the
+                    # reference's _seq_sum over present members.
+                    masked = np.where(sub_pres, sub_vals, 0.0)
+                    acc = np.zeros(T)
+                    for r in range(len(rows)):
+                        acc = acc + masked[r]
+                    if op == "sum":
+                        vals = acc
+                    elif op == "avg":
+                        vals = acc / count
+                    else:
+                        mean = acc / count
+                        dev = sub_vals - mean
+                        dev2 = np.where(sub_pres, dev * dev, 0.0)
+                        acc2 = np.zeros(T)
+                        for r in range(len(rows)):
+                            acc2 = acc2 + dev2[r]
+                        vals = acc2 / count
+                        if op == "stddev":
+                            vals = np.sqrt(vals)
+                elif op == "min":
+                    vals = np.minimum.reduce(np.where(sub_pres, sub_vals, np.inf), axis=0)
+                elif op == "max":
+                    vals = np.maximum.reduce(np.where(sub_pres, sub_vals, -np.inf), axis=0)
+                elif op == "count":
+                    vals = count.astype(np.float64)
+                elif op == "quantile":
+                    if param is None:
+                        raise QueryError("quantile requires a parameter")
+                    vals = np.full(T, np.nan)
+                    for j in np.nonzero(col_present)[0]:
+                        members = sub_vals[:, j][sub_pres[:, j]]
+                        q = float(param[j])
+                        vals[j] = float(np.quantile(members, min(max(q, 0), 1)))
+                else:
+                    raise QueryError(f"unknown aggregation {op!r}")
+                out_labels.append(key)
+                out_rows.append(np.where(col_present, vals, np.nan))
+                out_present.append(col_present)
+        if not out_labels:
+            return _Matrix([], np.zeros((0, T)), np.zeros((0, T), dtype=bool))
+        return _Matrix(out_labels, np.vstack(out_rows), np.vstack(out_present))
+
+    def _topk(self, node, vec: _Matrix, groups, param) -> _Matrix:
+        op = node.op
+        if param is None:
+            raise QueryError(f"{op} requires a parameter")
+        k_cols = np.maximum(param.astype(np.int64), 0)
+        out_labels: list[Labels] = []
+        out_rows: list[np.ndarray] = []
+        out_present: list[np.ndarray] = []
+        for _key, rows in groups.items():
+            sub_vals = vec.values[rows]
+            sub_pres = vec.present[rows]
+            if op == "topk":
+                order = np.argsort(
+                    -np.where(sub_pres, sub_vals, -np.inf), axis=0, kind="stable"
+                )
+            else:
+                order = np.argsort(
+                    np.where(sub_pres, sub_vals, np.inf), axis=0, kind="stable"
+                )
+            ranks = np.empty_like(order)
+            np.put_along_axis(
+                ranks,
+                order,
+                np.broadcast_to(np.arange(len(rows)).reshape(-1, 1), order.shape),
+                axis=0,
+            )
+            keep = sub_pres & (ranks < k_cols)
+            for local_i, row in enumerate(rows):
+                # topk keeps the original element labels (incl. name).
+                out_labels.append(vec.labels[row])
+                out_rows.append(np.where(keep[local_i], sub_vals[local_i], np.nan))
+                out_present.append(keep[local_i])
+        if not out_labels:
+            return _Matrix([], np.zeros((0, self.T)), np.zeros((0, self.T), dtype=bool))
+        return _Matrix(out_labels, np.vstack(out_rows), np.vstack(out_present))
+
+    # -- binary operators ------------------------------------------------
+    def _binary(self, node: BinaryOp):
+        lhs = self.eval(node.lhs)
+        rhs = self.eval(node.rhs)
+        lhs_mat = isinstance(lhs, _Matrix)
+        rhs_mat = isinstance(rhs, _Matrix)
+        if node.op in ("and", "or", "unless"):
+            if not (lhs_mat and rhs_mat):
+                raise QueryError(f"set operator {node.op} requires vector operands")
+            return self._set_op(node, lhs, rhs)
+        if lhs_mat and rhs_mat:
+            return self._vector_vector(node, lhs, rhs)
+        if lhs_mat or rhs_mat:
+            return self._vector_scalar(node, lhs, rhs, scalar_on_right=not rhs_mat)
+        return self._scalar_scalar(node, lhs, rhs)
+
+    @staticmethod
+    def _compare_raw(op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        with np.errstate(invalid="ignore"):
+            if op == "==":
+                return a == b
+            if op == "!=":
+                return a != b
+            if op == ">":
+                return a > b
+            if op == "<":
+                return a < b
+            if op == ">=":
+                return a >= b
+            if op == "<=":
+                return a <= b
+        raise QueryError(f"unknown operator {op!r}")
+
+    @classmethod
+    def _apply_op_array(cls, op: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise _apply_op.  +,-,*,/ and comparisons are IEEE ops
+        whose results match the scalar special-casing bit for bit; % and
+        ^ loop through the scalar implementation because ``math.fmod``/
+        ``**`` have Python-level edge semantics (exceptions) that numpy
+        ufuncs do not reproduce."""
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            if op == "+":
+                return a + b
+            if op == "-":
+                return a - b
+            if op == "*":
+                return a * b
+            if op == "/":
+                return a / b
+            if op in ("%", "^"):
+                a2, b2 = np.broadcast_arrays(a, b)
+                out = np.empty(a2.shape)
+                flat_a, flat_b = a2.ravel(), b2.ravel()
+                flat_o = out.ravel()
+                for i in range(flat_a.size):
+                    flat_o[i] = PromQLEngine._apply_op(op, float(flat_a[i]), float(flat_b[i]))
+                return out
+            if op in _COMPARISONS:
+                return cls._compare_raw(op, a, b).astype(np.float64)
+        raise QueryError(f"unknown operator {op!r}")
+
+    def _as_scalar_array(self, value) -> np.ndarray:
+        if isinstance(value, str):
+            return np.full(self.T, float(value))
+        return value
+
+    def _scalar_scalar(self, node: BinaryOp, lhs, rhs) -> np.ndarray:
+        if node.op in _COMPARISONS and not node.return_bool:
+            raise QueryError("comparisons between scalars must use the bool modifier")
+        return self._apply_op_array(
+            node.op, self._as_scalar_array(lhs), self._as_scalar_array(rhs)
+        )
+
+    def _vector_scalar(self, node: BinaryOp, lhs, rhs, *, scalar_on_right: bool) -> _Matrix:
+        vec: _Matrix = lhs if scalar_on_right else rhs
+        scal = self._as_scalar_array(rhs if scalar_on_right else lhs)
+        comparison = node.op in _COMPARISONS
+        a = vec.values if scalar_on_right else scal
+        b = scal if scalar_on_right else vec.values
+        if comparison and not node.return_bool:
+            raw = self._compare_raw(node.op, a, b)
+            present = vec.present & raw
+            # Filter semantics: kept elements are unchanged.
+            return _Matrix(
+                list(vec.labels),
+                np.where(present, vec.values, np.nan),
+                present,
+            )
+        values = self._apply_op_array(node.op, a, b)
+        values = np.where(vec.present, values, np.nan)
+        return _Matrix(
+            [l.without_name() for l in vec.labels], values, vec.present.copy()
+        )
+
+    def _vector_vector(self, node: BinaryOp, lhs: _Matrix, rhs: _Matrix) -> _Matrix:
+        matching = node.matching
+        group = matching.group if matching else ""
+        comparison = node.op in _COMPARISONS
+        signature = PromQLEngine._signature
+        T = self.T
+
+        if group == "right":
+            many, one = rhs, lhs
+        else:
+            many, one = lhs, rhs
+
+        one_sigs = [signature(l, matching) for l in one.labels]
+        one_groups: dict[Labels, list[int]] = {}
+        for i, s in enumerate(one_sigs):
+            one_groups.setdefault(s, []).append(i)
+        # Duplicate signatures are only an error where two elements are
+        # simultaneously present — column-aware, like the per-step path.
+        for s, idxs in one_groups.items():
+            if len(idxs) > 1 and bool((one.present[idxs].sum(axis=0) > 1).any()):
+                raise QueryError(
+                    f"many-to-many matching: duplicate signature {s} on the "
+                    f"'one' side of {node.op}"
+                )
+
+        out_labels: list[Labels] = []
+        out_rows: list[np.ndarray] = []
+        out_present: list[np.ndarray] = []
+
+        def emit(labels: Labels, values: np.ndarray, present: np.ndarray) -> None:
+            out_labels.append(labels)
+            out_rows.append(np.where(present, values, np.nan))
+            out_present.append(present)
+
+        if group:
+            many_sigs = [signature(l, matching) for l in many.labels]
+            for m_i, m_sig in enumerate(many_sigs):
+                partners = one_groups.get(m_sig)
+                if not partners:
+                    continue
+                for o_i in partners:
+                    both = many.present[m_i] & one.present[o_i]
+                    if group == "left":
+                        a, b = many.values[m_i], one.values[o_i]
+                    else:
+                        a, b = one.values[o_i], many.values[m_i]
+                    if comparison and not node.return_bool:
+                        raw = self._compare_raw(node.op, a, b)
+                        emit(many.labels[m_i], many.values[m_i], both & raw)
+                        continue
+                    labels = many.labels[m_i].without_name()
+                    if matching and matching.include:
+                        merged = labels.as_dict()
+                        partner_labels = one.labels[o_i]
+                        for name in matching.include:
+                            value_from_one = partner_labels.get(name, "")
+                            if value_from_one:
+                                merged[name] = value_from_one
+                            else:
+                                merged.pop(name, None)
+                        labels = Labels(merged)
+                    emit(labels, self._apply_op_array(node.op, a, b), both)
+        else:
+            lhs_sigs = [signature(l, matching) for l in lhs.labels]
+            lhs_groups: dict[Labels, list[int]] = {}
+            for i, s in enumerate(lhs_sigs):
+                lhs_groups.setdefault(s, []).append(i)
+            for s, idxs in lhs_groups.items():
+                if len(idxs) > 1 and bool((lhs.present[idxs].sum(axis=0) > 1).any()):
+                    raise QueryError(
+                        f"many-to-many matching: duplicate signature {s} on left side"
+                    )
+            for l_i, s in enumerate(lhs_sigs):
+                partners = one_groups.get(s)
+                if not partners:
+                    continue
+                for r_i in partners:
+                    both = lhs.present[l_i] & rhs.present[r_i]
+                    a, b = lhs.values[l_i], rhs.values[r_i]
+                    if comparison and not node.return_bool:
+                        raw = self._compare_raw(node.op, a, b)
+                        emit(lhs.labels[l_i], lhs.values[l_i], both & raw)
+                        continue
+                    labels = s if (matching and matching.on) else lhs.labels[l_i].without_name()
+                    emit(labels, self._apply_op_array(node.op, a, b), both)
+
+        if not out_labels:
+            return _Matrix([], np.zeros((0, T)), np.zeros((0, T), dtype=bool))
+        return _Matrix(out_labels, np.vstack(out_rows), np.vstack(out_present))
+
+    def _set_op(self, node: BinaryOp, lhs: _Matrix, rhs: _Matrix) -> _Matrix:
+        matching = node.matching
+        signature = PromQLEngine._signature
+        T = self.T
+
+        def sig_masks(mat: _Matrix) -> dict[Labels, np.ndarray]:
+            masks: dict[Labels, np.ndarray] = {}
+            for i, labels in enumerate(mat.labels):
+                s = signature(labels, matching)
+                prev = masks.get(s)
+                masks[s] = mat.present[i] if prev is None else (prev | mat.present[i])
+            return masks
+
+        if node.op in ("and", "unless"):
+            rhs_masks = sig_masks(rhs)
+            rows = []
+            for i, labels in enumerate(lhs.labels):
+                mask = rhs_masks.get(signature(labels, matching))
+                if mask is None:
+                    mask = np.zeros(T, dtype=bool)
+                present = lhs.present[i] & (mask if node.op == "and" else ~mask)
+                rows.append(present)
+            present = (
+                np.vstack(rows) if rows else np.zeros((0, T), dtype=bool)
+            )
+            return _Matrix(
+                list(lhs.labels), np.where(present, lhs.values, np.nan), present
+            )
+        # or: all of lhs plus rhs columns whose signature is absent on lhs
+        lhs_masks = sig_masks(lhs)
+        out_labels = list(lhs.labels)
+        out_rows = [np.where(lhs.present[i], lhs.values[i], np.nan) for i in range(lhs.nrows)]
+        out_present = [lhs.present[i].copy() for i in range(lhs.nrows)]
+        for i, labels in enumerate(rhs.labels):
+            shadow = lhs_masks.get(signature(labels, matching))
+            present = rhs.present[i] & ~shadow if shadow is not None else rhs.present[i].copy()
+            out_labels.append(labels)
+            out_rows.append(np.where(present, rhs.values[i], np.nan))
+            out_present.append(present)
+        if not out_labels:
+            return _Matrix([], np.zeros((0, T)), np.zeros((0, T), dtype=bool))
+        return _Matrix(out_labels, np.vstack(out_rows), np.vstack(out_present))

@@ -24,6 +24,7 @@ from __future__ import annotations
 import math
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -51,6 +52,30 @@ from repro.tsdb.promql.functions import (
 from repro.tsdb.promql.parser import parse_expr
 
 DEFAULT_LOOKBACK = 300.0
+
+
+def range_steps(start: float, end: float, step: float) -> np.ndarray:
+    """Step timestamps of a range query, generated **by index**.
+
+    ``start + i * step`` for each index keeps the two places that
+    enumerate steps (the evaluation loop and
+    :meth:`RangeResult.timestamps`) bit-identical; the previous
+    ``t += step`` accumulation drifted away from ``np.arange`` for
+    non-dyadic steps.
+    """
+    if step <= 0:
+        raise QueryError("step must be positive")
+    n = int(math.floor((end - start) / step + 1e-9)) + 1
+    if n < 0:
+        n = 0
+    return start + np.arange(n, dtype=np.float64) * step
+
+
+@lru_cache(maxsize=256)
+def _compile_anchored(regex: str) -> re.Pattern[str]:
+    """Compiled, fully-anchored regex for label_replace (cached —
+    mirrors :class:`Matcher`'s precompiled ``_regex``)."""
+    return re.compile(f"^(?:{regex})$")
 
 
 @dataclass(frozen=True)
@@ -85,11 +110,36 @@ class RangeResult:
     series: dict[Labels, tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
 
     def timestamps(self) -> np.ndarray:
-        return np.arange(self.start, self.end + self.step / 2, self.step)
+        return range_steps(self.start, self.end, self.step)
 
 
 class _Vector(list):
     """Internal instant-vector value (list of VectorElement)."""
+
+
+def _seq_sum(values) -> float:
+    """Strict left-to-right float accumulation.
+
+    Both evaluators define sum/avg/stddev aggregation in terms of this
+    order (the columnar path reproduces it as a masked row-by-row
+    accumulate over the step axis), which is what makes their results
+    bit-identical rather than merely close.
+    """
+    total = 0.0
+    for v in values:
+        total += v
+    return total
+
+
+def _seq_moments(values) -> tuple[float, float]:
+    """(mean, variance) with the shared sequential accumulation order."""
+    n = len(values)
+    mean = _seq_sum(values) / n
+    deviations = []
+    for v in values:
+        d = v - mean
+        deviations.append(d * d)
+    return mean, _seq_sum(deviations) / n
 
 
 class PromQLEngine:
@@ -105,10 +155,23 @@ class PromQLEngine:
         self.lookback = lookback
 
     # -- public API -------------------------------------------------------
-    def query(self, expr: str | Expr, at: float) -> InstantResult:
-        """Instant query at timestamp ``at``."""
+    def query(self, expr: str | Expr, at: float, *, strategy: str = "per_step") -> InstantResult:
+        """Instant query at timestamp ``at``.
+
+        ``strategy`` selects the evaluator: ``"per_step"`` is the
+        classic AST walk, ``"columnar"`` routes through the vectorized
+        evaluator with a single step (used by rule groups so they share
+        the storage selector memo and the batched code path).
+        """
         ast = parse_expr(expr) if isinstance(expr, str) else expr
-        value = self._eval(ast, at)
+        if strategy == "columnar":
+            from repro.tsdb.promql.columnar import eval_instant_columnar
+
+            value = eval_instant_columnar(self, ast, at)
+        elif strategy == "per_step":
+            value = self._eval(ast, at)
+        else:
+            raise QueryError(f"unknown evaluation strategy {strategy!r}")
         if isinstance(value, _Vector):
             # Results are label-sorted for determinism, except when the
             # outermost expression is sort()/sort_desc(), whose whole
@@ -121,17 +184,49 @@ class PromQLEngine:
             return InstantResult(timestamp=at, scalar=float(value))
         raise QueryError(f"expression does not produce a vector or scalar: {type(value).__name__}")
 
-    def query_range(self, expr: str | Expr, start: float, end: float, step: float) -> RangeResult:
-        """Range query: instant evaluation at each step timestamp."""
+    def query_range(
+        self,
+        expr: str | Expr,
+        start: float,
+        end: float,
+        step: float,
+        *,
+        strategy: str = "columnar",
+    ) -> RangeResult:
+        """Range query over ``[start, end]`` at ``step`` resolution.
+
+        ``strategy="columnar"`` (the default) resolves every selector
+        once, snapshots the matched series as ndarrays and evaluates
+        the whole expression along the step axis as matrix operations.
+        ``strategy="per_step"`` is the reference evaluator — an
+        instant evaluation per step timestamp — kept for differential
+        testing; both produce bit-identical results.
+        """
         if step <= 0:
             raise QueryError("step must be positive")
         if end < start:
             raise QueryError("end before start")
         ast = parse_expr(expr) if isinstance(expr, str) else expr
+        steps = range_steps(start, end, step)
         result = RangeResult(start=start, end=end, step=step)
+        if strategy == "columnar":
+            from repro.tsdb.promql.columnar import eval_range_columnar
+
+            result.series = eval_range_columnar(self, ast, steps)
+        elif strategy == "per_step":
+            result.series = self._eval_range_per_step(ast, steps)
+        else:
+            raise QueryError(f"unknown evaluation strategy {strategy!r}")
+        assert np.array_equal(result.timestamps(), steps)  # drift guard
+        return result
+
+    def _eval_range_per_step(
+        self, ast: Expr, steps: np.ndarray
+    ) -> dict[Labels, tuple[np.ndarray, np.ndarray]]:
+        """Reference range evaluation: one instant query per step."""
         acc: dict[Labels, tuple[list[float], list[float]]] = {}
-        t = start
-        while t <= end + 1e-9:
+        for t in steps:
+            t = float(t)
             value = self._eval(ast, t)
             if isinstance(value, _Vector):
                 for el in value:
@@ -142,11 +237,9 @@ class PromQLEngine:
                 ts_list, vs_list = acc.setdefault(Labels(), ([], []))
                 ts_list.append(t)
                 vs_list.append(float(value))
-            t += step
-        result.series = {
+        return {
             labels: (np.asarray(ts), np.asarray(vs)) for labels, (ts, vs) in acc.items()
         }
-        return result
 
     # -- evaluation ---------------------------------------------------------
     def _eval(self, node: Expr, at: float):
@@ -212,10 +305,17 @@ class PromQLEngine:
         end = at - node.offset
         start = end - node.range_seconds
         step = node.step_seconds
-        first = math.ceil(start / step) * step
+        # Steps are generated by index on the absolute grid
+        # (``m * step`` for integer m) rather than accumulated — the
+        # same drift fix as range_steps(), and the property that lets
+        # the columnar evaluator share one grid across all windows.
+        first_index = math.ceil(start / step)
         acc: dict[Labels, tuple[list[float], list[float]]] = {}
-        t = first
-        while t <= end + 1e-9:
+        j = first_index
+        while True:
+            t = j * step
+            if t > end + 1e-9:
+                break
             value = self._eval(node.expr, t)
             if isinstance(value, _Vector):
                 for el in value:
@@ -226,7 +326,7 @@ class PromQLEngine:
                 ts_list, vs_list = acc.setdefault(Labels(), ([], []))
                 ts_list.append(t)
                 vs_list.append(float(value))
-            t += step
+            j += 1
         return [
             (labels, np.asarray(ts), np.asarray(vs), start, end)
             for labels, (ts, vs) in acc.items()
@@ -301,7 +401,7 @@ class PromQLEngine:
                 raise QueryError("label_replace(v, dst, replacement, src, regex) expected")
             vec = self._eval_vector(node.args[0], at)
             dst, replacement, src, regex = (self._eval_string(a, at) for a in node.args[1:])
-            pattern = re.compile(f"^(?:{regex})$")
+            pattern = _compile_anchored(regex)
             out = _Vector()
             for el in vec:
                 match = pattern.match(el.labels.get(src, ""))
@@ -351,25 +451,31 @@ class PromQLEngine:
         out = _Vector()
         op = node.op
         for key, members in groups.items():
-            values = np.asarray([m.value for m in members])
+            values = [m.value for m in members]
             if op == "sum":
-                out.append(VectorElement(key, float(values.sum())))
+                out.append(VectorElement(key, _seq_sum(values)))
             elif op == "avg":
-                out.append(VectorElement(key, float(values.mean())))
+                out.append(VectorElement(key, _seq_sum(values) / len(values)))
             elif op == "min":
-                out.append(VectorElement(key, float(values.min())))
+                out.append(VectorElement(key, float(np.min(np.asarray(values)))))
             elif op == "max":
-                out.append(VectorElement(key, float(values.max())))
+                out.append(VectorElement(key, float(np.max(np.asarray(values)))))
             elif op == "count":
                 out.append(VectorElement(key, float(len(values))))
             elif op == "stddev":
-                out.append(VectorElement(key, float(values.std())))
+                _mean, var = _seq_moments(values)
+                out.append(VectorElement(key, math.sqrt(var)))
             elif op == "stdvar":
-                out.append(VectorElement(key, float(values.var())))
+                _mean, var = _seq_moments(values)
+                out.append(VectorElement(key, var))
             elif op == "quantile":
                 if param is None:
                     raise QueryError("quantile requires a parameter")
-                out.append(VectorElement(key, float(np.quantile(values, min(max(param, 0), 1)))))
+                out.append(
+                    VectorElement(
+                        key, float(np.quantile(np.asarray(values), min(max(param, 0), 1)))
+                    )
+                )
             elif op in ("topk", "bottomk"):
                 if param is None:
                     raise QueryError(f"{op} requires a parameter")

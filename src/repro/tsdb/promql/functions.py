@@ -175,6 +175,214 @@ RANGE_FUNCTIONS: dict[str, RangeFunc] = {
     "present_over_time": _present_over_time,
 }
 
+# -- windowed (columnar) kernels ----------------------------------------
+#
+# A *window kernel* evaluates one range function over many windows of
+# one series at once: given the series' sample arrays plus per-step
+# ``[lo, hi)`` index bounds and ``[start, end]`` time bounds, it
+# returns one value per step, NaN marking "no result" (the columnar
+# engine treats NaN kernel output as an absent element, mirroring the
+# per-step engine dropping None/NaN results).
+#
+# Kernels must be *bit-identical* to the scalar implementations above
+# — the differential test harness asserts it.  Functions whose value
+# depends only on window endpoints, exact integer counts, or the
+# extrapolation formula are vectorized outright (the elementwise IEEE
+# ops match the scalar code's operation order); counter windows that
+# contain resets fall back to the scalar implementation per window,
+# because the reset-correction accumulation order cannot be reproduced
+# with prefix sums.  Everything else (``avg_over_time``, ``deriv``…)
+# uses a generic fallback that slices views and calls the scalar
+# implementation — still a large win, since the columnar engine has
+# already amortised selection, snapshotting and searchsorted.
+
+WindowFunc = Callable[
+    [np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    np.ndarray,
+]
+
+
+def _windowed_fallback(impl: RangeFunc) -> WindowFunc:
+    def kernel(ts, vs, los, his, starts, ends):
+        out = np.full(len(los), np.nan)
+        for i in range(len(los)):
+            lo, hi = los[i], his[i]
+            if hi <= lo:
+                continue
+            value = impl(ts[lo:hi], vs[lo:hi], float(starts[i]), float(ends[i]))
+            if value is not None:
+                out[i] = value
+        return out
+
+    return kernel
+
+
+def _w_extrapolated_delta(ts, vs, los, his, starts, ends, *, is_counter: bool):
+    T = len(los)
+    out = np.full(T, np.nan)
+    n = his - los
+    ok = n >= 2
+    if not ok.any():
+        return out
+    lo = np.where(ok, los, 0)
+    hi = np.where(ok, his, 2)
+    first_t, last_t = ts[lo], ts[hi - 1]
+    first_v, last_v = vs[lo], vs[hi - 1]
+    sampled_interval = last_t - first_t
+    ok &= sampled_interval > 0
+    if is_counter and len(vs) >= 2:
+        # Exact integer prefix count of reset positions: window
+        # [lo, hi) contains a reset iff some i in [lo, hi-2] drops.
+        reset_count = np.concatenate(([0], np.cumsum(np.diff(vs) < 0)))
+        has_reset = ok & (reset_count[hi - 1] - reset_count[lo] > 0)
+    else:
+        has_reset = np.zeros(T, dtype=bool)
+    easy = ok & ~has_reset
+    with np.errstate(divide="ignore", invalid="ignore"):
+        sampled_delta = last_v - first_v
+        average_interval = sampled_interval / (n - 1)
+        start_gap = first_t - starts
+        end_gap = ends - last_t
+        threshold = average_interval * 1.1
+        extend_start = np.where(start_gap < threshold, start_gap, average_interval / 2)
+        extend_end = np.where(end_gap < threshold, end_gap, average_interval / 2)
+        if is_counter:
+            clamp = (sampled_delta > 0) & (first_v >= 0)
+            zero_point = sampled_interval * first_v / sampled_delta
+            extend_start = np.where(
+                clamp, np.minimum(extend_start, zero_point), extend_start
+            )
+        extrapolated_interval = (sampled_interval + extend_start) + extend_end
+        result = sampled_delta * extrapolated_interval / sampled_interval
+    out[easy] = result[easy]
+    for i in np.nonzero(has_reset)[0]:
+        value = _extrapolated_delta(
+            ts[los[i] : his[i]],
+            vs[los[i] : his[i]],
+            float(starts[i]),
+            float(ends[i]),
+            is_counter=is_counter,
+        )
+        if value is not None:
+            out[i] = value
+    return out
+
+
+def _w_rate(ts, vs, los, his, starts, ends):
+    delta = _w_extrapolated_delta(ts, vs, los, his, starts, ends, is_counter=True)
+    return delta / (ends - starts)
+
+
+def _w_increase(ts, vs, los, his, starts, ends):
+    return _w_extrapolated_delta(ts, vs, los, his, starts, ends, is_counter=True)
+
+
+def _w_delta(ts, vs, los, his, starts, ends):
+    return _w_extrapolated_delta(ts, vs, los, his, starts, ends, is_counter=False)
+
+
+def _w_irate(ts, vs, los, his, starts, ends):
+    out = np.full(len(los), np.nan)
+    ok = his - los >= 2
+    if not ok.any():
+        return out
+    hi = np.where(ok, his, 2)
+    dv = vs[hi - 1] - vs[hi - 2]
+    dv = np.where(dv < 0, vs[hi - 1], dv)  # counter reset at the tail
+    dt = ts[hi - 1] - ts[hi - 2]
+    ok &= dt > 0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = dv / dt
+    out[ok] = result[ok]
+    return out
+
+
+def _w_idelta(ts, vs, los, his, starts, ends):
+    out = np.full(len(los), np.nan)
+    ok = his - los >= 2
+    if not ok.any():
+        return out
+    hi = np.where(ok, his, 2)
+    result = vs[hi - 1] - vs[hi - 2]
+    out[ok] = result[ok]
+    return out
+
+
+def _w_diff_count(predicate_diffs: np.ndarray, los, his):
+    """Count predicate hits between consecutive window samples (exact)."""
+    counts = np.concatenate(([0], np.cumsum(predicate_diffs)))
+    top = len(counts) - 1
+    lo = np.minimum(los, top)
+    hi = np.minimum(np.maximum(his - 1, lo), top)
+    return (counts[hi] - counts[lo]).astype(np.float64)
+
+
+def _w_changes(ts, vs, los, his, starts, ends):
+    out = np.full(len(los), np.nan)
+    ok = his > los
+    if not ok.any():
+        return out
+    if len(vs) >= 2:
+        with np.errstate(invalid="ignore"):
+            result = _w_diff_count(np.diff(vs) != 0, los, his)
+    else:
+        result = np.zeros(len(los))
+    out[ok] = result[ok]
+    return out
+
+
+def _w_resets(ts, vs, los, his, starts, ends):
+    out = np.full(len(los), np.nan)
+    ok = his > los
+    if not ok.any():
+        return out
+    if len(vs) >= 2:
+        with np.errstate(invalid="ignore"):
+            result = _w_diff_count(np.diff(vs) < 0, los, his)
+    else:
+        result = np.zeros(len(los))
+    out[ok] = result[ok]
+    return out
+
+
+def _w_count(ts, vs, los, his, starts, ends):
+    n = (his - los).astype(np.float64)
+    return np.where(n > 0, n, np.nan)
+
+
+def _w_last(ts, vs, los, his, starts, ends):
+    out = np.full(len(los), np.nan)
+    ok = his > los
+    if ok.any():
+        out[ok] = vs[np.where(ok, his, 1) - 1][ok]
+    return out
+
+
+def _w_present(ts, vs, los, his, starts, ends):
+    return np.where(his > los, 1.0, np.nan)
+
+
+#: Window kernels for every range function; non-vectorizable ones get
+#: the scalar-fallback wrapper so semantics stay bit-identical.
+WINDOW_FUNCTIONS: dict[str, WindowFunc] = {
+    name: _windowed_fallback(impl) for name, impl in RANGE_FUNCTIONS.items()
+}
+WINDOW_FUNCTIONS.update(
+    {
+        "rate": _w_rate,
+        "irate": _w_irate,
+        "increase": _w_increase,
+        "delta": _w_delta,
+        "idelta": _w_idelta,
+        "changes": _w_changes,
+        "resets": _w_resets,
+        "count_over_time": _w_count,
+        "last_over_time": _w_last,
+        "present_over_time": _w_present,
+    }
+)
+
+
 #: quantile_over_time takes a scalar parameter; handled by the engine
 #: with this helper.
 def quantile_over_time(q: float, vs: np.ndarray) -> float:

@@ -70,7 +70,10 @@ class RuleGroup:
         self.last_error = ""
         for rule in self.rules:
             try:
-                result = engine.query(rule.ast(), at)
+                # Rules evaluate through the columnar path: a group's
+                # rules repeatedly hit the same selectors, so they ride
+                # the storage selector memo and the batched evaluator.
+                result = engine.query(rule.ast(), at, strategy="columnar")
             except (QueryError, ZeroDivisionError) as exc:
                 self.last_error = f"{rule.record}: {exc}"
                 continue
@@ -130,3 +133,8 @@ class RuleManager:
         """Attach each group to a :class:`~repro.common.clock.SimClock`."""
         for group in self.groups:
             clock.every(group.interval, lambda now, g=group: g.evaluate(self.storage, now, engine=self._engine))
+
+    def selector_cache_stats(self) -> dict[str, float]:
+        """Selector-memo hit/miss counters of the backing storage —
+        the observable for "rule groups reuse selector results"."""
+        return self.storage.selector_cache_stats()

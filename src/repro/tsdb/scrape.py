@@ -75,11 +75,16 @@ class ScrapeManager:
         self.storage = storage
         self.config = config or ScrapeConfig()
         self.targets: list[ScrapeTarget] = []
+        # (job, instance) identity index: registering N targets was a
+        # quadratic scan (felt at Jean-Zay scale, ~1400 nodes).
+        self._target_index: set[tuple[str, str]] = set()
         self._cycles = 0
 
     def add_target(self, target: ScrapeTarget) -> None:
-        if any(t.instance == target.instance and t.job == target.job for t in self.targets):
+        key = (target.job, target.instance)
+        if key in self._target_index:
             raise ScrapeError(f"duplicate target {target.job}/{target.instance}")
+        self._target_index.add(key)
         self.targets.append(target)
 
     def add_targets(self, targets: list[ScrapeTarget]) -> None:

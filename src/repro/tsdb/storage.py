@@ -11,6 +11,15 @@ Design points, mirroring what matters about Prometheus for this stack:
   work, the same trick Prometheus's head block uses.
 * **Range reads are vectorized**: a window read binary-searches the
   timestamp list and returns numpy views for the PromQL engine.
+* **Columnar reads are cached**: :meth:`Series.arrays` materialises a
+  series as a pair of ndarrays exactly once between mutations, so the
+  columnar range evaluator can ``searchsorted`` thousands of step
+  timestamps against one snapshot instead of re-walking Python lists
+  per step.  :meth:`TSDB.select` memoises selector results keyed by
+  the matcher tuple — the memo survives appends (``Series`` objects
+  mutate in place) and is invalidated only when series are created or
+  deleted, so a dashboard burst or a rule group touching the same
+  selectors pays the index intersection once.
 * **Retention** drops samples older than the horizon; **series
   deletion** implements the API server's cardinality cleanup (paper
   §II.C: *"remove metrics of workloads that did not last more than
@@ -39,6 +48,11 @@ class Series:
     labels: Labels
     timestamps: list[float] = field(default_factory=list)
     values: list[float] = field(default_factory=list)
+    #: Cached ndarray snapshot of (timestamps, values); rebuilt lazily
+    #: after any mutation.  See :meth:`arrays`.
+    _snapshot: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def append(self, timestamp: float, value: float) -> None:
         if self.timestamps:
@@ -49,9 +63,28 @@ class Series:
                 )
             if timestamp == last:
                 self.values[-1] = value  # idempotent re-ingest
+                self._snapshot = None
                 return
         self.timestamps.append(timestamp)
         self.values.append(value)
+        self._snapshot = None
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The whole series as ``(timestamps, values)`` float64 arrays.
+
+        The snapshot is cached until the next append/overwrite/
+        truncation, so repeated columnar reads (one per selector per
+        range query) cost one list conversion, not one per step.
+        Callers must treat the returned arrays as read-only.
+        """
+        snap = self._snapshot
+        if snap is None:
+            snap = (
+                np.asarray(self.timestamps, dtype=np.float64),
+                np.asarray(self.values, dtype=np.float64),
+            )
+            self._snapshot = snap
+        return snap
 
     def window(self, start: float, end: float) -> tuple[np.ndarray, np.ndarray]:
         """Samples with ``start <= t <= end`` as numpy arrays."""
@@ -86,6 +119,7 @@ class Series:
         if lo:
             del self.timestamps[:lo]
             del self.values[:lo]
+            self._snapshot = None
         return lo
 
     @property
@@ -114,6 +148,9 @@ class TSDB:
         Instance name, used by the LB and the Thanos fan-out.
     """
 
+    #: Upper bound on memoised selector results before wholesale reset.
+    SELECT_CACHE_MAX = 512
+
     def __init__(self, retention: float = 0.0, name: str = "tsdb") -> None:
         self.name = name
         self.retention = retention
@@ -123,6 +160,16 @@ class TSDB:
         self.samples_ingested = 0
         self.min_time: float | None = None
         self.max_time: float | None = None
+        # selector memo: matcher tuple -> selected series (in label
+        # order).  Valid across appends (Series mutate in place);
+        # invalidated whenever the series population changes.
+        self._select_cache: dict[tuple[Matcher, ...], list[Series]] = {}
+        self.select_cache_hits = 0
+        self.select_cache_misses = 0
+        #: bumps when series are created or deleted
+        self.series_epoch = 0
+        #: bumps on any sample mutation (append, retention, delete)
+        self.data_epoch = 0
 
     # -- ingest ----------------------------------------------------------
     def append(self, labels: Labels, timestamp: float, value: float) -> None:
@@ -135,8 +182,11 @@ class TSDB:
             self._series[labels] = series
             for pair in labels:
                 self._index.setdefault(pair, set()).add(labels)
+            self.series_epoch += 1
+            self._select_cache.clear()
         series.append(timestamp, value)
         self.samples_ingested += 1
+        self.data_epoch += 1
         if self.min_time is None or timestamp < self.min_time:
             self.min_time = timestamp
         if self.max_time is None or timestamp > self.max_time:
@@ -159,6 +209,12 @@ class TSDB:
         """
         if not matchers:
             raise StorageError("select requires at least one matcher")
+        key = tuple(matchers)
+        cached = self._select_cache.get(key)
+        if cached is not None:
+            self.select_cache_hits += 1
+            return cached
+        self.select_cache_misses += 1
         candidate_keys: set[Labels] | None = None
         residual: list[Matcher] = []
         for m in matchers:
@@ -166,7 +222,7 @@ class TSDB:
                 postings = self._index.get((m.name, m.value), set())
                 candidate_keys = postings.copy() if candidate_keys is None else candidate_keys & postings
                 if not candidate_keys:
-                    return []
+                    return self._memoize_select(key, [])
             else:
                 residual.append(m)
         if candidate_keys is None:
@@ -174,11 +230,26 @@ class TSDB:
         else:
             candidates = candidate_keys
         out = []
-        for key in candidates:
-            if all(m.matches(key) for m in residual):
-                out.append(self._series[key])
+        for labels_key in candidates:
+            if all(m.matches(labels_key) for m in residual):
+                out.append(self._series[labels_key])
         out.sort(key=lambda s: tuple(s.labels))
-        return out
+        return self._memoize_select(key, out)
+
+    def _memoize_select(self, key: tuple[Matcher, ...], result: list[Series]) -> list[Series]:
+        if len(self._select_cache) >= self.SELECT_CACHE_MAX:
+            self._select_cache.clear()
+        self._select_cache[key] = result
+        return result
+
+    def selector_cache_stats(self) -> dict[str, float]:
+        """Hit/miss counters of the selector memo (bench observability)."""
+        total = self.select_cache_hits + self.select_cache_misses
+        return {
+            "hits": float(self.select_cache_hits),
+            "misses": float(self.select_cache_misses),
+            "hit_rate": self.select_cache_hits / total if total else 0.0,
+        }
 
     def has_series(self, labels: Labels) -> bool:
         """Whether a series with exactly these labels exists."""
@@ -218,6 +289,7 @@ class TSDB:
         for key in empty:
             self._drop_series(key)
         if samples_dropped:
+            self.data_epoch += 1
             self.min_time = min(
                 (s.min_time for s in self._series.values() if s.min_time is not None),
                 default=None,
@@ -243,6 +315,9 @@ class TSDB:
                 postings.discard(key)
                 if not postings:
                     del self._index[pair]
+        self.series_epoch += 1
+        self.data_epoch += 1
+        self._select_cache.clear()
 
     # -- introspection ----------------------------------------------------
     def cardinality_by_metric(self) -> dict[str, int]:

@@ -201,3 +201,101 @@ def test_window_read_matches_naive_property(points):
     ts, vs = series.window(lo, hi)
     expected = [(float(t), v) for t, v in points if lo <= t <= hi]
     assert list(zip(ts.tolist(), vs.tolist())) == expected
+
+
+class TestSeriesArrays:
+    def test_snapshot_cached_between_reads(self):
+        series = Series(labels=mklabels("s"))
+        series.append(1.0, 10.0)
+        first = series.arrays()
+        assert series.arrays() is first  # same tuple until mutation
+        assert first[0].tolist() == [1.0] and first[1].tolist() == [10.0]
+
+    def test_snapshot_invalidated_on_append(self):
+        series = Series(labels=mklabels("s"))
+        series.append(1.0, 10.0)
+        before = series.arrays()
+        series.append(2.0, 20.0)
+        after = series.arrays()
+        assert after is not before
+        assert after[1].tolist() == [10.0, 20.0]
+
+    def test_snapshot_invalidated_on_overwrite(self):
+        series = Series(labels=mklabels("s"))
+        series.append(1.0, 10.0)
+        series.arrays()
+        series.append(1.0, 99.0)  # duplicate timestamp: last-write-wins
+        assert series.arrays()[1].tolist() == [99.0]
+
+    def test_snapshot_invalidated_on_truncate(self):
+        series = Series(labels=mklabels("s"))
+        for i in range(5):
+            series.append(float(i), float(i))
+        series.arrays()
+        series.truncate_before(3.0)
+        assert series.arrays()[0].tolist() == [3.0, 4.0]
+
+
+class TestSelectorMemo:
+    def test_repeat_select_hits_memo(self):
+        db = TSDB()
+        db.append(mklabels("cpu", host="a"), 1.0, 1.0)
+        matchers = [Matcher.name_eq("cpu")]
+        first = db.select(matchers)
+        second = db.select(matchers)
+        assert second is first
+        stats = db.selector_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_memo_survives_appends_to_existing_series(self):
+        db = TSDB()
+        labels = mklabels("cpu", host="a")
+        db.append(labels, 1.0, 1.0)
+        matchers = [Matcher.name_eq("cpu")]
+        first = db.select(matchers)
+        db.append(labels, 2.0, 2.0)  # same series: population unchanged
+        assert db.select(matchers) is first
+
+    def test_memo_invalidated_on_new_series(self):
+        db = TSDB()
+        db.append(mklabels("cpu", host="a"), 1.0, 1.0)
+        matchers = [Matcher.name_eq("cpu")]
+        db.select(matchers)
+        db.append(mklabels("cpu", host="b"), 1.0, 1.0)
+        assert len(db.select(matchers)) == 2
+
+    def test_memo_invalidated_on_series_delete(self):
+        db = TSDB()
+        db.append(mklabels("cpu", uuid="1"), 1.0, 1.0)
+        db.append(mklabels("cpu", uuid="2"), 1.0, 1.0)
+        matchers = [Matcher.name_eq("cpu")]
+        assert len(db.select(matchers)) == 2
+        db.delete_series([Matcher.eq("uuid", "1")])
+        assert len(db.select(matchers)) == 1
+
+    def test_empty_result_is_memoised_too(self):
+        db = TSDB()
+        db.append(mklabels("cpu"), 1.0, 1.0)
+        matchers = [Matcher.eq("host", "nope")]
+        db.select(matchers)
+        db.select(matchers)
+        assert db.selector_cache_stats()["hits"] == 1
+
+    def test_epochs_track_mutations(self):
+        db = TSDB()
+        labels = mklabels("cpu")
+        db.append(labels, 1.0, 1.0)
+        series_epoch, data_epoch = db.series_epoch, db.data_epoch
+        db.append(labels, 2.0, 2.0)
+        assert db.series_epoch == series_epoch  # no new series
+        assert db.data_epoch == data_epoch + 1
+        db.append(mklabels("mem"), 1.0, 1.0)
+        assert db.series_epoch == series_epoch + 1
+
+    def test_memo_capped(self):
+        db = TSDB()
+        db.append(mklabels("cpu"), 1.0, 1.0)
+        for i in range(db.SELECT_CACHE_MAX + 10):
+            db.select([Matcher.eq("host", f"h{i}")])
+        assert len(db._select_cache) <= db.SELECT_CACHE_MAX
