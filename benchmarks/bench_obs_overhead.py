@@ -1,0 +1,65 @@
+"""E16 — self-telemetry overhead: the middleware must stay cheap.
+
+Every request through every component pays the observability
+middleware (trace resolution, in-flight gauge, counter + histogram
+update, span record).  The stack scrapes itself every 15 s on top of
+user traffic, so this cost multiplies across the whole deployment —
+this bench guards it with a hard per-request bound.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.common.httpx import App, Request, Response
+
+#: Mean extra cost the middleware may add per request.  Generous
+#: against CI-runner noise — the observed overhead is ~10–30 µs.
+OVERHEAD_BOUND_SECONDS = 500e-6
+
+REQUESTS = 2000
+
+
+def build_app() -> App:
+    app = App(name="bench")
+    app.router.get("/ping/{name}", lambda req: Response.text("pong"))
+    return app
+
+
+def _time_per_request(fn) -> float:
+    fn()  # warm caches / lazy imports outside the timed section
+    started = time.perf_counter()
+    for _ in range(REQUESTS):
+        fn()
+    return (time.perf_counter() - started) / REQUESTS
+
+
+def test_middleware_overhead_bounded():
+    app = build_app()
+    request = Request(method="GET", path="/ping/a")
+
+    bare = _time_per_request(lambda: app._handle_inner(request))
+    full = _time_per_request(lambda: app.handle(request))
+    overhead = full - bare
+    print(
+        f"\n[E16] per-request: bare={bare * 1e6:.1f}µs "
+        f"full={full * 1e6:.1f}µs overhead={overhead * 1e6:.1f}µs"
+    )
+    assert overhead < OVERHEAD_BOUND_SECONDS
+
+
+def test_full_request_with_middleware(benchmark):
+    app = build_app()
+    request = Request(method="GET", path="/ping/a")
+    response = benchmark(lambda: app.handle(request))
+    assert response.status == 200
+
+
+def test_span_store_stays_bounded():
+    """The span ring must not grow without limit under load."""
+    app = build_app()
+    request = Request(method="GET", path="/ping/a")
+    for _ in range(REQUESTS):
+        app.handle(request)
+    assert len(app.telemetry.spans) <= app.telemetry.spans.capacity
+    assert app.telemetry.spans.total_recorded >= REQUESTS

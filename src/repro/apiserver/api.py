@@ -49,6 +49,7 @@ class APIServer:
         self.db = db
         self.admin_users = set(admin_users)
         self.app = App(name="ceems-api-server", auth=auth, tls=tls)
+        self.app.expose_telemetry()
         r = self.app.router
         r.get("/api/v1/units", self._units)
         r.get("/api/v1/units/{uuid}", self._unit)

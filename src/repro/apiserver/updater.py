@@ -44,6 +44,7 @@ class Updater:
         interval: float = 900.0,
         cleaner=None,
         backup_manager=None,
+        telemetry=None,
     ) -> None:
         self.db = db
         self.estimator = estimator
@@ -52,9 +53,41 @@ class Updater:
         self.cleaner = cleaner
         self.backup_manager = backup_manager
         self.stats = UpdaterStats()
+        #: Optional :class:`repro.obs.telemetry.Telemetry`; each pass
+        #: roots an ``updater.pass`` trace so the TSDB selects the
+        #: estimator makes are attributable to the pass that ran them.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._register_metrics(telemetry.registry)
+
+    def _register_metrics(self, registry) -> None:
+        registry.gauge_func(
+            "ceems_updater_passes_total",
+            lambda: float(self.stats.passes),
+            help="Completed updater passes.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_updater_units_synced_total",
+            lambda: float(self.stats.units_synced),
+            help="Units upserted from resource managers.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_updater_units_updated_total",
+            lambda: float(self.stats.units_updated),
+            help="Units whose usage aggregates were updated.",
+            type="counter",
+        )
 
     def run_once(self, now: float) -> UpdaterStats:
         """One full update pass at logical time ``now``."""
+        if self.telemetry is not None:
+            with self.telemetry.span("updater.pass", managers=len(self.managers)):
+                return self._run_once(now)
+        return self._run_once(now)
+
+    def _run_once(self, now: float) -> UpdaterStats:
         for manager in self.managers:
             cluster = manager.cluster_name
             last = self.db.last_sync(cluster)

@@ -45,6 +45,7 @@ from repro.hwsim.node import SimulatedNode
 from repro.lb.authz import DBAuthorizer
 from repro.lb.server import LoadBalancer
 from repro.lb.strategies import Backend
+from repro.obs import Telemetry
 from repro.resourcemgr.slurm import SlurmCluster
 from repro.resourcemgr.workload import WorkloadGenerator, WorkloadMix
 from repro.thanos import Compactor, FanoutStorage, ObjectStore, Sidecar
@@ -75,6 +76,9 @@ class SimulationConfig:
     cluster_name: str = "sim-cluster"
     lb_strategy: str = "round-robin"
     admin_users: tuple[str, ...] = ("admin",)
+    #: Scrape the stack's own components (LB, Prometheus endpoints,
+    #: API server) as ordinary targets of the sim Prometheus.
+    meta_monitoring: bool = True
     with_workload: bool = True
     with_emissions_providers: tuple[str, ...] = ("rte", "electricity_maps", "owid")
     collectors: tuple[str, ...] = ("cgroup", "rapl", "ipmi", "node", "gpu_map", "self")
@@ -185,8 +189,11 @@ class StackSimulation:
 
         self.rate_window = format_duration(max(120.0, 4.0 * cfg.scrape_interval))
         self.hot_tsdb = TSDB(retention=cfg.hot_retention, name="hot")
+        self.hot_tsdb.telemetry = Telemetry("tsdb-hot")
         self.scrape_manager = ScrapeManager(
-            self.hot_tsdb, ScrapeConfig(interval=cfg.scrape_interval)
+            self.hot_tsdb,
+            ScrapeConfig(interval=cfg.scrape_interval),
+            telemetry=Telemetry("scrape-manager"),
         )
         self.scrape_manager.add_targets(exporter_targets)
         self.rule_manager = RuleManager(self.hot_tsdb, lookback=self.lookback)
@@ -205,6 +212,7 @@ class StackSimulation:
         self.sidecar = Sidecar(self.hot_tsdb, self.object_store)
         self.compactor = Compactor(self.object_store)
         self.fanout = FanoutStorage(self.hot_tsdb, self.object_store)
+        self.fanout.telemetry = Telemetry("thanos-query")
         self.engine = PromQLEngine(self.fanout, lookback=self.lookback)
 
         # -- resource manager + workload -------------------------------------
@@ -225,6 +233,9 @@ class StackSimulation:
         )
         self.backup_manager = BackupManager(self.db)
         self.litestream = LitestreamReplicator(self.db, segment_interval=cfg.update_interval)
+        # API server before the updater: updater passes record spans
+        # and stats into the API server's telemetry.
+        self.api_server = APIServer(self.db, admin_users=cfg.admin_users)
         self.updater = Updater(
             self.db,
             self.estimator,
@@ -232,20 +243,39 @@ class StackSimulation:
             interval=cfg.update_interval,
             cleaner=self.cleaner,
             backup_manager=self.backup_manager,
+            telemetry=self.api_server.app.telemetry,
         )
-        self.api_server = APIServer(self.db, admin_users=cfg.admin_users)
 
         # -- load balancer -----------------------------------------------------------
         self.prom_apis = [
             PromAPI(self.fanout, name=f"prom-{i}", lookback=self.lookback)
             for i in range(cfg.n_prom_backends)
         ]
+        for api in self.prom_apis:
+            # Scrape-loop totals ride on each Prometheus endpoint's
+            # /metrics (each PromAPI has its own registry).
+            self.scrape_manager.register_metrics(api.app.telemetry.registry)
         backends = [Backend(name=api.app.name, app=api.app) for api in self.prom_apis]
         self.lb = LoadBalancer(
             backends,
             DBAuthorizer(self.db, admin_users=cfg.admin_users),
             strategy=cfg.lb_strategy,
         )
+
+        # -- meta-monitoring ---------------------------------------------------
+        # The stack scrapes itself: LB, Prometheus endpoints and the
+        # API server become ordinary targets of the sim Prometheus, so
+        # one PromQL query answers "what is the p99 LB latency".
+        if cfg.meta_monitoring:
+            meta_targets = [
+                ScrapeTarget(app=self.lb.app, instance="lb:9030", job="ceems-lb"),
+                ScrapeTarget(app=self.api_server.app, instance="api:9040", job="ceems-api"),
+            ]
+            meta_targets.extend(
+                ScrapeTarget(app=api.app, instance=f"prom-{i}:9090", job="prometheus")
+                for i, api in enumerate(self.prom_apis)
+            )
+            self.scrape_manager.add_targets(meta_targets)
 
         self._register_timers()
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import re
 import threading
+import time
 import urllib.parse
 import urllib.request
 from dataclasses import dataclass, field
@@ -25,6 +26,21 @@ from typing import Any, Callable, Iterator
 
 from repro.common.auth import BasicAuth, TLSConfig
 from repro.common.errors import AuthError
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import (
+    TRACEPARENT_HEADER,
+    Span,
+    TraceContext,
+    activate,
+    current_trace,
+    deactivate,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
+
+#: Exposition content type served by ``/metrics`` endpoints.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 @dataclass
@@ -40,6 +56,9 @@ class Request:
     secure: bool = False
     #: Filled by the router from the path pattern (e.g. ``{uuid}``).
     path_params: dict[str, str] = field(default_factory=dict)
+    #: The route pattern that matched (set by the router) — the
+    #: bounded-cardinality ``handler`` label of the HTTP metrics.
+    matched_route: str = ""
 
     @classmethod
     def from_url(
@@ -51,14 +70,27 @@ class Request:
         body: bytes = b"",
         secure: bool = False,
     ) -> "Request":
-        """Build a request from a path-with-querystring URL."""
+        """Build a request from a path-with-querystring URL.
+
+        Trace propagation: a request built while a trace context is
+        active (i.e. from inside a handler or an instrumented periodic
+        activity) automatically carries the ``traceparent`` header, so
+        every in-process hop — LB → backend, scrape manager →
+        exporter — continues the caller's trace without each call site
+        knowing about tracing.
+        """
         parsed = urllib.parse.urlsplit(url)
         query = urllib.parse.parse_qs(parsed.query, keep_blank_values=True)
+        hdrs = {k.lower(): v for k, v in (headers or {}).items()}
+        if TRACEPARENT_HEADER not in hdrs:
+            ambient = current_trace()
+            if ambient is not None:
+                hdrs[TRACEPARENT_HEADER] = ambient.header_value()
         return cls(
             method=method.upper(),
             path=parsed.path or "/",
             query=query,
-            headers={k.lower(): v for k, v in (headers or {}).items()},
+            headers=hdrs,
             body=body,
             secure=secure,
         )
@@ -132,13 +164,18 @@ class Router:
     """
 
     def __init__(self) -> None:
-        self._routes: list[tuple[str, re.Pattern[str], Handler]] = []
+        self._routes: list[tuple[str, re.Pattern[str], str, Handler]] = []
 
     def add(self, method: str, pattern: str, handler: Handler) -> None:
         regex = re.compile(
             "^" + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", pattern) + "$"
         )
-        self._routes.append((method.upper(), regex, handler))
+        self._routes.append((method.upper(), regex, pattern, handler))
+
+    def has_route(self, method: str, pattern: str) -> bool:
+        return any(
+            m == method.upper() and p == pattern for m, _rx, p, _h in self._routes
+        )
 
     def get(self, pattern: str, handler: Handler) -> None:
         self.add("GET", pattern, handler)
@@ -151,7 +188,7 @@ class Router:
 
     def dispatch(self, request: Request) -> Response:
         path_matched = False
-        for method, regex, handler in self._routes:
+        for method, regex, pattern, handler in self._routes:
             match = regex.match(request.path)
             if match is None:
                 continue
@@ -159,6 +196,7 @@ class Router:
             if method != request.method:
                 continue
             request.path_params = {k: urllib.parse.unquote(v) for k, v in match.groupdict().items()}
+            request.matched_route = pattern
             return handler(request)
         if path_matched:
             return Response.error(405, "method not allowed")
@@ -169,8 +207,12 @@ class App:
     """A routable HTTP application with optional basic auth and TLS.
 
     This is the single code path shared by the in-process transport and
-    the real socket server: auth enforcement, TLS requirement and error
-    mapping all live here.
+    the real socket server: auth enforcement, TLS requirement, error
+    mapping — and, since the self-telemetry subsystem, the uniform
+    observability middleware — all live here.  Every request is
+    counted (total, latency histogram by handler pattern, status code,
+    in-flight gauge) and recorded as a span continuing the caller's
+    ``traceparent`` trace (or rooting a new one at the edge).
     """
 
     def __init__(
@@ -179,6 +221,7 @@ class App:
         *,
         auth: BasicAuth | None = None,
         tls: TLSConfig | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.name = name
         self.router = Router()
@@ -187,6 +230,22 @@ class App:
         self.tls.validate()
         self._requests_total = 0
         self._errors_total = 0
+        self._in_flight = 0
+        self.telemetry = telemetry or Telemetry(name)
+        reg = self.telemetry.registry
+        self._http_requests = reg.counter(
+            "ceems_http_requests_total",
+            "HTTP requests handled, by method/handler/status code.",
+        )
+        self._http_latency = reg.histogram(
+            "ceems_http_request_duration_seconds",
+            "HTTP request latency by handler pattern.",
+        )
+        reg.gauge_func(
+            "ceems_http_requests_in_flight",
+            lambda: float(self._in_flight),
+            "Requests currently being handled.",
+        )
 
     # Stats used by the exporter self-metrics and the LB bench.
     @property
@@ -198,6 +257,57 @@ class App:
         return self._errors_total
 
     def handle(self, request: Request) -> Response:
+        """Observability middleware around the auth/dispatch pipeline.
+
+        Trace context resolution order: an incoming ``traceparent``
+        header wins (forwarded hop), then an ambient in-process
+        context (instrumented periodic activity), then a fresh trace
+        (this component is the edge).  The request's header is
+        rewritten to this span before dispatch, so anything the
+        handler forwards — the same request object or a new one built
+        with :meth:`Request.from_url` — carries this span as parent.
+        """
+        incoming = parse_traceparent(request.header(TRACEPARENT_HEADER))
+        if incoming is None:
+            incoming = current_trace()
+        ctx = TraceContext(
+            trace_id=incoming.trace_id if incoming else new_trace_id(),
+            span_id=new_span_id(),
+        )
+        request.headers[TRACEPARENT_HEADER] = ctx.header_value()
+        token = activate(ctx)
+        self._in_flight += 1
+        started = time.perf_counter()
+        status = 500
+        try:
+            response = self._handle_inner(request)
+            status = response.status
+        finally:
+            deactivate(token)
+            self._in_flight -= 1
+            duration = time.perf_counter() - started
+            handler = request.matched_route or "(unrouted)"
+            self._http_requests.inc(
+                method=request.method, handler=handler, code=str(status)
+            )
+            self._http_latency.observe(duration, handler=handler)
+            self.telemetry.spans.record(
+                Span(
+                    trace_id=ctx.trace_id,
+                    span_id=ctx.span_id,
+                    parent_id=incoming.span_id if incoming else "",
+                    name=f"{request.method} {handler}",
+                    component=self.name,
+                    start=time.time() - duration,
+                    duration=duration,
+                    status="ok" if status < 500 else "error",
+                    attrs={"path": request.path, "status": status},
+                )
+            )
+        response.headers.setdefault("x-trace-id", ctx.trace_id)
+        return response
+
+    def _handle_inner(self, request: Request) -> Response:
         self._requests_total += 1
         if self.tls.enabled and not request.secure:
             self._errors_total += 1
@@ -218,6 +328,42 @@ class App:
         if response.status >= 400:
             self._errors_total += 1
         return response
+
+    # -- telemetry endpoints ------------------------------------------------
+    def expose_telemetry(self, *, metrics: bool = True, traces: bool = True) -> None:
+        """Mount ``/metrics`` and ``/debug/traces`` on this app.
+
+        Call *before* registering catch-all routes (the router matches
+        in registration order).  The exporter mounts only the trace
+        endpoint and merges telemetry families into its own scrape
+        payload instead.
+        """
+        if metrics and not self.router.has_route("GET", "/metrics"):
+            self.router.get("/metrics", self._serve_metrics)
+        if traces and not self.router.has_route("GET", "/debug/traces"):
+            self.router.get("/debug/traces", self._serve_traces)
+
+    def _serve_metrics(self, request: Request) -> Response:
+        return Response.text(
+            self.telemetry.render(), content_type=EXPOSITION_CONTENT_TYPE
+        )
+
+    def _serve_traces(self, request: Request) -> Response:
+        trace_id = request.param("trace_id")
+        try:
+            limit = int(request.param("limit", "100"))
+        except ValueError:
+            return Response.error(400, "limit must be an integer")
+        store = self.telemetry.spans
+        spans = store.for_trace(trace_id) if trace_id else store.spans()[-limit:]
+        return Response.json(
+            {
+                "status": "success",
+                "component": self.name,
+                "total_recorded": store.total_recorded,
+                "spans": [s.to_dict() for s in spans],
+            }
+        )
 
     # Convenience client methods for in-process calls.
     def get(self, url: str, **kwargs: Any) -> Response:

@@ -35,6 +35,10 @@ class CollectorRegistry:
 
     def __init__(self) -> None:
         self._collectors: list[Collector] = []
+        #: Cumulative collect() failures per collector name.
+        self.errors_total: dict[str, int] = {}
+        #: 1.0/0.0 outcome of each collector's most recent run.
+        self.last_success: dict[str, float] = {}
 
     def register(self, collector: Collector) -> None:
         if any(c.name == collector.name for c in self._collectors):
@@ -63,7 +67,10 @@ class CollectorRegistry:
             try:
                 families.extend(collector.collect(now))
                 success.add(1.0, collector=collector.name)
+                self.last_success[collector.name] = 1.0
             except Exception:  # noqa: BLE001 - collector isolation is the point
                 success.add(0.0, collector=collector.name)
+                self.last_success[collector.name] = 0.0
+                self.errors_total[collector.name] = self.errors_total.get(collector.name, 0) + 1
         families.append(success)
         return families

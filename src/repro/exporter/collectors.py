@@ -389,4 +389,24 @@ class SelfCollector(Collector):
             type="counter",
         )
         cpu.add(self.exporter.scrape_cpu_seconds)
-        return [scrapes, cpu]
+        families = [scrapes, cpu]
+        registry = getattr(self.exporter, "registry", None)
+        if registry is not None:
+            errors = MetricFamily(
+                "ceems_exporter_collector_errors_total",
+                help="Collector failures since exporter start.",
+                type="counter",
+            )
+            for name, count in sorted(registry.errors_total.items()):
+                errors.add(float(count), collector=name)
+            last = MetricFamily(
+                "ceems_exporter_collector_last_scrape_success",
+                help="Outcome (1/0) of each collector's previous run.",
+                type="gauge",
+            )
+            # last_success reflects the *previous* registry.collect()
+            # pass; the current pass finishes after this collector runs.
+            for name, ok in sorted(registry.last_success.items()):
+                last.add(ok, collector=name)
+            families.extend([errors, last])
+        return families

@@ -73,6 +73,10 @@ class CEEMSExporter:
         self.app.router.get("/metrics", self._handle_metrics)
         self.app.router.get("/", self._handle_index)
         self.app.router.get("/health", self._handle_health)
+        # The exporter keeps its own /metrics (the scrape payload);
+        # middleware metrics are appended to it below, so only the
+        # trace endpoint comes from the shared telemetry plumbing.
+        self.app.expose_telemetry(metrics=False)
 
     # -- handlers -----------------------------------------------------------
     def _handle_metrics(self, request: Request) -> Response:
@@ -82,6 +86,7 @@ class CEEMSExporter:
                 return rejection
         started = time.process_time()
         families = self.registry.collect(self.clock.now())
+        families.extend(self.app.telemetry.collect())
         payload = exposition.render(families)
         self.scrape_cpu_seconds += time.process_time() - started
         self.scrapes_total += 1

@@ -60,6 +60,11 @@ class LoadBalancer:
         self.clock = clock
         self.authorizer = authorizer
         self.app = App(name="ceems-lb")
+        # Telemetry and readiness must be registered before the
+        # catch-all /{rest} proxy route — the router matches in
+        # registration order.
+        self.app.expose_telemetry()
+        self.app.router.get("/-/ready", self._ready)
         self.app.router.add("GET", "/{rest}", self._proxy)
         self.app.router.add("POST", "/{rest}", self._proxy)
         # Router patterns match single segments; register the API paths
@@ -71,6 +76,64 @@ class LoadBalancer:
         self.requests_proxied = 0
         self.requests_denied = 0
         self.longterm_routed = 0
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Expose routing decisions and per-backend state on /metrics."""
+        registry = self.app.telemetry.registry
+        registry.gauge_func(
+            "ceems_lb_requests_proxied_total",
+            lambda: float(self.requests_proxied),
+            help="Requests forwarded to a backend.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_lb_requests_denied_total",
+            lambda: float(self.requests_denied),
+            help="Requests rejected before reaching a backend.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_lb_longterm_routed_total",
+            lambda: float(self.longterm_routed),
+            help="Queries routed to the long-term (Thanos) pool.",
+            type="counter",
+        )
+        registry.collector(self._collect_backends)
+
+    def _collect_backends(self):
+        from repro.tsdb.exposition import MetricFamily
+
+        healthy = MetricFamily(
+            "ceems_lb_backend_healthy",
+            help="Whether the backend is considered healthy (1/0).",
+            type="gauge",
+        )
+        in_flight = MetricFamily(
+            "ceems_lb_backend_in_flight",
+            help="In-flight requests per backend.",
+            type="gauge",
+        )
+        total = MetricFamily(
+            "ceems_lb_backend_requests_total",
+            help="Requests forwarded, per backend.",
+            type="counter",
+        )
+        pools: list[tuple[str, Strategy]] = [("hot", self.strategy)]
+        if self.longterm_strategy is not None:
+            pools.append(("longterm", self.longterm_strategy))
+        for pool, strategy in pools:
+            for backend in strategy.backends:
+                healthy.add(1.0 if backend.healthy else 0.0, backend=backend.name, pool=pool)
+                in_flight.add(float(backend.active_connections), backend=backend.name, pool=pool)
+                total.add(float(backend.total_requests), backend=backend.name, pool=pool)
+        return [healthy, in_flight, total]
+
+    def _ready(self, request: Request) -> Response:
+        """503 until at least one hot backend is healthy."""
+        if not self.strategy.healthy_backends():
+            return Response.error(503, "no healthy backends")
+        return Response.json({"status": "success", "ready": True})
 
     # -- core ---------------------------------------------------------------
     def _proxy(self, request: Request) -> Response:

@@ -1,0 +1,58 @@
+"""Self-telemetry subsystem (``repro.obs``).
+
+The CEEMS paper's footprint claims (15-20 MB, tiny CPU per scrape)
+come from the stack observing *itself*: real deployments scrape the
+exporter, TSDB, LB and API server as ordinary Prometheus targets.
+This package gives the reproduction the same property:
+
+* :mod:`repro.obs.registry` — an in-process metrics registry
+  (counters, gauges, fixed-bucket histograms, callback gauges) that
+  renders to the existing :mod:`repro.tsdb.exposition` text format;
+* :mod:`repro.obs.trace` — a W3C-``traceparent``-style trace context
+  propagated through forwarded requests, plus a bounded in-memory
+  span store per component;
+* :mod:`repro.obs.telemetry` — the per-component bundle (registry +
+  span store) that the HTTP middleware in
+  :mod:`repro.common.httpx` and the non-HTTP components (storage,
+  scrape manager, updater) record into.
+
+The simulation wires each component's ``/metrics`` endpoint as a
+scrape target of the sim Prometheus, so one PromQL query answers
+"what is the p99 LB routing latency" from inside the stack.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import (
+    TRACEPARENT_HEADER,
+    Span,
+    SpanStore,
+    TraceContext,
+    current_trace,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Telemetry",
+    "TRACEPARENT_HEADER",
+    "Span",
+    "SpanStore",
+    "TraceContext",
+    "current_trace",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
+]

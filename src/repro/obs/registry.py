@@ -1,0 +1,306 @@
+"""In-process metrics registry rendering to the exposition format.
+
+The registry is the write side of the stack's self-telemetry: the
+HTTP middleware and component internals record counters, gauges and
+histograms here, and each component's ``/metrics`` endpoint renders
+the registry with :func:`repro.tsdb.exposition.render` — the same
+wire format the exporters speak, so the sim Prometheus can scrape the
+stack's own components with zero new parsing code.
+
+Histograms use fixed buckets and expose the standard Prometheus
+triplet (``*_bucket`` with cumulative ``le`` labels including
+``+Inf``, ``*_sum``, ``*_count``), which keeps them compatible with
+``histogram_quantile()`` in the PromQL engine.
+
+Thread safety: observation methods take a lock, because components
+mounted on :func:`repro.common.httpx.serve_threading` handle requests
+from server threads concurrently.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.common.errors import CEEMSError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tsdb.exposition import MetricFamily
+
+
+def _exposition():
+    """Deferred import of :mod:`repro.tsdb.exposition`.
+
+    ``repro.tsdb``'s package init pulls in the scrape manager, which
+    imports :mod:`repro.common.httpx`, which imports this module — a
+    cycle if the exposition types were imported at module load.  At
+    collect/render time every module involved is fully initialised.
+    """
+    from repro.tsdb import exposition
+
+    return exposition
+
+#: Default latency buckets (seconds), tuned for in-process handlers:
+#: most requests land well under a millisecond, but socket-served and
+#: query-evaluating requests reach into the tens of milliseconds.
+DEFAULT_LATENCY_BUCKETS = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> _LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class _Metric:
+    """Shared bookkeeping for labelled metrics."""
+
+    type = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    def collect(self) -> list[MetricFamily]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing value, optionally labelled."""
+
+    type = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise CEEMSError(f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def collect(self) -> list[MetricFamily]:
+        family = _exposition().MetricFamily(self.name, help=self.help, type=self.type)
+        with self._lock:
+            for key, value in self._values.items():
+                family.add(value, **dict(key))
+        return [family]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down, optionally labelled."""
+
+    type = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def collect(self) -> list[MetricFamily]:
+        family = _exposition().MetricFamily(self.name, help=self.help, type=self.type)
+        with self._lock:
+            for key, value in self._values.items():
+                family.add(value, **dict(key))
+        return [family]
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram with cumulative Prometheus exposition."""
+
+    type = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        self.buckets: tuple[float, ...] = tuple(sorted(buckets))
+        if not self.buckets:
+            raise CEEMSError(f"histogram {self.name} needs at least one bucket")
+        # per label set: [per-bucket counts (+overflow slot), sum, count]
+        self._data: dict[_LabelKey, tuple[list[int], list[float]]] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        # First bucket with ``le >= value`` (Prometheus bucket rule);
+        # past the last bucket the observation lands in +Inf only.
+        idx = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                entry = ([0] * (len(self.buckets) + 1), [0.0, 0.0])
+                self._data[key] = entry
+            entry[0][idx] += 1
+            entry[1][0] += value  # sum
+            entry[1][1] += 1  # count
+
+    def count(self, **labels: str) -> float:
+        entry = self._data.get(_label_key(labels))
+        return entry[1][1] if entry else 0.0
+
+    def sum(self, **labels: str) -> float:
+        entry = self._data.get(_label_key(labels))
+        return entry[1][0] if entry else 0.0
+
+    @staticmethod
+    def _le(bound: float) -> str:
+        if float(bound).is_integer():
+            return str(float(bound))
+        return repr(float(bound))
+
+    def collect(self) -> list[MetricFamily]:
+        # The marker family carries HELP/TYPE histogram; sample lines
+        # live in the _bucket/_sum/_count families (what the scrape
+        # parser turns into the queryable series).
+        exposition = _exposition()
+        marker = exposition.MetricFamily(self.name, help=self.help, type=self.type)
+        buckets = exposition.MetricFamily(f"{self.name}_bucket", type="counter")
+        sums = exposition.MetricFamily(f"{self.name}_sum", type="counter")
+        counts = exposition.MetricFamily(f"{self.name}_count", type="counter")
+        with self._lock:
+            for key, (counts_per_bucket, sum_count) in self._data.items():
+                labels = dict(key)
+                cumulative = 0
+                for bound, n in zip(self.buckets, counts_per_bucket):
+                    cumulative += n
+                    buckets.add(float(cumulative), le=self._le(bound), **labels)
+                buckets.add(sum_count[1], le="+Inf", **labels)
+                sums.add(sum_count[0], **labels)
+                counts.add(sum_count[1], **labels)
+        return [marker, buckets, sums, counts]
+
+
+class _CallbackGauge(_Metric):
+    """A gauge whose value is read at collect time."""
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[], float],
+        help: str = "",
+        type: str = "gauge",
+        **const_labels: str,
+    ) -> None:
+        super().__init__(name, help)
+        self.type = type
+        self.fn = fn
+        self.const_labels = const_labels
+
+    def collect(self) -> list[MetricFamily]:
+        family = _exposition().MetricFamily(self.name, help=self.help, type=self.type)
+        family.add(float(self.fn()), **self.const_labels)
+        return [family]
+
+
+class MetricsRegistry:
+    """All of one component's self-telemetry metrics.
+
+    Metrics are registered once (get-or-create by name) and collected
+    in registration order; ``collector()`` callbacks run last, letting
+    components expose pre-existing plain-attribute statistics (cache
+    hit counters, backend health) without double bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._collectors: list[Callable[[], list[MetricFamily]]] = []
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, *args, **kwargs) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise CEEMSError(
+                        f"metric {name!r} already registered as {existing.type}"
+                    )
+                return existing
+            metric = cls(name, *args, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets)
+
+    def gauge_func(
+        self,
+        name: str,
+        fn: Callable[[], float],
+        help: str = "",
+        type: str = "gauge",
+        **const_labels: str,
+    ) -> None:
+        """Register a collect-time callback exposed as one sample."""
+        with self._lock:
+            if name in self._metrics:
+                raise CEEMSError(f"metric {name!r} already registered")
+            self._metrics[name] = _CallbackGauge(name, fn, help, type, **const_labels)
+
+    def collector(self, fn: Callable[[], list[MetricFamily]]) -> None:
+        """Register a callback producing whole metric families."""
+        self._collectors.append(fn)
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._metrics)
+
+    def collect(self) -> list[MetricFamily]:
+        families: list[MetricFamily] = []
+        for metric in list(self._metrics.values()):
+            families.extend(metric.collect())
+        for fn in self._collectors:
+            families.extend(fn())
+        return families
+
+    def render(self) -> str:
+        return _exposition().render(self.collect())

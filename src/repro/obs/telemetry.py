@@ -1,0 +1,83 @@
+"""Per-component telemetry bundle: metrics registry + span store.
+
+Every :class:`~repro.common.httpx.App` owns one :class:`Telemetry`
+(auto-created), and non-HTTP components (the TSDB storage, the scrape
+manager, the updater) can be handed one to record spans and metrics
+into.  Two span entry points cover the two call patterns:
+
+* :meth:`Telemetry.span` — always records; roots a new trace when no
+  context is active.  For periodic activities that *originate* work
+  (an updater pass, a scrape cycle).
+* :meth:`Telemetry.child_span` — records only when a trace is already
+  active, and is free (yields ``None``) otherwise.  For hot internals
+  (storage selects, query evaluation) that must not mint junk traces
+  on every rule evaluation.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import (
+    Span,
+    SpanStore,
+    activate,
+    current_trace,
+    deactivate,
+    make_span,
+)
+
+
+class Telemetry:
+    """One component's self-telemetry sink."""
+
+    def __init__(self, component: str, span_capacity: int = 1024) -> None:
+        self.component = component
+        self.registry = MetricsRegistry()
+        self.spans = SpanStore(capacity=span_capacity)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Record a span, rooting a new trace if none is active."""
+        span, ctx = make_span(name, self.component, current_trace(), **attrs)
+        token = activate(ctx)
+        started = time.perf_counter()
+        try:
+            yield span
+        except Exception:
+            span.status = "error"
+            raise
+        finally:
+            deactivate(token)
+            span.duration = time.perf_counter() - started
+            self.spans.record(span)
+
+    @contextmanager
+    def child_span(self, name: str, **attrs: Any) -> Iterator[Span | None]:
+        """Record a span only when already inside a trace."""
+        parent = current_trace()
+        if parent is None:
+            yield None
+            return
+        span, ctx = make_span(name, self.component, parent, **attrs)
+        token = activate(ctx)
+        started = time.perf_counter()
+        try:
+            yield span
+        except Exception:
+            span.status = "error"
+            raise
+        finally:
+            deactivate(token)
+            span.duration = time.perf_counter() - started
+            self.spans.record(span)
+
+    # -- exposition -------------------------------------------------------
+    def collect(self):
+        return self.registry.collect()
+
+    def render(self) -> str:
+        return self.registry.render()

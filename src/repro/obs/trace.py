@@ -1,0 +1,206 @@
+"""Trace context (W3C ``traceparent`` style) and the span store.
+
+A trace is born at the edge of the stack — the LB or a Grafana-facing
+endpoint — and flows through every forwarded request: the HTTP
+middleware parses the incoming ``traceparent`` header, opens a child
+span, and rewrites the header so the next hop sees this span as its
+parent.  Non-HTTP hops (the in-process engine → storage call chain,
+the updater's periodic pass) propagate through a :mod:`contextvars`
+context variable instead, which also gives each socket-server thread
+its own independent context.
+
+Header format (the ``00`` version of the W3C spec, fixed sampled
+flag)::
+
+    traceparent: 00-<32 hex trace id>-<16 hex span id>-01
+
+Span/trace ids come from one process-wide counter, so a simulation
+run produces the same ids every time — determinism the rest of the
+test suite relies on.
+
+Spans land in a **bounded** per-component :class:`SpanStore` (a ring
+buffer); self-observation must never become the memory leak it is
+meant to detect.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+import threading
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any
+
+TRACEPARENT_HEADER = "traceparent"
+
+_TRACE_ID_RE = re.compile(r"^[0-9a-f]{32}$")
+_SPAN_ID_RE = re.compile(r"^[0-9a-f]{16}$")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated part of a trace: who we are inside which trace."""
+
+    trace_id: str
+    span_id: str
+
+    def header_value(self) -> str:
+        return f"00-{self.trace_id}-{self.span_id}-01"
+
+
+def parse_traceparent(value: str | None) -> TraceContext | None:
+    """Parse a ``traceparent`` header; malformed values yield ``None``.
+
+    Malformed propagation must degrade to "start a new trace", never
+    to an error — a monitoring stack cannot 500 on a bad header.
+    """
+    if not value:
+        return None
+    parts = value.strip().split("-")
+    if len(parts) != 4 or parts[0] != "00":
+        return None
+    trace_id, span_id = parts[1], parts[2]
+    if not _TRACE_ID_RE.match(trace_id) or not _SPAN_ID_RE.match(span_id):
+        return None
+    if set(trace_id) == {"0"} or set(span_id) == {"0"}:
+        return None
+    return TraceContext(trace_id=trace_id, span_id=span_id)
+
+
+# One process-wide id source: deterministic (a counter, not random)
+# and thread-safe.  Trace and span ids share the counter; they only
+# need to be unique, not dense.
+_id_counter = itertools.count(1)
+_id_lock = threading.Lock()
+
+
+def _next_id() -> int:
+    with _id_lock:
+        return next(_id_counter)
+
+
+def new_trace_id() -> str:
+    return f"{_next_id():032x}"
+
+
+def new_span_id() -> str:
+    return f"{_next_id():016x}"
+
+
+_current: ContextVar[TraceContext | None] = ContextVar("repro_obs_trace", default=None)
+
+
+def current_trace() -> TraceContext | None:
+    """The active trace context of this thread/task, if any."""
+    return _current.get()
+
+
+def activate(ctx: TraceContext):
+    """Make ``ctx`` the active context; returns the reset token."""
+    return _current.set(ctx)
+
+
+def deactivate(token) -> None:
+    _current.reset(token)
+
+
+@dataclass
+class Span:
+    """One recorded operation inside a trace."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str
+    name: str
+    component: str
+    #: Wall-clock start (``time.time()``) — for display only; ordering
+    #: and duration use the monotonic clock.
+    start: float
+    duration: float = 0.0
+    status: str = "ok"
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "component": self.component,
+            "start": self.start,
+            "duration": self.duration,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+
+class SpanStore:
+    """Bounded in-memory ring of finished spans (newest last)."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("span store capacity must be positive")
+        self.capacity = capacity
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+        self.total_recorded = 0
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+            self.total_recorded += 1
+            if len(self._spans) > self.capacity:
+                del self._spans[: len(self._spans) - self.capacity]
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def for_trace(self, trace_id: str) -> list[Span]:
+        with self._lock:
+            return [s for s in self._spans if s.trace_id == trace_id]
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids currently retained, oldest first."""
+        seen: dict[str, None] = {}
+        with self._lock:
+            for span in self._spans:
+                seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+def make_span(
+    name: str,
+    component: str,
+    parent: TraceContext | None,
+    **attrs: Any,
+) -> tuple[Span, TraceContext]:
+    """Create a span continuing ``parent`` (or rooting a new trace).
+
+    Returns the span plus the context downstream hops should see.
+    """
+    if parent is not None:
+        trace_id, parent_id = parent.trace_id, parent.span_id
+    else:
+        trace_id, parent_id = new_trace_id(), ""
+    ctx = TraceContext(trace_id=trace_id, span_id=new_span_id())
+    span = Span(
+        trace_id=trace_id,
+        span_id=ctx.span_id,
+        parent_id=parent_id,
+        name=name,
+        component=component,
+        start=time.time(),
+        attrs=attrs,
+    )
+    return span, ctx

@@ -66,6 +66,9 @@ class FanoutStorage:
         ] = {}
         self.select_cache_hits = 0
         self.select_cache_misses = 0
+        #: Optional :class:`repro.obs.telemetry.Telemetry` sink; when
+        #: set, selects inside an active trace record child spans.
+        self.telemetry = None
 
     def _epochs(self) -> tuple[int, int, int, int]:
         raw = self.store.tsdb("raw")
@@ -77,6 +80,15 @@ class FanoutStorage:
         )
 
     def select(self, matchers: Sequence[Matcher]) -> list[Series]:
+        if self.telemetry is not None:
+            with self.telemetry.child_span("fanout.select") as span:
+                result = self._select(matchers)
+                if span is not None:
+                    span.attrs["series"] = len(result)
+                return result
+        return self._select(matchers)
+
+    def _select(self, matchers: Sequence[Matcher]) -> list[Series]:
         key = tuple(matchers)
         epochs = self._epochs()
         cached = self._select_cache.get(key)

@@ -44,6 +44,7 @@ class PromAPI:
         self.storage = storage
         self.engine = PromQLEngine(storage, lookback=lookback)
         self.app = App(name=name)
+        self.app.expose_telemetry()
         r = self.app.router
         r.get("/api/v1/query", self._query)
         r.post("/api/v1/query", self._query)
@@ -53,6 +54,77 @@ class PromAPI:
         r.get("/api/v1/label/{name}/values", self._label_values)
         r.get("/-/healthy", lambda _req: Response.text("ok"))
         self.queries_served = 0
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Expose engine/storage internals on this endpoint's /metrics."""
+        registry = self.app.telemetry.registry
+        registry.gauge_func(
+            "ceems_promapi_queries_served_total",
+            lambda: float(self.queries_served),
+            help="PromQL queries served by this endpoint.",
+            type="counter",
+        )
+        registry.collector(self._collect_engine_stats)
+
+    def _collect_engine_stats(self):
+        from repro.tsdb.exposition import MetricFamily
+        from repro.tsdb.promql.columnar import COLUMNAR_STATS
+        from repro.tsdb.storage import SNAPSHOT_STATS
+
+        families = []
+        seconds = MetricFamily(
+            "ceems_promql_eval_seconds_total",
+            help="Wall seconds spent evaluating PromQL, per strategy.",
+            type="counter",
+        )
+        queries = MetricFamily(
+            "ceems_promql_eval_queries_total",
+            help="PromQL evaluations, per strategy.",
+            type="counter",
+        )
+        for strategy, stats in self.engine.strategy_stats().items():
+            seconds.add(stats["seconds"], strategy=strategy)
+            queries.add(stats["queries"], strategy=strategy)
+        families.extend([seconds, queries])
+
+        # Storage selector memo — both the hot TSDB and the Thanos
+        # fan-out expose selector_cache_stats() with the same shape.
+        stats_fn = getattr(self.storage, "selector_cache_stats", None)
+        if stats_fn is not None:
+            stats = stats_fn()
+            hits = MetricFamily(
+                "ceems_tsdb_select_cache_hits_total",
+                help="Selector memo hits in the storage backend.",
+                type="counter",
+            )
+            hits.add(stats["hits"])
+            misses = MetricFamily(
+                "ceems_tsdb_select_cache_misses_total",
+                help="Selector memo misses in the storage backend.",
+                type="counter",
+            )
+            misses.add(stats["misses"])
+            families.extend([hits, misses])
+
+        snapshots = MetricFamily(
+            "ceems_tsdb_snapshot_cache_total",
+            help="Series.arrays() snapshot-cache events, process-wide.",
+            type="counter",
+        )
+        snapshots.add(float(SNAPSHOT_STATS["hits"]), event="hit")
+        snapshots.add(float(SNAPSHOT_STATS["builds"]), event="build")
+        families.append(snapshots)
+
+        columnar = MetricFamily(
+            "ceems_promql_columnar_total",
+            help="Columnar-evaluator events, process-wide.",
+            type="counter",
+        )
+        for event, count in COLUMNAR_STATS.items():
+            columnar.add(float(count), event=event)
+        families.append(columnar)
+        return families
 
     # -- parameter handling -------------------------------------------------
     @staticmethod
@@ -75,7 +147,8 @@ class PromAPI:
         self.queries_served += 1
         strategy = self._param(request, "strategy") or "per_step"
         try:
-            result = self.engine.query(query, float(time_param), strategy=strategy)
+            with self.app.telemetry.child_span("promql.eval", strategy=strategy):
+                result = self.engine.query(query, float(time_param), strategy=strategy)
         except (QueryError, StorageError, ValueError) as exc:
             return Response.error(400, str(exc))
         if result.is_scalar:
@@ -106,7 +179,8 @@ class PromAPI:
         self.queries_served += 1
         strategy = self._param(request, "strategy") or "columnar"
         try:
-            result = self.engine.query_range(query, start, end, step, strategy=strategy)
+            with self.app.telemetry.child_span("promql.eval", strategy=strategy):
+                result = self.engine.query_range(query, start, end, step, strategy=strategy)
         except (QueryError, StorageError, ValueError) as exc:
             return Response.error(400, str(exc))
         data = {

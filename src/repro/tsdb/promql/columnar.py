@@ -75,10 +75,21 @@ from repro.tsdb.promql.functions import (
     ELEMENT_FUNCTIONS,
     RANGE_FUNCTIONS,
     WINDOW_FUNCTIONS,
+    histogram_bucket_quantile,
     quantile_over_time,
 )
 
 _COMPARISONS = ("==", "!=", ">", "<", ">=", "<=")
+
+#: Process-wide columnar-evaluator counters (self-telemetry): queries
+#: through each public entry point plus per-query memo hits.  Module
+#: level because evaluator instances are per-query throwaways.
+COLUMNAR_STATS = {
+    "range_queries": 0,
+    "instant_queries": 0,
+    "selector_memo_hits": 0,
+    "window_memo_hits": 0,
+}
 
 
 @dataclass
@@ -98,6 +109,7 @@ def eval_range_columnar(
     engine: PromQLEngine, ast: Expr, steps: np.ndarray
 ) -> dict[Labels, tuple[np.ndarray, np.ndarray]]:
     """Evaluate ``ast`` at every step; returns RangeResult.series data."""
+    COLUMNAR_STATS["range_queries"] += 1
     ev = _ColumnarEval(engine, steps)
     return ev.materialize(ev.eval(ast))
 
@@ -106,6 +118,7 @@ def eval_instant_columnar(engine: PromQLEngine, ast: Expr, at: float):
     """Single-step columnar evaluation returning the engine's internal
     value types (``_Vector`` / float / str), for ``query(strategy=
     "columnar")`` — the path rule groups use."""
+    COLUMNAR_STATS["instant_queries"] += 1
     ev = _ColumnarEval(engine, np.asarray([float(at)], dtype=np.float64))
     value = ev.eval(ast)
     if isinstance(value, _Matrix):
@@ -219,6 +232,7 @@ class _ColumnarEval:
     def _selector(self, node: VectorSelector) -> _Matrix:
         cached = self._selector_memo.get(node)
         if cached is not None:
+            COLUMNAR_STATS["selector_memo_hits"] += 1
             return cached
         series_list = self.storage.select(node.matchers)
         ats = self.steps - node.offset
@@ -265,6 +279,7 @@ class _ColumnarEval:
         """
         cached = self._window_memo.get(node)
         if cached is not None:
+            COLUMNAR_STATS["window_memo_hits"] += 1
             return cached
         if isinstance(node, Subquery):
             data = self._subquery_window_data(node)
@@ -462,6 +477,45 @@ class _ColumnarEval:
                 else:
                     new_labels.append(l)
             return _Matrix(new_labels, vec.values.copy(), vec.present.copy())
+        if func == "histogram_quantile":
+            if len(node.args) != 2:
+                raise QueryError("histogram_quantile(scalar, vector) expected")
+            q = self._scalar(node.args[0])
+            vec = self._vector(node.args[1])
+            # Group bucket rows by series identity (labels sans name/le),
+            # then run the shared bucketQuantile helper per present
+            # column — same pairs, same helper, bit-identical to the
+            # per-step path.
+            groups: dict[Labels, list[tuple[float, int]]] = {}
+            for i, l in enumerate(vec.labels):
+                try:
+                    le = float(l.get("le", ""))
+                except ValueError:
+                    continue
+                groups.setdefault(l.without_name().drop("le"), []).append((le, i))
+            out_labels: list[Labels] = []
+            out_rows: list[np.ndarray] = []
+            out_present: list[np.ndarray] = []
+            for key, members in groups.items():
+                members.sort(key=lambda pair: pair[0])
+                rows = [i for _le, i in members]
+                les = [le for le, _i in members]
+                pres = vec.present[rows]
+                col_present = pres.any(axis=0)
+                vals = np.full(T, np.nan)
+                for j in np.nonzero(col_present)[0]:
+                    buckets = [
+                        (les[r], float(vec.values[rows[r], j]))
+                        for r in range(len(rows))
+                        if pres[r, j]
+                    ]
+                    vals[j] = histogram_bucket_quantile(float(q[j]), buckets)
+                out_labels.append(key)
+                out_rows.append(vals)
+                out_present.append(col_present)
+            if not out_labels:
+                return _Matrix([], np.zeros((0, T)), np.zeros((0, T), dtype=bool))
+            return _Matrix(out_labels, np.vstack(out_rows), np.vstack(out_present))
         if func == "label_join":
             if len(node.args) < 3:
                 raise QueryError("label_join(v, dst, sep, src...) expected")

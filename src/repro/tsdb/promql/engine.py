@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import math
 import re
+import time
 from dataclasses import dataclass, field
 from functools import lru_cache
 
@@ -47,6 +48,7 @@ from repro.tsdb.promql.ast import (
 from repro.tsdb.promql.functions import (
     ELEMENT_FUNCTIONS,
     RANGE_FUNCTIONS,
+    histogram_bucket_quantile,
     quantile_over_time,
 )
 from repro.tsdb.promql.parser import parse_expr
@@ -153,6 +155,24 @@ class PromQLEngine:
     def __init__(self, storage, lookback: float = DEFAULT_LOOKBACK) -> None:
         self.storage = storage
         self.lookback = lookback
+        # Per-strategy evaluation accounting (self-telemetry): total
+        # wall seconds and query counts keyed by evaluator name.
+        self.strategy_seconds: dict[str, float] = {}
+        self.strategy_queries: dict[str, int] = {}
+
+    def _record_strategy(self, strategy: str, elapsed: float) -> None:
+        self.strategy_seconds[strategy] = self.strategy_seconds.get(strategy, 0.0) + elapsed
+        self.strategy_queries[strategy] = self.strategy_queries.get(strategy, 0) + 1
+
+    def strategy_stats(self) -> dict[str, dict[str, float]]:
+        """Per-evaluator totals: ``{strategy: {queries, seconds}}``."""
+        return {
+            name: {
+                "queries": float(self.strategy_queries.get(name, 0)),
+                "seconds": self.strategy_seconds.get(name, 0.0),
+            }
+            for name in sorted(self.strategy_queries)
+        }
 
     # -- public API -------------------------------------------------------
     def query(self, expr: str | Expr, at: float, *, strategy: str = "per_step") -> InstantResult:
@@ -164,6 +184,7 @@ class PromQLEngine:
         the storage selector memo and the batched code path).
         """
         ast = parse_expr(expr) if isinstance(expr, str) else expr
+        started = time.perf_counter()
         if strategy == "columnar":
             from repro.tsdb.promql.columnar import eval_instant_columnar
 
@@ -172,6 +193,7 @@ class PromQLEngine:
             value = self._eval(ast, at)
         else:
             raise QueryError(f"unknown evaluation strategy {strategy!r}")
+        self._record_strategy(strategy, time.perf_counter() - started)
         if isinstance(value, _Vector):
             # Results are label-sorted for determinism, except when the
             # outermost expression is sort()/sort_desc(), whose whole
@@ -209,6 +231,7 @@ class PromQLEngine:
         ast = parse_expr(expr) if isinstance(expr, str) else expr
         steps = range_steps(start, end, step)
         result = RangeResult(start=start, end=end, step=step)
+        started = time.perf_counter()
         if strategy == "columnar":
             from repro.tsdb.promql.columnar import eval_range_columnar
 
@@ -217,6 +240,7 @@ class PromQLEngine:
             result.series = self._eval_range_per_step(ast, steps)
         else:
             raise QueryError(f"unknown evaluation strategy {strategy!r}")
+        self._record_strategy(strategy, time.perf_counter() - started)
         assert np.array_equal(result.timestamps(), steps)  # drift guard
         return result
 
@@ -416,6 +440,15 @@ class PromQLEngine:
                 else:
                     out.append(el)
             return out
+        if func == "histogram_quantile":
+            if len(node.args) != 2:
+                raise QueryError("histogram_quantile(scalar, vector) expected")
+            q = self._eval_scalar(node.args[0], at)
+            vec = self._eval_vector(node.args[1], at)
+            return _Vector(
+                VectorElement(labels, value)
+                for labels, value in self._histogram_quantile_groups(q, vec)
+            )
         if func == "label_join":
             if len(node.args) < 3:
                 raise QueryError("label_join(v, dst, sep, src...) expected")
@@ -431,6 +464,29 @@ class PromQLEngine:
                 out.append(VectorElement(Labels(d), el.value))
             return out
         raise QueryError(f"unknown function {func!r}")
+
+    @staticmethod
+    def _histogram_quantile_groups(q: float, vec) -> list[tuple[Labels, float]]:
+        """Group ``_bucket`` elements by identity and compute quantiles.
+
+        Elements without a parseable ``le`` label are ignored, as in
+        Prometheus.  Shared by both evaluators (the columnar path calls
+        this per step column) so results stay bit-identical.
+        """
+        groups: dict[Labels, list[tuple[float, float]]] = {}
+        for el in vec:
+            le_raw = el.labels.get("le", "")
+            try:
+                le = float(le_raw)
+            except ValueError:
+                continue
+            key = el.labels.without_name().drop("le")
+            groups.setdefault(key, []).append((le, el.value))
+        out: list[tuple[Labels, float]] = []
+        for key, buckets in groups.items():
+            buckets.sort(key=lambda pair: pair[0])
+            out.append((key, histogram_bucket_quantile(q, buckets)))
+        return out
 
     # -- aggregations ------------------------------------------------------------
     def _eval_aggregation(self, node: Aggregation, at: float) -> _Vector:

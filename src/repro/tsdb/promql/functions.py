@@ -395,6 +395,47 @@ def quantile_over_time(q: float, vs: np.ndarray) -> float:
     return float(np.quantile(vs, q))
 
 
+def histogram_bucket_quantile(q: float, buckets: list[tuple[float, float]]) -> float:
+    """Prometheus ``bucketQuantile`` over cumulative ``(le, count)`` pairs.
+
+    ``buckets`` must be sorted by ``le``; the list must end in a
+    ``+Inf`` bucket to be usable (otherwise NaN, matching Prometheus).
+    Both evaluators call this one helper, keeping their
+    ``histogram_quantile`` results bit-identical.
+    """
+    if math.isnan(q):
+        return math.nan
+    if q < 0:
+        return -math.inf
+    if q > 1:
+        return math.inf
+    if not buckets or not math.isinf(buckets[-1][0]):
+        return math.nan
+    total = buckets[-1][1]
+    if total == 0 or math.isnan(total):
+        return math.nan
+    rank = q * total
+    b = 0
+    while b < len(buckets) - 1 and buckets[b][1] < rank:
+        b += 1
+    if b == len(buckets) - 1:
+        # The quantile falls in the +Inf bucket: the best available
+        # answer is the highest finite bound.
+        return buckets[-2][0] if len(buckets) >= 2 else math.nan
+    bucket_end = buckets[b][0]
+    bucket_count = buckets[b][1]
+    if b == 0:
+        if bucket_end <= 0:
+            return bucket_end
+        bucket_start, prev_count = 0.0, 0.0
+    else:
+        bucket_start, prev_count = buckets[b - 1][0], buckets[b - 1][1]
+    in_bucket = bucket_count - prev_count
+    if in_bucket <= 0:
+        return bucket_end
+    return bucket_start + (bucket_end - bucket_start) * ((rank - prev_count) / in_bucket)
+
+
 ElementFunc = Callable[..., float]
 
 #: Element-wise functions over instant vectors; extra scalar args allowed.
@@ -426,6 +467,7 @@ SPECIAL_FUNCTIONS = (
     "label_replace",
     "label_join",
     "quantile_over_time",
+    "histogram_quantile",
 )
 
 #: Every callable name the parser should accept.

@@ -71,7 +71,7 @@ class ScrapeConfig:
 class ScrapeManager:
     """Scrapes a set of targets into one TSDB."""
 
-    def __init__(self, storage: TSDB, config: ScrapeConfig | None = None) -> None:
+    def __init__(self, storage: TSDB, config: ScrapeConfig | None = None, telemetry=None) -> None:
         self.storage = storage
         self.config = config or ScrapeConfig()
         self.targets: list[ScrapeTarget] = []
@@ -79,6 +79,11 @@ class ScrapeManager:
         # quadratic scan (felt at Jean-Zay scale, ~1400 nodes).
         self._target_index: set[tuple[str, str]] = set()
         self._cycles = 0
+        #: Optional :class:`repro.obs.telemetry.Telemetry`; when set,
+        #: every scrape cycle roots a ``scrape.cycle`` trace.
+        self.telemetry = telemetry
+        self.samples_appended_total = 0
+        self.cycles_total = 0
 
     def add_target(self, target: ScrapeTarget) -> None:
         key = (target.job, target.instance)
@@ -138,8 +143,18 @@ class ScrapeManager:
 
     def scrape_all(self, now: float) -> int:
         """One scrape cycle over every target; applies retention."""
+        if self.telemetry is not None:
+            with self.telemetry.span("scrape.cycle", targets=len(self.targets)) as span:
+                total = self._scrape_all(now)
+                span.attrs["samples"] = total
+                return total
+        return self._scrape_all(now)
+
+    def _scrape_all(self, now: float) -> int:
         total = sum(self.scrape_target(target, now) for target in self.targets)
         self._cycles += 1
+        self.cycles_total += 1
+        self.samples_appended_total += total
         if self.config.retention_every and self._cycles % self.config.retention_every == 0:
             self.storage.apply_retention(now)
         return total
@@ -147,6 +162,31 @@ class ScrapeManager:
     def register_timer(self, clock) -> None:
         """Drive the scrape loop from a :class:`SimClock`."""
         clock.every(self.config.interval, lambda now: self.scrape_all(now))
+
+    def register_metrics(self, registry) -> None:
+        """Expose scrape-loop totals on a component's registry."""
+        registry.gauge_func(
+            "ceems_scrape_samples_appended_total",
+            lambda: float(self.samples_appended_total),
+            help="Samples appended by the scrape loop (excluding up).",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_scrape_cycles_total",
+            lambda: float(self.cycles_total),
+            help="Completed scrape cycles.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_scrape_targets",
+            lambda: float(len(self.targets)),
+            help="Registered scrape targets.",
+        )
+        registry.gauge_func(
+            "ceems_scrape_targets_healthy",
+            lambda: float(self.healthy_targets()),
+            help="Targets whose last scrape succeeded.",
+        )
 
     # -- health ------------------------------------------------------------
     def healthy_targets(self) -> int:

@@ -40,6 +40,11 @@ import numpy as np
 from repro.common.errors import StorageError
 from repro.tsdb.model import METRIC_NAME_LABEL, Labels, Matcher, MatchOp
 
+#: Process-wide snapshot-cache counters for :meth:`Series.arrays` —
+#: per-instance bookkeeping would bloat every Series object for a
+#: number only the self-telemetry endpoint reads.
+SNAPSHOT_STATS = {"hits": 0, "builds": 0}
+
 
 @dataclass
 class Series:
@@ -79,11 +84,14 @@ class Series:
         """
         snap = self._snapshot
         if snap is None:
+            SNAPSHOT_STATS["builds"] += 1
             snap = (
                 np.asarray(self.timestamps, dtype=np.float64),
                 np.asarray(self.values, dtype=np.float64),
             )
             self._snapshot = snap
+        else:
+            SNAPSHOT_STATS["hits"] += 1
         return snap
 
     def window(self, start: float, end: float) -> tuple[np.ndarray, np.ndarray]:
@@ -170,6 +178,9 @@ class TSDB:
         self.series_epoch = 0
         #: bumps on any sample mutation (append, retention, delete)
         self.data_epoch = 0
+        #: Optional :class:`repro.obs.telemetry.Telemetry` sink; when
+        #: set, selects inside an active trace record child spans.
+        self.telemetry = None
 
     # -- ingest ----------------------------------------------------------
     def append(self, labels: Labels, timestamp: float, value: float) -> None:
@@ -209,6 +220,17 @@ class TSDB:
         """
         if not matchers:
             raise StorageError("select requires at least one matcher")
+        if self.telemetry is not None:
+            # child_span is free (yields None) outside a trace, so
+            # rule-manager evaluations never mint junk traces.
+            with self.telemetry.child_span("tsdb.select", db=self.name) as span:
+                result = self._select(matchers)
+                if span is not None:
+                    span.attrs["series"] = len(result)
+                return result
+        return self._select(matchers)
+
+    def _select(self, matchers: Sequence[Matcher]) -> list[Series]:
         key = tuple(matchers)
         cached = self._select_cache.get(key)
         if cached is not None:
