@@ -8,8 +8,6 @@ Each bench prints the regenerated panel and times its data path
 
 from __future__ import annotations
 
-import pytest
-
 from benchmarks.conftest import heaviest_user
 from repro.dashboard import (
     fig2a_user_overview,

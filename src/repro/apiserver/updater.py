@@ -17,7 +17,7 @@ Each pass over each registered resource manager:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.apiserver.db import Database
 from repro.energy.estimator import UnitEnergyEstimator

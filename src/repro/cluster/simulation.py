@@ -20,6 +20,8 @@ sensors can see.
 
 from __future__ import annotations
 
+import math
+import os
 from dataclasses import dataclass
 
 from repro.apiserver.api import APIServer
@@ -82,6 +84,14 @@ class SimulationConfig:
     with_workload: bool = True
     with_emissions_providers: tuple[str, ...] = ("rte", "electricity_maps", "owid")
     collectors: tuple[str, ...] = ("cgroup", "rapl", "ipmi", "node", "gpu_map", "self")
+    #: Root directory for the durable storage engine ("" = in-memory).
+    #: ``<dir>/hot`` holds the head WAL, ``<dir>/store`` the Thanos
+    #: block directories.  Reopening a simulation on a populated
+    #: directory replays the WAL, reloads the blocks and resumes
+    #: logical time just after the last recovered sample.
+    persist_dir: str = ""
+    #: WAL fsync policy: "always", "batch" (default) or "never".
+    persist_fsync: str = "batch"
 
     @classmethod
     def from_stack_config(cls, stack, **overrides) -> "SimulationConfig":
@@ -96,6 +106,7 @@ class SimulationConfig:
             scrape_interval=stack.tsdb.scrape_interval,
             node_step=stack.tsdb.scrape_interval,
             hot_retention=stack.tsdb.retention,
+            persist_dir=stack.tsdb.persist_dir,
             update_interval=stack.api_server.update_interval,
             cleanup_cutoff=stack.api_server.cleanup_cutoff,
             lb_strategy=stack.lb.strategy,
@@ -120,7 +131,30 @@ class StackSimulation:
     ) -> None:
         self.config = cfg = config or SimulationConfig()
         self.topology = topology
-        self.clock = SimClock(start=cfg.start_time)
+
+        # -- hot TSDB (durable head when persist_dir is set) ------------
+        # Built before the clock: a reopened head replays its WAL, and
+        # logical time resumes on the next scrape tick after the last
+        # recovered sample so re-ingest never appends out of order.
+        start_time = cfg.start_time
+        if cfg.persist_dir:
+            from repro.tsdb.persist import PersistentTSDB
+
+            self.hot_tsdb: TSDB = PersistentTSDB(
+                os.path.join(cfg.persist_dir, "hot"),
+                retention=cfg.hot_retention,
+                name="hot",
+                fsync=cfg.persist_fsync,
+            )
+            if self.hot_tsdb.max_time is not None:
+                resumed = (
+                    math.floor(self.hot_tsdb.max_time / cfg.scrape_interval) + 1
+                ) * cfg.scrape_interval
+                start_time = max(start_time, resumed)
+        else:
+            self.hot_tsdb = TSDB(retention=cfg.hot_retention, name="hot")
+        self.hot_tsdb.telemetry = Telemetry("tsdb-hot")
+        self.clock = SimClock(start=start_time)
 
         # -- nodes + exporters ------------------------------------------
         self.nodes: list[SimulatedNode] = []
@@ -188,8 +222,6 @@ class StackSimulation:
         from repro.common.units import format_duration
 
         self.rate_window = format_duration(max(120.0, 4.0 * cfg.scrape_interval))
-        self.hot_tsdb = TSDB(retention=cfg.hot_retention, name="hot")
-        self.hot_tsdb.telemetry = Telemetry("tsdb-hot")
         self.scrape_manager = ScrapeManager(
             self.hot_tsdb,
             ScrapeConfig(interval=cfg.scrape_interval),
@@ -208,7 +240,9 @@ class StackSimulation:
         self.rule_manager.add_group(emissions_rules(cfg.rule_interval))
 
         # -- Thanos ------------------------------------------------------------
-        self.object_store = ObjectStore()
+        self.object_store = ObjectStore(
+            persist_dir=os.path.join(cfg.persist_dir, "store") if cfg.persist_dir else ""
+        )
         self.sidecar = Sidecar(self.hot_tsdb, self.object_store)
         self.compactor = Compactor(self.object_store)
         self.fanout = FanoutStorage(self.hot_tsdb, self.object_store)
@@ -255,6 +289,11 @@ class StackSimulation:
             # Scrape-loop totals ride on each Prometheus endpoint's
             # /metrics (each PromAPI has its own registry).
             self.scrape_manager.register_metrics(api.app.telemetry.registry)
+            if cfg.persist_dir:
+                # WAL fsync/replay counters and block bytes/compression
+                # gauges surface wherever Prometheus self-scrapes.
+                self.hot_tsdb.register_metrics(api.app.telemetry.registry)
+                self.object_store.register_metrics(api.app.telemetry.registry)
         backends = [Backend(name=api.app.name, app=api.app) for api in self.prom_apis]
         self.lb = LoadBalancer(
             backends,

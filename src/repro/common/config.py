@@ -108,6 +108,8 @@ class TSDBConfig:
     scrape_interval: float = 15.0
     retention: float = 30 * 86400.0
     replicate_to_thanos: bool = True
+    #: Root of the durable storage engine ("" = in-memory only).
+    persist_dir: str = ""
 
     @classmethod
     def from_dict(cls, raw: dict[str, Any] | None) -> "TSDBConfig":
@@ -116,6 +118,7 @@ class TSDBConfig:
             scrape_interval=_duration(raw.get("scrape_interval"), "tsdb.scrape_interval", 15.0),
             retention=_duration(raw.get("retention"), "tsdb.retention", 30 * 86400.0),
             replicate_to_thanos=bool(raw.get("replicate_to_thanos", True)),
+            persist_dir=str(raw.get("persist_dir", "")),
         )
 
 

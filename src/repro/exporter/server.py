@@ -28,7 +28,6 @@ from repro.exporter.collectors import (
     SelfCollector,
 )
 from repro.exporter.future_collectors import EBPFNetCollector, PerfCollector
-from repro.exporter.security import RateLimiter
 
 _COLLECTOR_FACTORIES = {
     "cgroup": CgroupCollector,

@@ -21,8 +21,7 @@ benchmarks to quantify how well the CEEMS estimation recovers reality.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
 
 from repro.common.errors import SimulationError
 from repro.hwsim.cgroupfs import CgroupFS

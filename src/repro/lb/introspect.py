@@ -17,7 +17,6 @@ label:
 
 from __future__ import annotations
 
-from repro.common.errors import QueryError
 from repro.tsdb.model import MatchOp
 from repro.tsdb.promql.ast import (
     Aggregation,

@@ -9,7 +9,7 @@ tie-breaking by registration order so tests are deterministic.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import CEEMSError
 from repro.common.httpx import App

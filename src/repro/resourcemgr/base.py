@@ -10,7 +10,7 @@ VM and a Kubernetes pod all map onto it.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
 from typing import Iterable
 

@@ -21,7 +21,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.thanos.store import BlockMeta, ObjectStore
-from repro.tsdb.model import Labels
 from repro.tsdb.storage import TSDB
 
 
@@ -57,6 +56,13 @@ class Compactor:
         self.downsample_1h_after = downsample_1h_after
         self.compaction_levels = compaction_levels
         self._downsampled_until = {"5m": None, "1h": None}
+        # A store reopened from disk already holds downsampled blocks;
+        # resume after them instead of re-producing (and re-persisting)
+        # the same buckets.
+        for key in ("5m", "1h"):
+            persisted = store.blocks_at(key)
+            if persisted:
+                self._downsampled_until[key] = max(b.max_time for b in persisted)
         self.compactions = 0
         self.downsample_passes = 0
 
@@ -65,8 +71,12 @@ class Compactor:
         """Merge adjacent raw blocks into the next level's window size.
 
         Sample data lives in the shared per-resolution TSDB, so the
-        merge only rewrites the ledger — exactly the cheap-metadata /
-        immutable-chunks split of the real design.
+        in-memory merge only rewrites the ledger — exactly the
+        cheap-metadata / immutable-chunks split of the real design.
+        On a persisted store the merged window is additionally
+        *rewritten* as one new block directory (written before the
+        sources are deleted, so a crash mid-compaction duplicates
+        rather than loses data).
         """
         merged_total = 0
         for level, window in enumerate(self.compaction_levels, start=2):
@@ -78,23 +88,44 @@ class Compactor:
                 span = sum(b.max_time - b.min_time for b in members)
                 if span < window:  # window not complete yet
                     continue
+                min_time = min(b.min_time for b in members)
+                max_time = max(b.max_time for b in members)
+                sources = tuple(b.ulid for b in members)
+                ulid = self.store.new_ulid()
+                self.store.persist_block(
+                    ulid,
+                    self._window_series(self.store.tsdb("raw"), min_time, max_time),
+                    min_time=min_time,
+                    max_time=max_time,
+                    resolution="raw",
+                    level=level,
+                    sources=sources,
+                )
                 for member in members:
                     self.store.drop_block(member.ulid)
                 self.store.add_block(
                     BlockMeta(
-                        ulid=self.store.new_ulid(),
-                        min_time=min(b.min_time for b in members),
-                        max_time=max(b.max_time for b in members),
+                        ulid=ulid,
+                        min_time=min_time,
+                        max_time=max_time,
                         resolution="raw",
                         num_samples=sum(b.num_samples for b in members),
                         num_series=max(b.num_series for b in members),
                         level=level,
-                        source_ulids=tuple(b.ulid for b in members),
+                        source_ulids=sources,
                     )
                 )
                 merged_total += len(members)
                 self.compactions += 1
         return merged_total
+
+    @staticmethod
+    def _window_series(tsdb: TSDB, lo: float, hi: float):
+        """Yield non-empty ``(labels, ts, vs)`` slices of ``[lo, hi)``."""
+        for series in tsdb.all_series():
+            ts, vs = series.window_half_open(lo, hi)
+            if len(ts):
+                yield series.labels, ts, vs
 
     # -- downsampling -------------------------------------------------------------
     def downsample(self, now: float) -> dict[str, int]:
@@ -124,9 +155,10 @@ class Compactor:
         if until <= (start or -np.inf):
             return 0
         produced = 0
+        persist_series: list = []
         for series in src.all_series():
             lo = start if start is not None else (series.min_time or 0.0)
-            ts, vs = series.window(lo, until - 1e-9)
+            ts, vs = series.window_half_open(lo, until)
             # Staleness markers do not survive downsampling (they mark
             # raw-resolution disappearance; downsampled buckets are
             # sparse anyway).
@@ -151,6 +183,34 @@ class Compactor:
                 dst.append(min_labels, float(b_ts[i]), float(mins[i]))
                 dst.append(max_labels, float(b_ts[i]), float(maxs[i]))
                 produced += 3
+            if self.store.persist_dir:
+                persist_series.append((series.labels, b_ts, means))
+                persist_series.append((min_labels, b_ts, mins))
+                persist_series.append((max_labels, b_ts, maxs))
+        if persist_series and produced:
+            # Downsampled output becomes its own on-disk block (and a
+            # ledger entry), so a reopened store serves 5m/1h data
+            # without re-downsampling.  In-memory stores skip this to
+            # keep the seed ledger semantics (raw blocks only).
+            min_time = min(float(ts[0]) for _labels, ts, _vs in persist_series)
+            ulid = self.store.new_ulid()
+            self.store.persist_block(
+                ulid,
+                persist_series,
+                min_time=min_time,
+                max_time=until,
+                resolution=key,
+            )
+            self.store.add_block(
+                BlockMeta(
+                    ulid=ulid,
+                    min_time=min_time,
+                    max_time=until,
+                    resolution=key,
+                    num_samples=produced,
+                    num_series=len(persist_series),
+                )
+            )
         self._downsampled_until[key] = until
         return produced
 

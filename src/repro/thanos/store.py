@@ -6,6 +6,13 @@ an index per resolution (raw, 5m, 1h).  Here each resolution is one
 reads) plus a block ledger carrying the metadata compaction decisions
 are made from.  The behavioural contract — what uploads, what gets
 downsampled, what a long-range query reads — is preserved.
+
+With a ``persist_dir`` the store is durable: every block registered
+through :meth:`persist_block` exists as an immutable on-disk
+directory (``meta.json`` + index + Gorilla chunk files, see
+:mod:`repro.tsdb.persist.block`), a fresh store loads every persisted
+block back into its ledger and per-resolution TSDBs on open, and
+:meth:`drop_block` removes the directory along with the ledger entry.
 """
 
 from __future__ import annotations
@@ -43,6 +50,9 @@ class ObjectStore:
     raw_retention: float = 0.0  # 0 = keep forever
     five_m_retention: float = 0.0
     one_h_retention: float = 0.0
+    #: When set, blocks are written/read as directories under this
+    #: path and reloaded on construction.
+    persist_dir: str = ""
 
     blocks: list[BlockMeta] = field(default_factory=list)
     _ulid_seq: itertools.count = field(default_factory=lambda: itertools.count(1), repr=False)
@@ -53,6 +63,90 @@ class ObjectStore:
             "5m": TSDB(name="thanos-5m"),
             "1h": TSDB(name="thanos-1h"),
         }
+        self.persisted_blocks = 0
+        self.persisted_raw_bytes = 0
+        self.persisted_encoded_bytes = 0
+        self.loaded_blocks = 0
+        self.loaded_raw_bytes = 0
+        self.loaded_encoded_bytes = 0
+        if self.persist_dir:
+            self._load_persisted()
+
+    # -- persistence ------------------------------------------------------
+    def _load_persisted(self) -> None:
+        """Rebuild ledger + per-resolution TSDBs from disk on open."""
+        from repro.tsdb.persist.block import BlockReader, list_block_ulids
+
+        max_seq = 0
+        for ulid in list_block_ulids(self.persist_dir):
+            reader = BlockReader(self.persist_dir, ulid)
+            meta = reader.meta
+            resolution = meta.get("resolution", "raw")
+            if resolution not in RESOLUTIONS:
+                raise StorageError(f"persisted block {ulid}: unknown resolution {resolution!r}")
+            tsdb = self.tsdbs[resolution]
+            for labels, ts, vs in reader.series():
+                tsdb.append_array(labels, ts, vs)
+            stats = meta.get("stats", {})
+            compaction = meta.get("compaction", {})
+            self.blocks.append(
+                BlockMeta(
+                    ulid=ulid,
+                    min_time=meta["minTime"],
+                    max_time=meta["maxTime"],
+                    resolution=resolution,
+                    num_samples=stats.get("numSamples", 0),
+                    num_series=stats.get("numSeries", 0),
+                    level=compaction.get("level", 1),
+                    source_ulids=tuple(compaction.get("sources", ())),
+                )
+            )
+            self.loaded_blocks += 1
+            codec = meta.get("codec", {})
+            self.loaded_raw_bytes += codec.get("rawBytes", 0)
+            self.loaded_encoded_bytes += codec.get("encodedBytes", 0)
+            if ulid.startswith("01BLOCK"):
+                try:
+                    max_seq = max(max_seq, int(ulid[len("01BLOCK"):]))
+                except ValueError:
+                    pass
+        self._ulid_seq = itertools.count(max_seq + 1)
+
+    def persist_block(
+        self,
+        ulid: str,
+        series,
+        *,
+        min_time: float,
+        max_time: float,
+        resolution: str = "raw",
+        level: int = 1,
+        sources: tuple[str, ...] = (),
+    ) -> dict | None:
+        """Write one immutable block directory (no-op when in-memory).
+
+        ``series`` is an iterable of ``(labels, ts_array, vs_array)``.
+        Returns the written ``meta.json`` dict, or ``None`` when the
+        store has no ``persist_dir``.
+        """
+        if not self.persist_dir:
+            return None
+        from repro.tsdb.persist.block import write_block
+
+        meta = write_block(
+            self.persist_dir,
+            ulid,
+            series,
+            min_time=min_time,
+            max_time=max_time,
+            resolution=resolution,
+            level=level,
+            sources=sources,
+        )
+        self.persisted_blocks += 1
+        self.persisted_raw_bytes += meta["codec"]["rawBytes"]
+        self.persisted_encoded_bytes += meta["codec"]["encodedBytes"]
+        return meta
 
     # -- block management ------------------------------------------------
     def new_ulid(self) -> str:
@@ -72,6 +166,10 @@ class ObjectStore:
 
     def drop_block(self, ulid: str) -> None:
         self.blocks = [b for b in self.blocks if b.ulid != ulid]
+        if self.persist_dir:
+            from repro.tsdb.persist.block import delete_block
+
+            delete_block(self.persist_dir, ulid)
 
     # -- querying -----------------------------------------------------------
     def tsdb(self, resolution: str) -> TSDB:
@@ -124,3 +222,45 @@ class ObjectStore:
             for block in [b for b in self.blocks_at(resolution) if b.max_time < cutoff]:
                 self.drop_block(block.ulid)
         return dropped
+
+    # -- observability --------------------------------------------------------
+    def compression_ratio(self) -> float:
+        """Raw float64 bytes per encoded chunk byte, over every block on
+        disk — both written this process and reloaded at open, so the
+        gauge is meaningful immediately after a restart."""
+        encoded = self.persisted_encoded_bytes + self.loaded_encoded_bytes
+        if not encoded:
+            return 0.0
+        return (self.persisted_raw_bytes + self.loaded_raw_bytes) / encoded
+
+    def register_metrics(self, registry) -> None:
+        """Expose block-persistence counters on a component's registry."""
+        registry.gauge_func(
+            "ceems_thanos_blocks_persisted_total",
+            lambda: float(self.persisted_blocks),
+            help="Block directories written to the store's persist_dir.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_thanos_block_bytes_written_total",
+            lambda: float(self.persisted_encoded_bytes),
+            help="Encoded chunk bytes written into persisted blocks.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_thanos_block_raw_bytes_total",
+            lambda: float(self.persisted_raw_bytes),
+            help="Uncompressed (16 B/sample) bytes covered by persisted blocks.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_thanos_block_compression_ratio",
+            self.compression_ratio,
+            help="Raw bytes per encoded byte across persisted blocks.",
+        )
+        registry.gauge_func(
+            "ceems_thanos_blocks_loaded_total",
+            lambda: float(self.loaded_blocks),
+            help="Persisted blocks reloaded when this store opened.",
+            type="counter",
+        )

@@ -1,0 +1,74 @@
+"""Bit-granular writer/reader for the Gorilla chunk codec.
+
+The encoder side is pure Python: a :class:`BitWriter` accumulates
+bits MSB-first into a bytearray, which keeps the ingest path free of
+numpy churn (mirroring the design note in
+:mod:`repro.tsdb.storage`).  The decoder side is numpy-assisted: a
+:class:`BitReader` loads the whole chunk into one arbitrary-precision
+integer (chunks are a few hundred bytes, so big-int shifts are a
+handful of machine words) and the caller converts the collected
+uint64 bit patterns back to float64 arrays with a single vectorised
+``ndarray.view`` — see :func:`repro.tsdb.persist.chunk.decode_chunk`.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import StorageError
+
+
+class BitWriter:
+    """Append bits MSB-first; pad the final byte with zeros."""
+
+    __slots__ = ("_buf", "_acc", "_nbits")
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write_bit(self, bit: int) -> None:
+        self.write_bits(bit, 1)
+
+    def write_bits(self, value: int, nbits: int) -> None:
+        """Write the low ``nbits`` bits of ``value`` (an unsigned int)."""
+        self._acc = (self._acc << nbits) | (value & ((1 << nbits) - 1))
+        self._nbits += nbits
+        while self._nbits >= 8:
+            self._nbits -= 8
+            self._buf.append((self._acc >> self._nbits) & 0xFF)
+        self._acc &= (1 << self._nbits) - 1
+
+    @property
+    def bit_length(self) -> int:
+        return len(self._buf) * 8 + self._nbits
+
+    def getvalue(self) -> bytes:
+        out = bytes(self._buf)
+        if self._nbits:
+            out += bytes([(self._acc << (8 - self._nbits)) & 0xFF])
+        return out
+
+
+class BitReader:
+    """Read bits MSB-first from a byte string."""
+
+    __slots__ = ("_value", "_total", "_pos")
+
+    def __init__(self, data: bytes) -> None:
+        self._value = int.from_bytes(data, "big")
+        self._total = len(data) * 8
+        self._pos = 0
+
+    def read_bit(self) -> int:
+        return self.read_bits(1)
+
+    def read_bits(self, nbits: int) -> int:
+        shift = self._total - self._pos - nbits
+        if shift < 0:
+            raise StorageError("bit stream exhausted (truncated chunk)")
+        self._pos += nbits
+        return (self._value >> shift) & ((1 << nbits) - 1)
+
+    @property
+    def bits_left(self) -> int:
+        return self._total - self._pos

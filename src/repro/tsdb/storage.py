@@ -103,6 +103,20 @@ class Series:
             np.asarray(self.values[lo:hi], dtype=np.float64),
         )
 
+    def window_half_open(self, start: float, end: float) -> tuple[np.ndarray, np.ndarray]:
+        """Samples with ``start <= t < end`` (block-window semantics).
+
+        Block boundaries are half-open in Prometheus/Thanos; callers
+        cutting ``[lo, hi)`` windows use this instead of shrinking the
+        right edge by an epsilon.
+        """
+        lo = bisect.bisect_left(self.timestamps, start)
+        hi = bisect.bisect_left(self.timestamps, end)
+        return (
+            np.asarray(self.timestamps[lo:hi], dtype=np.float64),
+            np.asarray(self.values[lo:hi], dtype=np.float64),
+        )
+
     def at_or_before(self, ts: float, lookback: float) -> tuple[float, float] | None:
         """Most recent sample in ``(ts - lookback, ts]`` (instant read).
 
@@ -154,6 +168,29 @@ class TSDB:
         periodically).  ``0`` disables retention.
     name:
         Instance name, used by the LB and the Thanos fan-out.
+
+    Epoch / cache invalidation contract
+    -----------------------------------
+    * ``series_epoch`` bumps exactly when the series *population*
+      changes (creation in :meth:`_get_or_create_series`, deletion in
+      :meth:`_drop_series`); ``data_epoch`` bumps on every sample
+      mutation (append, bulk append, retention truncation, series
+      deletion).
+    * ``_select_cache`` maps matcher tuples to lists of live
+      :class:`Series` objects.  Because ``Series`` mutate in place,
+      entries stay correct across *sample* mutations — retention that
+      drops samples but no series deliberately leaves the memo
+      populated (it only bumps ``data_epoch``) — and are invalidated
+      wholesale whenever the population changes.  Downstream memos
+      that **copy** sample data out of a ``Series`` (e.g. the Thanos
+      fan-out merge) must instead validate against
+      ``(series_epoch, data_epoch)``, since an in-place mutation
+      silently outdates their copies.
+    * ``min_time``/``max_time`` are recomputed via
+      :meth:`_recompute_time_bounds` on every drop path; before the
+      audit ``max_time`` survived a fully-emptied store and
+      :meth:`delete_series` never refreshed either bound, which could
+      leave the sidecar watermark pointing at vanished data.
     """
 
     #: Upper bound on memoised selector results before wholesale reset.
@@ -183,8 +220,7 @@ class TSDB:
         self.telemetry = None
 
     # -- ingest ----------------------------------------------------------
-    def append(self, labels: Labels, timestamp: float, value: float) -> None:
-        """Append one sample, creating the series on first sight."""
+    def _get_or_create_series(self, labels: Labels) -> Series:
         series = self._series.get(labels)
         if series is None:
             if not labels.metric_name:
@@ -195,6 +231,11 @@ class TSDB:
                 self._index.setdefault(pair, set()).add(labels)
             self.series_epoch += 1
             self._select_cache.clear()
+        return series
+
+    def append(self, labels: Labels, timestamp: float, value: float) -> None:
+        """Append one sample, creating the series on first sight."""
+        series = self._get_or_create_series(labels)
         series.append(timestamp, value)
         self.samples_ingested += 1
         self.data_epoch += 1
@@ -209,6 +250,43 @@ class TSDB:
             self.append(labels, ts, value)
             count += 1
         return count
+
+    def append_array(self, labels: Labels, timestamps, values) -> int:
+        """Bulk-append a sorted run of samples to one series.
+
+        The sidecar's block copies and WAL replay ingest whole window
+        slices; a strictly increasing run landing after the series'
+        current tail extends the sample lists in one slice operation
+        (one epoch bump, one snapshot invalidation) instead of a
+        per-sample Python loop.  Runs that overlap the tail fall back
+        to :meth:`Series.append` semantics sample by sample
+        (last-write-wins on duplicates, out-of-order rejected).
+        """
+        n = len(timestamps)
+        if n != len(values):
+            raise StorageError("timestamp/value length mismatch")
+        if n == 0:
+            return 0
+        ts_list = [float(t) for t in timestamps]
+        vs_list = [float(v) for v in values]
+        series = self._get_or_create_series(labels)
+        last = series.timestamps[-1] if series.timestamps else None
+        increasing = all(a < b for a, b in zip(ts_list, ts_list[1:]))
+        if increasing and (last is None or ts_list[0] > last):
+            series.timestamps.extend(ts_list)
+            series.values.extend(vs_list)
+            series._snapshot = None
+        else:
+            for ts, value in zip(ts_list, vs_list):
+                series.append(ts, value)
+        self.samples_ingested += n
+        self.data_epoch += 1
+        lo, hi = (ts_list[0], ts_list[-1]) if increasing else (min(ts_list), max(ts_list))
+        if self.min_time is None or lo < self.min_time:
+            self.min_time = lo
+        if self.max_time is None or hi > self.max_time:
+            self.max_time = hi
+        return n
 
     # -- selection ---------------------------------------------------------
     def select(self, matchers: Sequence[Matcher]) -> list[Series]:
@@ -312,10 +390,7 @@ class TSDB:
             self._drop_series(key)
         if samples_dropped:
             self.data_epoch += 1
-            self.min_time = min(
-                (s.min_time for s in self._series.values() if s.min_time is not None),
-                default=None,
-            )
+            self._recompute_time_bounds()
         return samples_dropped, len(empty)
 
     def delete_series(self, matchers: Sequence[Matcher]) -> int:
@@ -327,7 +402,20 @@ class TSDB:
         doomed = [s.labels for s in self.select(matchers)]
         for key in doomed:
             self._drop_series(key)
+        if doomed:
+            self._recompute_time_bounds()
         return len(doomed)
+
+    def _recompute_time_bounds(self) -> None:
+        """Refresh ``min_time``/``max_time`` after samples were dropped."""
+        self.min_time = min(
+            (s.min_time for s in self._series.values() if s.min_time is not None),
+            default=None,
+        )
+        self.max_time = max(
+            (s.max_time for s in self._series.values() if s.max_time is not None),
+            default=None,
+        )
 
     def _drop_series(self, key: Labels) -> None:
         del self._series[key]

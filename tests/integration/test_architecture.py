@@ -5,7 +5,6 @@ simulation) across component boundaries, plus one pass over real TCP
 sockets to prove the components genuinely speak HTTP.
 """
 
-import numpy as np
 import pytest
 
 from repro.common.httpx import http_get, serve_threading

@@ -13,9 +13,7 @@ import pytest
 
 from repro.cluster import StackSimulation, small_topology
 from repro.cluster.simulation import SimulationConfig
-from repro.common.clock import SimClock
 from repro.common.httpx import Response
-from repro.emissions import OWIDProvider, ProviderRegistry, RTEProvider
 from repro.energy.rules_library import POWER_METRIC
 from repro.lb import Backend, DBAuthorizer, LoadBalancer
 from repro.resourcemgr.workload import SizeClass, WorkloadMix

@@ -1,7 +1,5 @@
 """Tests for alerting rules and the mini Alertmanager."""
 
-import math
-
 import pytest
 
 from repro.common.clock import SimClock

@@ -6,7 +6,7 @@ from repro.apiserver.api import USER_HEADER, APIServer
 from repro.apiserver.db import Database
 from repro.apiserver.updater import Updater
 from repro.common.clock import SimClock
-from repro.resourcemgr.base import ComputeUnit, UnitState
+from repro.resourcemgr.base import UnitState
 from tests.test_apiserver_db import FakeUsage, unit
 
 

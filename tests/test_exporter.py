@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.auth import BasicAuth, make_basic_auth_header
+from repro.common.auth import make_basic_auth_header
 from repro.common.clock import SimClock
 from repro.common.config import ExporterConfig
 from repro.common.errors import CollectorError
@@ -21,7 +21,6 @@ from repro.exporter.collector import Collector
 from repro.exporter.collectors import extract_unit_uuid
 from repro.hwsim import GPU_PROFILES, NodeSpec, SimulatedNode, UsageProfile
 from repro.tsdb import exposition
-from repro.tsdb.exposition import MetricFamily
 
 
 class TestUnitPatterns:

@@ -16,7 +16,6 @@ from repro.lb import (
     extract_uuids,
     make_strategy,
 )
-from repro.resourcemgr.base import UnitState
 from repro.tsdb.http import PromAPI
 from repro.tsdb.model import Labels
 from repro.tsdb.storage import TSDB

@@ -1,0 +1,526 @@
+"""Durable storage engine: codec, WAL, blocks, crash recovery.
+
+Covers the four layers of :mod:`repro.tsdb.persist` plus the wiring
+through the Thanos sidecar/store/compactor and the full simulation:
+
+* Gorilla chunk codec — bit-identical roundtrips for adversarial
+  inputs (NaN payloads, ±inf, signed zeros, counter wraps, irregular
+  and non-monotone timestamps);
+* segmented WAL — CRC framing, segment cuts, and a property-style
+  torn-frame test that truncates the log at seeded random byte
+  offsets and asserts recovery is exactly the fully-framed prefix;
+* on-disk blocks — write/read roundtrip, CRC detection, atomic
+  staging;
+* :class:`PersistentTSDB` — replay on open, checkpoint truncation,
+  tombstones, and the kill-and-reopen simulation with WAL replay
+  surfaced in ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import struct
+
+import numpy as np
+import pytest
+
+from repro.common.errors import StorageError
+from repro.common.httpx import Request
+from repro.tsdb.model import Labels, Matcher
+from repro.tsdb.persist import (
+    WAL,
+    BlockReader,
+    PersistentTSDB,
+    decode_chunk,
+    encode_chunk,
+    list_block_ulids,
+    write_block,
+)
+from repro.tsdb.persist.bits import BitReader, BitWriter
+from repro.tsdb.storage import TSDB
+from repro.thanos.compact import Compactor
+from repro.thanos.query import FanoutStorage
+from repro.thanos.sidecar import Sidecar
+from repro.thanos.store import ObjectStore
+
+
+def bits_of(values) -> list[int]:
+    return np.asarray(values, dtype=np.float64).view(np.uint64).tolist()
+
+
+def assert_bit_identical(expected_ts, expected_vs, got_ts, got_vs):
+    assert bits_of(expected_ts) == bits_of(got_ts)
+    assert bits_of(expected_vs) == bits_of(got_vs)
+
+
+class TestBitIO:
+    def test_roundtrip_mixed_widths(self):
+        writer = BitWriter()
+        fields = [(1, 1), (0b101, 3), (0xDEADBEEF, 32), (0, 7), ((1 << 66) - 3, 66)]
+        for value, width in fields:
+            writer.write_bits(value, width)
+        reader = BitReader(writer.getvalue())
+        for value, width in fields:
+            assert reader.read_bits(width) == value
+
+    def test_exhausted_stream_raises(self):
+        reader = BitReader(b"\xff")
+        reader.read_bits(8)
+        with pytest.raises(StorageError):
+            reader.read_bit()
+
+
+class TestChunkCodec:
+    def test_regular_cadence_roundtrip_and_compression(self):
+        ts = [1.7e9 + 15.0 * i for i in range(120)]
+        vs = [42.0] * 120
+        encoded = encode_chunk(ts, vs)
+        assert_bit_identical(ts, vs, *decode_chunk(encoded))
+        # constant value + steady cadence ≈ 1 bit/sample each way
+        assert len(encoded) < 16 * 120 / 10
+
+    def test_counter_wrap(self):
+        ts = [1.7e9 + 15.0 * i for i in range(200)]
+        vs = [float((1 << 32) - 100 + i * 7) % float(1 << 32) for i in range(200)]
+        assert_bit_identical(ts, vs, *decode_chunk(encode_chunk(ts, vs)))
+
+    def test_adversarial_values(self):
+        quiet_nan = struct.unpack(">d", struct.pack(">Q", 0x7FF8000000000123))[0]
+        ts = [0.0, 1e-300, 1.0, 1e300, 1.7e9]
+        vs = [float("nan"), float("inf"), float("-inf"), -0.0, quiet_nan]
+        got_ts, got_vs = decode_chunk(encode_chunk(ts, vs))
+        assert_bit_identical(ts, vs, got_ts, got_vs)
+        # the NaN payload survived, not just "some NaN"
+        assert bits_of(got_vs)[4] == 0x7FF8000000000123
+
+    def test_irregular_and_negative_timestamps(self):
+        rng = random.Random(11)
+        ts = [rng.uniform(-1e9, 1e9) for _ in range(300)]
+        vs = [rng.uniform(-1e12, 1e12) for _ in range(300)]
+        assert_bit_identical(ts, vs, *decode_chunk(encode_chunk(ts, vs)))
+
+    def test_empty_and_single(self):
+        assert decode_chunk(encode_chunk([], []))[0].size == 0
+        assert_bit_identical([5.5], [float("nan")], *decode_chunk(encode_chunk([5.5], [float("nan")])))
+
+    def test_length_mismatch_and_overflow(self):
+        with pytest.raises(StorageError):
+            encode_chunk([1.0], [])
+        with pytest.raises(StorageError):
+            encode_chunk(list(range(70000)), list(range(70000)))
+
+
+class TestWAL:
+    def test_replay_roundtrip_across_segments(self, tmp_path):
+        wal = WAL(str(tmp_path / "wal"), segment_bytes=64)
+        payloads = [f"record-{i}".encode() for i in range(20)]
+        for p in payloads:
+            wal.append(p)
+        wal.close()
+        assert len(wal.segment_indices()) > 1
+        replayed = [p for _seg, p in WAL(str(tmp_path / "wal")).replay()]
+        assert replayed == payloads
+
+    def test_unknown_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            WAL(str(tmp_path / "wal"), fsync="sometimes")
+
+    def test_fresh_segment_after_reopen(self, tmp_path):
+        wal = WAL(str(tmp_path / "wal"))
+        wal.append(b"one")
+        wal.close()
+        wal2 = WAL(str(tmp_path / "wal"))
+        wal2.append(b"two")
+        wal2.close()
+        assert len(wal2.segment_indices()) == 2
+
+    def test_truncate_before_keeps_open_segment(self, tmp_path):
+        wal = WAL(str(tmp_path / "wal"), segment_bytes=16)
+        for i in range(8):
+            wal.append(b"x" * 10)
+        wal.close()
+        indices = wal.segment_indices()
+        removed = wal.truncate_before(indices[-1])
+        assert removed == len(indices) - 1
+        assert wal.segment_indices() == [indices[-1]]
+
+    def test_torn_frame_property(self, tmp_path):
+        """Truncate at random byte offsets: recovery is exactly the
+        fully-framed prefix, never garbage, never an exception."""
+        rng = random.Random(1234)
+        payloads = [bytes([i]) * rng.randint(1, 40) for i in range(30)]
+        frame_ends = []
+        offset = 0
+        for p in payloads:
+            offset += 8 + len(p)
+            frame_ends.append(offset)
+        for _trial in range(12):
+            path = tmp_path / f"wal-{_trial}"
+            wal = WAL(str(path), segment_bytes=1 << 20, fsync="never")
+            for p in payloads:
+                wal.append(p)
+            wal.close()
+            segment = os.path.join(str(path), "00000001.wal")
+            cut = rng.randint(1, os.path.getsize(segment) - 1)
+            with open(segment, "r+b") as fh:
+                fh.truncate(cut)
+            reader = WAL(str(path))
+            survivors = [p for _seg, p in reader.replay()]
+            expected = sum(1 for end in frame_ends if end <= cut)
+            assert survivors == payloads[:expected]
+            assert reader.last_replay.torn == (cut not in frame_ends)
+
+    def test_crc_corruption_stops_replay(self, tmp_path):
+        wal = WAL(str(tmp_path / "wal"))
+        for i in range(5):
+            wal.append(f"rec{i}".encode())
+        wal.close()
+        segment = os.path.join(str(tmp_path / "wal"), "00000001.wal")
+        with open(segment, "r+b") as fh:
+            fh.seek(8 + 4 + 8 + 2)  # inside the second record's payload
+            fh.write(b"\xff")
+        reader = WAL(str(tmp_path / "wal"))
+        assert [p for _seg, p in reader.replay()] == [b"rec0"]
+        assert reader.last_replay.torn
+
+
+def series_labels(i: int) -> Labels:
+    return Labels({"__name__": "metric", "idx": str(i)})
+
+
+class TestBlock:
+    def _series(self):
+        ts = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        vs = np.array([1.0, float("nan"), float("inf"), -0.0, 99.0])
+        return [(series_labels(0), ts, vs), (series_labels(1), ts + 10.0, vs * 2)]
+
+    def test_write_read_roundtrip_multichunk(self, tmp_path):
+        meta = write_block(
+            str(tmp_path), "B1", self._series(), min_time=0.0, max_time=20.0, chunk_samples=2
+        )
+        assert meta["stats"]["numSeries"] == 2
+        assert meta["stats"]["numChunks"] == 6  # ceil(5/2) per series
+        reader = BlockReader(str(tmp_path), "B1")
+        got = list(reader.series())
+        for (labels, ts, vs), (glabels, gts, gvs) in zip(self._series(), got):
+            assert labels == glabels
+            assert_bit_identical(ts, vs, gts, gvs)
+
+    def test_chunk_corruption_detected(self, tmp_path):
+        write_block(str(tmp_path), "B2", self._series(), min_time=0.0, max_time=20.0)
+        chunk_file = tmp_path / "B2" / "chunks" / "000001"
+        data = bytearray(chunk_file.read_bytes())
+        data[12] ^= 0xFF
+        chunk_file.write_bytes(bytes(data))
+        with pytest.raises(StorageError, match="CRC"):
+            list(BlockReader(str(tmp_path), "B2").series())
+
+    def test_staged_write_is_atomic(self, tmp_path):
+        write_block(str(tmp_path), "B3", self._series(), min_time=0.0, max_time=20.0)
+        assert list_block_ulids(str(tmp_path)) == ["B3"]
+        os.makedirs(tmp_path / "B9.tmp")  # a crashed half-write
+        assert list_block_ulids(str(tmp_path)) == ["B3"]
+
+    def test_duplicate_ulid_rejected(self, tmp_path):
+        write_block(str(tmp_path), "B4", self._series(), min_time=0.0, max_time=20.0)
+        with pytest.raises(StorageError, match="already exists"):
+            write_block(str(tmp_path), "B4", self._series(), min_time=0.0, max_time=20.0)
+
+
+class TestPersistentTSDB:
+    def test_reopen_recovers_everything(self, tmp_path):
+        head = PersistentTSDB(str(tmp_path / "hot"), name="hot")
+        for i in range(3):
+            for t in range(50):
+                head.append(series_labels(i), 100.0 + t, float(i * 1000 + t))
+        head.append(series_labels(0), 200.0, float("nan"))  # stale marker survives
+        head.close()
+
+        reopened = PersistentTSDB(str(tmp_path / "hot"), name="hot")
+        assert reopened.num_series == 3
+        assert reopened.num_samples == head.num_samples
+        for orig, got in zip(head.all_series(), reopened.all_series()):
+            assert orig.labels == got.labels
+            assert_bit_identical(orig.timestamps, orig.values, got.timestamps, got.values)
+        assert reopened.replay_result.records > 0
+        assert not reopened.replay_result.torn
+
+    def test_append_array_journaled(self, tmp_path):
+        head = PersistentTSDB(str(tmp_path / "hot"))
+        ts = np.arange(10, dtype=np.float64)
+        vs = np.linspace(0.0, 1.0, 10)
+        assert head.append_array(series_labels(0), ts, vs) == 10
+        head.close()
+        reopened = PersistentTSDB(str(tmp_path / "hot"))
+        got = reopened.all_series()[0]
+        assert_bit_identical(ts, vs, got.timestamps, got.values)
+
+    def test_tombstone_survives_reopen(self, tmp_path):
+        head = PersistentTSDB(str(tmp_path / "hot"))
+        head.append(series_labels(0), 1.0, 1.0)
+        head.append(series_labels(1), 1.0, 2.0)
+        assert head.delete_series([Matcher.eq("idx", "0")]) == 1
+        head.close()
+        reopened = PersistentTSDB(str(tmp_path / "hot"))
+        assert reopened.num_series == 1
+        assert reopened.all_series()[0].labels.get("idx") == "1"
+
+    def test_torn_wal_loses_only_unflushed_tail(self, tmp_path):
+        """Property-style crash test: truncate the WAL at a seeded
+        random byte offset mid-write, reopen, and assert the recovered
+        samples are exactly a prefix of what was appended."""
+        rng = random.Random(4242)
+        appended = []
+        head = PersistentTSDB(str(tmp_path / "hot"), fsync="never")
+        for t in range(400):
+            value = rng.choice([rng.uniform(-1e6, 1e6), float("nan"), float("inf")])
+            head.append(series_labels(t % 4), float(t), value)
+            appended.append((t % 4, float(t), value))
+        head.close()
+        wal_dir = str(tmp_path / "hot" / "wal")
+        segment = os.path.join(wal_dir, sorted(os.listdir(wal_dir))[-1])
+        size = os.path.getsize(segment)
+        with open(segment, "r+b") as fh:
+            fh.truncate(rng.randint(size // 2, size - 1))
+
+        reopened = PersistentTSDB(str(tmp_path / "hot"))
+        assert reopened.replay_result.torn
+        recovered = []
+        for series in reopened.all_series():
+            idx = int(series.labels.get("idx"))
+            for t, v in zip(series.timestamps, series.values):
+                recovered.append((idx, t, v))
+        recovered.sort(key=lambda r: r[1])
+        prefix = appended[: len(recovered)]
+        assert len(recovered) < len(appended)
+        assert bits_of([r[2] for r in recovered]) == bits_of([p[2] for p in prefix])
+        assert [(r[0], r[1]) for r in recovered] == [(p[0], p[1]) for p in prefix]
+
+    def test_checkpoint_truncates_wal(self, tmp_path):
+        head = PersistentTSDB(str(tmp_path / "hot"), segment_bytes=256)
+        for t in range(200):
+            head.append(series_labels(0), float(t), float(t))
+        before = len(head.wal.segment_indices())
+        removed = head.checkpoint(150.0)
+        assert removed > 0
+        assert len(head.wal.segment_indices()) < before
+        head.append(series_labels(0), 500.0, 1.0)
+        head.close()
+        # Only the tail beyond the checkpoint horizon (plus the
+        # boundary segment) replays; the series itself survives via
+        # the checkpoint record even though its early segments are gone.
+        reopened = PersistentTSDB(str(tmp_path / "hot"))
+        assert reopened.num_series == 1
+        assert reopened.all_series()[0].max_time == 500.0
+        assert min(reopened.all_series()[0].timestamps) >= 150.0 - 256 / 29  # boundary slack
+
+    def test_fsync_always_counts(self, tmp_path):
+        head = PersistentTSDB(str(tmp_path / "hot"), fsync="always")
+        head.append(series_labels(0), 1.0, 1.0)
+        head.append(series_labels(0), 2.0, 2.0)
+        assert head.wal.fsyncs >= 3  # series record + two sample records
+        head.close()
+
+
+class TestStorePersistence:
+    def _fill(self, store: ObjectStore, hot: TSDB, hours: float = 4.5):
+        for i in range(3):
+            for t in range(int(hours * 4)):
+                hot.append(series_labels(i), t * 900.0, float(i + t))
+
+    def test_sidecar_writes_real_blocks(self, tmp_path):
+        hot = TSDB(name="hot")
+        store = ObjectStore(persist_dir=str(tmp_path / "store"))
+        self._fill(store, hot)
+        sidecar = Sidecar(hot, store)
+        uploaded = sidecar.upload(now=4.5 * 3600.0)
+        assert uploaded == 2
+        ulids = list_block_ulids(str(tmp_path / "store"))
+        assert len(ulids) == 2
+        meta = BlockReader(str(tmp_path / "store"), ulids[0]).meta
+        assert meta["resolution"] == "raw"
+        assert meta["stats"]["numSeries"] == 3
+        assert store.persisted_blocks == 2
+        assert store.compression_ratio() > 1.0
+
+    def test_half_open_window_boundaries(self, tmp_path):
+        hot = TSDB(name="hot")
+        # one sample exactly on each boundary of the first 2 h window
+        hot.append(series_labels(0), 0.0, 1.0)
+        hot.append(series_labels(0), 7200.0, 2.0)
+        hot.append(series_labels(0), 7205.0, 3.0)
+        store = ObjectStore()
+        Sidecar(hot, store).upload(now=2 * 3600.0)
+        raw = store.tsdb("raw")
+        series = raw.all_series()[0]
+        # t=0 included (closed left), t=7200 excluded (open right)
+        assert series.timestamps == [0.0]
+
+    def test_store_reload_roundtrip(self, tmp_path):
+        hot = TSDB(name="hot")
+        store = ObjectStore(persist_dir=str(tmp_path / "store"))
+        self._fill(store, hot)
+        Sidecar(hot, store).upload(now=4.5 * 3600.0)
+
+        reloaded = ObjectStore(persist_dir=str(tmp_path / "store"))
+        assert reloaded.loaded_blocks == 2
+        assert len(reloaded.blocks_at("raw")) == 2
+        orig = store.tsdb("raw").all_series()
+        got = reloaded.tsdb("raw").all_series()
+        assert len(orig) == len(got)
+        for a, b in zip(orig, got):
+            assert a.labels == b.labels
+            assert_bit_identical(a.timestamps, a.values, b.timestamps, b.values)
+        # ULID sequence resumes past the loaded blocks
+        assert reloaded.new_ulid() not in {b.ulid for b in reloaded.blocks}
+
+    def test_drop_block_removes_directory(self, tmp_path):
+        hot = TSDB(name="hot")
+        store = ObjectStore(persist_dir=str(tmp_path / "store"))
+        self._fill(store, hot)
+        Sidecar(hot, store).upload(now=4.5 * 3600.0)
+        ulid = store.blocks_at("raw")[0].ulid
+        store.drop_block(ulid)
+        assert ulid not in list_block_ulids(str(tmp_path / "store"))
+
+    def test_compactor_rewrites_blocks_on_disk(self, tmp_path):
+        hot = TSDB(name="hot")
+        store = ObjectStore(persist_dir=str(tmp_path / "store"))
+        for i in range(2):
+            for t in range(17 * 4):
+                hot.append(series_labels(i), t * 900.0, float(t))
+        Sidecar(hot, store).upload(now=17 * 3600.0)
+        compactor = Compactor(store)
+        merged = compactor.compact_blocks()
+        assert merged > 0
+        merged_blocks = [b for b in store.blocks_at("raw") if b.level == 2]
+        assert merged_blocks
+        on_disk = set(list_block_ulids(str(tmp_path / "store")))
+        assert {b.ulid for b in store.blocks_at("raw")} <= on_disk
+        for block in merged_blocks:
+            for source in block.source_ulids:
+                assert source not in on_disk
+            meta = BlockReader(str(tmp_path / "store"), block.ulid).meta
+            assert meta["compaction"]["level"] == 2
+            assert tuple(meta["compaction"]["sources"]) == block.source_ulids
+
+    def test_downsample_persists_and_resumes(self, tmp_path):
+        hot = TSDB(name="hot")
+        store = ObjectStore(persist_dir=str(tmp_path / "store"))
+        for t in range(8 * 240):
+            hot.append(series_labels(0), t * 30.0, float(t % 7))
+        Sidecar(hot, store).upload(now=8 * 3600.0)
+        compactor = Compactor(store, downsample_5m_after=3600.0)
+        now = 8 * 3600.0
+        compactor.downsample(now)
+        five_m = store.blocks_at("5m")
+        assert len(five_m) == 1
+        reloaded = ObjectStore(persist_dir=str(tmp_path / "store"))
+        assert reloaded.tsdb("5m").num_samples == store.tsdb("5m").num_samples
+        # a reopened compactor resumes after the persisted 5m block
+        compactor2 = Compactor(reloaded, downsample_5m_after=3600.0)
+        assert compactor2._downsampled_until["5m"] == five_m[0].max_time
+        compactor2.downsample(now)
+        assert len(reloaded.blocks_at("5m")) == 1  # nothing re-produced
+
+
+class TestSimulationCrashRecovery:
+    @pytest.fixture()
+    def persist_dir(self, tmp_path):
+        return str(tmp_path / "persist")
+
+    def _simulation(self, persist_dir):
+        from repro.cluster import StackSimulation, small_topology
+        from repro.cluster.simulation import SimulationConfig
+
+        return StackSimulation(
+            small_topology(cpu_nodes=1, gpu_nodes=0),
+            SimulationConfig(
+                persist_dir=persist_dir,
+                with_workload=False,
+                meta_monitoring=False,
+                n_prom_backends=1,
+            ),
+        )
+
+    def test_kill_and_reopen_preserves_flushed_samples(self, persist_dir):
+        sim = self._simulation(persist_dir)
+        sim.run(2.5 * 3600.0)  # past one 2 h block cut
+        assert sim.object_store.persisted_blocks >= 1
+        matcher = [Matcher.name_eq("ceems_cpu_seconds_total")]
+        original = {
+            tuple(s.labels): (list(s.timestamps), list(s.values))
+            for s in sim.engine.storage.select(matcher)
+        }
+        assert original
+        sim.hot_tsdb.wal.sync()  # flush the tail, then "kill" (no close)
+
+        revived = self._simulation(persist_dir)
+        assert revived.hot_tsdb.replay_result.records > 0
+        fanout = FanoutStorage(revived.hot_tsdb, revived.object_store)
+        for key, (ts, vs) in original.items():
+            got = [s for s in fanout.select(matcher) if tuple(s.labels) == key]
+            assert len(got) == 1
+            assert_bit_identical(ts, vs, got[0].timestamps, got[0].values)
+
+    def test_wal_replay_surfaced_in_metrics(self, persist_dir):
+        sim = self._simulation(persist_dir)
+        sim.run(1800.0)
+        resp = sim.prom_apis[0].app.handle(Request(method="GET", path="/metrics"))
+        body = resp.body if isinstance(resp.body, str) else resp.body.decode()
+        assert "ceems_tsdb_wal_records_total" in body
+        assert "ceems_tsdb_wal_fsyncs_total" in body
+        assert "ceems_thanos_block_compression_ratio" in body
+        sim.hot_tsdb.wal.sync()
+
+        revived = self._simulation(persist_dir)
+        revived.run(60.0)
+        resp = revived.prom_apis[0].app.handle(Request(method="GET", path="/metrics"))
+        body = resp.body if isinstance(resp.body, str) else resp.body.decode()
+        replayed = [
+            line
+            for line in body.splitlines()
+            if line.startswith("ceems_tsdb_wal_replayed_records_total")
+        ]
+        assert replayed and float(replayed[0].split()[-1]) > 0
+
+    def test_clock_resumes_after_recovered_tail(self, persist_dir):
+        sim = self._simulation(persist_dir)
+        sim.run(1800.0)
+        last = sim.hot_tsdb.max_time
+        sim.hot_tsdb.wal.sync()
+        revived = self._simulation(persist_dir)
+        assert revived.now > last
+
+
+class TestConfigWiring:
+    def test_stack_config_carries_persist_dir(self, tmp_path):
+        from repro.common.config import StackConfig
+        from repro.cluster.simulation import SimulationConfig
+
+        path = tmp_path / "stack.yml"
+        path.write_text("tsdb:\n  persist_dir: /data/ceems\n")
+        stack = StackConfig.load_file(str(path))
+        assert stack.tsdb.persist_dir == "/data/ceems"
+        cfg = SimulationConfig.from_stack_config(stack)
+        assert cfg.persist_dir == "/data/ceems"
+
+    def test_cli_persist_info(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        head = PersistentTSDB(str(tmp_path / "hot"))
+        head.append(series_labels(0), 1.0, 2.0)
+        head.close()
+        out = io.StringIO()
+        assert main(["persist-info", str(tmp_path)], out=out) == 0
+        assert "samples recovered: 1" in out.getvalue()
+
+    def test_cli_persist_info_missing(self, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        assert main(["persist-info", str(tmp_path / "nope")], out=io.StringIO()) == 1

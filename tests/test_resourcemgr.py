@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import SimulationError
-from repro.hwsim import NodeSpec, SimulatedNode, UsageProfile
+from repro.hwsim import NodeSpec, SimulatedNode
 from repro.resourcemgr import (
     JobSpec,
     KubernetesCluster,

@@ -1,7 +1,5 @@
 """Tests for rules-file export and config-driven stack assembly."""
 
-import pytest
-
 from repro.cluster import StackSimulation, small_topology
 from repro.cluster.simulation import SimulationConfig
 from repro.common.config import StackConfig

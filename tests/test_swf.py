@@ -7,7 +7,6 @@ from repro.common.errors import SimulationError
 from repro.hwsim import NodeSpec, SimulatedNode
 from repro.resourcemgr.slurm import SlurmCluster
 from repro.resourcemgr.swf import (
-    STATUS_COMPLETED,
     SWFJob,
     parse_swf,
     replay,

@@ -108,7 +108,7 @@ class TestDownsampling:
         store = ObjectStore()
         Sidecar(hot, store).upload(now=4 * 3600.0)
         compactor = Compactor(store, downsample_5m_after=0.0)
-        first = compactor.downsample(now=4 * 3600.0)
+        compactor.downsample(now=4 * 3600.0)
         second = compactor.downsample(now=4 * 3600.0)
         assert second["5m"] == 0  # nothing new to do
 
