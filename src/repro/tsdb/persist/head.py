@@ -16,7 +16,10 @@
   record at the head of a new segment, then deletes the contiguous
   prefix of segments whose samples are all older than ``t`` (they are
   durable in blocks).  The WAL therefore holds exactly the
-  not-yet-blocked tail plus one series snapshot.
+  not-yet-blocked tail plus one series snapshot.  Because that
+  snapshot lands *after* the kept tail in segment order, replay
+  buffers samples whose ref is not yet defined and flushes them when
+  the restating CHECKPOINT record arrives (see :meth:`_replay`).
 
 Recovery invariant: after a crash, ``replayed samples == every sample
 whose WAL record was fully framed before the crash``; with
@@ -77,41 +80,89 @@ class PersistentTSDB(TSDB):
 
     # -- WAL replay -----------------------------------------------------------
     def _replay(self) -> None:
+        """Rebuild head state from the WAL.
+
+        Checkpoints restate live series in a segment *after* the kept
+        tail, so a SAMPLES record may legitimately precede the only
+        surviving definition of its ref.  Samples with unknown refs
+        are therefore buffered (per ref, in log order) and flushed the
+        moment a SERIES/CHECKPOINT record defines that ref; whatever
+        is still buffered when the log ends referenced a series that
+        was never restated (deleted, or lost to a torn frame) and is
+        counted in ``replay_dropped``.
+        """
         self._replaying = True
         ref_labels: dict[int, Labels] = {}
+        pending: dict[int, list[tuple[int, float, float]]] = {}
         try:
             for segment, payload in self.wal.replay():
                 kind = payload[0]
                 if kind in (_REC_SERIES, _REC_CHECKPOINT):
-                    self._replay_series(payload, ref_labels)
+                    self._replay_series(payload, ref_labels, pending)
                 elif kind == _REC_SAMPLES:
-                    self._replay_samples(segment, payload, ref_labels)
+                    self._replay_samples(segment, payload, ref_labels, pending)
                 elif kind == _REC_TOMBSTONE:
                     self._replay_tombstone(payload)
                 else:
                     self.replay_dropped += 1
         finally:
             self._replaying = False
+        self.replay_dropped += sum(len(buffered) for buffered in pending.values())
         self.replay_result = self.wal.last_replay
         self._refs = {labels: ref for ref, labels in ref_labels.items()}
         self._next_ref = max(ref_labels, default=0) + 1
 
-    def _replay_series(self, payload: bytes, ref_labels: dict[int, Labels]) -> None:
+    def _replay_series(
+        self,
+        payload: bytes,
+        ref_labels: dict[int, Labels],
+        pending: dict[int, list[tuple[int, float, float]]],
+    ) -> None:
         kind, n = _HDR.unpack_from(payload)
         offset = _HDR.size
         if kind == _REC_SERIES:
             labels = Labels(json.loads(payload[offset:].decode("utf-8")))
             ref_labels[n] = labels
             self.replayed_series += 1
+            self._flush_pending(n, labels, pending)
             return
         for _ in range(n):
             ref, length = _CKPT_ENTRY.unpack_from(payload, offset)
             offset += _CKPT_ENTRY.size
-            ref_labels[ref] = Labels(json.loads(payload[offset : offset + length].decode("utf-8")))
+            labels = Labels(json.loads(payload[offset : offset + length].decode("utf-8")))
             offset += length
+            ref_labels[ref] = labels
             self.replayed_series += 1
+            self._flush_pending(ref, labels, pending)
 
-    def _replay_samples(self, segment: int, payload: bytes, ref_labels: dict[int, Labels]) -> None:
+    def _flush_pending(
+        self,
+        ref: int,
+        labels: Labels,
+        pending: dict[int, list[tuple[int, float, float]]],
+    ) -> None:
+        """Apply samples that arrived before ``ref``'s definition."""
+        for segment, ts, value in pending.pop(ref, ()):
+            self._apply_replayed_sample(segment, labels, ts, value)
+
+    def _apply_replayed_sample(
+        self, segment: int, labels: Labels, ts: float, value: float
+    ) -> None:
+        try:
+            super().append(labels, ts, value)
+        except StorageError:
+            self.replay_dropped += 1  # out-of-order relic; skip
+            return
+        self.replayed_samples += 1
+        self._note_segment_time(segment, ts)
+
+    def _replay_samples(
+        self,
+        segment: int,
+        payload: bytes,
+        ref_labels: dict[int, Labels],
+        pending: dict[int, list[tuple[int, float, float]]],
+    ) -> None:
         _, count = _HDR.unpack_from(payload)
         offset = _HDR.size
         for _ in range(count):
@@ -119,15 +170,12 @@ class PersistentTSDB(TSDB):
             offset += _SAMPLE.size
             labels = ref_labels.get(ref)
             if labels is None:
-                self.replay_dropped += 1
+                # The series definition may still be ahead of us (a
+                # checkpoint restated after the kept tail); hold the
+                # sample until the ref is defined or the log ends.
+                pending.setdefault(ref, []).append((segment, ts, value))
                 continue
-            try:
-                super().append(labels, ts, value)
-            except StorageError:
-                self.replay_dropped += 1  # out-of-order relic; skip
-                continue
-            self.replayed_samples += 1
-            self._note_segment_time(segment, ts)
+            self._apply_replayed_sample(segment, labels, ts, value)
 
     def _replay_tombstone(self, payload: bytes) -> None:
         matchers = [
@@ -158,8 +206,11 @@ class PersistentTSDB(TSDB):
         payload = bytearray(_HDR.pack(_REC_SAMPLES, len(entries)))
         for ref, ts, value in entries:
             payload += _SAMPLE.pack(ref, ts, value)
-        self.wal.append(bytes(payload))
-        segment = self.wal.current_segment
+        # append() reports the segment that actually holds the frame;
+        # reading current_segment afterwards would mis-attribute the
+        # record to the fresh segment when the write triggers an eager
+        # cut, letting checkpoint() truncate un-blocked samples.
+        segment = self.wal.append(bytes(payload))
         for _ref, ts, _value in entries:
             self._note_segment_time(segment, ts)
 

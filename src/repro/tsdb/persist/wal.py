@@ -120,10 +120,17 @@ class WAL:
         self._open_next_segment()
         return self._file_index
 
-    def append(self, payload: bytes) -> None:
-        """Durably frame one record (fsync per policy)."""
+    def append(self, payload: bytes) -> int:
+        """Durably frame one record (fsync per policy).
+
+        Returns the index of the segment the frame was written to —
+        captured *before* the eager end-of-segment cut, so callers
+        tracking per-segment state (e.g. checkpoint eligibility)
+        attribute the record to the file that actually holds it.
+        """
         if self._file is None or self._file_size >= self.segment_bytes:
             self._open_next_segment()
+        written_segment = self._file_index
         frame = _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
         self._file.write(frame)
         self._file_size += len(frame)
@@ -134,6 +141,7 @@ class WAL:
         if self._file_size >= self.segment_bytes:
             # Cut eagerly so "batch" fsyncs land on segment boundaries.
             self._open_next_segment()
+        return written_segment
 
     def sync(self) -> None:
         if self._file is not None:

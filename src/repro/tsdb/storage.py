@@ -261,6 +261,12 @@ class TSDB:
         per-sample Python loop.  Runs that overlap the tail fall back
         to :meth:`Series.append` semantics sample by sample
         (last-write-wins on duplicates, out-of-order rejected).
+
+        The batch is **all-or-nothing**: ordering is validated before
+        any sample is applied, so an out-of-order run raises
+        :class:`StorageError` without mutating the store — callers
+        that journal after the in-memory apply (the persistent head)
+        never diverge from memory on a rejected batch.
         """
         n = len(timestamps)
         if n != len(values):
@@ -269,10 +275,23 @@ class TSDB:
             return 0
         ts_list = [float(t) for t in timestamps]
         vs_list = [float(v) for v in values]
-        series = self._get_or_create_series(labels)
-        last = series.timestamps[-1] if series.timestamps else None
+        existing = self._series.get(labels)
+        last = existing.timestamps[-1] if existing is not None and existing.timestamps else None
         increasing = all(a < b for a, b in zip(ts_list, ts_list[1:]))
-        if increasing and (last is None or ts_list[0] > last):
+        fast_path = increasing and (last is None or ts_list[0] > last)
+        if not fast_path:
+            # Validate the whole run against Series.append semantics
+            # (equal-to-tail overwrites, regressions reject) before
+            # touching the store, so a bad batch applies nothing.
+            run_last = last
+            for ts in ts_list:
+                if run_last is not None and ts < run_last:
+                    raise StorageError(
+                        f"out-of-order sample for {labels}: {ts} < {run_last}"
+                    )
+                run_last = ts
+        series = self._get_or_create_series(labels)
+        if fast_path:
             series.timestamps.extend(ts_list)
             series.values.extend(vs_list)
             series._snapshot = None

@@ -171,6 +171,14 @@ class TestWAL:
             assert survivors == payloads[:expected]
             assert reader.last_replay.torn == (cut not in frame_ends)
 
+    def test_append_reports_segment_holding_frame(self, tmp_path):
+        wal = WAL(str(tmp_path / "wal"), segment_bytes=16)
+        # The frame overflows the segment, so append cuts eagerly —
+        # but the record lives in segment 1, not the fresh segment.
+        assert wal.append(b"x" * 32) == 1
+        assert wal.current_segment == 2
+        wal.close()
+
     def test_crc_corruption_stops_replay(self, tmp_path):
         wal = WAL(str(tmp_path / "wal"))
         for i in range(5):
@@ -314,6 +322,47 @@ class TestPersistentTSDB:
         assert reopened.num_series == 1
         assert reopened.all_series()[0].max_time == 500.0
         assert min(reopened.all_series()[0].timestamps) >= 150.0 - 256 / 29  # boundary slack
+
+    def test_checkpoint_preserves_unblocked_tail(self, tmp_path):
+        """Samples newer than the horizon survive reopen even though
+        their SERIES record was truncated with the early segments: the
+        restating CHECKPOINT record replays *after* the kept tail, so
+        replay buffers the tail samples until their ref is defined."""
+        head = PersistentTSDB(str(tmp_path / "hot"), segment_bytes=256)
+        for t in range(100):
+            head.append(series_labels(0), float(t), float(t))
+        assert head.checkpoint(90.0) > 0
+        head.close()
+        reopened = PersistentTSDB(str(tmp_path / "hot"))
+        assert reopened.num_series == 1
+        assert reopened.replay_dropped == 0
+        got = reopened.all_series()[0].timestamps
+        assert [t for t in got if t >= 90.0] == [float(t) for t in range(90, 100)]
+
+    def test_segment_time_attributed_to_holding_segment(self, tmp_path):
+        head = PersistentTSDB(str(tmp_path / "hot"), segment_bytes=64)
+        head.append(series_labels(0), 1000.0, 1.0)
+        # SERIES + SAMPLES frames overflow the tiny segment, so the
+        # WAL cut eagerly after the write; the sample must still be
+        # tracked under the segment holding its record, or a later
+        # checkpoint could truncate un-blocked data.
+        [(segment, max_time)] = head._segment_max_time.items()
+        assert max_time == 1000.0
+        assert segment < head.wal.current_segment
+        head.close()
+
+    def test_append_array_out_of_order_is_all_or_nothing(self, tmp_path):
+        head = PersistentTSDB(str(tmp_path / "hot"))
+        head.append(series_labels(0), 10.0, 1.0)
+        with pytest.raises(StorageError, match="out-of-order"):
+            head.append_array(series_labels(0), [11.0, 12.0, 5.0], [1.0, 2.0, 3.0])
+        # Nothing from the rejected batch was applied in memory...
+        assert head.all_series()[0].timestamps == [10.0]
+        head.close()
+        # ...so memory and WAL agree after a restart.
+        reopened = PersistentTSDB(str(tmp_path / "hot"))
+        assert reopened.num_samples == 1
+        assert reopened.all_series()[0].timestamps == [10.0]
 
     def test_fsync_always_counts(self, tmp_path):
         head = PersistentTSDB(str(tmp_path / "hot"), fsync="always")

@@ -57,6 +57,32 @@ class TestAppend:
         n = db.append_many([(mklabels("x"), float(i), float(i)) for i in range(10)])
         assert n == 10 and db.num_samples == 10
 
+    def test_append_array_out_of_order_is_all_or_nothing(self):
+        db = TSDB()
+        labels = mklabels("x")
+        db.append(labels, 10.0, 1.0)
+        with pytest.raises(StorageError, match="out-of-order"):
+            db.append_array(labels, [11.0, 12.0, 5.0], [1.0, 2.0, 3.0])
+        series = db.select([Matcher.name_eq("x")])[0]
+        assert series.timestamps == [10.0]
+        assert db.num_samples == 1
+        assert db.max_time == 10.0
+
+    def test_append_array_rejected_batch_creates_no_series(self):
+        db = TSDB()
+        with pytest.raises(StorageError, match="out-of-order"):
+            db.append_array(mklabels("x"), [2.0, 1.0], [1.0, 2.0])
+        assert db.num_series == 0
+
+    def test_append_array_fallback_overwrites_duplicates(self):
+        db = TSDB()
+        labels = mklabels("x")
+        db.append(labels, 10.0, 1.0)
+        assert db.append_array(labels, [10.0, 11.0], [5.0, 6.0]) == 2
+        series = db.select([Matcher.name_eq("x")])[0]
+        assert series.timestamps == [10.0, 11.0]
+        assert series.values == [5.0, 6.0]
+
 
 class TestSelect:
     def setup_method(self):
