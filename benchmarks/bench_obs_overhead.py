@@ -5,13 +5,31 @@ middleware (trace resolution, in-flight gauge, counter + histogram
 update, span record).  The stack scrapes itself every 15 s on top of
 user traffic, so this cost multiplies across the whole deployment —
 this bench guards it with a hard per-request bound.
+
+The second half guards the query-introspection hooks: the profiler
+and per-query-stats call sites left inside the PromQL evaluators must
+add <5% to a range eval when disabled.  The baseline monkeypatches
+the hooks away entirely (possible because every call site goes
+through a module attribute); the guarded run takes the normal path
+with no stats active and the profiler off.  Results land in
+``BENCH_obs_overhead.json`` for the CI artifact.
 """
 
 from __future__ import annotations
 
+import contextlib
+import json
+import math
 import time
 
 from repro.common.httpx import App, Request, Response
+from repro.obs import prof as prof_mod
+from repro.obs import query as query_mod
+from repro.obs.prof import PROFILER
+from repro.obs.query import QueryStats, activate_stats, deactivate_stats
+from repro.tsdb.model import Labels
+from repro.tsdb.promql.engine import PromQLEngine
+from repro.tsdb.storage import TSDB
 
 #: Mean extra cost the middleware may add per request.  Generous
 #: against CI-runner noise — the observed overhead is ~10–30 µs.
@@ -63,3 +81,110 @@ def test_span_store_stays_bounded():
         app.handle(request)
     assert len(app.telemetry.spans) <= app.telemetry.spans.capacity
     assert app.telemetry.spans.total_recorded >= REQUESTS
+
+
+# -- query-introspection hook overhead ----------------------------------
+
+#: Relative slowdown the disabled profiler/query-stats hooks may add
+#: to a PromQL range eval versus having no hooks at all.
+HOOK_OVERHEAD_BOUND = 0.05
+
+BENCH_SERIES = 50
+BENCH_SAMPLES = 2000
+BENCH_SCRAPE_STEP = 15.0
+EVAL_RUNS = 7
+
+ARTIFACT_PATH = "BENCH_obs_overhead.json"
+
+
+def build_query_engine() -> PromQLEngine:
+    db = TSDB(name="bench-obs-hooks")
+    for i in range(BENCH_SERIES):
+        labels = Labels({"__name__": "power", "uuid": str(i)})
+        for j in range(BENCH_SAMPLES):
+            db.append(labels, j * BENCH_SCRAPE_STEP, float((i * 31 + j) % 97))
+    return PromQLEngine(db)
+
+
+def _min_eval_seconds(engine: PromQLEngine, strategy: str) -> float:
+    """Best-of-N wall time for one realistic dashboard range eval."""
+    end = (BENCH_SAMPLES - 1) * BENCH_SCRAPE_STEP
+
+    def run() -> None:
+        engine.query_range(
+            "sum by (uuid) (rate(power[120s]))", 120.0, end, 60.0, strategy=strategy
+        )
+
+    run()  # warm parser caches / lazy imports outside the timed runs
+    best = math.inf
+    for _ in range(EVAL_RUNS):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@contextlib.contextmanager
+def _hooks_bypassed():
+    """Replace every introspection hook with a no-op.
+
+    Call sites reference the hooks as module attributes precisely so
+    this baseline can exist: it measures the evaluator as if the
+    instrumentation had never been written.
+    """
+    saved = (query_mod.tracked_select, query_mod.record_samples, prof_mod.profile)
+    query_mod.tracked_select = lambda storage, matchers: storage.select(matchers)
+    query_mod.record_samples = lambda n: None
+    prof_mod.profile = lambda name: prof_mod._NULL_TIMER
+    try:
+        yield
+    finally:
+        query_mod.tracked_select, query_mod.record_samples, prof_mod.profile = saved
+
+
+def test_query_hook_overhead_disabled_under_bound():
+    """Disabled hooks must cost <5% of a range eval — per strategy."""
+    engine = build_query_engine()
+    PROFILER.disable()
+    PROFILER.reset()
+    report: dict[str, dict[str, float]] = {}
+    try:
+        for strategy in ("columnar", "per_step"):
+            with _hooks_bypassed():
+                bypassed = _min_eval_seconds(engine, strategy)
+            disabled = _min_eval_seconds(engine, strategy)
+            PROFILER.enable()
+            token = activate_stats(QueryStats(query="bench", strategy=strategy))
+            try:
+                enabled = _min_eval_seconds(engine, strategy)
+            finally:
+                deactivate_stats(token)
+                PROFILER.disable()
+            report[strategy] = {
+                "bypassed_seconds": bypassed,
+                "disabled_seconds": disabled,
+                "enabled_seconds": enabled,
+                "disabled_overhead_ratio": disabled / bypassed - 1.0,
+                "enabled_overhead_ratio": enabled / bypassed - 1.0,
+            }
+            print(
+                f"\n[obs-hooks] {strategy}: bypassed={bypassed * 1e3:.2f}ms "
+                f"disabled={disabled * 1e3:.2f}ms enabled={enabled * 1e3:.2f}ms "
+                f"disabled-overhead={report[strategy]['disabled_overhead_ratio'] * 100:+.2f}%"
+            )
+    finally:
+        PROFILER.reset()
+        with open(ARTIFACT_PATH, "w", encoding="utf-8") as fh:
+            json.dump(
+                {
+                    "series": BENCH_SERIES,
+                    "samples_per_series": BENCH_SAMPLES,
+                    "eval_runs": EVAL_RUNS,
+                    "bound": HOOK_OVERHEAD_BOUND,
+                    "strategies": report,
+                },
+                fh,
+                indent=2,
+            )
+    for strategy, row in report.items():
+        assert row["disabled_overhead_ratio"] < HOOK_OVERHEAD_BOUND, (strategy, row)

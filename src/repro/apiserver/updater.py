@@ -107,6 +107,16 @@ class Updater:
         if self.backup_manager is not None:
             self.backup_manager.maybe_backup(now)
         self.stats.passes += 1
+        if self.telemetry is not None:
+            # Inside run_once's updater.pass span, so the entry carries
+            # the pass's trace id.
+            self.telemetry.log.info(
+                "updater pass complete",
+                now=now,
+                managers=len(self.managers),
+                units_synced=self.stats.units_synced,
+                units_updated=self.stats.units_updated,
+            )
         return self.stats
 
     def register_timer(self, clock) -> None:

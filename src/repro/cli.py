@@ -43,6 +43,9 @@ def _build_sim(args: argparse.Namespace) -> StackSimulation:
             seed=args.seed,
             update_interval=600.0,
             persist_dir=getattr(args, "persist_dir", ""),
+            slow_query_ms=getattr(args, "slow_query_ms", 100.0),
+            query_log=getattr(args, "query_log", ""),
+            active_query_journal=getattr(args, "active_query_journal", ""),
         ),
     )
 
@@ -237,6 +240,26 @@ def build_parser() -> argparse.ArgumentParser:
             default="",
             dest="persist_dir",
             help="durable storage root (WAL + blocks); reopening resumes the run",
+        )
+        p.add_argument(
+            "--slow-query-ms",
+            type=float,
+            default=100.0,
+            dest="slow_query_ms",
+            help="slow-query log threshold in ms (0 logs every query, <0 disables)",
+        )
+        p.add_argument(
+            "--query-log",
+            default="",
+            dest="query_log",
+            help="JSONL file receiving slow-query log entries",
+        )
+        p.add_argument(
+            "--active-query-journal",
+            default="",
+            dest="active_query_journal",
+            help="base path for the crash-surviving active-query journals "
+            "(one file per Prometheus backend)",
         )
 
     p_sim = sub.add_parser("simulate", help="run a deployment and print the operator report")

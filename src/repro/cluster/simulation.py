@@ -92,6 +92,18 @@ class SimulationConfig:
     persist_dir: str = ""
     #: WAL fsync policy: "always", "batch" (default) or "never".
     persist_fsync: str = "batch"
+    #: Slow-query threshold (ms) for every PromAPI backend; ``<0``
+    #: disables the slow-query log, ``0`` records every query.
+    slow_query_ms: float = 100.0
+    #: JSONL sink for slow-query entries ("" = in-memory ring only).
+    query_log: str = ""
+    #: Base path for the crash-surviving active-query journals; each
+    #: backend gets ``<base>.<name>`` (two backends cannot share one
+    #: journal file).
+    active_query_journal: str = ""
+    max_concurrent_queries: int = 20
+    #: Enable the process-wide phase profiler (``/debug/prof``).
+    profiling: bool = False
 
     @classmethod
     def from_stack_config(cls, stack, **overrides) -> "SimulationConfig":
@@ -281,8 +293,24 @@ class StackSimulation:
         )
 
         # -- load balancer -----------------------------------------------------------
+        if cfg.profiling:
+            from repro.obs import PROFILER
+
+            PROFILER.enabled = True
         self.prom_apis = [
-            PromAPI(self.fanout, name=f"prom-{i}", lookback=self.lookback)
+            PromAPI(
+                self.fanout,
+                name=f"prom-{i}",
+                lookback=self.lookback,
+                slow_query_ms=cfg.slow_query_ms,
+                query_log_path=cfg.query_log,
+                active_query_journal=(
+                    f"{cfg.active_query_journal}.prom-{i}"
+                    if cfg.active_query_journal
+                    else ""
+                ),
+                max_concurrent_queries=cfg.max_concurrent_queries,
+            )
             for i in range(cfg.n_prom_backends)
         ]
         for api in self.prom_apis:

@@ -283,7 +283,6 @@ class App:
             response = self._handle_inner(request)
             status = response.status
         finally:
-            deactivate(token)
             self._in_flight -= 1
             duration = time.perf_counter() - started
             handler = request.matched_route or "(unrouted)"
@@ -304,6 +303,16 @@ class App:
                     attrs={"path": request.path, "status": status},
                 )
             )
+            if status >= 500:
+                # Logged before deactivate() so the structured log
+                # entry auto-correlates with this request's trace.
+                self.telemetry.log.error(
+                    "request failed",
+                    method=request.method,
+                    path=request.path,
+                    status=status,
+                )
+            deactivate(token)
         response.headers.setdefault("x-trace-id", ctx.trace_id)
         return response
 
@@ -330,18 +339,23 @@ class App:
         return response
 
     # -- telemetry endpoints ------------------------------------------------
-    def expose_telemetry(self, *, metrics: bool = True, traces: bool = True) -> None:
-        """Mount ``/metrics`` and ``/debug/traces`` on this app.
+    def expose_telemetry(
+        self, *, metrics: bool = True, traces: bool = True, prof: bool = True
+    ) -> None:
+        """Mount ``/metrics``, ``/debug/traces`` and ``/debug/prof``.
 
         Call *before* registering catch-all routes (the router matches
         in registration order).  The exporter mounts only the trace
         endpoint and merges telemetry families into its own scrape
-        payload instead.
+        payload instead.  ``/debug/prof`` serves (and can toggle) the
+        process-wide phase profiler of :mod:`repro.obs.prof`.
         """
         if metrics and not self.router.has_route("GET", "/metrics"):
             self.router.get("/metrics", self._serve_metrics)
         if traces and not self.router.has_route("GET", "/debug/traces"):
             self.router.get("/debug/traces", self._serve_traces)
+        if prof and not self.router.has_route("GET", "/debug/prof"):
+            self.router.get("/debug/prof", self._serve_prof)
 
     def _serve_metrics(self, request: Request) -> Response:
         return Response.text(
@@ -362,6 +376,24 @@ class App:
                 "component": self.name,
                 "total_recorded": store.total_recorded,
                 "spans": [s.to_dict() for s in spans],
+            }
+        )
+
+    def _serve_prof(self, request: Request) -> Response:
+        """The process-wide flat profile; ``?enable=1/0`` toggles it,
+        ``?reset=1`` clears accumulated phases."""
+        from repro.obs.prof import PROFILER
+
+        enable = request.param("enable")
+        if enable is not None:
+            PROFILER.enabled = enable not in ("0", "false", "off")
+        if request.param("reset") in ("1", "true"):
+            PROFILER.reset()
+        return Response.json(
+            {
+                "status": "success",
+                "enabled": PROFILER.enabled,
+                "profile": PROFILER.snapshot(),
             }
         )
 

@@ -19,6 +19,8 @@ the CEEMS deployment default).
 
 from __future__ import annotations
 
+import time
+
 from repro.common.errors import QueryError
 from repro.common.httpx import App, Request, Response
 from repro.lb.authz import Authorizer
@@ -51,6 +53,7 @@ class LoadBalancer:
         longterm_backends: list[Backend] | None = None,
         hot_retention: float = 0.0,
         clock=None,
+        slow_request_ms: float = 250.0,
     ) -> None:
         self.strategy: Strategy = make_strategy(strategy, backends)
         self.longterm_strategy: Strategy | None = (
@@ -76,6 +79,11 @@ class LoadBalancer:
         self.requests_proxied = 0
         self.requests_denied = 0
         self.longterm_routed = 0
+        #: Proxied requests slower than this log a structured warning
+        #: (trace-correlated, so the backend's eval spans are one
+        #: ``/debug/traces?trace_id=`` lookup away).  ``<0`` disables.
+        self.slow_request_ms = slow_request_ms
+        self.slow_requests = 0
         self._register_metrics()
 
     def _register_metrics(self) -> None:
@@ -97,6 +105,12 @@ class LoadBalancer:
             "ceems_lb_longterm_routed_total",
             lambda: float(self.longterm_routed),
             help="Queries routed to the long-term (Thanos) pool.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_lb_slow_requests_total",
+            lambda: float(self.slow_requests),
+            help="Proxied requests slower than the slow-request threshold.",
             type="counter",
         )
         registry.collector(self._collect_backends)
@@ -136,11 +150,21 @@ class LoadBalancer:
         return Response.json({"status": "success", "ready": True})
 
     # -- core ---------------------------------------------------------------
+    def _deny(self, request: Request, status: int, reason: str, user: str = "") -> Response:
+        self.requests_denied += 1
+        self.app.telemetry.log.warning(
+            "request denied",
+            path=request.path,
+            status=status,
+            user=user,
+            reason=reason,
+        )
+        return Response.error(status, reason)
+
     def _proxy(self, request: Request) -> Response:
         user = request.header(USER_HEADER, "") or ""
         if not user:
-            self.requests_denied += 1
-            return Response.error(401, f"missing {USER_HEADER} header")
+            return self._deny(request, 401, f"missing {USER_HEADER} header")
         if request.path in _QUERY_PATHS:
             query = request.param("query")
             if query is None:
@@ -148,24 +172,35 @@ class LoadBalancer:
                 values = form.get("query")
                 query = values[0] if values else None
             if not query:
-                self.requests_denied += 1
-                return Response.error(400, "missing query parameter")
+                return self._deny(request, 400, "missing query parameter", user)
             try:
                 scope = extract_uuids(query)
             except QueryError as exc:
-                self.requests_denied += 1
-                return Response.error(400, f"unparseable query: {exc}")
+                return self._deny(request, 400, f"unparseable query: {exc}", user)
             if not self.authorizer.allowed(user, scope.uuids, unbounded=scope.unbounded):
-                self.requests_denied += 1
-                return Response.error(
-                    403, f"user {user} is not allowed to query units {sorted(scope.uuids) or '(all)'}"
+                return self._deny(
+                    request,
+                    403,
+                    f"user {user} is not allowed to query units {sorted(scope.uuids) or '(all)'}",
+                    user,
                 )
         backend = self._pick_backend(request)
         backend.acquire()
+        started = time.perf_counter()
         try:
             response = backend.app.handle(request)
         finally:
             backend.release()
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        if 0 <= self.slow_request_ms <= elapsed_ms:
+            self.slow_requests += 1
+            self.app.telemetry.log.warning(
+                "slow proxied request",
+                path=request.path,
+                backend=backend.name,
+                duration_ms=elapsed_ms,
+                threshold_ms=self.slow_request_ms,
+            )
         self.requests_proxied += 1
         response.headers["x-ceems-backend"] = backend.name
         return response

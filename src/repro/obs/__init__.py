@@ -12,15 +12,33 @@ This package gives the reproduction the same property:
   propagated through forwarded requests, plus a bounded in-memory
   span store per component;
 * :mod:`repro.obs.telemetry` — the per-component bundle (registry +
-  span store) that the HTTP middleware in
+  span store + structured log) that the HTTP middleware in
   :mod:`repro.common.httpx` and the non-HTTP components (storage,
-  scrape manager, updater) record into.
+  scrape manager, updater) record into;
+* :mod:`repro.obs.log` — structured JSONL logging with automatic
+  trace correlation (``component``/``level``/``trace_id``/``span_id``
+  fields);
+* :mod:`repro.obs.query` — query introspection: per-query stats
+  (phase timings, series/samples counts), the bounded active-query
+  tracker with its crash-surviving journal, and the slow-query log;
+* :mod:`repro.obs.prof` — a wall-clock phase profiler (near-zero cost
+  disabled) instrumenting the engine and storage hot paths, dumped at
+  ``/debug/prof``.
 
 The simulation wires each component's ``/metrics`` endpoint as a
 scrape target of the sim Prometheus, so one PromQL query answers
 "what is the p99 LB routing latency" from inside the stack.
 """
 
+from repro.obs.log import LogRecord, StructuredLogger
+from repro.obs.prof import PROFILER, Profiler
+from repro.obs.query import (
+    ActiveQueryTracker,
+    QueryQueueFullError,
+    QueryRecord,
+    QueryStats,
+    SlowQueryLog,
+)
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -55,4 +73,13 @@ __all__ = [
     "new_span_id",
     "new_trace_id",
     "parse_traceparent",
+    "LogRecord",
+    "StructuredLogger",
+    "PROFILER",
+    "Profiler",
+    "ActiveQueryTracker",
+    "QueryQueueFullError",
+    "QueryRecord",
+    "QueryStats",
+    "SlowQueryLog",
 ]

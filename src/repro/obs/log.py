@@ -1,0 +1,153 @@
+"""Structured, trace-correlated JSONL logging.
+
+Every component can emit structured log records — one JSON object per
+line — carrying ``component``/``level``/``event`` fields plus whatever
+key/value context the call site adds.  Records are automatically
+correlated with the PR-2 trace layer: when a :mod:`repro.obs.trace`
+context is active (inside an HTTP handler, an instrumented periodic
+pass, …) the record picks up the ambient ``trace_id``/``span_id``, so
+a slow-query log line links straight to its trace in
+``/debug/traces``.
+
+Records land in a bounded in-memory ring (the same
+never-become-the-leak rule the span store follows) and, when a
+``sink_path`` is configured, are appended as JSONL to a file — the
+shape Prometheus's ``--log.format=json`` query log writes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, TextIO
+
+from repro.obs.trace import current_trace
+
+#: Severity order used by the logger's level threshold.
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+@dataclass
+class LogRecord:
+    """One structured log entry."""
+
+    ts: float
+    level: str
+    component: str
+    event: str
+    trace_id: str = ""
+    span_id: str = ""
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "ts": self.ts,
+            "level": self.level,
+            "component": self.component,
+            "event": self.event,
+        }
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
+        if self.span_id:
+            out["span_id"] = self.span_id
+        out.update(self.fields)
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), default=str, sort_keys=False)
+
+
+class StructuredLogger:
+    """Bounded ring of :class:`LogRecord` plus an optional JSONL sink.
+
+    Thread-safe (handlers on :func:`repro.common.httpx.serve_threading`
+    log concurrently).  The sink file is opened lazily in append mode
+    and flushed per record, so two loggers may safely share one path
+    (each record is a single ``write`` of one line).
+    """
+
+    def __init__(
+        self,
+        component: str,
+        *,
+        capacity: int = 1024,
+        sink_path: str = "",
+        level: str = "debug",
+    ) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown log level {level!r}")
+        if capacity <= 0:
+            raise ValueError("log ring capacity must be positive")
+        self.component = component
+        self.capacity = capacity
+        self.sink_path = sink_path
+        self.level = level
+        self._records: list[LogRecord] = []
+        self._lock = threading.Lock()
+        self._sink: TextIO | None = None
+        self.total_logged = 0
+        self.counts: dict[str, int] = {}
+
+    # -- emission --------------------------------------------------------
+    def log(self, level: str, event: str, **fields: Any) -> LogRecord | None:
+        """Emit one record; returns it (or ``None`` below the threshold)."""
+        if LEVELS.get(level, 0) < LEVELS[self.level]:
+            return None
+        ctx = current_trace()
+        record = LogRecord(
+            ts=time.time(),
+            level=level,
+            component=self.component,
+            event=event,
+            trace_id=ctx.trace_id if ctx else "",
+            span_id=ctx.span_id if ctx else "",
+            fields=fields,
+        )
+        line = record.to_json() if self.sink_path else ""
+        with self._lock:
+            self._records.append(record)
+            self.total_logged += 1
+            self.counts[level] = self.counts.get(level, 0) + 1
+            if len(self._records) > self.capacity:
+                del self._records[: len(self._records) - self.capacity]
+            if self.sink_path:
+                if self._sink is None:
+                    self._sink = open(self.sink_path, "a", encoding="utf-8")
+                self._sink.write(line + "\n")
+                self._sink.flush()
+        return record
+
+    def debug(self, event: str, **fields: Any) -> LogRecord | None:
+        return self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> LogRecord | None:
+        return self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> LogRecord | None:
+        return self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> LogRecord | None:
+        return self.log("error", event, **fields)
+
+    # -- access ----------------------------------------------------------
+    def records(self, level: str | None = None) -> list[LogRecord]:
+        with self._lock:
+            if level is None:
+                return list(self._records)
+            return [r for r in self._records if r.level == level]
+
+    def for_trace(self, trace_id: str) -> list[LogRecord]:
+        with self._lock:
+            return [r for r in self._records if r.trace_id == trace_id]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sink is not None:
+                self._sink.close()
+                self._sink = None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)

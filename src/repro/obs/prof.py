@@ -1,0 +1,124 @@
+"""Wall-clock phase profiler for hot internals.
+
+A context-manager hook that storage and engine hot paths wrap around
+their phases::
+
+    from repro.obs import prof
+    with prof.profile("wal.fsync"):
+        os.fsync(fd)
+
+When the process-wide :data:`PROFILER` is disabled (the default), the
+hook is one global attribute load, a bool test and a shared no-op
+context manager — no allocation, no lock, no timestamps — so leaving
+the instrumentation in the hot paths is essentially free (guarded by
+``benchmarks/bench_obs_overhead.py``).  When enabled, each phase
+accumulates into a flat profile (count / total / max seconds) that
+``/debug/prof`` renders, answering "where does the wall time go"
+without an external profiler attached.
+
+Call sites must call through the module (``prof.profile(...)``), not
+bind the function at import time — that keeps the hook swappable for
+the overhead bench and monkeypatch-friendly in tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class _NullTimer:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class _Timer:
+    """One enabled measurement; records into its profiler on exit."""
+
+    __slots__ = ("profiler", "name", "started")
+
+    def __init__(self, profiler: "Profiler", name: str) -> None:
+        self.profiler = profiler
+        self.name = name
+
+    def __enter__(self) -> "_Timer":
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.profiler._record(self.name, time.perf_counter() - self.started)
+        return False
+
+
+class Profiler:
+    """Aggregating flat profile: per-phase count / total / max seconds."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        # name -> [count, total_seconds, max_seconds]
+        self._flat: dict[str, list[float]] = {}
+
+    def profile(self, name: str):
+        if not self.enabled:
+            return _NULL_TIMER
+        return _Timer(self, name)
+
+    def _record(self, name: str, elapsed: float) -> None:
+        with self._lock:
+            entry = self._flat.get(name)
+            if entry is None:
+                self._flat[name] = [1, elapsed, elapsed]
+            else:
+                entry[0] += 1
+                entry[1] += elapsed
+                if elapsed > entry[2]:
+                    entry[2] = elapsed
+
+    # -- control ---------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        with self._lock:
+            self._flat.clear()
+
+    # -- reporting -------------------------------------------------------
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Flat profile ordered by total seconds, heaviest first."""
+        with self._lock:
+            items = [(name, list(entry)) for name, entry in self._flat.items()]
+        items.sort(key=lambda kv: -kv[1][1])
+        return {
+            name: {
+                "count": int(count),
+                "total_seconds": total,
+                "max_seconds": peak,
+                "avg_seconds": total / count if count else 0.0,
+            }
+            for name, (count, total, peak) in items
+        }
+
+
+#: The process-wide profiler every instrumentation site records into.
+PROFILER = Profiler()
+
+
+def profile(name: str):
+    """Module-level hook used by the instrumented hot paths."""
+    if not PROFILER.enabled:
+        return _NULL_TIMER
+    return _Timer(PROFILER, name)

@@ -1,4 +1,4 @@
-"""Per-component telemetry bundle: metrics registry + span store.
+"""Per-component telemetry bundle: registry + span store + log.
 
 Every :class:`~repro.common.httpx.App` owns one :class:`Telemetry`
 (auto-created), and non-HTTP components (the TSDB storage, the scrape
@@ -20,6 +20,7 @@ import time
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from repro.obs.log import StructuredLogger
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import (
     Span,
@@ -38,6 +39,9 @@ class Telemetry:
         self.component = component
         self.registry = MetricsRegistry()
         self.spans = SpanStore(capacity=span_capacity)
+        #: Structured JSONL log, trace-correlated via the ambient
+        #: context (see :mod:`repro.obs.log`).
+        self.log = StructuredLogger(component)
 
     @contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[Span]:

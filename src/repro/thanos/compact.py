@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import prof
 from repro.thanos.store import BlockMeta, ObjectStore
 from repro.tsdb.storage import TSDB
 
@@ -78,6 +79,10 @@ class Compactor:
         sources are deleted, so a crash mid-compaction duplicates
         rather than loses data).
         """
+        with prof.profile("compactor.compact"):
+            return self._compact_blocks()
+
+    def _compact_blocks(self) -> int:
         merged_total = 0
         for level, window in enumerate(self.compaction_levels, start=2):
             blocks = [b for b in self.store.blocks_at("raw") if b.level == level - 1]
@@ -130,6 +135,10 @@ class Compactor:
     # -- downsampling -------------------------------------------------------------
     def downsample(self, now: float) -> dict[str, int]:
         """Produce 5m and 1h resolutions for data old enough."""
+        with prof.profile("compactor.downsample"):
+            return self._downsample(now)
+
+    def _downsample(self, now: float) -> dict[str, int]:
         produced = {"5m": 0, "1h": 0}
         produced["5m"] = self._downsample_into(
             src=self.store.tsdb("raw"),

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 
+from repro.obs import prof
 from repro.thanos.store import BlockMeta, ObjectStore
 from repro.tsdb.storage import TSDB
 
@@ -69,22 +70,23 @@ class Sidecar:
                 window_series.append((series.labels, ts, vs))
                 samples += len(ts)
             if samples:
-                for labels, ts, vs in window_series:
-                    raw.append_array(labels, ts, vs)
-                ulid = self.store.new_ulid()
-                self.store.persist_block(
-                    ulid, window_series, min_time=lo, max_time=hi, resolution="raw"
-                )
-                self.store.add_block(
-                    BlockMeta(
-                        ulid=ulid,
-                        min_time=lo,
-                        max_time=hi,
-                        resolution="raw",
-                        num_samples=samples,
-                        num_series=len(window_series),
+                with prof.profile("sidecar.block_cut"):
+                    for labels, ts, vs in window_series:
+                        raw.append_array(labels, ts, vs)
+                    ulid = self.store.new_ulid()
+                    self.store.persist_block(
+                        ulid, window_series, min_time=lo, max_time=hi, resolution="raw"
                     )
-                )
+                    self.store.add_block(
+                        BlockMeta(
+                            ulid=ulid,
+                            min_time=lo,
+                            max_time=hi,
+                            resolution="raw",
+                            num_samples=samples,
+                            num_series=len(window_series),
+                        )
+                    )
                 self.blocks_uploaded += 1
                 self.samples_uploaded += samples
                 uploaded += 1

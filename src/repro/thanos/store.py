@@ -258,6 +258,13 @@ class ObjectStore:
             self.compression_ratio,
             help="Raw bytes per encoded byte across persisted blocks.",
         )
+        # Chunk-level alias under the tsdb namespace: dashboards track
+        # codec efficiency next to the WAL/head families.
+        registry.gauge_func(
+            "ceems_tsdb_chunk_compression_ratio",
+            self.compression_ratio,
+            help="Gorilla chunk compression ratio (raw/encoded bytes).",
+        )
         registry.gauge_func(
             "ceems_thanos_blocks_loaded_total",
             lambda: float(self.loaded_blocks),

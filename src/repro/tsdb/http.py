@@ -10,24 +10,47 @@ documented response envelope (``{"status":"success","data":{...}}``):
 
   Both accept an optional ``strategy`` parameter (``columnar`` /
   ``per_step``) selecting the evaluator — an escape hatch for
-  debugging; an unknown value is a 400.
+  debugging; an unknown value is a 400.  ``stats=all`` attaches the
+  per-query statistics (phase timings, series/samples counts) to the
+  response, as in Prometheus.
 
 * ``GET /api/v1/series`` — series metadata for ``match[]`` selectors,
 * ``GET /api/v1/label/{name}/values``,
+* ``GET /debug/queries`` — the active-query tracker (queued/running/
+  recent queries with live phase timings) plus the slow-query log,
 * ``GET /-/healthy``.
 
 POST form bodies are honoured (Grafana sends long queries that way),
 which matters for the LB: it must introspect both transports.
+
+Every query runs through the introspection pipeline of
+:mod:`repro.obs.query`: a :class:`~repro.obs.query.QueryStats` is
+activated around evaluation (the engine's selector paths report into
+it), the :class:`~repro.obs.query.ActiveQueryTracker` gates admission
+(503 when all slots stay busy past the queue timeout), and the
+:class:`~repro.obs.query.SlowQueryLog` records queries over the
+threshold together with the trace id they ran under.
 """
 
 from __future__ import annotations
 
+import time
+
 from repro.common.errors import QueryError, StorageError
 from repro.common.httpx import App, Request, Response
+from repro.obs.query import (
+    ActiveQueryTracker,
+    QueryQueueFullError,
+    QueryStats,
+    SlowQueryLog,
+    activate_stats,
+    deactivate_stats,
+)
+from repro.obs.trace import current_trace
 from repro.tsdb.model import Matcher, MatchOp
+from repro.tsdb.promql.ast import VectorSelector, iter_selectors
 from repro.tsdb.promql.engine import PromQLEngine
 from repro.tsdb.promql.parser import parse_expr
-from repro.tsdb.promql.ast import VectorSelector
 
 
 def _selector_matchers(selector_text: str) -> list[Matcher]:
@@ -40,12 +63,31 @@ def _selector_matchers(selector_text: str) -> list[Matcher]:
 class PromAPI:
     """One queryable Prometheus endpoint (hot TSDB or Thanos querier)."""
 
-    def __init__(self, storage, name: str = "prometheus", lookback: float = 300.0) -> None:
+    def __init__(
+        self,
+        storage,
+        name: str = "prometheus",
+        lookback: float = 300.0,
+        *,
+        slow_query_ms: float = 100.0,
+        query_log_path: str = "",
+        active_query_journal: str = "",
+        max_concurrent_queries: int = 20,
+        queue_timeout: float = 5.0,
+    ) -> None:
         self.storage = storage
         self.engine = PromQLEngine(storage, lookback=lookback)
         self.app = App(name=name)
         self.app.expose_telemetry()
+        self.tracker = ActiveQueryTracker(
+            max_concurrent_queries,
+            journal_path=active_query_journal,
+            queue_timeout=queue_timeout,
+            logger=self.app.telemetry.log,
+        )
+        self.slow_log = SlowQueryLog(slow_query_ms, sink_path=query_log_path)
         r = self.app.router
+        r.get("/debug/queries", self._debug_queries)
         r.get("/api/v1/query", self._query)
         r.post("/api/v1/query", self._query)
         r.get("/api/v1/query_range", self._query_range)
@@ -63,6 +105,23 @@ class PromAPI:
             "ceems_promapi_queries_served_total",
             lambda: float(self.queries_served),
             help="PromQL queries served by this endpoint.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_promapi_queries_inflight",
+            lambda: float(len(self.tracker.active())),
+            help="Queries currently queued or running.",
+        )
+        registry.gauge_func(
+            "ceems_promapi_query_queue_timeouts_total",
+            lambda: float(self.tracker.queue_timeouts),
+            help="Queries rejected because every tracker slot stayed busy.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_promapi_slow_queries_total",
+            lambda: float(self.slow_log.total_slow),
+            help="Queries that exceeded the slow-query threshold.",
             type="counter",
         )
         registry.collector(self._collect_engine_stats)
@@ -136,6 +195,60 @@ class PromAPI:
             value = values[0] if values else None
         return value
 
+    # -- query introspection pipeline ---------------------------------------
+    def _introspected(self, request: Request, query: str, strategy: str, eval_fn, render_fn) -> Response:
+        """Parse, admit, evaluate and render one query with accounting.
+
+        ``eval_fn(ast)`` runs the engine; ``render_fn(result)`` builds
+        the response ``data`` payload.  Stats are active for the whole
+        pipeline; the tracker gates the eval phase only (parse/render
+        are cheap and must not hold a concurrency slot).
+        """
+        stats = QueryStats(query=query, strategy=strategy)
+        ctx = current_trace()
+        trace_id = ctx.trace_id if ctx is not None else ""
+        token = activate_stats(stats)
+        started = time.perf_counter()
+        try:
+            try:
+                with stats.phase("parse"), self.app.telemetry.child_span("promql.parse"):
+                    ast = parse_expr(query)
+            except (QueryError, ValueError) as exc:
+                return Response.error(400, str(exc))
+            fingerprint = tuple(str(sel) for sel in iter_selectors(ast))
+            try:
+                with self.tracker.track(
+                    query, fingerprint=fingerprint, strategy=strategy, stats=stats
+                ) as record:
+                    record.trace_id = trace_id
+                    with self.app.telemetry.child_span(
+                        "promql.eval", strategy=strategy
+                    ) as span:
+                        with stats.phase("eval"):
+                            result = eval_fn(ast)
+                        if span is not None:
+                            # Exemplar-style span event: the finished
+                            # eval-phase breakdown rides on the span.
+                            span.attrs["stats"] = stats.to_dict()
+            except QueryQueueFullError as exc:
+                return Response.error(503, str(exc))
+            except (QueryError, StorageError, ValueError) as exc:
+                return Response.error(400, str(exc))
+            with stats.phase("render"):
+                payload = render_fn(result)
+            if (self._param(request, "stats") or "") == "all":
+                payload["stats"] = stats.to_dict()
+            return Response.json({"status": "success", "data": payload})
+        finally:
+            deactivate_stats(token)
+            self.slow_log.observe(
+                query,
+                time.perf_counter() - started,
+                stats=stats,
+                trace_id=trace_id,
+                endpoint=request.path,
+            )
+
     # -- endpoints ---------------------------------------------------------------
     def _query(self, request: Request) -> Response:
         query = self._param(request, "query")
@@ -146,15 +259,14 @@ class PromAPI:
             return Response.error(400, "missing time parameter (no wall clock in simulation)")
         self.queries_served += 1
         strategy = self._param(request, "strategy") or "per_step"
-        try:
-            with self.app.telemetry.child_span("promql.eval", strategy=strategy):
-                result = self.engine.query(query, float(time_param), strategy=strategy)
-        except (QueryError, StorageError, ValueError) as exc:
-            return Response.error(400, str(exc))
-        if result.is_scalar:
-            data = {"resultType": "scalar", "result": [result.timestamp, str(result.scalar)]}
-        else:
-            data = {
+
+        def render(result):
+            if result.is_scalar:
+                return {
+                    "resultType": "scalar",
+                    "result": [result.timestamp, str(result.scalar)],
+                }
+            return {
                 "resultType": "vector",
                 "result": [
                     {
@@ -164,7 +276,14 @@ class PromAPI:
                     for el in result.vector
                 ],
             }
-        return Response.json({"status": "success", "data": data})
+
+        return self._introspected(
+            request,
+            query,
+            strategy,
+            lambda ast: self.engine.query(ast, float(time_param), strategy=strategy),
+            render,
+        )
 
     def _query_range(self, request: Request) -> Response:
         query = self._param(request, "query")
@@ -178,22 +297,30 @@ class PromAPI:
             return Response.error(400, "start/end/step must be numbers")
         self.queries_served += 1
         strategy = self._param(request, "strategy") or "columnar"
-        try:
-            with self.app.telemetry.child_span("promql.eval", strategy=strategy):
-                result = self.engine.query_range(query, start, end, step, strategy=strategy)
-        except (QueryError, StorageError, ValueError) as exc:
-            return Response.error(400, str(exc))
-        data = {
-            "resultType": "matrix",
-            "result": [
-                {
-                    "metric": labels.as_dict(),
-                    "values": [[float(t), str(v)] for t, v in zip(ts.tolist(), vs.tolist())],
-                }
-                for labels, (ts, vs) in sorted(result.series.items(), key=lambda kv: tuple(kv[0]))
-            ],
-        }
-        return Response.json({"status": "success", "data": data})
+
+        def render(result):
+            return {
+                "resultType": "matrix",
+                "result": [
+                    {
+                        "metric": labels.as_dict(),
+                        "values": [
+                            [float(t), str(v)] for t, v in zip(ts.tolist(), vs.tolist())
+                        ],
+                    }
+                    for labels, (ts, vs) in sorted(
+                        result.series.items(), key=lambda kv: tuple(kv[0])
+                    )
+                ],
+            }
+
+        return self._introspected(
+            request,
+            query,
+            strategy,
+            lambda ast: self.engine.query_range(ast, start, end, step, strategy=strategy),
+            render,
+        )
 
     def _series(self, request: Request) -> Response:
         selectors = request.params("match[]")
@@ -215,6 +342,13 @@ class PromAPI:
         name = request.path_params["name"]
         values = self.storage.label_values(name)
         return Response.json({"status": "success", "data": values})
+
+    def _debug_queries(self, request: Request) -> Response:
+        """Active-query tracker state plus the slow-query log."""
+        data = self.tracker.to_dict()
+        data["slow_query_threshold_ms"] = self.slow_log.threshold_ms
+        data["slow_queries"] = self.slow_log.entries()
+        return Response.json({"status": "success", "component": self.app.name, **data})
 
 
 def delete_series_matchers(uuid: str) -> list[Matcher]:

@@ -34,6 +34,7 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from repro.common.errors import StorageError
+from repro.obs import prof
 from repro.tsdb.model import Labels
 from repro.tsdb.persist.chunk import DEFAULT_CHUNK_SAMPLES, decode_chunk, iter_chunks
 
@@ -89,6 +90,32 @@ def write_block(
     into place so a crash mid-write never leaves a half block that
     :func:`list_block_ulids` would pick up.
     """
+    with prof.profile("block.write"):
+        return _write_block(
+            root,
+            ulid,
+            series,
+            min_time=min_time,
+            max_time=max_time,
+            resolution=resolution,
+            level=level,
+            sources=sources,
+            chunk_samples=chunk_samples,
+        )
+
+
+def _write_block(
+    root: str,
+    ulid: str,
+    series: Iterable[tuple[Labels, np.ndarray, np.ndarray]],
+    *,
+    min_time: float,
+    max_time: float,
+    resolution: str,
+    level: int,
+    sources: tuple[str, ...],
+    chunk_samples: int,
+) -> dict:
     final_dir = block_dir(root, ulid)
     tmp_dir = final_dir + ".tmp"
     if os.path.exists(final_dir):

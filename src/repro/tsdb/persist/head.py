@@ -33,9 +33,12 @@ from __future__ import annotations
 
 import json
 import struct
+import time
 from typing import Sequence
 
 from repro.common.errors import StorageError
+from repro.obs import prof
+from repro.obs.registry import Histogram
 from repro.tsdb.model import Labels, MatchOp, Matcher
 from repro.tsdb.persist.wal import WAL, ReplayResult
 from repro.tsdb.storage import TSDB
@@ -75,8 +78,16 @@ class PersistentTSDB(TSDB):
         self.replayed_series = 0
         self.replayed_tombstones = 0
         self.replay_dropped = 0
+        self.checkpoint_seconds = Histogram(
+            "ceems_tsdb_checkpoint_seconds",
+            help="Wall seconds per WAL checkpoint/truncation pass.",
+        )
         self._replaying = False
-        self._replay()
+        started = time.perf_counter()
+        with prof.profile("head.replay"):
+            self._replay()
+        #: How long opening this head spent replaying its WAL.
+        self.replay_seconds = time.perf_counter() - started
 
     # -- WAL replay -----------------------------------------------------------
     def _replay(self) -> None:
@@ -247,27 +258,30 @@ class PersistentTSDB(TSDB):
         segments whose max sample time is below the horizon is
         deleted.  Returns the number of segments removed.
         """
-        entries = bytearray()
-        live = sorted(self._refs.items(), key=lambda kv: kv[1])
-        for labels, ref in live:
-            encoded = json.dumps(labels.as_dict()).encode("utf-8")
-            entries += _CKPT_ENTRY.pack(ref, len(encoded)) + encoded
-        fresh = self.wal.cut_segment()
-        self.wal.append(_HDR.pack(_REC_CHECKPOINT, len(live)) + bytes(entries))
-        self.wal.sync()
-        keep_from = fresh
-        for index in self.wal.segment_indices():
-            if index >= fresh:
-                break
-            max_time = self._segment_max_time.get(index)
-            if max_time is not None and max_time >= before_time:
-                keep_from = index
-                break
-        removed = self.wal.truncate_before(keep_from)
-        for index in list(self._segment_max_time):
-            if index < keep_from:
-                del self._segment_max_time[index]
-        self.checkpoints += 1
+        started = time.perf_counter()
+        with prof.profile("head.checkpoint"):
+            entries = bytearray()
+            live = sorted(self._refs.items(), key=lambda kv: kv[1])
+            for labels, ref in live:
+                encoded = json.dumps(labels.as_dict()).encode("utf-8")
+                entries += _CKPT_ENTRY.pack(ref, len(encoded)) + encoded
+            fresh = self.wal.cut_segment()
+            self.wal.append(_HDR.pack(_REC_CHECKPOINT, len(live)) + bytes(entries))
+            self.wal.sync()
+            keep_from = fresh
+            for index in self.wal.segment_indices():
+                if index >= fresh:
+                    break
+                max_time = self._segment_max_time.get(index)
+                if max_time is not None and max_time >= before_time:
+                    keep_from = index
+                    break
+            removed = self.wal.truncate_before(keep_from)
+            for index in list(self._segment_max_time):
+                if index < keep_from:
+                    del self._segment_max_time[index]
+            self.checkpoints += 1
+        self.checkpoint_seconds.observe(time.perf_counter() - started)
         return removed
 
     def close(self) -> None:
@@ -323,3 +337,10 @@ class PersistentTSDB(TSDB):
             lambda: 1.0 if self.replay_result.torn else 0.0,
             help="Whether the last replay stopped at a torn frame.",
         )
+        registry.gauge_func(
+            "ceems_tsdb_wal_replay_seconds",
+            lambda: float(self.replay_seconds),
+            help="Wall seconds this head spent replaying its WAL at open.",
+        )
+        registry.collector(wal.fsync_seconds.collect)
+        registry.collector(self.checkpoint_seconds.collect)

@@ -30,11 +30,14 @@ from __future__ import annotations
 import os
 import re
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from typing import BinaryIO, Iterator
 
 from repro.common.errors import StorageError
+from repro.obs import prof
+from repro.obs.registry import Histogram
 
 _FRAME_HEADER = struct.Struct("<II")
 _SEGMENT_RE = re.compile(r"^(\d{8})\.wal$")
@@ -89,6 +92,12 @@ class WAL:
         self.segments_created = 0
         self.segments_deleted = 0
         self.last_replay = ReplayResult()
+        #: fsync wall-time distribution; the owning head merges it
+        #: into a component registry via ``collector(...collect)``.
+        self.fsync_seconds = Histogram(
+            "ceems_tsdb_wal_fsync_seconds",
+            help="Wall seconds per WAL fsync call.",
+        )
 
     # -- segment bookkeeping ---------------------------------------------
     def segment_indices(self) -> list[int]:
@@ -128,33 +137,41 @@ class WAL:
         tracking per-segment state (e.g. checkpoint eligibility)
         attribute the record to the file that actually holds it.
         """
-        if self._file is None or self._file_size >= self.segment_bytes:
-            self._open_next_segment()
-        written_segment = self._file_index
-        frame = _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
-        self._file.write(frame)
-        self._file_size += len(frame)
-        self.records_written += 1
-        self.bytes_written += len(frame)
-        if self.fsync_policy == "always":
-            self.sync()
-        if self._file_size >= self.segment_bytes:
-            # Cut eagerly so "batch" fsyncs land on segment boundaries.
-            self._open_next_segment()
+        with prof.profile("wal.append"):
+            if self._file is None or self._file_size >= self.segment_bytes:
+                self._open_next_segment()
+            written_segment = self._file_index
+            frame = _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+            self._file.write(frame)
+            self._file_size += len(frame)
+            self.records_written += 1
+            self.bytes_written += len(frame)
+            if self.fsync_policy == "always":
+                self.sync()
+            if self._file_size >= self.segment_bytes:
+                # Cut eagerly so "batch" fsyncs land on segment boundaries.
+                self._open_next_segment()
         return written_segment
+
+    def _fsync(self) -> None:
+        """flush + fsync the open segment, timed into the histogram."""
+        with prof.profile("wal.fsync"):
+            started = time.perf_counter()
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self.fsync_seconds.observe(time.perf_counter() - started)
+            self.fsyncs += 1
 
     def sync(self) -> None:
         if self._file is not None:
-            self._file.flush()
-            os.fsync(self._file.fileno())
-            self.fsyncs += 1
+            self._fsync()
 
     def close(self) -> None:
         if self._file is not None:
-            self._file.flush()
             if self.fsync_policy != "never":
-                os.fsync(self._file.fileno())
-                self.fsyncs += 1
+                self._fsync()
+            else:
+                self._file.flush()
             self._file.close()
             self._file = None
 

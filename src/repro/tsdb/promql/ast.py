@@ -172,3 +172,26 @@ class Paren(Expr):
 
     def __str__(self) -> str:
         return f"({self.expr})"
+
+
+def iter_selectors(node: Expr):
+    """Yield every :class:`VectorSelector` in ``node``, reading order.
+
+    The active-query tracker fingerprints queries by the plain series
+    selectors they touch (bounded cardinality, unlike raw query text).
+    """
+    if isinstance(node, VectorSelector):
+        yield node
+    elif isinstance(node, MatrixSelector):
+        yield node.selector
+    elif isinstance(node, (Paren, UnaryOp, Subquery, Aggregation)):
+        yield from iter_selectors(node.expr)
+        param = getattr(node, "param", None)
+        if param is not None:
+            yield from iter_selectors(param)
+    elif isinstance(node, Call):
+        for arg in node.args:
+            yield from iter_selectors(arg)
+    elif isinstance(node, BinaryOp):
+        yield from iter_selectors(node.lhs)
+        yield from iter_selectors(node.rhs)

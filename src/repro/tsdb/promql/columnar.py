@@ -51,6 +51,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.errors import QueryError
+from repro.obs import prof
+from repro.obs import query as obsquery
 from repro.tsdb.model import METRIC_NAME_LABEL, Labels
 from repro.tsdb.promql.ast import (
     Aggregation,
@@ -234,7 +236,9 @@ class _ColumnarEval:
         if cached is not None:
             COLUMNAR_STATS["selector_memo_hits"] += 1
             return cached
-        series_list = self.storage.select(node.matchers)
+        # Module-attribute call on purpose: the per-query stats hooks
+        # stay swappable for the disabled-overhead bench.
+        series_list = obsquery.tracked_select(self.storage, node.matchers)
         ats = self.steps - node.offset
         S = len(series_list)
         values = np.full((S, self.T), np.nan)
@@ -265,6 +269,7 @@ class _ColumnarEval:
                 ok &= ~np.isnan(v_found)  # staleness marker
                 values[i, ok] = v_found[ok]
                 present[i] = ok
+        obsquery.record_samples(int(present.sum()))
         mat = _Matrix(labels, values, present)
         self._selector_memo[node] = mat
         return mat
@@ -287,7 +292,8 @@ class _ColumnarEval:
             ends = self.steps - node.selector.offset
             starts = ends - node.range_seconds
             rows = []
-            for series in self.storage.select(node.selector.matchers):
+            touched = 0
+            for series in obsquery.tracked_select(self.storage, node.selector.matchers):
                 ts_a, vs_a = series.arrays()
                 if len(vs_a):
                     nan = np.isnan(vs_a)
@@ -300,7 +306,9 @@ class _ColumnarEval:
                         ts_a, vs_a = ts_a[keep], vs_a[keep]
                 los = np.searchsorted(ts_a, starts, side="left")
                 his = np.searchsorted(ts_a, ends, side="right")
+                touched += int(np.sum(his - los))
                 rows.append((series.labels, ts_a, vs_a, los, his))
+            obsquery.record_samples(touched)
             data = (starts, ends, rows)
         self._window_memo[node] = data
         return data
@@ -359,9 +367,10 @@ class _ColumnarEval:
             kernel = WINDOW_FUNCTIONS[func]
             values = np.full((len(rows), self.T), np.nan)
             labels = []
-            for i, (lbl, tsf, vsf, los, his) in enumerate(rows):
-                labels.append(lbl.without_name())
-                values[i] = kernel(tsf, vsf, los, his, starts, ends)
+            with prof.profile(f"promql.kernel.{func}"):
+                for i, (lbl, tsf, vsf, los, his) in enumerate(rows):
+                    labels.append(lbl.without_name())
+                    values[i] = kernel(tsf, vsf, los, his, starts, ends)
             # The per-step engine drops None/NaN range-function results.
             return _Matrix(labels, values, ~np.isnan(values))
         if func == "quantile_over_time":

@@ -30,6 +30,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.common.errors import QueryError
+from repro.obs import query as obsquery
 from repro.tsdb.model import METRIC_NAME_LABEL, Labels
 from repro.tsdb.promql.ast import (
     Aggregation,
@@ -296,10 +297,13 @@ class PromQLEngine:
     def _eval_selector(self, node: VectorSelector, at: float) -> _Vector:
         ts = at - node.offset
         out = _Vector()
-        for series in self.storage.select(node.matchers):
+        # Module-attribute call on purpose: the per-query stats hooks
+        # stay swappable for the disabled-overhead bench.
+        for series in obsquery.tracked_select(self.storage, node.matchers):
             point = series.at_or_before(ts, self.lookback)
             if point is not None:
                 out.append(VectorElement(series.labels, point[1]))
+        obsquery.record_samples(len(out))
         return out
 
     def _windows(self, node, at: float) -> list[tuple[Labels, np.ndarray, np.ndarray, float, float]]:
@@ -308,14 +312,17 @@ class PromQLEngine:
         end = at - node.selector.offset
         start = end - node.range_seconds
         out = []
-        for series in self.storage.select(node.selector.matchers):
+        touched = 0
+        for series in obsquery.tracked_select(self.storage, node.selector.matchers):
             w_ts, w_vs = series.window(start, end)
             # Staleness markers (NaN) delimit a series' life; range
             # functions never see them, as in Prometheus.
             keep = ~np.isnan(w_vs)
             if not keep.all():
                 w_ts, w_vs = w_ts[keep], w_vs[keep]
+            touched += len(w_ts)
             out.append((series.labels, w_ts, w_vs, start, end))
+        obsquery.record_samples(touched)
         return out
 
     def _subquery_windows(self, node: Subquery, at: float) -> list[tuple[Labels, np.ndarray, np.ndarray, float, float]]:

@@ -166,6 +166,51 @@ class TestTracePropagationThreaded:
         assert db.telemetry.spans.for_trace(trace_id)
 
 
+class TestSlowQueryEndToEnd:
+    def test_slow_query_carries_resolvable_trace(self, obs_sim):
+        """LB → API backend → TSDB eval is one trace, and the backend's
+        slow-query entry carries that trace id — the operator's "why was
+        this dashboard panel slow" loop is two lookups."""
+        saved = [api.slow_log.threshold_ms for api in obs_sim.prom_apis]
+        for api in obs_sim.prom_apis:
+            api.slow_log.threshold_ms = 0.0  # every query counts as slow
+        trace_id = "5a" * 16
+        header = f"00-{trace_id}-{'1b' * 8}-01"
+        url = (
+            "/api/v1/query_range?query=rate(ceems_scrape_samples_appended_total[10m])"
+            f"&start={obs_sim.now - 1800.0}&end={obs_sim.now}&step=60&stats=all"
+        )
+        try:
+            resp = obs_sim.lb.app.handle(
+                Request.from_url("GET", url, headers={**ADMIN, "traceparent": header})
+            )
+        finally:
+            for api, threshold in zip(obs_sim.prom_apis, saved):
+                api.slow_log.threshold_ms = threshold
+        assert resp.status == 200
+        assert resp.headers["x-trace-id"] == trace_id
+        payload = resp.decode_json()
+        assert payload["data"]["stats"]["samples"]["samplesTouched"] > 0
+
+        backend = next(
+            api for api in obs_sim.prom_apis if api.app.name == resp.headers["x-ceems-backend"]
+        )
+        entry = next(e for e in backend.slow_log.entries() if e["trace_id"] == trace_id)
+        assert entry["endpoint"] == "/api/v1/query_range"
+        assert entry["stats"]["samples"]["samplesTouched"] > 0
+
+        # The entry's trace id resolves on the backend's own /debug/traces,
+        # with the eval-phase spans carrying the per-query stats.
+        data = backend.app.get(f"/debug/traces?trace_id={trace_id}").decode_json()
+        names = {s["name"] for s in data["spans"]}
+        assert {"promql.parse", "promql.eval"} <= names
+        eval_span = next(s for s in data["spans"] if s["name"] == "promql.eval")
+        assert eval_span["attrs"]["stats"]["samples"]["samplesTouched"] > 0
+        assert eval_span["attrs"]["stats"]["timings"]["evalSeconds"] >= 0.0
+        # The LB's spans share the trace: one request, one trace end-to-end.
+        assert obs_sim.lb.app.telemetry.spans.for_trace(trace_id)
+
+
 class TestPeriodicSpans:
     def test_updater_passes_are_traced(self, obs_sim):
         names = {s.name for s in obs_sim.api_server.app.telemetry.spans.spans()}
