@@ -46,6 +46,8 @@ def _build_sim(args: argparse.Namespace) -> StackSimulation:
             slow_query_ms=getattr(args, "slow_query_ms", 100.0),
             query_log=getattr(args, "query_log", ""),
             active_query_journal=getattr(args, "active_query_journal", ""),
+            scrape_workers=getattr(args, "scrape_workers", 0),
+            scrape_cache=not getattr(args, "no_scrape_cache", False),
         ),
     )
 
@@ -260,6 +262,20 @@ def build_parser() -> argparse.ArgumentParser:
             dest="active_query_journal",
             help="base path for the crash-surviving active-query journals "
             "(one file per Prometheus backend)",
+        )
+        p.add_argument(
+            "--scrape-workers",
+            type=int,
+            default=0,
+            dest="scrape_workers",
+            help="scrape fetch-phase worker threads (<=1 scrapes serially; "
+            "results are identical for any value)",
+        )
+        p.add_argument(
+            "--no-scrape-cache",
+            action="store_true",
+            dest="no_scrape_cache",
+            help="disable the per-target scrape cache (reference ingest path)",
         )
 
     p_sim = sub.add_parser("simulate", help="run a deployment and print the operator report")

@@ -104,6 +104,12 @@ class SimulationConfig:
     max_concurrent_queries: int = 20
     #: Enable the process-wide phase profiler (``/debug/prof``).
     profiling: bool = False
+    #: Scrape fetch-phase worker threads (``--scrape-workers``);
+    #: <=1 scrapes serially.  Results are identical either way.
+    scrape_workers: int = 0
+    #: Per-target scrape cache (``--no-scrape-cache`` disables,
+    #: forcing the reference parse-everything path).
+    scrape_cache: bool = True
 
     @classmethod
     def from_stack_config(cls, stack, **overrides) -> "SimulationConfig":
@@ -236,7 +242,11 @@ class StackSimulation:
         self.rate_window = format_duration(max(120.0, 4.0 * cfg.scrape_interval))
         self.scrape_manager = ScrapeManager(
             self.hot_tsdb,
-            ScrapeConfig(interval=cfg.scrape_interval),
+            ScrapeConfig(
+                interval=cfg.scrape_interval,
+                workers=cfg.scrape_workers,
+                use_cache=cfg.scrape_cache,
+            ),
             telemetry=Telemetry("scrape-manager"),
         )
         self.scrape_manager.add_targets(exporter_targets)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import abc
 
 from repro.common.errors import CollectorError
+from repro.obs import prof
 from repro.tsdb.exposition import MetricFamily
 
 
@@ -43,6 +44,7 @@ class CollectorRegistry:
     def register(self, collector: Collector) -> None:
         if any(c.name == collector.name for c in self._collectors):
             raise CollectorError(f"duplicate collector {collector.name!r}")
+        collector._prof_phase = f"exporter.collect.{collector.name}"
         self._collectors.append(collector)
 
     def unregister(self, name: str) -> None:
@@ -65,7 +67,8 @@ class CollectorRegistry:
         )
         for collector in self._collectors:
             try:
-                families.extend(collector.collect(now))
+                with prof.profile(collector._prof_phase):
+                    families.extend(collector.collect(now))
                 success.add(1.0, collector=collector.name)
                 self.last_success[collector.name] = 1.0
             except Exception:  # noqa: BLE001 - collector isolation is the point

@@ -16,6 +16,7 @@ from repro.common.auth import BasicAuth, TLSConfig
 from repro.common.config import ExporterConfig
 from repro.common.httpx import App, Request, Response
 from repro.hwsim.node import SimulatedNode
+from repro.obs import prof
 from repro.tsdb import exposition
 
 from repro.exporter.collector import CollectorRegistry
@@ -84,9 +85,11 @@ class CEEMSExporter:
             if rejection is not None:
                 return rejection
         started = time.process_time()
-        families = self.registry.collect(self.clock.now())
-        families.extend(self.app.telemetry.collect())
-        payload = exposition.render(families)
+        with prof.profile("exporter.collect"):
+            families = self.registry.collect(self.clock.now())
+            families.extend(self.app.telemetry.collect())
+        with prof.profile("exporter.render"):
+            payload = exposition.render(families)
         self.scrape_cpu_seconds += time.process_time() - started
         self.scrapes_total += 1
         self.last_payload_bytes = len(payload)

@@ -156,6 +156,10 @@ class Histogram(_Metric):
         self.buckets: tuple[float, ...] = tuple(sorted(buckets))
         if not self.buckets:
             raise CEEMSError(f"histogram {self.name} needs at least one bucket")
+        # ``le`` label text is a pure function of the (immutable)
+        # bucket bounds; formatting it once here keeps collect() —
+        # which runs on every exporter scrape — allocation-light.
+        self._le_strs: tuple[str, ...] = tuple(self._le(b) for b in self.buckets)
         # per label set: [per-bucket counts (+overflow slot), sum, count]
         self._data: dict[_LabelKey, tuple[list[int], list[float]]] = {}
 
@@ -196,16 +200,21 @@ class Histogram(_Metric):
         buckets = exposition.MetricFamily(f"{self.name}_bucket", type="counter")
         sums = exposition.MetricFamily(f"{self.name}_sum", type="counter")
         counts = exposition.MetricFamily(f"{self.name}_count", type="counter")
+        point = exposition.MetricPoint
+        bucket_points = buckets.points
         with self._lock:
             for key, (counts_per_bucket, sum_count) in self._data.items():
-                labels = dict(key)
                 cumulative = 0
-                for bound, n in zip(self.buckets, counts_per_bucket):
+                for le_str, n in zip(self._le_strs, counts_per_bucket):
                     cumulative += n
-                    buckets.add(float(cumulative), le=self._le(bound), **labels)
-                buckets.add(sum_count[1], le="+Inf", **labels)
-                sums.add(sum_count[0], **labels)
-                counts.add(sum_count[1], **labels)
+                    labels = dict(key)
+                    labels["le"] = le_str
+                    bucket_points.append(point(labels=labels, value=float(cumulative)))
+                labels = dict(key)
+                labels["le"] = "+Inf"
+                bucket_points.append(point(labels=labels, value=sum_count[1]))
+                sums.add(sum_count[0], **dict(key))
+                counts.add(sum_count[1], **dict(key))
         return [marker, buckets, sums, counts]
 
 

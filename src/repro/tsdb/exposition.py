@@ -23,7 +23,7 @@ from repro.tsdb.model import METRIC_NAME_LABEL, Labels
 VALID_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
 
 
-@dataclass
+@dataclass(slots=True)
 class MetricPoint:
     """One exposed sample: labels (without ``__name__``) + value."""
 
@@ -32,7 +32,7 @@ class MetricPoint:
     timestamp_ms: int | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class MetricFamily:
     """A named metric with HELP/TYPE metadata and its points."""
 
@@ -53,35 +53,90 @@ def _escape_label_value(text: str) -> str:
     return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+#: Render-side memoisation.  An exporter re-collects every scrape, but
+#: the *identity* parts of its output — family headers and the
+#: ``name{escaped labels}`` line skeletons — are stable across
+#: collections; only values change.  The caches below mean a repeat
+#: render pays label sorting/escaping exactly once per distinct series
+#: shape.  Keys are raw (unsorted) label item tuples so a hit costs no
+#: sort; two insertion orders of the same labels simply occupy two
+#: slots pointing at the same canonical skeleton text.  Cleared
+#: wholesale at the cap so high-churn label values (per-job uuids)
+#: cannot grow them without bound.
+_SKELETON_CACHE: dict[tuple, str] = {}
+_SKELETON_CACHE_MAX = 65536
+_HEADER_CACHE: dict[tuple[str, str, str], str] = {}
+_HEADER_CACHE_MAX = 4096
+_VALUE_CACHE: dict[float, str] = {}
+_VALUE_CACHE_MAX = 4096
+
+
 def _format_value(value: float) -> str:
     if math.isnan(value):
         return "NaN"
     if math.isinf(value):
         return "+Inf" if value > 0 else "-Inf"
-    if float(value).is_integer() and abs(value) < 1e15:
-        return str(int(value))
-    return repr(float(value))
+    cached = _VALUE_CACHE.get(value)
+    if cached is None:
+        if float(value).is_integer() and abs(value) < 1e15:
+            cached = str(int(value))
+        else:
+            cached = repr(float(value))
+        if len(_VALUE_CACHE) >= _VALUE_CACHE_MAX:
+            _VALUE_CACHE.clear()
+        _VALUE_CACHE[value] = cached
+    return cached
+
+
+def _family_header(name: str, help: str, type: str) -> str:
+    key = (name, help, type)
+    header = _HEADER_CACHE.get(key)
+    if header is None:
+        if help:
+            header = f"# HELP {name} {_escape_help(help)}\n# TYPE {name} {type}"
+        else:
+            header = f"# TYPE {name} {type}"
+        if len(_HEADER_CACHE) >= _HEADER_CACHE_MAX:
+            _HEADER_CACHE.clear()
+        _HEADER_CACHE[key] = header
+    return header
+
+
+def _series_skeleton(name: str, labels: dict[str, str]) -> str:
+    key = (name, *labels.items())
+    skeleton = _SKELETON_CACHE.get(key)
+    if skeleton is None:
+        label_str = ",".join(
+            f'{k}="{_escape_label_value(v)}"' for k, v in sorted(labels.items())
+        )
+        skeleton = f"{name}{{{label_str}}}"
+        if len(_SKELETON_CACHE) >= _SKELETON_CACHE_MAX:
+            _SKELETON_CACHE.clear()
+        _SKELETON_CACHE[key] = skeleton
+    return skeleton
+
+
+def clear_render_caches() -> None:
+    """Drop the render memos (tests and memory-pressure hooks)."""
+    _SKELETON_CACHE.clear()
+    _HEADER_CACHE.clear()
+    _VALUE_CACHE.clear()
 
 
 def render(families: list[MetricFamily]) -> str:
     """Render metric families to exposition text."""
     lines: list[str] = []
+    append = lines.append
     for family in families:
-        if family.help:
-            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
-        lines.append(f"# TYPE {family.name} {family.type}")
+        name = family.name
+        append(_family_header(name, family.help, family.type))
         for point in family.points:
-            if point.labels:
-                label_str = ",".join(
-                    f'{k}="{_escape_label_value(v)}"' for k, v in sorted(point.labels.items())
-                )
-                series = f"{family.name}{{{label_str}}}"
-            else:
-                series = family.name
-            line = f"{series} {_format_value(point.value)}"
+            labels = point.labels
+            series = _series_skeleton(name, labels) if labels else name
             if point.timestamp_ms is not None:
-                line += f" {point.timestamp_ms}"
-            lines.append(line)
+                append(f"{series} {_format_value(point.value)} {point.timestamp_ms}")
+            else:
+                append(f"{series} {_format_value(point.value)}")
     return "\n".join(lines) + "\n"
 
 
@@ -139,6 +194,68 @@ def _parse_value(token: str, lineno: int) -> float:
         raise ScrapeError(f"line {lineno}: bad value {token!r}") from exc
 
 
+def comment_parts(line: str, lineno: int) -> list[str]:
+    """Split and validate a ``#`` comment line.
+
+    TYPE lines must name a valid metric type (Prometheus rejects the
+    scrape otherwise); everything else is free-form.  Shared by
+    :func:`parse` and the scrape fast lane so both reject exactly the
+    same payloads.
+    """
+    parts = line.split(None, 3)
+    if len(parts) >= 3 and parts[1] == "TYPE":
+        if len(parts) < 4 or parts[3] not in VALID_TYPES:
+            raise ScrapeError(f"line {lineno}: bad TYPE line {line!r}")
+    return parts
+
+
+def parse_sample_line(line: str, lineno: int = 0) -> tuple[str, dict[str, str], float, int | None]:
+    """Parse one (non-empty, non-comment) sample line.
+
+    Returns ``(name, labels, value, timestamp_ms)``.  This is the
+    single authority on sample-line syntax: :func:`parse` uses it for
+    every line and the scrape cache uses it on cache misses, so the
+    fast lane can never accept a line the reference parser rejects
+    (or vice versa).
+    """
+    # sample line: name{labels} value [timestamp]
+    if "{" in line:
+        name_part, _, rest = line.partition("{")
+        # Find the closing brace outside quoted label values —
+        # values may legally contain '}' inside quotes.
+        quote = False
+        escaped = False
+        end = -1
+        for idx, ch in enumerate(rest):
+            if escaped:
+                escaped = False
+                continue
+            if ch == "\\":
+                escaped = True
+            elif ch == '"':
+                quote = not quote
+            elif ch == "}" and not quote:
+                end = idx
+                break
+        if end == -1:
+            raise ScrapeError(f"line {lineno}: unterminated label set")
+        labels = _parse_labels(rest[:end], lineno)
+        tokens = rest[end + 1 :].split()
+    else:
+        tokens = line.split()
+        name_part = tokens[0]
+        labels = {}
+        tokens = tokens[1:]
+    if not tokens:
+        raise ScrapeError(f"line {lineno}: sample without value")
+    name = name_part.strip()
+    if not name:
+        raise ScrapeError(f"line {lineno}: sample without metric name")
+    value = _parse_value(tokens[0], lineno)
+    timestamp_ms = int(tokens[1]) if len(tokens) > 1 else None
+    return name, labels, value, timestamp_ms
+
+
 def parse(text: str) -> list[MetricFamily]:
     """Parse exposition text back into metric families.
 
@@ -158,49 +275,13 @@ def parse(text: str) -> list[MetricFamily]:
         if not line:
             continue
         if line.startswith("#"):
-            parts = line.split(None, 3)
+            parts = comment_parts(line, lineno)
             if len(parts) >= 3 and parts[1] == "TYPE":
-                if len(parts) < 4 or parts[3] not in VALID_TYPES:
-                    raise ScrapeError(f"line {lineno}: bad TYPE line {line!r}")
                 family(parts[2]).type = parts[3]
             elif len(parts) >= 3 and parts[1] == "HELP":
                 family(parts[2]).help = parts[3] if len(parts) > 3 else ""
             continue
-        # sample line: name{labels} value [timestamp]
-        if "{" in line:
-            name_part, _, rest = line.partition("{")
-            # Find the closing brace outside quoted label values —
-            # values may legally contain '}' inside quotes.
-            quote = False
-            escaped = False
-            end = -1
-            for idx, ch in enumerate(rest):
-                if escaped:
-                    escaped = False
-                    continue
-                if ch == "\\":
-                    escaped = True
-                elif ch == '"':
-                    quote = not quote
-                elif ch == "}" and not quote:
-                    end = idx
-                    break
-            if end == -1:
-                raise ScrapeError(f"line {lineno}: unterminated label set")
-            labels = _parse_labels(rest[:end], lineno)
-            tokens = rest[end + 1 :].split()
-        else:
-            tokens = line.split()
-            name_part = tokens[0]
-            labels = {}
-            tokens = tokens[1:]
-        if not tokens:
-            raise ScrapeError(f"line {lineno}: sample without value")
-        name = name_part.strip()
-        if not name:
-            raise ScrapeError(f"line {lineno}: sample without metric name")
-        value = _parse_value(tokens[0], lineno)
-        timestamp_ms = int(tokens[1]) if len(tokens) > 1 else None
+        name, labels, value, timestamp_ms = parse_sample_line(line, lineno)
         family(name).points.append(MetricPoint(labels=labels, value=value, timestamp_ms=timestamp_ms))
     return list(families.values())
 

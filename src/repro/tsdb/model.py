@@ -42,6 +42,21 @@ class Labels:
         self._items: tuple[tuple[str, str], ...] = tuple(sorted(merged.items()))
         self._hash = hash(self._items)
 
+    @classmethod
+    def from_sorted_items(cls, items: Iterable[tuple[str, str]]) -> "Labels":
+        """Trusted constructor: items must already be sorted and valid.
+
+        Derivations of an existing ``Labels`` (``drop``/``keep``) keep
+        both invariants, so re-validating and re-sorting on those hot
+        paths (PromQL grouping, staleness bookkeeping) is pure waste.
+        Never feed this parser output — the validating constructor is
+        what rejects bad metric/label names.
+        """
+        self = cls.__new__(cls)
+        self._items = tuple(items)
+        self._hash = hash(self._items)
+        return self
+
     # -- accessors ------------------------------------------------------
     @property
     def metric_name(self) -> str:
@@ -75,11 +90,15 @@ class Labels:
         return self.drop(METRIC_NAME_LABEL)
 
     def drop(self, *names: str) -> "Labels":
-        return Labels({k: v for k, v in self._items if k not in names})
+        return Labels.from_sorted_items(
+            (k, v) for k, v in self._items if k not in names
+        )
 
     def keep(self, names: Iterable[str]) -> "Labels":
         wanted = set(names)
-        return Labels({k: v for k, v in self._items if k in wanted})
+        return Labels.from_sorted_items(
+            (k, v) for k, v in self._items if k in wanted
+        )
 
     def merge(self, other: "Labels | Mapping[str, str]") -> "Labels":
         d = self.as_dict()

@@ -68,8 +68,12 @@ class PersistentTSDB(TSDB):
         super().__init__(retention=retention, name=name)
         self.persist_dir = persist_dir
         self.wal = WAL(f"{persist_dir}/wal", segment_bytes=segment_bytes, fsync=fsync)
+        # WAL ref space — distinct from the base class's in-memory
+        # series refs (``_next_ref``): WAL refs must survive replay
+        # with the exact numbering the log recorded, while series refs
+        # restart fresh per process.
         self._refs: dict[Labels, int] = {}
-        self._next_ref = 1
+        self._next_wal_ref = 1
         #: max sample timestamp seen per segment (checkpoint eligibility)
         self._segment_max_time: dict[int, float] = {}
         self.checkpoints = 0
@@ -121,7 +125,7 @@ class PersistentTSDB(TSDB):
         self.replay_dropped += sum(len(buffered) for buffered in pending.values())
         self.replay_result = self.wal.last_replay
         self._refs = {labels: ref for ref, labels in ref_labels.items()}
-        self._next_ref = max(ref_labels, default=0) + 1
+        self._next_wal_ref = max(ref_labels, default=0) + 1
 
     def _replay_series(
         self,
@@ -205,8 +209,8 @@ class PersistentTSDB(TSDB):
     def _ref_for(self, labels: Labels) -> int:
         ref = self._refs.get(labels)
         if ref is None:
-            ref = self._next_ref
-            self._next_ref += 1
+            ref = self._next_wal_ref
+            self._next_wal_ref += 1
             self._refs[labels] = ref
             self.wal.append(
                 _HDR.pack(_REC_SERIES, ref) + json.dumps(labels.as_dict()).encode("utf-8")
@@ -239,6 +243,29 @@ class PersistentTSDB(TSDB):
                 [(ref, float(t), float(v)) for t, v in zip(timestamps, values)]
             )
         return count
+
+    def append_ref(self, ref: int, timestamp: float, value: float) -> None:
+        series = self.resolve_ref(ref)
+        if series is None:
+            raise StorageError(f"unknown series ref {ref}")
+        # Route through append() so the sample is journaled; the extra
+        # Labels lookup is the price of durability on this head.
+        self.append(series.labels, timestamp, value)
+
+    def append_refs(
+        self, timestamp: float, pairs: Sequence[tuple[int, float]]
+    ) -> tuple[int, list[tuple[int, float]]]:
+        count, dead = super().append_refs(timestamp, pairs)
+        if count and not self._replaying:
+            dead_refs = {ref for ref, _ in dead}
+            self._log_samples(
+                [
+                    (self._ref_for(self.resolve_ref(ref).labels), timestamp, value)
+                    for ref, value in pairs
+                    if ref not in dead_refs
+                ]
+            )
+        return count, dead
 
     def delete_series(self, matchers: Sequence[Matcher]) -> int:
         deleted = super().delete_series(matchers)

@@ -15,19 +15,101 @@ will scrape these compute nodes at a configured interval"*):
 * scrape health is recorded as the synthetic ``up`` series, exactly
   like Prometheus, and per-scrape duration/sample counts are kept for
   the benchmarks.
+
+Scrape fast lane
+----------------
+At Jean-Zay scale (~1700 targets) re-parsing every label set and
+re-hashing every ``Labels`` key each cycle dominates the duty cycle,
+so the manager mirrors Prometheus's ingest optimisations:
+
+* a per-target :class:`ScrapeCache` keyed on each sample line's raw
+  ``name{labels}`` text maps straight to an interned ``Labels`` and a
+  TSDB series ref — a repeat scrape of unchanged structure skips
+  label parsing, validation and sorting entirely (Prometheus
+  ``scrapeCache``).  Any text change is a cache miss (per-line
+  invalidation); lines that stop appearing are evicted by generation.
+* samples are appended by ref through :meth:`TSDB.append_refs`; refs
+  that died since the last cycle (retention, ``delete_series``) are
+  re-resolved through their labels, exactly like Prometheus re-lodges
+  a head ref miss.
+* each cycle is split into a **fetch** phase (HTTP + decode + parse +
+  cache resolution, safe to run on a worker pool because it never
+  touches storage) and an **apply** phase that commits per-target
+  batches to the TSDB in registration order — results are identical
+  for any worker count, see DESIGN.md.
+
+The cache-disabled path (``ScrapeConfig(use_cache=False)``) keeps the
+original parse-everything implementation and is the differential
+reference the fast lane is tested against bit-for-bit.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.common.auth import make_basic_auth_header
 from repro.common.errors import ScrapeError
 from repro.common.httpx import App, Request
+from repro.obs import prof
+from repro.obs.registry import Histogram
 from repro.tsdb import exposition
 from repro.tsdb.model import Labels
 from repro.tsdb.storage import TSDB
+
+_STALE = float("nan")
+
+
+@dataclass(slots=True)
+class _CacheEntry:
+    """Resolved identity of one raw series-text prefix."""
+
+    labels: Labels
+    #: TSDB series ref; 0 until the apply phase first resolves it
+    #: (workers must not touch storage).
+    ref: int
+    last_gen: int
+
+
+class ScrapeCache:
+    """Per-target sample-line cache (Prometheus ``scrapeCache``).
+
+    Keys are the raw ``name{labels}`` prefix of each sample line, so
+    any byte-level change in how a target renders a series is simply
+    a miss that re-parses and re-validates — the cache can serve
+    stale *work*, never stale *identity*.  ``gen`` advances once per
+    parsed scrape; entries untouched by the latest generation are
+    evicted so a disappeared series cannot pin its ``Labels`` forever.
+    """
+
+    __slots__ = ("entries", "comments", "gen", "hits", "misses", "evictions")
+
+    #: Cap on memoised comment lines per target; cleared wholesale at
+    #: the cap so a pathological target cannot grow it without bound.
+    COMMENTS_MAX = 4096
+
+    def __init__(self) -> None:
+        self.entries: dict[str, _CacheEntry] = {}
+        #: Comment lines that already passed ``comment_parts``
+        #: validation — HELP/TYPE headers are byte-identical every
+        #: scrape, so re-validating them each cycle is pure waste.
+        #: Only *accepted* lines enter the set; a bad TYPE line is
+        #: never cached and re-raises on every scrape.
+        self.comments: set[str] = set()
+        self.gen = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def evict_stale(self) -> int:
+        """Drop entries not seen in the current generation."""
+        gen = self.gen
+        doomed = [key for key, entry in self.entries.items() if entry.last_gen != gen]
+        for key in doomed:
+            del self.entries[key]
+        self.evictions += len(doomed)
+        return len(doomed)
 
 
 @dataclass
@@ -49,13 +131,23 @@ class ScrapeTarget:
     scrapes_total: int = 0
     scrape_failures_total: int = 0
     #: Series seen in the previous successful scrape; series absent
-    #: from the next scrape get a staleness marker.
+    #: from the next scrape get a staleness marker.  The reference
+    #: (cache-disabled) path tracks ``Labels``; the fast lane tracks
+    #: ``ref -> Labels`` so the staleness pass stays on refs.
     _previous_series: set = field(default_factory=set, repr=False)
+    _previous_refs: dict = field(default_factory=dict, repr=False)
+    _cache: ScrapeCache = field(default_factory=ScrapeCache, repr=False)
+    _up_labels: Labels | None = field(default=None, repr=False)
 
     def identity_labels(self) -> dict[str, str]:
         labels = {"instance": self.instance, "job": self.job}
         labels.update(self.group_labels)
         return labels
+
+    def up_labels(self) -> Labels:
+        if self._up_labels is None:
+            self._up_labels = Labels({"__name__": "up", **self.identity_labels()})
+        return self._up_labels
 
 
 @dataclass
@@ -66,6 +158,29 @@ class ScrapeConfig:
     timeout: float = 10.0
     #: Run storage retention every this many scrape cycles.
     retention_every: int = 40
+    #: Fetch-phase worker threads; <=1 scrapes serially.  Apply stays
+    #: single-threaded and ordered either way.
+    workers: int = 0
+    #: Disable to force the reference parse-everything path (the
+    #: differential baseline; also what ``--no-scrape-cache`` sets).
+    use_cache: bool = True
+
+
+@dataclass
+class _ScrapeResult:
+    """Everything a fetch produced; applied to storage later."""
+
+    target: ScrapeTarget
+    ok: bool = False
+    error: str = ""
+    duration: float = 0.0
+    #: fast lane: line-ordered (cache entry, value) pairs
+    ref_batch: list | None = None
+    #: reference path: family-ordered (Labels, value) pairs
+    labels_batch: list | None = None
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
 
 
 class ScrapeManager:
@@ -84,6 +199,13 @@ class ScrapeManager:
         self.telemetry = telemetry
         self.samples_appended_total = 0
         self.cycles_total = 0
+        self.cache_hits_total = 0
+        self.cache_misses_total = 0
+        self.cache_evictions_total = 0
+        self.cycle_seconds = Histogram(
+            "ceems_scrape_cycle_seconds",
+            help="Wall seconds per full scrape cycle (fetch + apply).",
+        )
 
     def add_target(self, target: ScrapeTarget) -> None:
         key = (target.job, target.instance)
@@ -96,6 +218,237 @@ class ScrapeManager:
         for t in targets:
             self.add_target(t)
 
+    # -- fetch phase (storage-free; may run on worker threads) -----------
+    def _parse_cached(self, target: ScrapeTarget, text: str) -> tuple[list, int, int]:
+        """Parse exposition text through the target's scrape cache.
+
+        Returns ``(batch, hits, misses)`` with ``batch`` holding
+        line-ordered ``(entry, value)`` pairs.  Error behaviour is
+        bit-identical to :func:`exposition.parse`: comment validation
+        and every cache miss go through the same shared helpers, and
+        the hit path re-checks value/timestamp tokens the same way —
+        a payload is accepted or rejected identically on both paths.
+        """
+        cache = target._cache
+        cache.gen += 1
+        gen = cache.gen
+        entries = cache.entries
+        identity = target.identity_labels()
+        parse_value = exposition._parse_value
+        entries_get = entries.get
+        comments = cache.comments
+        batch: list = []
+        append = batch.append
+        hits = 0
+        misses = 0
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line[0] == "#":
+                if line not in comments:
+                    exposition.comment_parts(line, lineno)
+                    if len(comments) >= ScrapeCache.COMMENTS_MAX:
+                        comments.clear()
+                    comments.add(line)
+                continue
+            # Split the raw `name{labels}` prefix (the cache key) from
+            # the value/timestamp tail.  rfind is sound: value and
+            # timestamp tokens of any *valid* line cannot contain '}',
+            # so the last '}' is the closing brace; lines without one
+            # are bare `name value [ts]`; anything structurally odd
+            # falls through to the reference parser and fails
+            # identically (keys only enter the cache after a full
+            # reference parse succeeds).
+            end = line.rfind("}")
+            if end != -1:
+                key = line[: end + 1]
+                tail = line[end + 1 :]
+            else:
+                parts = line.split(None, 1)
+                key = parts[0]
+                tail = parts[1] if len(parts) > 1 else ""
+            entry = entries_get(key)
+            if entry is not None:
+                tokens = tail.split()
+                if tokens:
+                    token = tokens[0]
+                    try:
+                        # float() accepts the full value grammar
+                        # (NaN/+Inf/-Inf included); _parse_value only
+                        # differs in the error it raises, so fall back
+                        # to it on failure for identical rejection.
+                        value = float(token)
+                    except ValueError:
+                        value = parse_value(token, lineno)
+                    if len(tokens) > 1:
+                        # scrape appends at the cycle timestamp, but a
+                        # malformed timestamp must still reject the
+                        # payload (parity with parse_sample_line's
+                        # int()).
+                        int(tokens[1])
+                    entry.last_gen = gen
+                    append((entry, value))
+                    hits += 1
+                    continue
+            # miss (or structurally odd line): reference parse + full
+            # Labels validation before anything enters the cache.
+            name, labels, value, _ts = exposition.parse_sample_line(line, lineno)
+            point = exposition.MetricPoint(labels=labels, value=value)
+            full = exposition.to_labels(name, point, identity)
+            misses += 1
+            entry = _CacheEntry(labels=full, ref=0, last_gen=gen)
+            entries[key] = entry
+            append((entry, value))
+        cache.hits += hits
+        cache.misses += misses
+        return batch, hits, misses
+
+    def _fetch(self, target: ScrapeTarget, now: float) -> _ScrapeResult:
+        """HTTP + decode + parse + cache resolution for one target.
+
+        Touches only the target and its private cache — never the
+        TSDB — so any number of fetches may run concurrently while
+        the apply phase stays single-threaded and deterministic.
+        """
+        target.scrapes_total += 1
+        started = time.perf_counter()
+        result = _ScrapeResult(target=target)
+        try:
+            headers = {}
+            if target.username:
+                headers["authorization"] = make_basic_auth_header(target.username, target.password)
+            response = target.app.handle(Request.from_url("GET", target.metrics_path, headers=headers))
+            if response.status != 200:
+                raise ScrapeError(f"scrape returned HTTP {response.status}")
+            body = response.body.decode()
+            with prof.profile("scrape.parse"):
+                if self.config.use_cache:
+                    batch, hits, misses = self._parse_cached(target, body)
+                    result.ref_batch = batch
+                    result.hits = hits
+                    result.misses = misses
+                    result.evictions = target._cache.evict_stale()
+                else:
+                    identity = target.identity_labels()
+                    labels_batch: list = []
+                    for family in exposition.parse(body):
+                        for point in family.points:
+                            labels_batch.append(
+                                (exposition.to_labels(family.name, point, identity), point.value)
+                            )
+                    result.labels_batch = labels_batch
+            result.ok = True
+        except Exception as exc:  # noqa: BLE001 — one bad node must
+            # never stall the cluster scrape: a non-UTF-8 body, a bad
+            # Labels name or a collector crash all count as a failed
+            # scrape (``up == 0``), like ScrapeError always did.
+            result.ok = False
+            result.error = repr(exc)
+        result.duration = time.perf_counter() - started
+        return result
+
+    # -- apply phase (single-threaded, registration order) ---------------
+    def _apply(self, result: _ScrapeResult, now: float) -> int:
+        """Commit one fetch result: samples, staleness markers, ``up``."""
+        target = result.target
+        storage = self.storage
+        samples = 0
+        if result.ok:
+            if result.ref_batch is not None:
+                samples = self._apply_refs(target, result.ref_batch, now)
+            else:
+                samples = self._apply_labels(target, result.labels_batch, now)
+            target.last_scrape_ok = True
+        else:
+            target.scrape_failures_total += 1
+            target.last_scrape_ok = False
+            # Prometheus writes staleness markers for every series of
+            # a failed target so instant queries stop returning zombie
+            # values the moment the node dies, instead of after the
+            # lookback window.
+            for labels in target._previous_series:
+                storage.append(labels, now, _STALE)
+            target._previous_series = set()
+            for ref, labels in target._previous_refs.items():
+                if storage.resolve_ref(ref) is not None:
+                    storage.append_ref(ref, now, _STALE)
+                else:
+                    storage.append(labels, now, _STALE)
+            target._previous_refs = {}
+        target.last_scrape_duration = result.duration
+        target.last_scrape_samples = samples
+        storage.append(target.up_labels(), now, 1.0 if target.last_scrape_ok else 0.0)
+        self.cache_hits_total += result.hits
+        self.cache_misses_total += result.misses
+        self.cache_evictions_total += result.evictions
+        return samples
+
+    def _apply_refs(self, target: ScrapeTarget, batch: list, now: float) -> int:
+        """Fast lane: batched append by ref + ref-set staleness pass."""
+        storage = self.storage
+        get_ref = storage.get_ref
+        pairs: list[tuple[int, float]] = []
+        pairs_append = pairs.append
+        for entry, value in batch:
+            if entry.ref == 0:
+                entry.ref = get_ref(entry.labels)
+            pairs_append((entry.ref, value))
+        samples, dead = storage.append_refs(now, pairs)
+        if dead:
+            # Refs that died since the last cycle (retention or
+            # delete_series dropped the series): re-resolve through
+            # labels — recreating the series exactly like the
+            # reference path's plain append — and heal the cache
+            # entries so the next cycle is back on the fast path.
+            dead_refs = {ref for ref, _ in dead}
+            for i, (entry, value) in enumerate(batch):
+                if pairs[i][0] in dead_refs:
+                    entry.ref = get_ref(entry.labels)
+                    storage.append_ref(entry.ref, now, value)
+                    samples += 1
+        # Staleness markers: series this target exposed last time but
+        # not now have disappeared (e.g. a finished job's cgroup) —
+        # mark them stale so instant queries stop returning zombie
+        # values during the lookback window.
+        new_prev: dict[int, Labels] = {}
+        for entry, _value in batch:
+            new_prev[entry.ref] = entry.labels
+        prev = target._previous_refs
+        if prev:
+            seen_labels = None
+            for ref, labels in prev.items():
+                if ref in new_prev:
+                    continue
+                series = storage.resolve_ref(ref)
+                if series is not None:
+                    storage.append_ref(ref, now, _STALE)
+                    continue
+                # The prev ref died; its labels may have been
+                # re-scraped this cycle under a fresh ref, in which
+                # case the series is live, not stale (the reference
+                # path compares Labels sets and would skip it).
+                if seen_labels is None:
+                    seen_labels = set(new_prev.values())
+                if labels not in seen_labels:
+                    storage.append(labels, now, _STALE)
+        target._previous_refs = new_prev
+        return samples
+
+    def _apply_labels(self, target: ScrapeTarget, batch: list, now: float) -> int:
+        """Reference path: per-sample append by Labels (the baseline)."""
+        storage = self.storage
+        seen: set[Labels] = set()
+        samples = 0
+        for labels, value in batch:
+            storage.append(labels, now, value)
+            seen.add(labels)
+            samples += 1
+        for labels in target._previous_series - seen:
+            storage.append(labels, now, _STALE)
+        target._previous_series = seen
+        return samples
+
     # -- scraping ---------------------------------------------------------
     def scrape_target(self, target: ScrapeTarget, now: float) -> int:
         """Scrape one target at logical time ``now``.
@@ -105,41 +458,7 @@ class ScrapeManager:
         bad node never stalls the cluster scrape — Prometheus
         behaviour the Jean-Zay scale bench depends on.
         """
-        target.scrapes_total += 1
-        identity = target.identity_labels()
-        started = time.perf_counter()
-        samples = 0
-        try:
-            headers = {}
-            if target.username:
-                headers["authorization"] = make_basic_auth_header(target.username, target.password)
-            response = target.app.handle(Request.from_url("GET", target.metrics_path, headers=headers))
-            if response.status != 200:
-                raise ScrapeError(f"scrape returned HTTP {response.status}")
-            families = exposition.parse(response.body.decode())
-            seen: set[Labels] = set()
-            for family in families:
-                for point in family.points:
-                    labels = exposition.to_labels(family.name, point, identity)
-                    self.storage.append(labels, now, point.value)
-                    seen.add(labels)
-                    samples += 1
-            # Staleness markers: series this target exposed last time
-            # but not now have disappeared (e.g. a finished job's
-            # cgroup) — mark them stale so instant queries stop
-            # returning zombie values during the lookback window.
-            for labels in target._previous_series - seen:
-                self.storage.append(labels, now, float("nan"))
-            target._previous_series = seen
-            target.last_scrape_ok = True
-        except ScrapeError:
-            target.last_scrape_ok = False
-            target.scrape_failures_total += 1
-        target.last_scrape_duration = time.perf_counter() - started
-        target.last_scrape_samples = samples
-        up_labels = Labels({"__name__": "up", **identity})
-        self.storage.append(up_labels, now, 1.0 if target.last_scrape_ok else 0.0)
-        return samples
+        return self._apply(self._fetch(target, now), now)
 
     def scrape_all(self, now: float) -> int:
         """One scrape cycle over every target; applies retention."""
@@ -151,12 +470,26 @@ class ScrapeManager:
         return self._scrape_all(now)
 
     def _scrape_all(self, now: float) -> int:
-        total = sum(self.scrape_target(target, now) for target in self.targets)
+        started = time.perf_counter()
+        workers = self.config.workers
+        if workers > 1 and len(self.targets) > 1:
+            # Workers only fetch (HTTP + parse + cache resolution);
+            # map() yields results in submission order, and the apply
+            # loop below commits them to storage one at a time — so
+            # the TSDB sees the exact same operations in the exact
+            # same order as a serial cycle, for any worker count.
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(lambda t: self._fetch(t, now), self.targets))
+        else:
+            results = [self._fetch(target, now) for target in self.targets]
+        with prof.profile("scrape.append"):
+            total = sum(self._apply(result, now) for result in results)
         self._cycles += 1
         self.cycles_total += 1
         self.samples_appended_total += total
         if self.config.retention_every and self._cycles % self.config.retention_every == 0:
             self.storage.apply_retention(now)
+        self.cycle_seconds.observe(time.perf_counter() - started)
         return total
 
     def register_timer(self, clock) -> None:
@@ -187,6 +520,25 @@ class ScrapeManager:
             lambda: float(self.healthy_targets()),
             help="Targets whose last scrape succeeded.",
         )
+        registry.gauge_func(
+            "ceems_scrape_cache_hits_total",
+            lambda: float(self.cache_hits_total),
+            help="Sample lines resolved from the per-target scrape cache.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_scrape_cache_misses_total",
+            lambda: float(self.cache_misses_total),
+            help="Sample lines that required a full parse + Labels build.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_scrape_cache_evictions_total",
+            lambda: float(self.cache_evictions_total),
+            help="Scrape cache entries evicted after their series disappeared.",
+            type="counter",
+        )
+        registry.collector(self.cycle_seconds.collect)
 
     # -- health ------------------------------------------------------------
     def healthy_targets(self) -> int:

@@ -51,6 +51,10 @@ class Series:
     """One time series: immutable identity + growing sample arrays."""
 
     labels: Labels
+    #: Storage-assigned series reference (see :meth:`TSDB.get_ref`).
+    #: Monotonic and never reused, so a ref held after the series is
+    #: dropped can only dangle — it can never alias another series.
+    ref: int = 0
     timestamps: list[float] = field(default_factory=list)
     values: list[float] = field(default_factory=list)
     #: Cached ndarray snapshot of (timestamps, values); rebuilt lazily
@@ -202,6 +206,12 @@ class TSDB:
         self._series: dict[Labels, Series] = {}
         # inverted index: (label_name, label_value) -> set of Labels keys
         self._index: dict[tuple[str, str], set[Labels]] = {}
+        # series refs: small-integer handles the scrape fast lane uses
+        # to append without hashing a Labels key.  Monotonic, never
+        # reused; dropped series leave a hole so stale refs dangle
+        # instead of aliasing (see append_ref).
+        self._series_by_ref: dict[int, Series] = {}
+        self._next_ref = 1
         self.samples_ingested = 0
         self.min_time: float | None = None
         self.max_time: float | None = None
@@ -225,8 +235,11 @@ class TSDB:
         if series is None:
             if not labels.metric_name:
                 raise StorageError(f"series without a metric name: {labels!r}")
-            series = Series(labels=labels)
+            ref = self._next_ref
+            self._next_ref = ref + 1
+            series = Series(labels=labels, ref=ref)
             self._series[labels] = series
+            self._series_by_ref[ref] = series
             for pair in labels:
                 self._index.setdefault(pair, set()).add(labels)
             self.series_epoch += 1
@@ -306,6 +319,92 @@ class TSDB:
         if self.max_time is None or hi > self.max_time:
             self.max_time = hi
         return n
+
+    # -- append-by-ref (scrape fast lane) ---------------------------------
+    def get_ref(self, labels: Labels) -> int:
+        """Resolve labels to a stable series ref, creating the series.
+
+        The ref is the scrape cache's handle: resolving once per
+        *distinct series text* lets every later sample of that series
+        skip label parsing, ``Labels`` hashing and the series-map
+        lookup.  Refs stay valid until the series is dropped
+        (retention, :meth:`delete_series`); they are never reused, so
+        a stale ref fails loudly instead of appending elsewhere.
+        """
+        return self._get_or_create_series(labels).ref
+
+    def resolve_ref(self, ref: int) -> Series | None:
+        """The live series behind ``ref``, or ``None`` if it was dropped."""
+        return self._series_by_ref.get(ref)
+
+    def append_ref(self, ref: int, timestamp: float, value: float) -> None:
+        """Append one sample to the series behind ``ref``.
+
+        Raises :class:`StorageError` when the ref no longer resolves
+        (series deleted since :meth:`get_ref`) — callers re-resolve
+        via labels, exactly like Prometheus's scrape loop on a head
+        ref miss.
+        """
+        series = self._series_by_ref.get(ref)
+        if series is None:
+            raise StorageError(f"unknown series ref {ref}")
+        series.append(timestamp, value)
+        self.samples_ingested += 1
+        self.data_epoch += 1
+        if self.min_time is None or timestamp < self.min_time:
+            self.min_time = timestamp
+        if self.max_time is None or timestamp > self.max_time:
+            self.max_time = timestamp
+
+    def append_refs(
+        self, timestamp: float, pairs: Sequence[tuple[int, float]]
+    ) -> tuple[int, list[tuple[int, float]]]:
+        """Batched same-timestamp append by ref — the scrape hot loop.
+
+        One scrape cycle appends every sample of a target at the same
+        logical instant, so the timestamp comparison, epoch bump and
+        time-bound updates are hoisted out of the per-sample loop and
+        ``Series.append`` is inlined (call overhead matters at ~25k
+        samples per Jean-Zay cycle).  Semantics per sample are exactly
+        ``Series.append``: later-than-tail extends, equal-to-tail
+        overwrites (idempotent re-ingest), earlier-than-tail raises.
+
+        Returns ``(appended, dead)`` where ``dead`` holds the
+        ``(ref, value)`` pairs whose ref no longer resolves; the
+        caller re-resolves those through labels.
+        """
+        by_ref = self._series_by_ref
+        dead: list[tuple[int, float]] = []
+        count = 0
+        for ref, value in pairs:
+            series = by_ref.get(ref)
+            if series is None:
+                dead.append((ref, value))
+                continue
+            timestamps = series.timestamps
+            if timestamps:
+                last = timestamps[-1]
+                if last >= timestamp:
+                    if last > timestamp:
+                        raise StorageError(
+                            f"out-of-order sample for {series.labels}: {timestamp} < {last}"
+                        )
+                    series.values[-1] = value
+                    series._snapshot = None
+                    count += 1
+                    continue
+            timestamps.append(timestamp)
+            series.values.append(value)
+            series._snapshot = None
+            count += 1
+        if count:
+            self.samples_ingested += count
+            self.data_epoch += 1
+            if self.min_time is None or timestamp < self.min_time:
+                self.min_time = timestamp
+            if self.max_time is None or timestamp > self.max_time:
+                self.max_time = timestamp
+        return count, dead
 
     # -- selection ---------------------------------------------------------
     def select(self, matchers: Sequence[Matcher]) -> list[Series]:
@@ -437,7 +536,12 @@ class TSDB:
         )
 
     def _drop_series(self, key: Labels) -> None:
+        series = self._series[key]
         del self._series[key]
+        # Refs are never reused, so dropping the mapping is enough to
+        # invalidate every cached ref to this series: later
+        # append_ref/append_refs calls see a miss, not a different series.
+        self._series_by_ref.pop(series.ref, None)
         for pair in key:
             postings = self._index.get(pair)
             if postings is not None:

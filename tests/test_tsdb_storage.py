@@ -325,3 +325,101 @@ class TestSelectorMemo:
         for i in range(db.SELECT_CACHE_MAX + 10):
             db.select([Matcher.eq("host", f"h{i}")])
         assert len(db._select_cache) <= db.SELECT_CACHE_MAX
+
+
+class TestAppendByRef:
+    """The scrape fast lane's ref API and its integrity guarantees."""
+
+    def test_get_ref_stable_and_creating(self):
+        db = TSDB()
+        labels = mklabels("m", a="1")
+        ref = db.get_ref(labels)
+        assert ref > 0
+        assert db.get_ref(labels) == ref
+        assert db.num_series == 1
+        assert db.resolve_ref(ref).labels == labels
+
+    def test_append_ref_matches_append_by_labels(self):
+        by_labels = TSDB()
+        by_ref = TSDB()
+        labels = mklabels("m", a="1")
+        ref = by_ref.get_ref(labels)
+        for i in range(5):
+            by_labels.append(labels, 10.0 * (i + 1), float(i))
+            by_ref.append_ref(ref, 10.0 * (i + 1), float(i))
+        sa = by_labels.select([Matcher.name_eq("m")])[0]
+        sb = by_ref.select([Matcher.name_eq("m")])[0]
+        assert sa.timestamps == sb.timestamps and sa.values == sb.values
+        assert by_labels.samples_ingested == by_ref.samples_ingested
+        assert by_labels.min_time == by_ref.min_time
+        assert by_labels.max_time == by_ref.max_time
+
+    def test_append_ref_unknown_raises(self):
+        db = TSDB()
+        with pytest.raises(StorageError, match="unknown series ref"):
+            db.append_ref(999, 1.0, 1.0)
+
+    def test_append_refs_batch_and_semantics(self):
+        db = TSDB()
+        r1 = db.get_ref(mklabels("m", a="1"))
+        r2 = db.get_ref(mklabels("m", a="2"))
+        count, dead = db.append_refs(10.0, [(r1, 1.0), (r2, 2.0)])
+        assert (count, dead) == (2, [])
+        # equal timestamp overwrites (idempotent re-ingest)
+        count, dead = db.append_refs(10.0, [(r1, 9.0)])
+        assert count == 1
+        assert db.resolve_ref(r1).values == [9.0]
+        # out-of-order still rejected
+        with pytest.raises(StorageError, match="out-of-order"):
+            db.append_refs(5.0, [(r1, 0.0)])
+        assert db.min_time == 10.0 and db.max_time == 10.0
+
+    def test_delete_series_kills_ref_forever(self):
+        db = TSDB()
+        labels = mklabels("m", a="1")
+        ref = db.get_ref(labels)
+        db.append_ref(ref, 1.0, 1.0)
+        db.delete_series([Matcher.name_eq("m")])
+        assert db.resolve_ref(ref) is None
+        with pytest.raises(StorageError):
+            db.append_ref(ref, 2.0, 2.0)
+        count, dead = db.append_refs(2.0, [(ref, 2.0)])
+        assert (count, dead) == (0, [(ref, 2.0)])
+        # recreating the same labels yields a NEW ref: the stale one
+        # can never alias onto the recreated series.
+        new_ref = db.get_ref(labels)
+        assert new_ref != ref
+        db.append_ref(new_ref, 3.0, 3.0)
+        assert db.resolve_ref(ref) is None
+        assert db.resolve_ref(new_ref).values == [3.0]
+
+    def test_retention_drop_invalidates_ref(self):
+        db = TSDB(retention=50.0)
+        old = db.get_ref(mklabels("m", a="old"))
+        live = db.get_ref(mklabels("m", a="live"))
+        db.append_ref(old, 10.0, 1.0)
+        db.append_ref(live, 100.0, 2.0)
+        db.apply_retention(now=100.0)
+        assert db.resolve_ref(old) is None
+        assert db.resolve_ref(live) is not None
+        count, dead = db.append_refs(110.0, [(old, 5.0), (live, 6.0)])
+        assert count == 1 and dead == [(old, 5.0)]
+
+    def test_dead_refs_reported_not_silently_dropped(self):
+        db = TSDB()
+        r1 = db.get_ref(mklabels("m", a="1"))
+        r2 = db.get_ref(mklabels("m", a="2"))
+        db.append_refs(1.0, [(r1, 1.0), (r2, 1.0)])
+        db.delete_series([Matcher.eq("a", "1")])
+        count, dead = db.append_refs(2.0, [(r1, 7.0), (r2, 8.0), (r1, 9.0)])
+        assert count == 1
+        assert dead == [(r1, 7.0), (r1, 9.0)]
+        assert db.resolve_ref(r2).values == [1.0, 8.0]
+
+    def test_append_refs_bumps_epoch_once(self):
+        db = TSDB()
+        r1 = db.get_ref(mklabels("m", a="1"))
+        r2 = db.get_ref(mklabels("m", a="2"))
+        before = db.data_epoch
+        db.append_refs(1.0, [(r1, 1.0), (r2, 2.0)])
+        assert db.data_epoch == before + 1
