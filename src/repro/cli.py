@@ -48,6 +48,9 @@ def _build_sim(args: argparse.Namespace) -> StackSimulation:
             active_query_journal=getattr(args, "active_query_journal", ""),
             scrape_workers=getattr(args, "scrape_workers", 0),
             scrape_cache=not getattr(args, "no_scrape_cache", False),
+            head_layout=getattr(args, "head_layout", "columnar"),
+            lazy_blocks=getattr(args, "lazy_blocks", False),
+            decode_cache_chunks=getattr(args, "decode_cache_chunks", 0),
         ),
     )
 
@@ -276,6 +279,28 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             dest="no_scrape_cache",
             help="disable the per-target scrape cache (reference ingest path)",
+        )
+        p.add_argument(
+            "--head-layout",
+            choices=("columnar", "list"),
+            default="columnar",
+            dest="head_layout",
+            help="head series layout: numpy ring buffers (columnar, default) "
+            "or the list-based reference implementation",
+        )
+        p.add_argument(
+            "--lazy-blocks",
+            action="store_true",
+            dest="lazy_blocks",
+            help="serve persisted store blocks decode-on-demand from mmap'd "
+            "chunk files (query-over-chunks); needs --persist-dir",
+        )
+        p.add_argument(
+            "--decode-cache-chunks",
+            type=int,
+            default=0,
+            dest="decode_cache_chunks",
+            help="decoded-chunk LRU capacity in chunks (0 keeps the default 4096)",
         )
 
     p_sim = sub.add_parser("simulate", help="run a deployment and print the operator report")

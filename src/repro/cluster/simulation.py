@@ -110,6 +110,16 @@ class SimulationConfig:
     #: Per-target scrape cache (``--no-scrape-cache`` disables,
     #: forcing the reference parse-everything path).
     scrape_cache: bool = True
+    #: Head series layout (``--head-layout``): "columnar" numpy ring
+    #: buffers (default) or the "list" reference implementation.
+    head_layout: str = "columnar"
+    #: Serve persisted store blocks decode-on-demand from mmap'd chunk
+    #: files (``--lazy-blocks``) instead of decoding them into memory
+    #: at open.  Needs ``persist_dir``.
+    lazy_blocks: bool = False
+    #: Decoded-chunk LRU capacity in chunks (``--decode-cache-chunks``);
+    #: <=0 keeps the default.
+    decode_cache_chunks: int = 0
 
     @classmethod
     def from_stack_config(cls, stack, **overrides) -> "SimulationConfig":
@@ -163,6 +173,7 @@ class StackSimulation:
                 retention=cfg.hot_retention,
                 name="hot",
                 fsync=cfg.persist_fsync,
+                head_layout=cfg.head_layout,
             )
             if self.hot_tsdb.max_time is not None:
                 resumed = (
@@ -170,7 +181,13 @@ class StackSimulation:
                 ) * cfg.scrape_interval
                 start_time = max(start_time, resumed)
         else:
-            self.hot_tsdb = TSDB(retention=cfg.hot_retention, name="hot")
+            self.hot_tsdb = TSDB(
+                retention=cfg.hot_retention, name="hot", head_layout=cfg.head_layout
+            )
+        if cfg.decode_cache_chunks > 0:
+            from repro.tsdb.persist.chunkio import configure_decode_cache
+
+            configure_decode_cache(cfg.decode_cache_chunks)
         self.hot_tsdb.telemetry = Telemetry("tsdb-hot")
         self.clock = SimClock(start=start_time)
 
@@ -263,7 +280,8 @@ class StackSimulation:
 
         # -- Thanos ------------------------------------------------------------
         self.object_store = ObjectStore(
-            persist_dir=os.path.join(cfg.persist_dir, "store") if cfg.persist_dir else ""
+            persist_dir=os.path.join(cfg.persist_dir, "store") if cfg.persist_dir else "",
+            lazy_blocks=bool(cfg.lazy_blocks and cfg.persist_dir),
         )
         self.sidecar = Sidecar(self.hot_tsdb, self.object_store)
         self.compactor = Compactor(self.object_store)

@@ -22,7 +22,6 @@ import numpy as np
 
 from repro.obs import prof
 from repro.thanos.store import BlockMeta, ObjectStore
-from repro.tsdb.storage import TSDB
 
 
 def _downsample_series(ts: np.ndarray, vs: np.ndarray, bucket: float) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
@@ -99,7 +98,7 @@ class Compactor:
                 ulid = self.store.new_ulid()
                 self.store.persist_block(
                     ulid,
-                    self._window_series(self.store.tsdb("raw"), min_time, max_time),
+                    self.store.window_series("raw", min_time, max_time),
                     min_time=min_time,
                     max_time=max_time,
                     resolution="raw",
@@ -124,14 +123,6 @@ class Compactor:
                 self.compactions += 1
         return merged_total
 
-    @staticmethod
-    def _window_series(tsdb: TSDB, lo: float, hi: float):
-        """Yield non-empty ``(labels, ts, vs)`` slices of ``[lo, hi)``."""
-        for series in tsdb.all_series():
-            ts, vs = series.window_half_open(lo, hi)
-            if len(ts):
-                yield series.labels, ts, vs
-
     # -- downsampling -------------------------------------------------------------
     def downsample(self, now: float) -> dict[str, int]:
         """Produce 5m and 1h resolutions for data old enough."""
@@ -141,15 +132,13 @@ class Compactor:
     def _downsample(self, now: float) -> dict[str, int]:
         produced = {"5m": 0, "1h": 0}
         produced["5m"] = self._downsample_into(
-            src=self.store.tsdb("raw"),
-            dst=self.store.tsdb("5m"),
+            src="raw",
             bucket=300.0,
             until=now - self.downsample_5m_after,
             key="5m",
         )
         produced["1h"] = self._downsample_into(
-            src=self.store.tsdb("5m"),
-            dst=self.store.tsdb("1h"),
+            src="5m",
             bucket=3600.0,
             until=now - self.downsample_1h_after,
             key="1h",
@@ -157,17 +146,22 @@ class Compactor:
         self.downsample_passes += 1
         return produced
 
-    def _downsample_into(self, src: TSDB, dst: TSDB, bucket: float, until: float, key: str) -> int:
+    def _downsample_into(self, src: str, bucket: float, until: float, key: str) -> int:
         start = self._downsampled_until[key]
         # Only whole buckets: stop at the last complete bucket edge.
         until = np.floor(until / bucket) * bucket
         if until <= (start or -np.inf):
             return 0
+        dst = self.store.tsdb(key)
+        # Lazy stores serve downsampled output from the block it is
+        # persisted into (add_block registers the chunks); appending
+        # it to the dst TSDB as well would hold every decoded sample
+        # in memory forever — exactly what lazy mode exists to avoid.
+        lazy = getattr(self.store, "lazy_blocks", False)
         produced = 0
         persist_series: list = []
-        for series in src.all_series():
-            lo = start if start is not None else (series.min_time or 0.0)
-            ts, vs = series.window_half_open(lo, until)
+        lo_global = start if start is not None else -np.inf
+        for labels, ts, vs in self.store.window_series(src, lo_global, until):
             # Staleness markers do not survive downsampling (they mark
             # raw-resolution disappearance; downsampled buckets are
             # sparse anyway).
@@ -180,20 +174,21 @@ class Compactor:
             # compression — skip such series (coarse scrape configs).
             if len(ts) > 1 and float(np.median(np.diff(ts))) > bucket:
                 continue
-            base = series.labels.metric_name
+            base = labels.metric_name
             # Do not re-downsample the min/max helper series.
             if base.endswith((":min", ":max")):
                 continue
             b_ts, means, mins, maxs = _downsample_series(ts, vs, bucket)
-            min_labels = series.labels.with_name(base + ":min")
-            max_labels = series.labels.with_name(base + ":max")
-            for i in range(len(b_ts)):
-                dst.append(series.labels, float(b_ts[i]), float(means[i]))
-                dst.append(min_labels, float(b_ts[i]), float(mins[i]))
-                dst.append(max_labels, float(b_ts[i]), float(maxs[i]))
-                produced += 3
+            min_labels = labels.with_name(base + ":min")
+            max_labels = labels.with_name(base + ":max")
+            if not lazy:
+                for i in range(len(b_ts)):
+                    dst.append(labels, float(b_ts[i]), float(means[i]))
+                    dst.append(min_labels, float(b_ts[i]), float(mins[i]))
+                    dst.append(max_labels, float(b_ts[i]), float(maxs[i]))
+            produced += 3 * len(b_ts)
             if self.store.persist_dir:
-                persist_series.append((series.labels, b_ts, means))
+                persist_series.append((labels, b_ts, means))
                 persist_series.append((min_labels, b_ts, mins))
                 persist_series.append((max_labels, b_ts, maxs))
         if persist_series and produced:

@@ -43,16 +43,47 @@ def merge_series(primary: Series | None, secondary: Series | None, labels: Label
     return merged
 
 
+class ResolutionView:
+    """``select`` contract over one store resolution (lazy stores).
+
+    A lazy store's downsampled data lives in chunked blocks, not the
+    resolution TSDB, so pointing an engine at ``store.tsdb("5m")``
+    would miss it; this view routes through
+    :meth:`ObjectStore.select_at`, which merges both.
+    """
+
+    def __init__(self, store: ObjectStore, resolution: str) -> None:
+        self.store = store
+        self.resolution = resolution
+        self.name = f"thanos-{resolution}-view"
+        self.telemetry = None
+
+    def select(self, matchers: Sequence[Matcher]):
+        return self.store.select_at(self.resolution, matchers)
+
+    def label_values(self, name: str) -> list[str]:
+        return self.store.label_values_at(self.resolution, name)
+
+    @property
+    def num_series(self) -> int:
+        return self.store.num_series_at(self.resolution)
+
+
 class FanoutStorage:
     """Hot + store querier with dedup.
 
     Merged selector results are memoised keyed by the matcher tuple.
     Unlike the in-TSDB memo (which survives appends because ``Series``
-    mutate in place), a merged series is a *copy* frozen at merge time,
-    so the memo entry is validated against the data epochs of both
-    backends and rebuilt whenever either side mutated.  A dashboard
-    burst or a columnar range query touching the same selectors between
-    scrapes pays the merge once.
+    mutate in place), a merged view is frozen at merge time, so the
+    memo entry is validated against the data epochs of both backends
+    (plus the store's chunk-index generation) and rebuilt whenever
+    either side mutated.  A dashboard burst or a columnar range query
+    touching the same selectors between scrapes pays the merge once.
+
+    Overlapping series merge lazily: the memo holds
+    :class:`~repro.tsdb.persist.chunkio.MergedSeries` overlays (hot
+    wins duplicate timestamps) and queries read them window-pruned, so
+    a chunk-backed store side decodes only what a query touches.
     """
 
     #: Upper bound on memoised fan-out selections before wholesale reset.
@@ -61,23 +92,21 @@ class FanoutStorage:
     def __init__(self, hot: TSDB, store: ObjectStore) -> None:
         self.hot = hot
         self.store = store
-        self._select_cache: dict[
-            tuple[Matcher, ...], tuple[tuple[int, int, int, int], list[Series]]
-        ] = {}
+        self._select_cache: dict[tuple[Matcher, ...], tuple[tuple, list]] = {}
         self.select_cache_hits = 0
         self.select_cache_misses = 0
         #: Optional :class:`repro.obs.telemetry.Telemetry` sink; when
         #: set, selects inside an active trace record child spans.
         self.telemetry = None
 
-    def _epochs(self) -> tuple[int, int, int, int]:
-        raw = self.store.tsdb("raw")
-        return (
-            self.hot.series_epoch,
-            self.hot.data_epoch,
-            raw.series_epoch,
-            raw.data_epoch,
-        )
+    def _epochs(self) -> tuple:
+        store_version = getattr(self.store, "version", None)
+        if store_version is not None:
+            raw_version = store_version("raw")
+        else:
+            raw = self.store.tsdb("raw")
+            raw_version = (raw.series_epoch, raw.data_epoch)
+        return (self.hot.series_epoch, self.hot.data_epoch) + tuple(raw_version)
 
     def select(self, matchers: Sequence[Matcher]) -> list[Series]:
         if self.telemetry is not None:
@@ -96,10 +125,21 @@ class FanoutStorage:
             self.select_cache_hits += 1
             return cached[1]
         self.select_cache_misses += 1
+        from repro.tsdb.persist.chunkio import MergedSeries
+
         hot_series = {s.labels: s for s in self.hot.select(matchers)}
-        store_series = {s.labels: s for s in self.store.tsdb("raw").select(matchers)}
+        store_series = {s.labels: s for s in self.store.select_at("raw", matchers)}
         keys = sorted(set(hot_series) | set(store_series), key=tuple)
-        result = [merge_series(hot_series.get(k), store_series.get(k), k) for k in keys]
+        result = []
+        for k in keys:
+            primary = hot_series.get(k)
+            secondary = store_series.get(k)
+            if secondary is None:
+                result.append(primary)
+            elif primary is None:
+                result.append(secondary)
+            else:
+                result.append(MergedSeries(primary, secondary, k))
         if len(self._select_cache) >= self.SELECT_CACHE_MAX:
             self._select_cache.clear()
         self._select_cache[key] = (epochs, result)
@@ -114,10 +154,20 @@ class FanoutStorage:
             "hit_rate": self.select_cache_hits / total if total else 0.0,
         }
 
-    def at_resolution(self, resolution: str) -> TSDB:
-        """Direct view of one downsampled resolution."""
+    def at_resolution(self, resolution: str):
+        """Direct view of one downsampled resolution.
+
+        Eager stores expose the resolution TSDB itself; lazy stores
+        get a :class:`ResolutionView` so chunked block data is seen.
+        """
+        if getattr(self.store, "lazy_blocks", False):
+            return ResolutionView(self.store, resolution)
         return self.store.tsdb(resolution)
 
     def label_values(self, name: str) -> list[str]:
-        values = set(self.hot.label_values(name)) | set(self.store.tsdb("raw").label_values(name))
+        values = set(self.hot.label_values(name)) | set(
+            self.store.label_values_at("raw", name)
+            if hasattr(self.store, "label_values_at")
+            else self.store.tsdb("raw").label_values(name)
+        )
         return sorted(values)

@@ -58,6 +58,11 @@ class Sidecar:
                 )
         uploaded = 0
         raw = self.store.tsdb("raw")
+        # Lazy stores serve uploaded windows straight from the block's
+        # chunk files (add_block registers them); copying the samples
+        # into the raw TSDB as well would keep the whole history
+        # decoded in memory.
+        lazy = getattr(self.store, "lazy_blocks", False)
         while self._watermark + self.block_seconds <= now:
             lo = self._watermark
             hi = lo + self.block_seconds
@@ -71,8 +76,9 @@ class Sidecar:
                 samples += len(ts)
             if samples:
                 with prof.profile("sidecar.block_cut"):
-                    for labels, ts, vs in window_series:
-                        raw.append_array(labels, ts, vs)
+                    if not lazy:
+                        for labels, ts, vs in window_series:
+                            raw.append_array(labels, ts, vs)
                     ulid = self.store.new_ulid()
                     self.store.persist_block(
                         ulid, window_series, min_time=lo, max_time=hi, resolution="raw"

@@ -13,6 +13,16 @@ directory (``meta.json`` + index + Gorilla chunk files, see
 :mod:`repro.tsdb.persist.block`), a fresh store loads every persisted
 block back into its ledger and per-resolution TSDBs on open, and
 :meth:`drop_block` removes the directory along with the ledger entry.
+
+``lazy_blocks=True`` (requires a ``persist_dir``) switches block
+reads to query-over-chunks: opening the store reads only each block's
+``index.json`` and registers decode-on-demand chunk handles
+(mmap-backed, see :mod:`repro.tsdb.persist.chunkio`) into a
+per-resolution :class:`~repro.tsdb.persist.chunkio.ChunkIndex`
+instead of decoding every chunk into the TSDBs.  Queries then decode
+exactly the chunks their time range touches, through the process-wide
+decoded-chunk LRU.  Retention over chunked data is block-granular
+(whole expired blocks drop), matching Thanos semantics.
 """
 
 from __future__ import annotations
@@ -53,16 +63,36 @@ class ObjectStore:
     #: When set, blocks are written/read as directories under this
     #: path and reloaded on construction.
     persist_dir: str = ""
+    #: Query-over-chunks mode: serve persisted blocks straight from
+    #: mmap'd chunk files (decode on demand) instead of decoding every
+    #: block into the per-resolution TSDBs at open.  Requires
+    #: ``persist_dir``.
+    lazy_blocks: bool = False
 
     blocks: list[BlockMeta] = field(default_factory=list)
     _ulid_seq: itertools.count = field(default_factory=lambda: itertools.count(1), repr=False)
 
     def __post_init__(self) -> None:
+        if self.lazy_blocks and not self.persist_dir:
+            raise StorageError("lazy_blocks requires a persist_dir")
         self.tsdbs: dict[str, TSDB] = {
             "raw": TSDB(name="thanos-raw"),
             "5m": TSDB(name="thanos-5m"),
             "1h": TSDB(name="thanos-1h"),
         }
+        if self.lazy_blocks:
+            from repro.tsdb.persist.chunkio import ChunkIndex
+
+            self.chunk_indexes = {
+                res: ChunkIndex(name=f"thanos-{res}") for res in RESOLUTIONS
+            }
+        else:
+            self.chunk_indexes = {}
+        self._readers: dict[str, object] = {}
+        # merged-select memo per resolution: matcher tuple ->
+        # (version, series list); validated against `version()` so any
+        # TSDB mutation or block add/drop rebuilds the merge.
+        self._merge_memo: dict[str, dict] = {res: {} for res in RESOLUTIONS}
         self.persisted_blocks = 0
         self.persisted_raw_bytes = 0
         self.persisted_encoded_bytes = 0
@@ -73,8 +103,21 @@ class ObjectStore:
             self._load_persisted()
 
     # -- persistence ------------------------------------------------------
+    def _register_block_chunks(self, ulid: str, resolution: str) -> None:
+        """Register a persisted block's chunk handles (lazy mode)."""
+        from repro.tsdb.persist.block import BlockReader
+
+        reader = BlockReader(self.persist_dir, ulid)
+        self._readers[ulid] = reader
+        self.chunk_indexes[resolution].add_block(ulid, reader.chunk_series())
+
     def _load_persisted(self) -> None:
-        """Rebuild ledger + per-resolution TSDBs from disk on open."""
+        """Rebuild ledger + per-resolution stores from disk on open.
+
+        Eager mode decodes every chunk into the TSDBs; lazy mode only
+        parses each block's index and registers chunk handles — open
+        cost is metadata-proportional, decode is deferred to queries.
+        """
         from repro.tsdb.persist.block import BlockReader, list_block_ulids
 
         max_seq = 0
@@ -84,9 +127,13 @@ class ObjectStore:
             resolution = meta.get("resolution", "raw")
             if resolution not in RESOLUTIONS:
                 raise StorageError(f"persisted block {ulid}: unknown resolution {resolution!r}")
-            tsdb = self.tsdbs[resolution]
-            for labels, ts, vs in reader.series():
-                tsdb.append_array(labels, ts, vs)
+            if self.lazy_blocks:
+                self._readers[ulid] = reader
+                self.chunk_indexes[resolution].add_block(ulid, reader.chunk_series())
+            else:
+                tsdb = self.tsdbs[resolution]
+                for labels, ts, vs in reader.series():
+                    tsdb.append_array(labels, ts, vs)
             stats = meta.get("stats", {})
             compaction = meta.get("compaction", {})
             self.blocks.append(
@@ -158,6 +205,10 @@ class ObjectStore:
         if meta.max_time < meta.min_time:
             raise StorageError("block max_time before min_time")
         self.blocks.append(meta)
+        if self.lazy_blocks:
+            # In lazy mode the persisted directory *is* the data: a
+            # registered block must be queryable through its chunks.
+            self._register_block_chunks(meta.ulid, meta.resolution)
 
     def blocks_at(self, resolution: str) -> list[BlockMeta]:
         return sorted(
@@ -165,7 +216,14 @@ class ObjectStore:
         )
 
     def drop_block(self, ulid: str) -> None:
+        dropped = [b for b in self.blocks if b.ulid == ulid]
         self.blocks = [b for b in self.blocks if b.ulid != ulid]
+        for meta in dropped:
+            if self.lazy_blocks:
+                self.chunk_indexes[meta.resolution].remove_block(ulid)
+        reader = self._readers.pop(ulid, None)
+        if reader is not None:
+            reader.close()
         if self.persist_dir:
             from repro.tsdb.persist.block import delete_block
 
@@ -178,11 +236,117 @@ class ObjectStore:
         except KeyError:
             raise StorageError(f"unknown resolution {resolution!r}") from None
 
+    def version(self, resolution: str) -> tuple:
+        """Monotone validity token for anything caching select results
+        at this resolution: changes on any TSDB mutation *or* chunked
+        block add/drop."""
+        tsdb = self.tsdb(resolution)
+        index = self.chunk_indexes.get(resolution)
+        return (
+            tsdb.series_epoch,
+            tsdb.data_epoch,
+            index.generation if index is not None else 0,
+        )
+
+    def select_at(self, resolution: str, matchers):
+        """Matching series at one resolution: TSDB + chunked blocks.
+
+        Eager stores delegate straight to the TSDB (selector memo and
+        all).  Lazy stores merge the TSDB's live series with
+        chunk-backed series from registered blocks — overlapping label
+        sets become :class:`~repro.tsdb.persist.chunkio.MergedSeries`
+        (live head wins duplicate timestamps).  Merged results are
+        memoised per matcher tuple, validated by :meth:`version`.
+        """
+        tsdb = self.tsdb(resolution)
+        if not self.lazy_blocks:
+            return tsdb.select(matchers)
+        key = tuple(matchers)
+        version = self.version(resolution)
+        memo = self._merge_memo[resolution]
+        cached = memo.get(key)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        chunked = self.chunk_indexes[resolution].select(key)
+        live = tsdb.select(matchers) if tsdb.num_series else []
+        if not chunked:
+            out = live
+        elif not live:
+            out = chunked
+        else:
+            from repro.tsdb.persist.chunkio import MergedSeries
+
+            by_labels = {s.labels: s for s in chunked}
+            seen = set()
+            out = []
+            for series in live:
+                secondary = by_labels.get(series.labels)
+                seen.add(series.labels)
+                out.append(
+                    series if secondary is None else MergedSeries(series, secondary)
+                )
+            out.extend(s for s in chunked if s.labels not in seen)
+            out.sort(key=lambda s: tuple(s.labels))
+        if len(memo) >= 128:
+            memo.clear()
+        memo[key] = (version, out)
+        return out
+
     def select(self, matchers):
         """Batched-select contract (raw resolution), so a PromQL engine
         — per-step or columnar — can point at the store gateway
-        directly; selection rides the raw TSDB's selector memo."""
-        return self.tsdbs["raw"].select(matchers)
+        directly; selection rides the raw TSDB's selector memo (and,
+        in lazy mode, the chunk index + merge memo)."""
+        return self.select_at("raw", matchers)
+
+    def window_series(self, resolution: str, lo: float, hi: float):
+        """Yield non-empty ``(labels, ts, vs)`` slices of ``[lo, hi)``
+        across TSDB and chunked-block series — the compactor's and
+        downsampler's resolution-agnostic read path."""
+        from repro.tsdb.persist.chunkio import MergedSeries
+
+        tsdb = self.tsdb(resolution)
+        index = self.chunk_indexes.get(resolution)
+        if index is None:
+            for series in tsdb.all_series():
+                ts, vs = series.window_half_open(lo, hi)
+                if len(ts):
+                    yield series.labels, ts, vs
+            return
+        live = {s.labels: s for s in tsdb.all_series()}
+        chunked = {s.labels: s for s in index.all_series()}
+        for labels in sorted(set(live) | set(chunked), key=tuple):
+            primary = live.get(labels)
+            secondary = chunked.get(labels)
+            if primary is None:
+                series = secondary
+            elif secondary is None:
+                series = primary
+            else:
+                series = MergedSeries(primary, secondary, labels)
+            ts, vs = series.window_half_open(lo, hi)
+            if len(ts):
+                yield labels, ts, vs
+
+    def num_series_at(self, resolution: str) -> int:
+        """Distinct series at a resolution (TSDB plus chunked blocks).
+
+        Upper-bounds the union (overlapping label sets counted once
+        per side would need a set build); used only as a non-emptiness
+        signal by :meth:`pick_resolution`.
+        """
+        count = self.tsdb(resolution).num_series
+        index = self.chunk_indexes.get(resolution)
+        if index is not None:
+            count += index.num_series
+        return count
+
+    def label_values_at(self, resolution: str, label_name: str) -> list[str]:
+        values = set(self.tsdb(resolution).label_values(label_name))
+        index = self.chunk_indexes.get(resolution)
+        if index is not None:
+            values |= index.label_values(label_name)
+        return sorted(values)
 
     def selector_cache_stats(self) -> dict[str, dict[str, float]]:
         """Per-resolution selector-memo counters (bench observability)."""
@@ -197,9 +361,9 @@ class ObjectStore:
         Queries spanning more than ~2 days read the 5m resolution;
         more than ~2 weeks, the 1h resolution (when populated).
         """
-        if range_seconds > 14 * 86400 and self.tsdbs["1h"].num_series:
+        if range_seconds > 14 * 86400 and self.num_series_at("1h"):
             return "1h"
-        if range_seconds > 2 * 86400 and self.tsdbs["5m"].num_series:
+        if range_seconds > 2 * 86400 and self.num_series_at("5m"):
             return "5m"
         return "raw"
 

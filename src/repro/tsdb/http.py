@@ -128,6 +128,7 @@ class PromAPI:
 
     def _collect_engine_stats(self):
         from repro.tsdb.exposition import MetricFamily
+        from repro.tsdb.persist.chunkio import DECODE_CACHE_STATS
         from repro.tsdb.promql.columnar import COLUMNAR_STATS
         from repro.tsdb.storage import SNAPSHOT_STATS
 
@@ -147,8 +148,10 @@ class PromAPI:
             queries.add(stats["queries"], strategy=strategy)
         families.extend([seconds, queries])
 
-        # Storage selector memo — both the hot TSDB and the Thanos
-        # fan-out expose selector_cache_stats() with the same shape.
+        # Storage selector memo.  The hot TSDB and the Thanos fan-out
+        # expose flat {hits, misses} stats; an ObjectStore backend
+        # returns one such dict per resolution — emit those as
+        # resolution-labelled samples of the same families.
         stats_fn = getattr(self.storage, "selector_cache_stats", None)
         if stats_fn is not None:
             stats = stats_fn()
@@ -157,13 +160,18 @@ class PromAPI:
                 help="Selector memo hits in the storage backend.",
                 type="counter",
             )
-            hits.add(stats["hits"])
             misses = MetricFamily(
                 "ceems_tsdb_select_cache_misses_total",
                 help="Selector memo misses in the storage backend.",
                 type="counter",
             )
-            misses.add(stats["misses"])
+            if isinstance(stats.get("hits"), dict) or "hits" not in stats:
+                for resolution, sub in stats.items():
+                    hits.add(float(sub["hits"]), resolution=resolution)
+                    misses.add(float(sub["misses"]), resolution=resolution)
+            else:
+                hits.add(float(stats["hits"]))
+                misses.add(float(stats["misses"]))
             families.extend([hits, misses])
 
         snapshots = MetricFamily(
@@ -174,6 +182,34 @@ class PromAPI:
         snapshots.add(float(SNAPSHOT_STATS["hits"]), event="hit")
         snapshots.add(float(SNAPSHOT_STATS["builds"]), event="build")
         families.append(snapshots)
+
+        # Flat aliases of the snapshot counters (a build is a cache
+        # miss): one sample per family, the conventional Prometheus
+        # shape for recording rules and dashboards.
+        snap_hits = MetricFamily(
+            "ceems_tsdb_snapshot_cache_hits_total",
+            help="Series.arrays() snapshot-cache hits, process-wide.",
+            type="counter",
+        )
+        snap_hits.add(float(SNAPSHOT_STATS["hits"]))
+        snap_misses = MetricFamily(
+            "ceems_tsdb_snapshot_cache_misses_total",
+            help="Series.arrays() snapshot rebuilds (cache misses), process-wide.",
+            type="counter",
+        )
+        snap_misses.add(float(SNAPSHOT_STATS["builds"]))
+        families.extend([snap_hits, snap_misses])
+
+        # Decoded-chunk LRU (query-over-chunks): hit/miss/eviction
+        # counters of the process-wide Gorilla decode cache.
+        for event in ("hits", "misses", "evictions"):
+            family = MetricFamily(
+                f"ceems_tsdb_chunk_decode_cache_{event}_total",
+                help=f"Decoded-chunk LRU {event}, process-wide.",
+                type="counter",
+            )
+            family.add(float(DECODE_CACHE_STATS[event]))
+            families.append(family)
 
         columnar = MetricFamily(
             "ceems_promql_columnar_total",

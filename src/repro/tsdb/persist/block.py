@@ -17,6 +17,12 @@ bytes are.  Chunk frames reuse the WAL framing
 (``[u32 len][u32 crc32][chunk]``) so torn or bit-rotted chunks are
 detected on read.
 
+Reads are mmap-backed: :class:`BlockReader` maps each chunk file once
+(:class:`ChunkFile`) and slices CRC-validated payloads out of the
+mapping on demand, so opening a block costs the index JSON only and a
+query pays decode for exactly the chunks it touches
+(:meth:`BlockReader.chunk_series` + ``persist/chunkio.py``).
+
 Blocks are immutable: the sidecar writes a directory once and
 registers it; the compactor *rewrites* (new ULID, new directory) and
 deletes the sources, never edits in place.
@@ -24,7 +30,9 @@ deletes the sources, never edits in place.
 
 from __future__ import annotations
 
+import itertools
 import json
+import mmap
 import os
 import shutil
 import struct
@@ -37,6 +45,7 @@ from repro.common.errors import StorageError
 from repro.obs import prof
 from repro.tsdb.model import Labels
 from repro.tsdb.persist.chunk import DEFAULT_CHUNK_SAMPLES, decode_chunk, iter_chunks
+from repro.tsdb.persist.chunkio import FileChunk
 
 _FRAME = struct.Struct("<II")
 
@@ -187,8 +196,55 @@ def delete_block(root: str, ulid: str) -> bool:
     return True
 
 
+class ChunkFile:
+    """One mmap'd chunk file; validates CRC frames on demand.
+
+    ``key`` is process-unique and keys the decoded-chunk LRU together
+    with the frame offset, so two readers over the same path never
+    collide with a reopened (different-generation) mapping.
+    """
+
+    _keys = itertools.count()
+
+    def __init__(self, path: str, name: str = "") -> None:
+        self.path = path
+        self.name = name or path
+        self.key = next(ChunkFile._keys)
+        with open(path, "rb") as fh:
+            size = os.fstat(fh.fileno()).st_size
+            if size:
+                self._mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            else:
+                self._mm = b""  # mmap rejects empty files
+
+    def payload(self, offset: int, length: int) -> bytes:
+        """CRC-checked chunk payload at frame ``offset``."""
+        header = self._mm[offset : offset + _FRAME.size]
+        if len(header) < _FRAME.size:
+            raise StorageError(f"{self.name}: truncated chunk frame")
+        frame_length, crc = _FRAME.unpack(header)
+        if frame_length != length:
+            raise StorageError(f"{self.name}: chunk length mismatch")
+        start = offset + _FRAME.size
+        payload = self._mm[start : start + length]
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            raise StorageError(f"{self.name}: chunk CRC mismatch")
+        return payload
+
+    def close(self) -> None:
+        if not isinstance(self._mm, bytes):
+            self._mm.close()
+            self._mm = b""
+
+
 class BlockReader:
-    """Lazy reader over one block directory."""
+    """Lazy reader over one block directory.
+
+    Chunk files are mmap'd on first touch and kept mapped for the
+    reader's lifetime; :meth:`chunk_series` exposes decode-on-demand
+    chunk handles, :meth:`series` eagerly decodes (legacy path and
+    eager store loads).
+    """
 
     def __init__(self, root: str, ulid: str) -> None:
         self.root = root
@@ -197,21 +253,47 @@ class BlockReader:
         self.meta = read_meta(root, ulid)
         with open(os.path.join(self.dir, INDEX_FILENAME), encoding="utf-8") as fh:
             self.index = json.load(fh)
+        self._chunk_files: dict[str, ChunkFile] = {}
+
+    def _chunk_file(self, rel: str) -> ChunkFile:
+        cf = self._chunk_files.get(rel)
+        if cf is None:
+            path = os.path.join(self.dir, *rel.split("/"))
+            cf = ChunkFile(path, name=f"block {self.ulid}")
+            self._chunk_files[rel] = cf
+        return cf
+
+    def close(self) -> None:
+        """Unmap every chunk file (drop before deleting the block)."""
+        for cf in self._chunk_files.values():
+            cf.close()
+        self._chunk_files.clear()
 
     def _read_chunk(self, ref: dict) -> tuple[np.ndarray, np.ndarray]:
-        path = os.path.join(self.dir, *ref["file"].split("/"))
-        with open(path, "rb") as fh:
-            fh.seek(ref["offset"])
-            header = fh.read(_FRAME.size)
-            if len(header) < _FRAME.size:
-                raise StorageError(f"block {self.ulid}: truncated chunk frame")
-            length, crc = _FRAME.unpack(header)
-            if length != ref["length"]:
-                raise StorageError(f"block {self.ulid}: chunk length mismatch")
-            payload = fh.read(length)
-        if len(payload) < length or zlib.crc32(payload) != crc:
-            raise StorageError(f"block {self.ulid}: chunk CRC mismatch")
+        payload = self._chunk_file(ref["file"]).payload(ref["offset"], ref["length"])
         return decode_chunk(payload)
+
+    def chunk_series(self) -> Iterator[tuple[Labels, list[FileChunk]]]:
+        """Yield ``(labels, [FileChunk, ...])`` per series — no decode.
+
+        The handles carry per-chunk (count, minTime, maxTime) straight
+        from the index, so time pruning never touches payload bytes.
+        """
+        for entry in self.index:
+            labels = Labels(entry["labels"])
+            handles = [
+                FileChunk(
+                    self._chunk_file(ref["file"]),
+                    ref["offset"],
+                    ref["length"],
+                    ref["count"],
+                    ref["minTime"],
+                    ref["maxTime"],
+                )
+                for ref in entry["chunks"]
+            ]
+            if handles:
+                yield labels, handles
 
     def series(self) -> Iterator[tuple[Labels, np.ndarray, np.ndarray]]:
         """Yield ``(labels, timestamps, values)`` per series, decoded."""

@@ -1,0 +1,466 @@
+"""Decode-on-demand chunk handles and the decoded-chunk LRU.
+
+This module is the seam between "where bytes live" and "how queries
+read them".  Three chunk handle flavours share one tiny protocol —
+``count``, ``min_time``, ``max_time`` and ``arrays() -> (ts, vs)``:
+
+* :class:`MemChunk` — a sealed, immutable Gorilla chunk held in memory
+  (the columnar head's mini-chunks).
+* :class:`FileChunk` — one CRC-framed chunk inside an mmap'd block
+  chunk file; the payload is sliced out of the mapping and decoded
+  only when a query actually needs the samples.
+* :class:`TailChunk` — a zero-copy view over a series' unsealed tail
+  (or a whole list-layout series); nothing to decode.
+
+Decoded ``(timestamps, values)`` arrays are memoised in a process-wide
+bounded LRU (:data:`DECODE_CACHE`) so repeated queries over the same
+hot chunks decode once; :data:`DECODE_CACHE_STATS` feeds the
+``ceems_tsdb_chunk_decode_cache_*_total`` self-telemetry counters.
+
+:class:`ChunkSeries` assembles ordered chunk handles into the read
+side of the ``Series`` contract (``arrays``/``window``/
+``window_half_open``/``at_or_before``/``query_window_arrays``), with
+chunk-granular time pruning: a window read decodes only the chunks
+whose ``[min_time, max_time]`` overlaps the request.
+:class:`MergedSeries` layers a mutable primary (the live head) over a
+chunk-backed secondary with window-local last-write-wins dedup — the
+Thanos fan-out's lazy merge.
+"""
+
+from __future__ import annotations
+
+import itertools
+from bisect import bisect_left, bisect_right
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.tsdb.persist.chunk import decode_chunk
+
+#: Process-wide decoded-chunk LRU counters (self-telemetry).
+DECODE_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+#: Default LRU capacity in *chunks* (~120 samples ≈ 2 KiB decoded per
+#: entry → ~8 MiB at the default).  Tunable via --decode-cache-chunks.
+DEFAULT_DECODE_CACHE_CHUNKS = 4096
+
+_EMPTY = (np.empty(0, dtype=np.float64), np.empty(0, dtype=np.float64))
+
+#: Process-unique keys for in-memory chunks.
+_MEM_KEYS = itertools.count()
+
+
+class DecodedChunkCache:
+    """Bounded LRU of decoded ``(timestamps, values)`` chunk arrays.
+
+    Keys are supplied by the chunk handles (a process-unique integer
+    for :class:`MemChunk`, ``(file key, offset)`` for
+    :class:`FileChunk`); values are immutable ndarray pairs, safe to
+    hand to any number of concurrent readers.
+    """
+
+    def __init__(self, max_chunks: int = DEFAULT_DECODE_CACHE_CHUNKS) -> None:
+        self.max_chunks = max_chunks
+        self._entries: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is None:
+            DECODE_CACHE_STATS["misses"] += 1
+            return None
+        self._entries.move_to_end(key)
+        DECODE_CACHE_STATS["hits"] += 1
+        return entry
+
+    def put(self, key, arrays) -> None:
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = arrays
+        while len(entries) > self.max_chunks:
+            entries.popitem(last=False)
+            DECODE_CACHE_STATS["evictions"] += 1
+
+    def trim(self) -> None:
+        """Re-enforce the bound after :attr:`max_chunks` shrinks."""
+        while len(self._entries) > self.max_chunks:
+            self._entries.popitem(last=False)
+            DECODE_CACHE_STATS["evictions"] += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: The process-wide decoded-chunk cache all chunk handles share.
+DECODE_CACHE = DecodedChunkCache()
+
+
+def configure_decode_cache(max_chunks: int) -> None:
+    """Resize the process-wide decoded-chunk LRU (CLI knob)."""
+    DECODE_CACHE.max_chunks = max(0, int(max_chunks))
+    DECODE_CACHE.trim()
+
+
+class MemChunk:
+    """A sealed, immutable Gorilla chunk held in memory."""
+
+    __slots__ = ("encoded", "count", "min_time", "max_time", "_key")
+
+    def __init__(self, encoded: bytes, count: int, min_time: float, max_time: float):
+        self.encoded = encoded
+        self.count = count
+        self.min_time = min_time
+        self.max_time = max_time
+        self._key = next(_MEM_KEYS)
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        cached = DECODE_CACHE.get(self._key)
+        if cached is None:
+            cached = decode_chunk(self.encoded)
+            DECODE_CACHE.put(self._key, cached)
+        return cached
+
+
+class FileChunk:
+    """One chunk inside an mmap'd block chunk file, decoded on demand.
+
+    ``source`` is a :class:`repro.tsdb.persist.block.ChunkFile`; the
+    frame CRC is validated on first decode, then the decoded arrays
+    live in the LRU keyed by ``(file key, frame offset)``.
+    """
+
+    __slots__ = ("source", "offset", "length", "count", "min_time", "max_time")
+
+    def __init__(self, source, offset: int, length: int, count: int,
+                 min_time: float, max_time: float):
+        self.source = source
+        self.offset = offset
+        self.length = length
+        self.count = count
+        self.min_time = min_time
+        self.max_time = max_time
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        key = (self.source.key, self.offset)
+        cached = DECODE_CACHE.get(key)
+        if cached is None:
+            cached = decode_chunk(self.source.payload(self.offset, self.length))
+            DECODE_CACHE.put(key, cached)
+        return cached
+
+
+class TailChunk:
+    """Zero-copy view over already-decoded samples; no cache traffic."""
+
+    __slots__ = ("_ts", "_vs", "count", "min_time", "max_time")
+
+    def __init__(self, ts: np.ndarray, vs: np.ndarray):
+        self._ts = ts
+        self._vs = vs
+        self.count = len(ts)
+        self.min_time = float(ts[0]) if len(ts) else float("inf")
+        self.max_time = float(ts[-1]) if len(ts) else float("-inf")
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._ts, self._vs
+
+
+def _concat(parts: list[tuple[np.ndarray, np.ndarray]]) -> tuple[np.ndarray, np.ndarray]:
+    if not parts:
+        return _EMPTY
+    if len(parts) == 1:
+        return parts[0]
+    return (
+        np.concatenate([p[0] for p in parts]),
+        np.concatenate([p[1] for p in parts]),
+    )
+
+
+class ChunkSeries:
+    """A read-only series assembled from time-ordered chunk handles.
+
+    Implements the read side of the ``Series`` contract over chunks
+    that are decoded on demand: metadata (``count``/``min_time``/
+    ``max_time``) answers pruning questions without touching payload
+    bytes, so a window read over a 30-day series decodes only the
+    chunks overlapping the window.
+
+    Chunks must be non-overlapping and sorted by ``min_time`` —
+    exactly what block writers produce; :meth:`add_chunks` re-sorts so
+    blocks may register in any order.
+    """
+
+    __slots__ = ("labels", "_chunks", "_mins", "_maxs", "_full")
+
+    def __init__(self, labels, chunks: list):
+        self.labels = labels
+        self._chunks = sorted(chunks, key=lambda c: (c.min_time, c.max_time))
+        self._mins = [c.min_time for c in self._chunks]
+        self._maxs = [c.max_time for c in self._chunks]
+        self._full: tuple[np.ndarray, np.ndarray] | None = None
+
+    def add_chunks(self, chunks: list) -> None:
+        self._chunks.extend(chunks)
+        self._chunks.sort(key=lambda c: (c.min_time, c.max_time))
+        self._mins = [c.min_time for c in self._chunks]
+        self._maxs = [c.max_time for c in self._chunks]
+        self._full = None
+
+    # -- list-compat accessors ------------------------------------------
+    @property
+    def timestamps(self) -> list[float]:
+        return self.arrays()[0].tolist()
+
+    @property
+    def values(self) -> list[float]:
+        return self.arrays()[1].tolist()
+
+    # -- reads -----------------------------------------------------------
+    def chunks(self, lo: float = float("-inf"), hi: float = float("inf")) -> list:
+        i, j = self._overlap(lo, hi)
+        return self._chunks[i:j]
+
+    def _overlap(self, lo: float, hi: float) -> tuple[int, int]:
+        """Index range of chunks whose [min,max] intersects [lo, hi]."""
+        # first chunk whose max_time >= lo ... last whose min_time <= hi
+        i = bisect_left(self._maxs, lo)
+        j = bisect_right(self._mins, hi)
+        return i, j
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        full = self._full
+        if full is None:
+            full = _concat([c.arrays() for c in self._chunks])
+            self._full = full
+        return full
+
+    def query_window_arrays(self, lo: float, hi: float) -> tuple[np.ndarray, np.ndarray]:
+        """Samples of the chunks overlapping ``[lo, hi]`` — a
+        contiguous superset of the samples in the window, decoding
+        nothing outside it."""
+        i, j = self._overlap(lo, hi)
+        if i == 0 and j == len(self._chunks):
+            return self.arrays()
+        return _concat([c.arrays() for c in self._chunks[i:j]])
+
+    def window(self, start: float, end: float) -> tuple[np.ndarray, np.ndarray]:
+        ts, vs = self.query_window_arrays(start, end)
+        lo = np.searchsorted(ts, start, side="left")
+        hi = np.searchsorted(ts, end, side="right")
+        return ts[lo:hi], vs[lo:hi]
+
+    def window_half_open(self, start: float, end: float) -> tuple[np.ndarray, np.ndarray]:
+        ts, vs = self.query_window_arrays(start, end)
+        lo = np.searchsorted(ts, start, side="left")
+        hi = np.searchsorted(ts, end, side="left")
+        return ts[lo:hi], vs[lo:hi]
+
+    def at_or_before(self, ts: float, lookback: float) -> tuple[float, float] | None:
+        # Newest chunk that can hold a sample <= ts: min_time <= ts.
+        idx = bisect_right(self._mins, ts) - 1
+        if idx < 0:
+            return None
+        t_arr, v_arr = self._chunks[idx].arrays()
+        i = int(np.searchsorted(t_arr, ts, side="right")) - 1
+        if i < 0:
+            return None  # unreachable given min_time <= ts, kept defensive
+        t = float(t_arr[i])
+        if t <= ts - lookback:
+            return None
+        value = float(v_arr[i])
+        if value != value:  # NaN: stale marker
+            return None
+        return t, value
+
+    @property
+    def nsamples(self) -> int:
+        return sum(c.count for c in self._chunks)
+
+    @property
+    def min_time(self) -> float | None:
+        return self._mins[0] if self._chunks else None
+
+    @property
+    def max_time(self) -> float | None:
+        return max(self._maxs) if self._chunks else None
+
+
+class ChunkIndex:
+    """Chunk-backed series across registered blocks, selectable by matchers.
+
+    The lazy :class:`~repro.thanos.store.ObjectStore` keeps one index
+    per resolution: registering a block contributes its per-series
+    chunk handle lists; dropping a block retracts them.  ``select``
+    assembles (and memoises) :class:`ChunkSeries` spanning every
+    registered block — the memo is wiped whenever the block population
+    changes (``generation`` bump), mirroring the TSDB's series-epoch
+    contract.
+    """
+
+    MEMO_MAX = 256
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._blocks: dict[str, dict] = {}  # ulid -> {Labels: [chunk handles]}
+        #: bumps when blocks register or retract (memo invalidation).
+        self.generation = 0
+        self._memo: dict = {}
+        self._num_series: int | None = None
+
+    def add_block(self, ulid: str, series_chunks) -> None:
+        """Register ``(labels, [chunk handles])`` pairs under ``ulid``."""
+        self._blocks[ulid] = dict(series_chunks)
+        self._bump()
+
+    def remove_block(self, ulid: str) -> bool:
+        removed = self._blocks.pop(ulid, None) is not None
+        if removed:
+            self._bump()
+        return removed
+
+    def _bump(self) -> None:
+        self.generation += 1
+        self._memo.clear()
+        self._num_series = None
+
+    @property
+    def num_series(self) -> int:
+        if self._num_series is None:
+            keys: set = set()
+            for series in self._blocks.values():
+                keys.update(series)
+            self._num_series = len(keys)
+        return self._num_series
+
+    def select(self, matchers) -> list[ChunkSeries]:
+        """Matching series in label order (empty matchers = all)."""
+        key = tuple(matchers)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        merged: dict = {}
+        for series in self._blocks.values():
+            for labels, chunks in series.items():
+                if all(m.matches(labels) for m in key):
+                    merged.setdefault(labels, []).extend(chunks)
+        out = [ChunkSeries(labels, chunks) for labels, chunks in merged.items()]
+        out.sort(key=lambda s: tuple(s.labels))
+        if len(self._memo) >= self.MEMO_MAX:
+            self._memo.clear()
+        self._memo[key] = out
+        return out
+
+    def all_series(self) -> list[ChunkSeries]:
+        return self.select(())
+
+    def label_values(self, label_name: str) -> set[str]:
+        out: set[str] = set()
+        for series in self._blocks.values():
+            for labels in series:
+                value = labels.get(label_name)
+                if value:
+                    out.add(value)
+        return out
+
+
+class MergedSeries:
+    """Lazy last-write-wins merge of a primary over a secondary series.
+
+    The Thanos fan-out overlays the hot head (primary) on store data
+    (secondary).  Reads are window-local: both sides are read through
+    ``query_window_arrays`` and deduplicated only within the requested
+    window, which equals global dedup restricted to the window because
+    equal timestamps land on the same side of any time bound.
+
+    Cached merges are only valid while both sides are unmutated — the
+    owning memo (fan-out select cache) epoch-validates and rebuilds
+    ``MergedSeries`` objects on any mutation.
+    """
+
+    __slots__ = ("labels", "primary", "secondary", "_full")
+
+    def __init__(self, primary, secondary, labels=None):
+        self.labels = labels if labels is not None else primary.labels
+        self.primary = primary
+        self.secondary = secondary
+        self._full: tuple[np.ndarray, np.ndarray] | None = None
+
+    @staticmethod
+    def _merge(p: tuple, s: tuple) -> tuple[np.ndarray, np.ndarray]:
+        p_ts, p_vs = p
+        s_ts, s_vs = s
+        if not len(s_ts):
+            return p_ts, p_vs
+        if not len(p_ts):
+            return s_ts, s_vs
+        keep = ~np.isin(s_ts, p_ts)  # primary wins duplicate timestamps
+        ts = np.concatenate([s_ts[keep], p_ts])
+        vs = np.concatenate([s_vs[keep], p_vs])
+        order = np.argsort(ts, kind="stable")
+        return ts[order], vs[order]
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        full = self._full
+        if full is None:
+            full = self._merge(self.primary.arrays(), self.secondary.arrays())
+            self._full = full
+        return full
+
+    def query_window_arrays(self, lo: float, hi: float) -> tuple[np.ndarray, np.ndarray]:
+        if self._full is not None:
+            return self._full
+        return self._merge(
+            self.primary.query_window_arrays(lo, hi),
+            self.secondary.query_window_arrays(lo, hi),
+        )
+
+    # -- list-compat accessors ------------------------------------------
+    @property
+    def timestamps(self) -> list[float]:
+        return self.arrays()[0].tolist()
+
+    @property
+    def values(self) -> list[float]:
+        return self.arrays()[1].tolist()
+
+    def window(self, start: float, end: float) -> tuple[np.ndarray, np.ndarray]:
+        ts, vs = self.query_window_arrays(start, end)
+        lo = np.searchsorted(ts, start, side="left")
+        hi = np.searchsorted(ts, end, side="right")
+        return ts[lo:hi], vs[lo:hi]
+
+    def window_half_open(self, start: float, end: float) -> tuple[np.ndarray, np.ndarray]:
+        ts, vs = self.query_window_arrays(start, end)
+        lo = np.searchsorted(ts, start, side="left")
+        hi = np.searchsorted(ts, end, side="left")
+        return ts[lo:hi], vs[lo:hi]
+
+    def at_or_before(self, ts: float, lookback: float) -> tuple[float, float] | None:
+        t_arr, v_arr = self.query_window_arrays(ts - lookback, ts)
+        idx = int(np.searchsorted(t_arr, ts, side="right")) - 1
+        if idx < 0:
+            return None
+        t = float(t_arr[idx])
+        if t <= ts - lookback:
+            return None
+        value = float(v_arr[idx])
+        if value != value:  # NaN: stale marker
+            return None
+        return t, value
+
+    @property
+    def nsamples(self) -> int:
+        return len(self.arrays()[0])
+
+    @property
+    def min_time(self) -> float | None:
+        ts = self.arrays()[0]
+        return float(ts[0]) if len(ts) else None
+
+    @property
+    def max_time(self) -> float | None:
+        ts = self.arrays()[0]
+        return float(ts[-1]) if len(ts) else None

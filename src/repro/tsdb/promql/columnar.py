@@ -94,6 +94,23 @@ COLUMNAR_STATS = {
 }
 
 
+def _pruned_arrays(series, lo: float, hi: float) -> tuple[np.ndarray, np.ndarray]:
+    """Columnar read of ``series`` pruned to a superset of ``[lo, hi]``.
+
+    Chunk-backed series (persisted blocks, sealed head segments) serve
+    ``query_window_arrays`` — a contiguous sample run covering the
+    window that decodes only overlapping chunks.  Plain head series
+    fall back to the full cached snapshot, which is already zero-copy.
+    Bit-identity: samples outside the returned superset can neither be
+    selected (every step's window/lookback lies inside ``[lo, hi]``)
+    nor shadow a searchsorted hit within it.
+    """
+    fn = getattr(series, "query_window_arrays", None)
+    if fn is not None:
+        return fn(lo, hi)
+    return series.arrays()
+
+
 @dataclass
 class _Matrix:
     """An instant vector at every step: rows are elements, columns steps."""
@@ -255,9 +272,16 @@ class _ColumnarEval:
                     values[i, 0] = point[1]
                     present[i, 0] = True
         else:
+            # Chunk-granular pruning: only samples in
+            # [first step - lookback, last step] can be selected, and
+            # pruned-out older samples can never shadow the
+            # last-sample-<=-at search (they'd fail the lookback test
+            # anyway), so a contiguous superset read is bit-identical.
+            lo_bound = float(ats[0]) - self.lookback
+            hi_bound = float(ats[-1])
             for i, series in enumerate(series_list):
                 labels.append(series.labels)
-                ts_a, vs_a = series.arrays()
+                ts_a, vs_a = _pruned_arrays(series, lo_bound, hi_bound)
                 if not len(ts_a):
                     continue
                 idx = np.searchsorted(ts_a, ats, side="right") - 1
@@ -293,8 +317,12 @@ class _ColumnarEval:
             starts = ends - node.range_seconds
             rows = []
             touched = 0
+            # Windows only ever span [first start, last end]; chunks
+            # outside that never contribute, so skip decoding them.
+            lo_bound = float(starts[0])
+            hi_bound = float(ends[-1])
             for series in obsquery.tracked_select(self.storage, node.selector.matchers):
-                ts_a, vs_a = series.arrays()
+                ts_a, vs_a = _pruned_arrays(series, lo_bound, hi_bound)
                 if len(vs_a):
                     nan = np.isnan(vs_a)
                     if nan.any():

@@ -2,10 +2,18 @@
 
 Design points, mirroring what matters about Prometheus for this stack:
 
-* **Appends are cheap**: each series keeps two plain Python lists
-  (timestamps, values); no numpy churn on the hot ingest path.  A
-  scrape of 1400 nodes appends tens of thousands of samples per
-  interval, so this is the throughput-critical path (bench E7).
+* **Appends are cheap**: the default :class:`ColumnarSeries` head
+  appends into growable numpy ring buffers (amortised O(1), no numpy
+  scalar boxing on the comparison path); the original list-based
+  :class:`Series` remains selectable (``head_layout="list"``) as a
+  differential-testing reference.  A scrape of 1400 nodes appends
+  tens of thousands of samples per interval, so this is the
+  throughput-critical path (bench E7).
+* **Old head segments seal into Gorilla mini-chunks** — lazily, never
+  on the append path — so :meth:`ColumnarSeries.chunks` serves the
+  same chunk-handle API as persisted blocks (see
+  ``persist/chunkio.py``) and the query engine can evaluate over
+  chunks wherever the samples live.
 * **Selection uses an inverted index**: label name/value → set of
   series ids, intersected across equality matchers before any regex
   work, the same trick Prometheus's head block uses.
@@ -44,6 +52,14 @@ from repro.tsdb.model import METRIC_NAME_LABEL, Labels, Matcher, MatchOp
 #: per-instance bookkeeping would bloat every Series object for a
 #: number only the self-telemetry endpoint reads.
 SNAPSHOT_STATS = {"hits": 0, "builds": 0}
+
+#: Samples per sealed head mini-chunk (Prometheus cuts head chunks at
+#: 120 samples; kept as a local constant so the hot path never imports
+#: the persist package).
+HEAD_SEAL_SAMPLES = 120
+
+#: Valid ``head_layout`` values for :class:`TSDB`.
+HEAD_LAYOUTS = ("columnar", "list")
 
 
 @dataclass
@@ -99,13 +115,11 @@ class Series:
         return snap
 
     def window(self, start: float, end: float) -> tuple[np.ndarray, np.ndarray]:
-        """Samples with ``start <= t <= end`` as numpy arrays."""
-        lo = bisect.bisect_left(self.timestamps, start)
-        hi = bisect.bisect_right(self.timestamps, end)
-        return (
-            np.asarray(self.timestamps[lo:hi], dtype=np.float64),
-            np.asarray(self.values[lo:hi], dtype=np.float64),
-        )
+        """Samples with ``start <= t <= end`` as zero-copy numpy views."""
+        ts, vs = self.arrays()
+        lo = np.searchsorted(ts, start, side="left")
+        hi = np.searchsorted(ts, end, side="right")
+        return ts[lo:hi], vs[lo:hi]
 
     def window_half_open(self, start: float, end: float) -> tuple[np.ndarray, np.ndarray]:
         """Samples with ``start <= t < end`` (block-window semantics).
@@ -114,12 +128,42 @@ class Series:
         cutting ``[lo, hi)`` windows use this instead of shrinking the
         right edge by an epsilon.
         """
-        lo = bisect.bisect_left(self.timestamps, start)
-        hi = bisect.bisect_left(self.timestamps, end)
-        return (
-            np.asarray(self.timestamps[lo:hi], dtype=np.float64),
-            np.asarray(self.values[lo:hi], dtype=np.float64),
-        )
+        ts, vs = self.arrays()
+        lo = np.searchsorted(ts, start, side="left")
+        hi = np.searchsorted(ts, end, side="left")
+        return ts[lo:hi], vs[lo:hi]
+
+    def query_window_arrays(self, lo: float, hi: float) -> tuple[np.ndarray, np.ndarray]:
+        """Pruned columnar read: a contiguous superset of ``[lo, hi]``.
+
+        The head lives in memory, so the whole snapshot *is* the
+        cheapest superset — this method exists so the engine can use
+        one protocol for head series and chunk-backed series (where
+        pruning skips decoding non-overlapping chunks).
+        """
+        return self.arrays()
+
+    def chunks(self, lo: float = float("-inf"), hi: float = float("inf")) -> list:
+        """Chunk handles overlapping ``[lo, hi]`` — unified read API.
+
+        A list-layout series has no sealed chunks; its whole snapshot
+        is served as one zero-copy tail chunk so head and block reads
+        share the decode-on-demand interface.
+        """
+        from repro.tsdb.persist.chunkio import TailChunk
+
+        ts, vs = self.arrays()
+        if not len(ts) or ts[-1] < lo or ts[0] > hi:
+            return []
+        return [TailChunk(ts, vs)]
+
+    def _extend(self, ts_list: list[float], vs_list: list[float]) -> None:
+        """Bulk tail extension; caller guarantees strictly-increasing
+        timestamps landing after the current tail (see
+        :meth:`TSDB.append_array`)."""
+        self.timestamps.extend(ts_list)
+        self.values.extend(vs_list)
+        self._snapshot = None
 
     def at_or_before(self, ts: float, lookback: float) -> tuple[float, float] | None:
         """Most recent sample in ``(ts - lookback, ts]`` (instant read).
@@ -161,6 +205,299 @@ class Series:
         return self.timestamps[-1] if self.timestamps else None
 
 
+class ColumnarSeries:
+    """Columnar head series: samples live in growable numpy buffers.
+
+    Layout::
+
+        _ts/_vs:  [ dead | sealed ........ | unsealed tail ]  | free |
+                    ^_start                                  ^_start+_len
+
+    * The live region is ``_ts[_start : _start + _len]``; retention
+      advances ``_start`` (O(1)) instead of shifting elements.  When
+      the tail runs out of room the buffer compacts in place if at
+      least half of it is dead space, otherwise it doubles — amortised
+      O(1) appends either way.
+    * ``_last`` caches the newest timestamp as the *raw Python value*
+      passed in, so the ordering check on the hot ingest path never
+      reads (and boxes) a numpy scalar.
+    * **Appends are staged.**  Fresh samples land in plain Python
+      lists (``_stage_ts``/``_stage_vs``) — a CPython list append is
+      ~2x cheaper than a numpy scalar store — and :meth:`_flush`
+      moves them into the ring buffers with one vectorised slice
+      assignment on the first read.  Ingest costs exactly what the
+      list head pays; every read path flushes first.
+    * **Sealing is lazy.**  Full :data:`HEAD_SEAL_SAMPLES` segments
+      behind the tail are Gorilla-encoded into immutable mini-chunks
+      only when :meth:`chunks` is called — pure-Python encoding costs
+      ~5µs/sample and must never ride the append path.  The sealed
+      region is always a strict prefix of the live region and never
+      includes the newest sample, so an equal-timestamp overwrite
+      (which rewrites the tail value in place) cannot invalidate a
+      sealed chunk.
+    * :meth:`arrays`/:meth:`window` return zero-copy views of the live
+      region; callers must treat them as read-only snapshots and
+      consume them before the next mutation.
+    """
+
+    __slots__ = (
+        "labels",
+        "ref",
+        "seal_samples",
+        "_ts",
+        "_vs",
+        "_start",
+        "_len",
+        "_last",
+        "_stage_ts",
+        "_stage_vs",
+        "_snapshot",
+        "_chunks",
+        "_sealed_count",
+    )
+
+    MIN_CAPACITY = 64
+
+    def __init__(self, labels: Labels, ref: int = 0, seal_samples: int = HEAD_SEAL_SAMPLES):
+        self.labels = labels
+        self.ref = ref
+        self.seal_samples = seal_samples
+        self._ts = np.empty(self.MIN_CAPACITY, dtype=np.float64)
+        self._vs = np.empty(self.MIN_CAPACITY, dtype=np.float64)
+        self._start = 0
+        self._len = 0
+        self._last: float | None = None
+        # Append staging: fresh samples land in plain Python lists
+        # (a CPython list append beats a numpy scalar store ~2x) and
+        # are flushed into the ring buffers *vectorised* on the first
+        # read.  Ingest therefore costs exactly what the list head
+        # pays, while reads keep columnar snapshots incremental.
+        self._stage_ts: list[float] = []
+        self._stage_vs: list[float] = []
+        self._snapshot: tuple[np.ndarray, np.ndarray] | None = None
+        self._chunks: list = []
+        self._sealed_count = 0
+
+    # -- list-compat accessors (tests, debug dumps, exposition) ----------
+    @property
+    def timestamps(self) -> list[float]:
+        self._flush()
+        return self._ts[self._start : self._start + self._len].tolist()
+
+    @property
+    def values(self) -> list[float]:
+        self._flush()
+        return self._vs[self._start : self._start + self._len].tolist()
+
+    # -- ingest ----------------------------------------------------------
+    def _make_room(self, extra: int) -> int:
+        """Compact or grow so ``extra`` slots follow the live region.
+
+        Returns the new end index of the live region (== ``_len``
+        afterwards, since the region is re-anchored at 0).
+        """
+        n = self._len
+        cap = len(self._ts)
+        if n + extra <= cap // 2:
+            new_cap = cap  # enough dead space: compact within the buffer
+        else:
+            new_cap = max(self.MIN_CAPACITY, cap)
+            while new_cap < (n + extra) * 2:
+                new_cap *= 2
+        ts = np.empty(new_cap, dtype=np.float64)
+        vs = np.empty(new_cap, dtype=np.float64)
+        start = self._start
+        ts[:n] = self._ts[start : start + n]
+        vs[:n] = self._vs[start : start + n]
+        self._ts = ts
+        self._vs = vs
+        self._start = 0
+        self._snapshot = None
+        return n
+
+    def append(self, timestamp: float, value: float) -> None:
+        last = self._last
+        if last is not None:
+            if timestamp < last:
+                raise StorageError(
+                    f"out-of-order sample for {self.labels}: {timestamp} < {last}"
+                )
+            if timestamp == last:
+                # idempotent re-ingest: the tail is the newest staged
+                # sample when any are pending, else the ring tail
+                if self._stage_vs:
+                    self._stage_vs[-1] = value
+                else:
+                    self._vs[self._start + self._len - 1] = value
+                self._snapshot = None
+                return
+        self._stage_ts.append(timestamp)
+        self._stage_vs.append(value)
+        self._last = timestamp
+        self._snapshot = None
+
+    def _extend(self, ts_list: list[float], vs_list: list[float]) -> None:
+        """Bulk tail extension (see :meth:`Series._extend`)."""
+        self._stage_ts.extend(ts_list)
+        self._stage_vs.extend(vs_list)
+        self._last = ts_list[-1]
+        self._snapshot = None
+
+    def _flush(self) -> None:
+        """Move staged samples into the ring buffers, vectorised."""
+        stage = self._stage_ts
+        if not stage:
+            return
+        n = len(stage)
+        end = self._start + self._len
+        if end + n > len(self._ts):
+            end = self._make_room(n)
+        self._ts[end : end + n] = stage
+        self._vs[end : end + n] = self._stage_vs
+        self._len += n
+        stage.clear()
+        self._stage_vs.clear()
+
+    # -- reads -----------------------------------------------------------
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The live region as zero-copy ``(timestamps, values)`` views."""
+        self._flush()
+        snap = self._snapshot
+        if snap is None:
+            SNAPSHOT_STATS["builds"] += 1
+            end = self._start + self._len
+            snap = (self._ts[self._start : end], self._vs[self._start : end])
+            self._snapshot = snap
+        else:
+            SNAPSHOT_STATS["hits"] += 1
+        return snap
+
+    def window(self, start: float, end: float) -> tuple[np.ndarray, np.ndarray]:
+        """Samples with ``start <= t <= end`` as zero-copy numpy views."""
+        ts, vs = self.arrays()
+        lo = np.searchsorted(ts, start, side="left")
+        hi = np.searchsorted(ts, end, side="right")
+        return ts[lo:hi], vs[lo:hi]
+
+    def window_half_open(self, start: float, end: float) -> tuple[np.ndarray, np.ndarray]:
+        """Samples with ``start <= t < end`` (block-window semantics)."""
+        ts, vs = self.arrays()
+        lo = np.searchsorted(ts, start, side="left")
+        hi = np.searchsorted(ts, end, side="left")
+        return ts[lo:hi], vs[lo:hi]
+
+    def query_window_arrays(self, lo: float, hi: float) -> tuple[np.ndarray, np.ndarray]:
+        """Pruned columnar read (see :meth:`Series.query_window_arrays`)."""
+        return self.arrays()
+
+    def at_or_before(self, ts: float, lookback: float) -> tuple[float, float] | None:
+        """Most recent sample in ``(ts - lookback, ts]`` (instant read)."""
+        t_arr, v_arr = self.arrays()
+        idx = int(np.searchsorted(t_arr, ts, side="right")) - 1
+        if idx < 0:
+            return None
+        t = float(t_arr[idx])
+        if t <= ts - lookback:
+            return None
+        value = float(v_arr[idx])
+        if value != value:  # NaN: stale marker
+            return None
+        return t, value
+
+    # -- chunk API -------------------------------------------------------
+    def seal(self) -> int:
+        """Gorilla-encode full segments behind the tail; returns chunks cut.
+
+        Called lazily from :meth:`chunks` — never from the append
+        path.  At least one live sample stays unsealed so tail
+        overwrites can never touch a sealed chunk.
+        """
+        self._flush()
+        if self._sealed_count + self.seal_samples >= self._len:
+            return 0
+        from repro.tsdb.persist.chunk import encode_chunk
+        from repro.tsdb.persist.chunkio import MemChunk
+
+        sealed = 0
+        seal_n = self.seal_samples
+        while self._sealed_count + seal_n < self._len:
+            lo = self._start + self._sealed_count
+            hi = lo + seal_n
+            ts = self._ts[lo:hi]
+            vs = self._vs[lo:hi]
+            self._chunks.append(
+                MemChunk(encode_chunk(ts, vs), seal_n, float(ts[0]), float(ts[-1]))
+            )
+            self._sealed_count += seal_n
+            sealed += 1
+        return sealed
+
+    def chunks(self, lo: float = float("-inf"), hi: float = float("inf")) -> list:
+        """Chunk handles overlapping ``[lo, hi]``: sealed mini-chunks
+        plus one zero-copy tail chunk over the unsealed samples."""
+        from repro.tsdb.persist.chunkio import TailChunk
+
+        self.seal()
+        out = [c for c in self._chunks if c.max_time >= lo and c.min_time <= hi]
+        ts, vs = self.arrays()
+        tail_ts = ts[self._sealed_count :]
+        tail_vs = vs[self._sealed_count :]
+        if len(tail_ts) and tail_ts[-1] >= lo and tail_ts[0] <= hi:
+            out.append(TailChunk(tail_ts, tail_vs))
+        return out
+
+    def _drop_sealed_prefix(self, dropped: int) -> None:
+        """Retire sealed chunks after ``dropped`` oldest samples left."""
+        if not self._sealed_count:
+            return
+        chunks = self._chunks
+        while chunks and dropped and chunks[0].count <= dropped:
+            first = chunks.pop(0)
+            dropped -= first.count
+            self._sealed_count -= first.count
+        if dropped:
+            # The trim cut through a sealed chunk.  The sealed region
+            # must stay a contiguous prefix of the live region, so the
+            # cut chunk and everything after it reseal lazily from the
+            # ring buffer.
+            chunks.clear()
+            self._sealed_count = 0
+
+    # -- maintenance -----------------------------------------------------
+    def truncate_before(self, cutoff: float) -> int:
+        """Drop samples with ``t < cutoff``; returns how many."""
+        self._flush()
+        end = self._start + self._len
+        live = self._ts[self._start : end]
+        lo = int(np.searchsorted(live, cutoff, side="left"))
+        if lo:
+            self._start += lo
+            self._len -= lo
+            if not self._len:
+                self._last = None
+            self._snapshot = None
+            self._drop_sealed_prefix(lo)
+        return lo
+
+    @property
+    def nsamples(self) -> int:
+        return self._len + len(self._stage_ts)
+
+    @property
+    def min_time(self) -> float | None:
+        if self._len:
+            return float(self._ts[self._start])
+        if self._stage_ts:
+            return self._stage_ts[0]
+        return None
+
+    @property
+    def max_time(self) -> float | None:
+        # `_last` is None exactly when the series is empty (appends
+        # set it; the drop paths reset it on emptying).
+        return self._last
+
+
 class TSDB:
     """The time-series database.
 
@@ -172,6 +509,11 @@ class TSDB:
         periodically).  ``0`` disables retention.
     name:
         Instance name, used by the LB and the Thanos fan-out.
+    head_layout:
+        ``"columnar"`` (default) stores samples in numpy ring buffers
+        (:class:`ColumnarSeries`); ``"list"`` keeps the original
+        Python-list :class:`Series` as a differential-testing
+        reference (``--head-layout=list``).
 
     Epoch / cache invalidation contract
     -----------------------------------
@@ -200,9 +542,19 @@ class TSDB:
     #: Upper bound on memoised selector results before wholesale reset.
     SELECT_CACHE_MAX = 512
 
-    def __init__(self, retention: float = 0.0, name: str = "tsdb") -> None:
+    def __init__(
+        self,
+        retention: float = 0.0,
+        name: str = "tsdb",
+        head_layout: str = "columnar",
+    ) -> None:
+        if head_layout not in HEAD_LAYOUTS:
+            raise StorageError(
+                f"unknown head_layout {head_layout!r}; expected one of {HEAD_LAYOUTS}"
+            )
         self.name = name
         self.retention = retention
+        self.head_layout = head_layout
         self._series: dict[Labels, Series] = {}
         # inverted index: (label_name, label_value) -> set of Labels keys
         self._index: dict[tuple[str, str], set[Labels]] = {}
@@ -237,7 +589,10 @@ class TSDB:
                 raise StorageError(f"series without a metric name: {labels!r}")
             ref = self._next_ref
             self._next_ref = ref + 1
-            series = Series(labels=labels, ref=ref)
+            if self.head_layout == "list":
+                series = Series(labels=labels, ref=ref)
+            else:
+                series = ColumnarSeries(labels, ref=ref)
             self._series[labels] = series
             self._series_by_ref[ref] = series
             for pair in labels:
@@ -289,7 +644,7 @@ class TSDB:
         ts_list = [float(t) for t in timestamps]
         vs_list = [float(v) for v in values]
         existing = self._series.get(labels)
-        last = existing.timestamps[-1] if existing is not None and existing.timestamps else None
+        last = existing.max_time if existing is not None else None
         increasing = all(a < b for a, b in zip(ts_list, ts_list[1:]))
         fast_path = increasing and (last is None or ts_list[0] > last)
         if not fast_path:
@@ -305,9 +660,7 @@ class TSDB:
                 run_last = ts
         series = self._get_or_create_series(labels)
         if fast_path:
-            series.timestamps.extend(ts_list)
-            series.values.extend(vs_list)
-            series._snapshot = None
+            series._extend(ts_list, vs_list)
         else:
             for ts, value in zip(ts_list, vs_list):
                 series.append(ts, value)
@@ -376,27 +729,58 @@ class TSDB:
         by_ref = self._series_by_ref
         dead: list[tuple[int, float]] = []
         count = 0
-        for ref, value in pairs:
-            series = by_ref.get(ref)
-            if series is None:
-                dead.append((ref, value))
-                continue
-            timestamps = series.timestamps
-            if timestamps:
-                last = timestamps[-1]
-                if last >= timestamp:
+        if self.head_layout == "list":
+            for ref, value in pairs:
+                series = by_ref.get(ref)
+                if series is None:
+                    dead.append((ref, value))
+                    continue
+                timestamps = series.timestamps
+                if timestamps:
+                    last = timestamps[-1]
+                    if last >= timestamp:
+                        if last > timestamp:
+                            raise StorageError(
+                                f"out-of-order sample for {series.labels}: {timestamp} < {last}"
+                            )
+                        series.values[-1] = value
+                        series._snapshot = None
+                        count += 1
+                        continue
+                timestamps.append(timestamp)
+                series.values.append(value)
+                series._snapshot = None
+                count += 1
+        else:
+            # Columnar twin of the loop above, ColumnarSeries.append
+            # inlined.  `_last` is a cached Python float, so the
+            # ordering check costs one comparison — no numpy scalar
+            # boxing per sample — and fresh samples go to the staging
+            # lists (flushed vectorised on the next read), so the hot
+            # loop never touches a numpy buffer.
+            for ref, value in pairs:
+                series = by_ref.get(ref)
+                if series is None:
+                    dead.append((ref, value))
+                    continue
+                last = series._last
+                if last is not None and last >= timestamp:
                     if last > timestamp:
                         raise StorageError(
                             f"out-of-order sample for {series.labels}: {timestamp} < {last}"
                         )
-                    series.values[-1] = value
+                    if series._stage_vs:
+                        series._stage_vs[-1] = value
+                    else:
+                        series._vs[series._start + series._len - 1] = value
                     series._snapshot = None
                     count += 1
                     continue
-            timestamps.append(timestamp)
-            series.values.append(value)
-            series._snapshot = None
-            count += 1
+                series._stage_ts.append(timestamp)
+                series._stage_vs.append(value)
+                series._last = timestamp
+                series._snapshot = None
+                count += 1
         if count:
             self.samples_ingested += count
             self.data_epoch += 1
@@ -502,7 +886,7 @@ class TSDB:
         empty: list[Labels] = []
         for key, series in self._series.items():
             samples_dropped += series.truncate_before(cutoff)
-            if not series.timestamps:
+            if not series.nsamples:
                 empty.append(key)
         for key in empty:
             self._drop_series(key)
@@ -551,6 +935,24 @@ class TSDB:
         self.series_epoch += 1
         self.data_epoch += 1
         self._select_cache.clear()
+
+    def chunk_series(
+        self,
+        matchers: Sequence[Matcher],
+        lo: float = float("-inf"),
+        hi: float = float("inf"),
+    ):
+        """Yield ``(labels, [chunk handles])`` for matching series.
+
+        The head-side half of the unified chunk-iterator API: the same
+        shape :meth:`repro.tsdb.persist.block.BlockReader.chunk_series`
+        yields for persisted blocks, so query layers can fan out over
+        head and blocks with one code path.
+        """
+        for series in self.select(matchers):
+            handles = series.chunks(lo, hi)
+            if handles:
+                yield series.labels, handles
 
     # -- introspection ----------------------------------------------------
     def cardinality_by_metric(self) -> dict[str, int]:

@@ -27,7 +27,7 @@ import pytest
 
 from repro.common.errors import StorageError
 from repro.common.httpx import Request
-from repro.tsdb.model import Labels, Matcher
+from repro.tsdb.model import Labels, MatchOp, Matcher
 from repro.tsdb.persist import (
     WAL,
     BlockReader,
@@ -573,3 +573,250 @@ class TestConfigWiring:
         from repro.cli import main
 
         assert main(["persist-info", str(tmp_path / "nope")], out=io.StringIO()) == 1
+
+
+class TestHeadLayoutParity:
+    """Columnar ring-buffer head vs list head, driven in lockstep.
+
+    Every mutation the TSDB supports runs against one instance of each
+    ``head_layout``; after each phase the two heads must hold
+    bit-identical ``arrays()`` and answer windows identically.  The
+    WAL test extends the lockstep across a restart: both layouts
+    replay the same journal and must converge on the same state.
+    """
+
+    @staticmethod
+    def _both(**kwargs) -> dict[str, TSDB]:
+        return {hl: TSDB(name=hl, head_layout=hl, **kwargs) for hl in ("list", "columnar")}
+
+    @staticmethod
+    def _assert_identical(dbs):
+        listed = {hl: sorted(db.all_series(), key=lambda s: tuple(s.labels)) for hl, db in dbs.items()}
+        assert len(listed["list"]) == len(listed["columnar"])
+        for a, b in zip(listed["list"], listed["columnar"]):
+            assert a.labels == b.labels
+            assert_bit_identical(*a.arrays(), *b.arrays())
+            for win in ((-1e9, 1e9), (1000.0, 5000.0), (1515.0, 1515.0)):
+                aw, bw = a.window(*win), b.window(*win)
+                assert_bit_identical(aw[0], aw[1], bw[0], bw[1])
+                ah, bh = a.window_half_open(*win), b.window_half_open(*win)
+                assert_bit_identical(ah[0], ah[1], bh[0], bh[1])
+            assert a.at_or_before(4321.0, 300.0) == b.at_or_before(4321.0, 300.0)
+            assert (a.nsamples, a.min_time, a.max_time) == (b.nsamples, b.min_time, b.max_time)
+
+    def test_lockstep_mutation_sequence(self):
+        dbs = self._both()
+        rng = np.random.default_rng(11)
+        labels = [series_labels(i) for i in range(4)]
+        # phase 1: interleaved appends (forces ring growth past 64)
+        for t in range(300):
+            for i, lb in enumerate(labels):
+                v = float(rng.standard_normal()) + i
+                for db in dbs.values():
+                    db.append(lb, 15.0 * t, v)
+        self._assert_identical(dbs)
+        # phase 2: equal-timestamp overwrite of the tail
+        for db in dbs.values():
+            db.append(labels[0], 15.0 * 299, 123.456)
+        self._assert_identical(dbs)
+        # phase 3: out-of-order rejected with the identical message
+        errors = {}
+        for hl, db in dbs.items():
+            with pytest.raises(StorageError) as exc:
+                db.append(labels[0], 10.0, 1.0)
+            errors[hl] = str(exc.value)
+        assert errors["list"] == errors["columnar"]
+        self._assert_identical(dbs)  # failed append mutated nothing
+        # phase 4: bulk append_array + ref-based scrape appends
+        bulk_ts = [15.0 * t for t in range(300, 420)]
+        bulk_vs = [float(v) for v in rng.standard_normal(120)]
+        refs = {}
+        for hl, db in dbs.items():
+            db.append_array(labels[1], bulk_ts, bulk_vs)
+            refs[hl] = [db.get_ref(lb) for lb in labels]
+        for t in range(420, 480):
+            for hl, db in dbs.items():
+                db.append_refs(15.0 * t, [(r, float(t % 17)) for r in refs[hl]])
+        self._assert_identical(dbs)
+        # phase 5: retention trim (cuts through sealed chunks on the
+        # columnar side — seal first so the lazy-reseal path runs)
+        for db in dbs.values():
+            for series in db.all_series():
+                series.chunks()
+            db.retention = 3600.0
+            db.apply_retention(now=15.0 * 480)
+        self._assert_identical(dbs)
+        # phase 6: delete one series
+        for db in dbs.values():
+            db.delete_series([Matcher("idx", MatchOp.EQ, "2")])
+        assert {tuple(s.labels) for s in dbs["list"].all_series()} == {
+            tuple(s.labels) for s in dbs["columnar"].all_series()
+        }
+        self._assert_identical(dbs)
+        assert dbs["list"].num_samples == dbs["columnar"].num_samples
+
+    def test_wal_restart_parity(self, tmp_path):
+        dbs = {
+            hl: PersistentTSDB(str(tmp_path / hl), head_layout=hl)
+            for hl in ("list", "columnar")
+        }
+        for t in range(150):
+            for i in range(3):
+                for db in dbs.values():
+                    db.append(series_labels(i), 30.0 * t, float(i * 1000 + t))
+        for db in dbs.values():
+            db.close()
+        reopened = {
+            hl: PersistentTSDB(str(tmp_path / hl), head_layout=hl)
+            for hl in ("list", "columnar")
+        }
+        self._assert_identical(reopened)
+        assert reopened["columnar"].head_layout == "columnar"
+        # replayed samples landed in ColumnarSeries, not list Series
+        from repro.tsdb.storage import ColumnarSeries
+
+        assert all(isinstance(s, ColumnarSeries) for s in reopened["columnar"].all_series())
+        for db in reopened.values():
+            db.close()
+
+    def test_columnar_chunks_cover_live_region_exactly(self):
+        """Sealed mini-chunks + tail chunk reproduce arrays() bit-for-bit."""
+        from repro.tsdb.persist.chunkio import TailChunk
+
+        db = TSDB(head_layout="columnar")
+        rng = np.random.default_rng(3)
+        for t in range(500):
+            db.append(series_labels(0), 15.0 * t, float(rng.standard_normal()))
+        series = db.all_series()[0]
+        handles = series.chunks()
+        assert len(handles) == 5  # four sealed 120s + one live tail
+        assert isinstance(handles[-1], TailChunk)
+        ts = np.concatenate([h.arrays()[0] for h in handles])
+        vs = np.concatenate([h.arrays()[1] for h in handles])
+        assert_bit_identical(*series.arrays(), ts, vs)
+        # pruning by time returns only overlapping handles
+        pruned = series.chunks(15.0 * 130, 15.0 * 130)
+        assert len(pruned) == 1
+        assert pruned[0].min_time <= 15.0 * 130 <= pruned[0].max_time
+
+
+class TestLazyStore:
+    """Decode-on-demand store: mmap chunk files, LRU, query parity."""
+
+    def _build(self, tmp_path, lazy: bool) -> ObjectStore:
+        hot = TSDB(name="hot")
+        for i in range(3):
+            for t in range(18 * 4):
+                hot.append(series_labels(i), t * 900.0, float(i * 100 + t))
+        store = ObjectStore(persist_dir=str(tmp_path / "store"), lazy_blocks=lazy)
+        Sidecar(hot, store).upload(now=18 * 3600.0)
+        return store
+
+    def test_lazy_requires_persist_dir(self):
+        with pytest.raises(StorageError):
+            ObjectStore(lazy_blocks=True)
+
+    def test_lazy_select_matches_eager(self, tmp_path):
+        eager = self._build(tmp_path / "eager", lazy=False)
+        lazy = self._build(tmp_path / "lazy", lazy=True)
+        all_m = [Matcher("__name__", MatchOp.EQ, "metric")]
+        for matchers in (all_m, [Matcher("idx", MatchOp.EQ, "1")]):
+            e = {s.labels: s for s in eager.select_at("raw", matchers)}
+            l = {s.labels: s for s in lazy.select_at("raw", matchers)}
+            assert set(e) == set(l)
+            for k in e:
+                assert_bit_identical(*e[k].arrays(), *l[k].arrays())
+
+    def test_lazy_reopen_matches_original(self, tmp_path):
+        store = self._build(tmp_path, lazy=True)
+        reloaded = ObjectStore(persist_dir=str(tmp_path / "store"), lazy_blocks=True)
+        orig = {s.labels: s for s in store.select_at("raw", [Matcher("__name__", MatchOp.EQ, "metric")])}
+        got = {s.labels: s for s in reloaded.select_at("raw", [Matcher("__name__", MatchOp.EQ, "metric")])}
+        assert set(orig) == set(got)
+        for k in orig:
+            assert_bit_identical(*orig[k].arrays(), *got[k].arrays())
+        # reloaded lazily: the resolution TSDB holds no samples
+        assert reloaded.tsdb("raw").num_samples == 0
+
+    def test_window_series_matches_eager(self, tmp_path):
+        eager = self._build(tmp_path / "eager", lazy=False)
+        lazy = self._build(tmp_path / "lazy", lazy=True)
+        lo, hi = 4 * 3600.0, 9 * 3600.0
+        e = {k: (ts.tobytes(), vs.tobytes()) for k, ts, vs in eager.window_series("raw", lo, hi)}
+        l = {k: (ts.tobytes(), vs.tobytes()) for k, ts, vs in lazy.window_series("raw", lo, hi)}
+        assert e == l
+
+    def test_pruned_read_decodes_only_overlapping_chunks(self, tmp_path):
+        from repro.tsdb.persist.chunkio import DECODE_CACHE, DECODE_CACHE_STATS
+
+        store = self._build(tmp_path, lazy=True)
+        DECODE_CACHE.clear()
+        before = dict(DECODE_CACHE_STATS)
+        series = {s.labels: s for s in store.select_at("raw", [Matcher("__name__", MatchOp.EQ, "metric")])}
+        target = series[series_labels(0)]
+        ts, vs = target.query_window_arrays(5 * 3600.0, 5.5 * 3600.0)
+        decoded = DECODE_CACHE_STATS["misses"] - before["misses"]
+        # 72 samples/block-window never spans more than 2 mini-chunks
+        assert decoded <= 2
+        lo = np.searchsorted(ts, 5 * 3600.0, side="left")
+        hi = np.searchsorted(ts, 5.5 * 3600.0, side="right")
+        assert ts[lo:hi].size  # the pruned superset covers the window
+        # a repeat read hits the LRU, no fresh decodes
+        before = dict(DECODE_CACHE_STATS)
+        target.query_window_arrays(5 * 3600.0, 5.5 * 3600.0)
+        assert DECODE_CACHE_STATS["misses"] == before["misses"]
+
+    def test_drop_block_unregisters_chunks_and_closes_reader(self, tmp_path):
+        store = self._build(tmp_path, lazy=True)
+        ulid = store.blocks_at("raw")[0].ulid
+        total_before = sum(
+            s.nsamples for s in store.select_at("raw", [Matcher("__name__", MatchOp.EQ, "metric")])
+        )
+        store.drop_block(ulid)
+        assert ulid not in list_block_ulids(str(tmp_path / "store"))
+        total_after = sum(s.nsamples for s in store.select_at("raw", [Matcher("__name__", MatchOp.EQ, "metric")]))
+        assert total_after < total_before
+
+    def test_chunk_file_crc_detected_on_read(self, tmp_path):
+        from repro.tsdb.persist.block import ChunkFile
+
+        store = self._build(tmp_path, lazy=True)
+        ulid = store.blocks_at("raw")[0].ulid
+        block_dir = os.path.join(str(tmp_path / "store"), ulid)
+        chunk_path = os.path.join(block_dir, "chunks", "000001")
+        with open(chunk_path, "r+b") as fh:
+            fh.seek(-1, os.SEEK_END)
+            last = fh.read(1)
+            fh.seek(-1, os.SEEK_END)
+            fh.write(bytes([last[0] ^ 0xFF]))
+        cf = ChunkFile(chunk_path)
+        with pytest.raises(StorageError, match="CRC mismatch"):
+            # the flipped bit lives in the last frame; walk frames to it
+            offset = 0
+            while True:
+                header = cf._mm[offset : offset + 8]
+                if len(header) < 8:
+                    raise AssertionError("corrupt frame not reached")
+                (length,) = struct.unpack_from("<I", header, 0)
+                cf.payload(offset, length)
+                offset += 8 + length
+        cf.close()
+
+    def test_decode_cache_eviction_counter(self, tmp_path):
+        from repro.tsdb.persist.chunkio import (
+            DECODE_CACHE,
+            DECODE_CACHE_STATS,
+            configure_decode_cache,
+        )
+
+        store = self._build(tmp_path, lazy=True)
+        configure_decode_cache(1)
+        try:
+            DECODE_CACHE.clear()
+            before = dict(DECODE_CACHE_STATS)
+            for s in store.select_at("raw", [Matcher("__name__", MatchOp.EQ, "metric")]):
+                s.arrays()
+            assert DECODE_CACHE_STATS["evictions"] > before["evictions"]
+            assert len(DECODE_CACHE._entries) <= 1
+        finally:
+            configure_decode_cache(0)

@@ -100,3 +100,25 @@ def test_delete_series_matchers():
     matchers = delete_series_matchers("1234")
     assert len(matchers) == 1
     assert matchers[0].name == "uuid" and matchers[0].value == "1234"
+
+
+class TestCacheMetricsExposition:
+    def test_snapshot_and_decode_cache_counters_exported(self, api):
+        # prime the snapshot cache so hits > 0 is observable
+        api.app.get("/api/v1/query?query=power&time=150")
+        api.app.get("/api/v1/query?query=power&time=150")
+        body = api.app.get("/metrics").body
+        text = body.decode() if isinstance(body, bytes) else body
+        for name in (
+            "ceems_tsdb_snapshot_cache_hits_total",
+            "ceems_tsdb_snapshot_cache_misses_total",
+            "ceems_tsdb_chunk_decode_cache_hits_total",
+            "ceems_tsdb_chunk_decode_cache_misses_total",
+            "ceems_tsdb_chunk_decode_cache_evictions_total",
+        ):
+            matching = [
+                line for line in text.splitlines()
+                if line.startswith(name + " ") or line.startswith(name + "{")
+            ]
+            assert matching, name
+            assert float(matching[0].rsplit(" ", 1)[1]) >= 0.0

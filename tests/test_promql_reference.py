@@ -42,8 +42,8 @@ _series_strategy = st.dictionaries(
 )
 
 
-def build_db(layout) -> TSDB:
-    db = TSDB()
+def build_db(layout, head_layout: str = "columnar") -> TSDB:
+    db = TSDB(head_layout=head_layout)
     for (group, idx), points in layout.items():
         labels = Labels({"__name__": "m", "grp": group, "idx": idx})
         dedup = sorted({t: v for t, v in points}.items())
@@ -377,3 +377,108 @@ def test_columnar_many_to_many_error_identical():
     engine = PromQLEngine(db)
     assert_range_identical(engine, "n * on(grp) m", 0.0, 60.0, 15.0)
     assert_instant_identical(engine, "n * on(grp) m", 30.0)
+
+
+# ---------------------------------------------------------------------------
+# Differential harness: columnar head layout vs list head layout.
+# ---------------------------------------------------------------------------
+#
+# The ring-buffer head (``head_layout="columnar"``) must be
+# *observationally identical* to the original list-backed head: same
+# PromQL answers, bit for bit, under both evaluation strategies.  The
+# hypothesis sweep feeds the same random layout (staleness markers
+# included) into one TSDB of each layout and compares engine output
+# across layouts; a deterministic test then stresses the paths the
+# small random layouts cannot reach — buffer growth, tail overwrite
+# after sealing, retention trims that cut through sealed chunks.
+
+
+def _range_outcome(engine, query, start, end, step, strategy):
+    try:
+        return engine.query_range(query, start, end, step, strategy=strategy)
+    except Exception as exc:  # noqa: BLE001 - recorded for comparison
+        return (type(exc), str(exc))
+
+
+def assert_layouts_identical(engines, query, start, end, step):
+    """Engine output over a list-head and a columnar-head TSDB match."""
+    for strategy in ("columnar", "per_step"):
+        ref = _range_outcome(engines["list"], query, start, end, step, strategy)
+        got = _range_outcome(engines["columnar"], query, start, end, step, strategy)
+        if isinstance(ref, tuple) or isinstance(got, tuple):
+            assert ref == got, f"{query} [{strategy}]: {ref!r} vs {got!r}"
+            continue
+        assert set(ref.series) == set(got.series), f"{query} [{strategy}]"
+        for labels in ref.series:
+            ref_ts, ref_vs = ref.series[labels]
+            got_ts, got_vs = got.series[labels]
+            assert ref_ts.tobytes() == got_ts.tobytes(), f"{query} [{strategy}]: {labels}"
+            assert ref_vs.tobytes() == got_vs.tobytes(), f"{query} [{strategy}]: {labels}"
+
+
+#: A representative slice of DIFFERENTIAL_QUERIES — the full list runs
+#: in the strategy differential above; the layout differential only
+#: needs one query per selector/kernel shape the head serves.
+LAYOUT_QUERIES = [
+    "m",
+    'm{grp=~"a|b", idx!="3"}',
+    "m offset 45",
+    "rate(m[4m])",
+    "avg_over_time(m[4m])",
+    "quantile_over_time(0.9, m[5m])",
+    "sum by (grp) (m)",
+    "topk(2, m)",
+    "m + on(grp, idx) m",
+    "avg_over_time(sum by (grp) (m)[5m:90s])",
+]
+
+
+@pytest.mark.parametrize("query", LAYOUT_QUERIES)
+@settings(max_examples=8, deadline=None)
+@given(
+    layout=_stale_series_strategy,
+    start=st.integers(min_value=-100, max_value=500),
+    span=st.integers(min_value=60, max_value=1800),
+    step=st.sampled_from([7.3, 15.0, 61.7, 290.0]),
+)
+def test_head_layouts_identical(query, layout, start, span, step):
+    engines = {
+        hl: PromQLEngine(build_db(layout, head_layout=hl)) for hl in ("list", "columnar")
+    }
+    assert_layouts_identical(engines, query, float(start), float(start + span), step)
+
+
+def test_head_layouts_identical_dense_with_seal_and_trim():
+    """Deterministic stress: growth, sealing, tail overwrite, trims.
+
+    800 samples/series forces several ring-buffer doublings and (after
+    an explicit ``chunks()`` call) six sealed 120-sample mini-chunks;
+    retention trims land once on a chunk boundary and once mid-chunk,
+    exercising the lazy-reseal path.  The list head sees the exact
+    same mutations and every engine answer must stay bit-identical.
+    """
+    dbs = {hl: TSDB(head_layout=hl) for hl in ("list", "columnar")}
+    rng = np.random.default_rng(7)
+    all_labels = [
+        Labels({"__name__": "m", "grp": g, "idx": str(i)})
+        for g in ("a", "b")
+        for i in range(3)
+    ]
+    for labels in all_labels:
+        vs = rng.normal(100.0, 25.0, size=800)
+        for k in range(800):
+            for db in dbs.values():
+                db.append(labels, 15.0 * k, float(vs[k]))
+    # Tail overwrite (idempotent re-ingest) after sealing mini-chunks.
+    for db in dbs.values():
+        for series in db.all_series():
+            series.chunks()  # seal full segments on the columnar head
+        db.append(all_labels[0], 15.0 * 799, -1.0)
+    # Trim exactly on a 120-sample chunk boundary, then mid-chunk.
+    for db in dbs.values():
+        for series in db.all_series():
+            series.truncate_before(15.0 * 240)
+            series.truncate_before(15.0 * 250)
+    engines = {hl: PromQLEngine(db) for hl, db in dbs.items()}
+    for query in LAYOUT_QUERIES:
+        assert_layouts_identical(engines, query, 3000.0, 12000.0, 61.7)
