@@ -51,6 +51,9 @@ def _build_sim(args: argparse.Namespace) -> StackSimulation:
             head_layout=getattr(args, "head_layout", "columnar"),
             lazy_blocks=getattr(args, "lazy_blocks", False),
             decode_cache_chunks=getattr(args, "decode_cache_chunks", 0),
+            alert_interval=getattr(args, "alert_interval", 60.0),
+            probe_interval=getattr(args, "probe_interval", 60.0),
+            notify_log=getattr(args, "notify_log", ""),
         ),
     )
 
@@ -139,21 +142,58 @@ def cmd_dashboards(args: argparse.Namespace, out=sys.stdout) -> int:
     return 0
 
 
+#: Default location of the checked-in rules artifact (relative to the
+#: repo root; ``export-rules --check`` compares against it).
+DEFAULT_RULES_PATH = "etc/prometheus-rules.yml"
+
+
+def generate_rules_text() -> str:
+    """The canonical Prometheus rules file: Eq. (1) recording groups,
+    SLO burn-rate series, the CEEMS alert pack and SLO burn alerts."""
+    from repro.energy import standard_rule_groups
+    from repro.energy.export import alerting_rules_to_dict, rules_file
+    from repro.obs.slo import slo_alert_group, slo_recording_group, standard_slos
+    from repro.tsdb.alerts import ceems_alert_rules
+
+    slos = standard_slos()
+    slo_alerts = slo_alert_group(slos)
+    return rules_file(
+        standard_rule_groups() + [slo_recording_group(slos)],
+        alert_groups=[
+            alerting_rules_to_dict("ceems-alerts", ceems_alert_rules()),
+            alerting_rules_to_dict(
+                slo_alerts.name, slo_alerts.rules, interval=slo_alerts.interval
+            ),
+        ],
+    )
+
+
 def cmd_export_rules(args: argparse.Namespace, out=sys.stdout) -> int:
     """Write the recording+alerting rules as a Prometheus rules file.
 
     The artifact the paper points to ("example recording rules … in
     the etc/prometheus folder"), generated from the executable rule
-    library so it cannot drift.
+    library so it cannot drift.  ``--check`` compares the generated
+    text against the checked-in file and exits 1 on drift (CI guard).
     """
-    from repro.energy import standard_rule_groups
-    from repro.energy.export import alerting_rules_to_dict, rules_file
-    from repro.tsdb.alerts import ceems_alert_rules
-
-    text = rules_file(
-        standard_rule_groups(),
-        alert_groups=[alerting_rules_to_dict("ceems-alerts", ceems_alert_rules())],
-    )
+    text = generate_rules_text()
+    if getattr(args, "check", False):
+        path = args.output or DEFAULT_RULES_PATH
+        try:
+            with open(path, encoding="utf-8") as fh:
+                on_disk = fh.read()
+        except OSError as exc:
+            print(f"cannot read {path}: {exc}", file=out)
+            return 1
+        if on_disk != text:
+            print(
+                f"{path} has drifted from the rule library; "
+                "regenerate with: repro export-rules --output " + path,
+                file=out,
+            )
+            return 1
+        print(f"{path} matches the rule library", file=out)
+        return 0
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(text)
@@ -302,6 +342,26 @@ def build_parser() -> argparse.ArgumentParser:
             dest="decode_cache_chunks",
             help="decoded-chunk LRU capacity in chunks (0 keeps the default 4096)",
         )
+        p.add_argument(
+            "--alert-interval",
+            type=float,
+            default=60.0,
+            dest="alert_interval",
+            help="alerting rule evaluation cadence in seconds",
+        )
+        p.add_argument(
+            "--probe-interval",
+            type=float,
+            default=60.0,
+            dest="probe_interval",
+            help="blackbox prober cadence in seconds (<=0 disables probing)",
+        )
+        p.add_argument(
+            "--notify-log",
+            default="",
+            dest="notify_log",
+            help="JSONL file receiving grouped Alertmanager notifications",
+        )
 
     p_sim = sub.add_parser("simulate", help="run a deployment and print the operator report")
     add_sim_args(p_sim)
@@ -318,6 +378,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rules = sub.add_parser("export-rules", help="export the Prometheus rules file")
     p_rules.add_argument("--output", default="", help="file path (default: stdout)")
+    p_rules.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit 1 if the file (--output or {DEFAULT_RULES_PATH}) "
+        "has drifted from the rule library",
+    )
     p_rules.set_defaults(func=cmd_export_rules)
 
     p_cfg = sub.add_parser("validate-config", help="validate a stack YAML config")

@@ -53,7 +53,7 @@ from repro.resourcemgr.workload import WorkloadGenerator, WorkloadMix
 from repro.thanos import Compactor, FanoutStorage, ObjectStore, Sidecar
 from repro.tsdb.http import PromAPI
 from repro.tsdb.promql.engine import PromQLEngine
-from repro.tsdb.rules import RuleManager
+from repro.tsdb.rules import RuleEvaluator
 from repro.tsdb.scrape import ScrapeConfig, ScrapeManager, ScrapeTarget
 from repro.tsdb.storage import TSDB
 
@@ -120,6 +120,16 @@ class SimulationConfig:
     #: Decoded-chunk LRU capacity in chunks (``--decode-cache-chunks``);
     #: <=0 keeps the default.
     decode_cache_chunks: int = 0
+    #: Alerting rule evaluation cadence (``--alert-interval``).
+    alert_interval: float = 60.0
+    #: Blackbox prober cadence (``--probe-interval``); <=0 disables.
+    probe_interval: float = 60.0
+    #: JSONL sink for grouped Alertmanager notifications
+    #: (``--notify-log``; "" keeps the in-memory log only).
+    notify_log: str = ""
+    #: Run the alerting control plane (rule evaluator alert groups,
+    #: Alertmanager, SLO burn-rate rules).
+    with_alerting: bool = True
 
     @classmethod
     def from_stack_config(cls, stack, **overrides) -> "SimulationConfig":
@@ -267,7 +277,11 @@ class StackSimulation:
             telemetry=Telemetry("scrape-manager"),
         )
         self.scrape_manager.add_targets(exporter_targets)
-        self.rule_manager = RuleManager(self.hot_tsdb, lookback=self.lookback)
+        # The rule evaluator runs recording AND alerting groups on the
+        # sim clock; ``rule_manager`` stays as the historical name.
+        self.rule_manager = self.rule_evaluator = RuleEvaluator(
+            self.hot_tsdb, lookback=self.lookback
+        )
         seen_rule_groups = set()
         for group in topology:
             if group.nodegroup in seen_rule_groups:
@@ -277,6 +291,47 @@ class StackSimulation:
                 rules_for_group(group.rule_group(), cfg.rule_interval, self.rate_window)
             )
         self.rule_manager.add_group(emissions_rules(cfg.rule_interval))
+
+        # -- alerting control plane -------------------------------------------
+        self.alertmanager = None
+        self.slos = []
+        if cfg.with_alerting:
+            from repro.obs.alertmanager import Alertmanager, InhibitRule, JSONLReceiver
+            from repro.obs.slo import slo_alert_group, slo_recording_group, standard_slos
+            from repro.tsdb.alerts import AlertingRuleGroup, ceems_alert_rules
+
+            self.rule_evaluator.add_alert_group(
+                AlertingRuleGroup(
+                    name="ceems-alerts",
+                    interval=cfg.alert_interval,
+                    rules=ceems_alert_rules(),
+                )
+            )
+            if cfg.meta_monitoring:
+                # SLOs read the self-telemetry request histograms, which
+                # only exist when the stack scrapes itself.
+                self.slos = standard_slos()
+                self.rule_evaluator.add_group(
+                    slo_recording_group(self.slos, interval=cfg.rule_interval)
+                )
+                self.rule_evaluator.add_alert_group(
+                    slo_alert_group(self.slos, interval=cfg.alert_interval)
+                )
+            self.alertmanager = Alertmanager(
+                self.clock,
+                inhibit_rules=[
+                    # a dead target inhibits per-collector noise from
+                    # the same instance
+                    InhibitRule(
+                        source_match={"alertname": "CEEMSTargetDown"},
+                        target_match={"alertname": "CEEMSCollectorFailed"},
+                        equal=("instance",),
+                    )
+                ],
+            )
+            if cfg.notify_log:
+                self.alertmanager.receivers["default"] = JSONLReceiver(cfg.notify_log)
+            self.rule_evaluator.notifier = self.alertmanager.receive
 
         # -- Thanos ------------------------------------------------------------
         self.object_store = ObjectStore(
@@ -338,6 +393,8 @@ class StackSimulation:
                     else ""
                 ),
                 max_concurrent_queries=cfg.max_concurrent_queries,
+                rules=self.rule_evaluator,
+                alertmanager=self.alertmanager,
             )
             for i in range(cfg.n_prom_backends)
         ]
@@ -345,6 +402,8 @@ class StackSimulation:
             # Scrape-loop totals ride on each Prometheus endpoint's
             # /metrics (each PromAPI has its own registry).
             self.scrape_manager.register_metrics(api.app.telemetry.registry)
+            # Alert state (pending/firing gauges) is itself scraped.
+            self.rule_evaluator.register_metrics(api.app.telemetry.registry)
             if cfg.persist_dir:
                 # WAL fsync/replay counters and block bytes/compression
                 # gauges surface wherever Prometheus self-scrapes.
@@ -370,7 +429,43 @@ class StackSimulation:
                 ScrapeTarget(app=api.app, instance=f"prom-{i}:9090", job="prometheus")
                 for i, api in enumerate(self.prom_apis)
             )
+            if self.alertmanager is not None:
+                meta_targets.append(
+                    ScrapeTarget(
+                        app=self.alertmanager.app,
+                        instance="alertmanager:9093",
+                        job="alertmanager",
+                    )
+                )
             self.scrape_manager.add_targets(meta_targets)
+
+        # -- blackbox probing --------------------------------------------------
+        # Synthetic outside-in checks: meta-monitoring proves a
+        # component renders telemetry, the prober proves it answers.
+        self.prober = None
+        if cfg.probe_interval > 0:
+            from repro.obs.probe import BlackboxProber, ProbeTarget
+
+            self.prober = BlackboxProber(self.hot_tsdb, interval=cfg.probe_interval)
+            self.prober.add_target(
+                ProbeTarget(app=self.lb.app, instance="lb:9030", path="/-/ready")
+            )
+            self.prober.add_target(
+                ProbeTarget(app=self.api_server.app, instance="api:9040", path="/-/healthy")
+            )
+            for i, api in enumerate(self.prom_apis):
+                self.prober.add_target(
+                    ProbeTarget(app=api.app, instance=f"prom-{i}:9090", path="/-/healthy")
+                )
+            for target in exporter_targets:
+                # CEEMS exporters ship a cheap /health; DCGM and the
+                # emissions exporter only expose /metrics.
+                path = "/health" if target.job == "ceems" else "/metrics"
+                self.prober.add_target(
+                    ProbeTarget(app=target.app, instance=target.instance, path=path)
+                )
+            for api in self.prom_apis:
+                self.prober.register_metrics(api.app.telemetry.registry)
 
         self._register_timers()
 
@@ -385,6 +480,10 @@ class StackSimulation:
         self.clock.every(cfg.slurm_step, self.slurm.step)
         self.scrape_manager.register_timer(self.clock)
         self.rule_manager.register_timers(self.clock)
+        if self.prober is not None:
+            self.prober.register_timer(self.clock)
+        if self.alertmanager is not None:
+            self.alertmanager.register_timer(self.clock)
         self.sidecar.register_timer(self.clock, cfg.sidecar_interval)
         self.compactor.register_timer(self.clock, cfg.compactor_interval)
         self.updater.register_timer(self.clock)

@@ -206,9 +206,88 @@ def fig2c_dashboard_json() -> dict[str, Any]:
     return _dashboard("ceems-fig2c", "CEEMS / Job detail", panels, [_user_variable(), job_variable], "now-24h")
 
 
+def ops_alerting_dashboard_json() -> dict[str, Any]:
+    """The meta-monitoring dashboard: alert state, probe status,
+    silences and SLO error-budget burn — the operator's view of the
+    stack watching itself."""
+    panels = [
+        _stat_panel(1, "Firing alerts", "sum(ceems_alerts_firing)", "none", 0, 0),
+        _stat_panel(2, "Pending alerts", "sum(ceems_alerts_pending)", "none", 4, 0),
+        _stat_panel(
+            3,
+            "Notifications sent",
+            'sum(ceems_alert_notifications_total{job="alertmanager"})',
+            "none",
+            8,
+            0,
+        ),
+        _stat_panel(
+            4,
+            "Active silences",
+            'sum(ceems_am_silences_active{job="alertmanager"})',
+            "none",
+            12,
+            0,
+        ),
+        _stat_panel(5, "Failed probes", "count(probe_success == 0)", "none", 16, 0),
+        _timeseries_panel(
+            6,
+            "Alert state",
+            [("{{alertname}} ({{alertstate}})", "sum by (alertname, alertstate) (ALERTS)")],
+            "none",
+            4,
+        ),
+        _timeseries_panel(
+            7,
+            "Probe success by target",
+            [("{{instance}}", "min by (instance) (probe_success)")],
+            "none",
+            12,
+        ),
+        _timeseries_panel(
+            8,
+            "Probe duration",
+            [("{{instance}}", "max by (instance) (probe_duration_seconds)")],
+            "s",
+            20,
+        ),
+        _timeseries_panel(
+            9,
+            "SLO error-budget remaining",
+            [("{{slo}}", "slo:lb_availability:error_budget_remaining or slo:lb_latency:error_budget_remaining")],
+            "percentunit",
+            28,
+        ),
+        _timeseries_panel(
+            10,
+            "SLO burn rate (fast windows)",
+            [
+                (
+                    "{{slo}} 5m",
+                    'slo:lb_availability:error_ratio_rate5m or slo:lb_latency:error_ratio_rate5m',
+                )
+            ],
+            "percentunit",
+            36,
+        ),
+    ]
+    return _dashboard(
+        "ceems-ops-alerting",
+        "CEEMS / Ops: alerting & probes",
+        panels,
+        [_user_variable()],
+        "now-6h",
+    )
+
+
 def all_dashboards() -> dict[str, dict[str, Any]]:
     """uid -> dashboard JSON for every shipped dashboard."""
-    dashboards = [fig2a_dashboard_json(), fig2b_dashboard_json(), fig2c_dashboard_json()]
+    dashboards = [
+        fig2a_dashboard_json(),
+        fig2b_dashboard_json(),
+        fig2c_dashboard_json(),
+        ops_alerting_dashboard_json(),
+    ]
     return {d["uid"]: d for d in dashboards}
 
 

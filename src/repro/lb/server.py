@@ -72,10 +72,20 @@ class LoadBalancer:
         self.app.router.add("POST", "/{rest}", self._proxy)
         # Router patterns match single segments; register the API paths
         # explicitly so nested paths route too.
-        for path in ("/api/v1/query", "/api/v1/query_range", "/api/v1/series", "/-/healthy"):
+        for path in (
+            "/api/v1/query",
+            "/api/v1/query_range",
+            "/api/v1/series",
+            "/api/v1/rules",
+            "/api/v1/alerts",
+            "/api/v1/silences",
+            "/-/healthy",
+        ):
             self.app.router.get(path, self._proxy)
             self.app.router.post(path, self._proxy)
         self.app.router.get("/api/v1/label/{name}/values", self._proxy)
+        self.app.router.get("/api/v1/silence/{id}", self._proxy)
+        self.app.router.delete("/api/v1/silence/{id}", self._proxy)
         self.requests_proxied = 0
         self.requests_denied = 0
         self.longterm_routed = 0

@@ -1,0 +1,584 @@
+"""A production-semantics Alertmanager for the simulated stack.
+
+The CEEMS deployment pairs Prometheus with Alertmanager: alerting
+rules fire in Prometheus, and Alertmanager turns raw alert streams
+into *notifications* an operator can live with.  This module
+implements the Alertmanager core on the sim clock:
+
+* **routing tree** (:class:`Route`) — label matchers select a
+  receiver; child routes refine the parent, ``continue`` lets one
+  alert notify several receivers;
+* **grouping** — alerts sharing a route's ``group_by`` labels are
+  batched into one notification, throttled by ``group_wait`` (first
+  notification), ``group_interval`` (updates) and ``repeat_interval``
+  (unchanged re-notification);
+* **silences** (:class:`Silence`) — matcher sets with a TTL that
+  suppress matching alerts without resolving them;
+* **inhibition** (:class:`InhibitRule`) — an active source alert
+  suppresses target alerts that agree on the ``equal`` labels (e.g.
+  a firing ``CEEMSTargetDown`` inhibits per-collector noise for the
+  same instance);
+* **receivers** — named callables; :class:`JSONLReceiver` appends
+  one JSON object per notification, which is what the integration
+  tests assert against;
+* a bounded **notification log** for ``/api/v1/*`` introspection.
+
+The Alertmanager owns an :class:`~repro.common.httpx.App` so it can
+be meta-scraped (``job="alertmanager"``) and serve the
+``/api/v1/alerts``, ``/api/v1/silences`` and ``/api/v1/silence/{id}``
+endpoints the LB proxies to Prometheus backends.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import re
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.common.httpx import App, Request, Response
+from repro.tsdb.alerts import AlertInstance, AlertState
+from repro.tsdb.model import Labels
+
+__all__ = [
+    "Alertmanager",
+    "InhibitRule",
+    "JSONLReceiver",
+    "Notification",
+    "Route",
+    "Silence",
+]
+
+
+def _full_match(pattern: str, value: str) -> bool:
+    return re.fullmatch(pattern, value) is not None
+
+
+@dataclass
+class Route:
+    """One node of the Alertmanager routing tree.
+
+    The root route matches everything; child routes narrow by label
+    matchers.  Routing walks depth-first: the first matching child
+    wins unless it sets ``continue_`` (Alertmanager's ``continue``),
+    in which case later siblings are also tried.
+    """
+
+    receiver: str = "default"
+    match: dict[str, str] = field(default_factory=dict)
+    match_re: dict[str, str] = field(default_factory=dict)
+    group_by: tuple[str, ...] = ("alertname",)
+    group_wait: float = 30.0
+    group_interval: float = 300.0
+    repeat_interval: float = 4 * 3600.0
+    continue_: bool = False
+    routes: list["Route"] = field(default_factory=list)
+
+    def matches(self, labels: Labels) -> bool:
+        for name, value in self.match.items():
+            if labels.get(name) != value:
+                return False
+        for name, pattern in self.match_re.items():
+            if not _full_match(pattern, labels.get(name) or ""):
+                return False
+        return True
+
+    def route(self, labels: Labels) -> list["Route"]:
+        """All routes this label set lands on (usually exactly one)."""
+        matched: list[Route] = []
+        for child in self.routes:
+            if not child.matches(labels):
+                continue
+            matched.extend(child.route(labels))
+            if not child.continue_:
+                return matched
+        return matched or [self]
+
+
+@dataclass
+class Silence:
+    """A matcher set that suppresses alerts until ``ends_at``."""
+
+    id: str
+    matchers: list[dict]  # {"name": ..., "value": ..., "isRegex": bool}
+    starts_at: float
+    ends_at: float
+    created_by: str = ""
+    comment: str = ""
+
+    def state(self, now: float) -> str:
+        if now < self.starts_at:
+            return "pending"
+        if now >= self.ends_at:
+            return "expired"
+        return "active"
+
+    def matches(self, labels: Labels) -> bool:
+        for m in self.matchers:
+            value = labels.get(m["name"]) or ""
+            if m.get("isRegex"):
+                if not _full_match(m["value"], value):
+                    return False
+            elif value != m["value"]:
+                return False
+        return True
+
+    def to_dict(self, now: float) -> dict:
+        return {
+            "id": self.id,
+            "matchers": list(self.matchers),
+            "startsAt": self.starts_at,
+            "endsAt": self.ends_at,
+            "createdBy": self.created_by,
+            "comment": self.comment,
+            "status": {"state": self.state(now)},
+        }
+
+
+@dataclass
+class InhibitRule:
+    """Suppress target alerts while a matching source alert fires."""
+
+    source_match: dict[str, str] = field(default_factory=dict)
+    target_match: dict[str, str] = field(default_factory=dict)
+    equal: tuple[str, ...] = ()
+
+    def _matches(self, spec: dict[str, str], labels: Labels) -> bool:
+        return all(labels.get(name) == value for name, value in spec.items())
+
+    def source_matches(self, labels: Labels) -> bool:
+        return self._matches(self.source_match, labels)
+
+    def target_matches(self, labels: Labels) -> bool:
+        return self._matches(self.target_match, labels)
+
+
+@dataclass
+class Notification:
+    """One grouped notification dispatched to a receiver."""
+
+    receiver: str
+    status: str  # "firing" | "resolved"
+    group_labels: dict[str, str]
+    alerts: list[dict]
+    sent_at: float
+
+    def to_dict(self) -> dict:
+        return {
+            "receiver": self.receiver,
+            "status": self.status,
+            "groupLabels": self.group_labels,
+            "alerts": self.alerts,
+            "sentAt": self.sent_at,
+        }
+
+
+class JSONLReceiver:
+    """Webhook stand-in: append one JSON object per notification."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.sent = 0
+
+    def __call__(self, notification: Notification) -> None:
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(notification.to_dict(), sort_keys=True) + "\n")
+        self.sent += 1
+
+
+class _Group:
+    """Mutable state of one (route, group-key) aggregation group."""
+
+    def __init__(self, route: Route, group_labels: dict[str, str]) -> None:
+        self.route = route
+        self.group_labels = group_labels
+        #: fingerprint -> most recent AlertInstance (firing or resolved)
+        self.alerts: dict[tuple, AlertInstance] = {}
+        self.flush_due: float | None = None
+        self.last_flush: float | None = None
+        self.last_notified_at: float | None = None
+        self.last_notified_hash: tuple | None = None
+
+
+def _fingerprint(alert: AlertInstance) -> tuple:
+    return (alert.name, alert.labels)
+
+
+class Alertmanager:
+    """Routing, grouping, silencing and inhibition on the sim clock."""
+
+    def __init__(
+        self,
+        clock=None,
+        *,
+        route: Route | None = None,
+        inhibit_rules: list[InhibitRule] | None = None,
+        notification_log_size: int = 1000,
+        tick_interval: float = 15.0,
+        name: str = "alertmanager",
+    ) -> None:
+        self.clock = clock
+        self.route = route or Route()
+        self.inhibit_rules = inhibit_rules or []
+        self.tick_interval = tick_interval
+        self.receivers: dict[str, Callable[[Notification], None]] = {}
+        self.notification_log: deque[Notification] = deque(maxlen=notification_log_size)
+        self.notifications_total = 0
+        self.silences: dict[str, Silence] = {}
+        self._silence_ids = itertools.count(1)
+        #: fingerprint -> currently-firing alert (the AM's world view)
+        self._active: dict[tuple, AlertInstance] = {}
+        self._groups: dict[tuple, _Group] = {}
+        self._now = 0.0
+
+        self.app = App(name)
+        self.app.expose_telemetry()
+        self._register_metrics(self.app.telemetry.registry)
+        r = self.app.router
+        r.get("/-/healthy", lambda req: Response.text("ok"))
+        r.get("/api/v1/alerts", self._serve_alerts)
+        r.post("/api/v1/alerts", self._serve_post_alerts)
+        r.get("/api/v1/silences", self._serve_silences)
+        r.post("/api/v1/silences", self._serve_post_silence)
+        r.get("/api/v1/silence/{id}", self._serve_get_silence)
+        r.delete("/api/v1/silence/{id}", self._serve_delete_silence)
+        r.get("/api/v1/status", self._serve_status)
+
+    # -- ingest -------------------------------------------------------
+
+    def receive(self, transitions: list[AlertInstance], now: float) -> None:
+        """Accept alert state transitions from the rule evaluator."""
+        self._now = max(self._now, now)
+        for alert in transitions:
+            # Alertmanager semantics treat the alert name as the
+            # ``alertname`` label — routing, grouping, silences and
+            # inhibition all match on it.
+            if alert.labels.get("alertname") != alert.name:
+                alert = replace(alert, labels=alert.labels.merge({"alertname": alert.name}))
+            fp = _fingerprint(alert)
+            if alert.state is AlertState.FIRING:
+                self._active[fp] = alert
+            elif alert.state is AlertState.RESOLVED:
+                self._active.pop(fp, None)
+            else:
+                continue  # pending alerts never reach Alertmanager
+            for route in self.route.route(alert.labels):
+                key_labels = {
+                    name: alert.labels.get(name) or "" for name in route.group_by
+                }
+                key = (id(route), tuple(sorted(key_labels.items())))
+                group = self._groups.get(key)
+                if group is None:
+                    group = self._groups[key] = _Group(route, key_labels)
+                group.alerts[fp] = alert
+                self._schedule_flush(group, now)
+
+    def _schedule_flush(self, group: _Group, now: float) -> None:
+        if group.flush_due is not None:
+            return
+        if group.last_flush is None:
+            group.flush_due = now + group.route.group_wait
+        else:
+            group.flush_due = max(now, group.last_flush + group.route.group_interval)
+
+    # -- flush loop ---------------------------------------------------
+
+    def tick(self, now: float) -> None:
+        """Flush every group whose wait elapsed (clock-driven)."""
+        self._now = max(self._now, now)
+        for key in list(self._groups):
+            group = self._groups[key]
+            if group.flush_due is None or group.flush_due > now:
+                continue
+            self._flush(group, now)
+            if not group.alerts:
+                del self._groups[key]
+
+    def _flush(self, group: _Group, now: float) -> None:
+        group.last_flush = now
+        group.flush_due = None
+        sendable = [
+            alert
+            for alert in group.alerts.values()
+            if not self._suppressed(alert.labels, now)
+        ]
+        if sendable:
+            content_hash = tuple(
+                sorted((a.name, str(a.labels), a.state.value) for a in sendable)
+            )
+            changed = content_hash != group.last_notified_hash
+            repeat_elapsed = (
+                group.last_notified_at is not None
+                and now - group.last_notified_at >= group.route.repeat_interval
+            )
+            if changed or repeat_elapsed or group.last_notified_at is None:
+                self._notify(group, sendable, now)
+                group.last_notified_at = now
+                group.last_notified_hash = content_hash
+        # Resolved alerts leave the group once their flush ran —
+        # whether notified or suppressed — so the group can empty out.
+        for fp in [
+            fp for fp, a in group.alerts.items() if a.state is AlertState.RESOLVED
+        ]:
+            del group.alerts[fp]
+        if group.alerts:
+            group.flush_due = now + group.route.group_interval
+
+    def _notify(self, group: _Group, alerts: list[AlertInstance], now: float) -> None:
+        status = (
+            "firing"
+            if any(a.state is AlertState.FIRING for a in alerts)
+            else "resolved"
+        )
+        notification = Notification(
+            receiver=group.route.receiver,
+            status=status,
+            group_labels=dict(group.group_labels),
+            alerts=[
+                {
+                    "labels": {"alertname": a.name, **a.labels.as_dict()},
+                    "annotations": dict(a.annotations),
+                    "status": a.state.value,
+                    "activeAt": a.active_since,
+                    "value": a.value,
+                }
+                for a in sorted(alerts, key=lambda a: (a.name, str(a.labels)))
+            ],
+            sent_at=now,
+        )
+        self.notification_log.append(notification)
+        self.notifications_total += 1
+        receiver = self.receivers.get(group.route.receiver)
+        if receiver is not None:
+            receiver(notification)
+
+    # -- suppression --------------------------------------------------
+
+    def silenced_by(self, labels: Labels, now: float | None = None) -> list[str]:
+        now = self._now if now is None else now
+        return [
+            s.id
+            for s in self.silences.values()
+            if s.state(now) == "active" and s.matches(labels)
+        ]
+
+    def inhibited_by(self, labels: Labels, now: float | None = None) -> list[str]:
+        now = self._now if now is None else now
+        out: list[str] = []
+        for rule in self.inhibit_rules:
+            if not rule.target_matches(labels):
+                continue
+            for source in self._active.values():
+                if not rule.source_matches(source.labels):
+                    continue
+                if source.labels == labels:
+                    continue  # an alert never inhibits itself
+                if self.silenced_by(source.labels, now):
+                    continue  # silenced sources don't inhibit
+                if all(
+                    labels.get(name) == source.labels.get(name) for name in rule.equal
+                ):
+                    out.append(source.name)
+                    break
+        return out
+
+    def _suppressed(self, labels: Labels, now: float) -> bool:
+        return bool(self.silenced_by(labels, now)) or bool(
+            self.inhibited_by(labels, now)
+        )
+
+    def status_of(self, labels: Labels, now: float | None = None) -> dict:
+        """Alertmanager status envelope for one alert's label set."""
+        silenced = self.silenced_by(labels, now)
+        inhibited = self.inhibited_by(labels, now)
+        return {
+            "state": "suppressed" if silenced or inhibited else "active",
+            "silencedBy": silenced,
+            "inhibitedBy": inhibited,
+        }
+
+    # -- silences -----------------------------------------------------
+
+    def add_silence(
+        self,
+        matchers: list[dict],
+        *,
+        starts_at: float | None = None,
+        ends_at: float,
+        created_by: str = "",
+        comment: str = "",
+    ) -> Silence:
+        for m in matchers:
+            if not m.get("name") or "value" not in m:
+                raise ValueError("silence matchers need name and value")
+        silence = Silence(
+            id=f"silence-{next(self._silence_ids)}",
+            matchers=[
+                {
+                    "name": m["name"],
+                    "value": m["value"],
+                    "isRegex": bool(m.get("isRegex")),
+                }
+                for m in matchers
+            ],
+            starts_at=self._now if starts_at is None else starts_at,
+            ends_at=ends_at,
+            created_by=created_by,
+            comment=comment,
+        )
+        self.silences[silence.id] = silence
+        return silence
+
+    def expire_silence(self, silence_id: str) -> bool:
+        silence = self.silences.get(silence_id)
+        if silence is None:
+            return False
+        silence.ends_at = min(silence.ends_at, self._now)
+        return True
+
+    def gc_silences(self, keep_expired_for: float = 3600.0) -> int:
+        """Drop silences expired for longer than ``keep_expired_for``."""
+        cutoff = self._now - keep_expired_for
+        stale = [s.id for s in self.silences.values() if s.ends_at < cutoff]
+        for sid in stale:
+            del self.silences[sid]
+        return len(stale)
+
+    # -- introspection ------------------------------------------------
+
+    def active_alerts(self) -> list[AlertInstance]:
+        return sorted(self._active.values(), key=lambda a: (a.name, str(a.labels)))
+
+    def register_timer(self, clock) -> None:
+        clock.every(self.tick_interval, self.tick)
+
+    def _register_metrics(self, registry) -> None:
+        registry.gauge_func(
+            "ceems_alert_notifications_total",
+            lambda: float(self.notifications_total),
+            help="Grouped notifications dispatched to receivers.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_am_active_alerts",
+            lambda: float(len(self._active)),
+            help="Alerts currently firing in the Alertmanager view.",
+        )
+        registry.gauge_func(
+            "ceems_am_groups",
+            lambda: float(len(self._groups)),
+            help="Aggregation groups currently tracked.",
+        )
+        registry.gauge_func(
+            "ceems_am_silences_active",
+            lambda: float(
+                sum(1 for s in self.silences.values() if s.state(self._now) == "active")
+            ),
+            help="Silences currently active.",
+        )
+
+    # -- HTTP surface (shared with PromAPI via delegation) ------------
+
+    def _serve_alerts(self, request: Request) -> Response:
+        now = self._now
+        return Response.json(
+            {
+                "status": "success",
+                "data": [
+                    {
+                        "labels": {"alertname": a.name, **a.labels.as_dict()},
+                        "annotations": dict(a.annotations),
+                        "state": a.state.value,
+                        "activeAt": a.active_since,
+                        "value": a.value,
+                        "status": self.status_of(a.labels, now),
+                    }
+                    for a in self.active_alerts()
+                ],
+            }
+        )
+
+    def _serve_post_alerts(self, request: Request) -> Response:
+        """Accept externally-posted alerts (amtool/webhook parity)."""
+        try:
+            payload = request.json()
+        except (ValueError, UnicodeDecodeError):
+            return Response.error(400, "invalid JSON body")
+        if not isinstance(payload, list):
+            return Response.error(400, "expected a JSON array of alerts")
+        transitions = []
+        for entry in payload:
+            labels = dict(entry.get("labels") or {})
+            name = labels.pop("alertname", "") or "external"
+            resolved = entry.get("status") == "resolved"
+            transitions.append(
+                AlertInstance(
+                    name=name,
+                    labels=Labels(labels),
+                    state=AlertState.RESOLVED if resolved else AlertState.FIRING,
+                    active_since=float(entry.get("activeAt") or self._now),
+                    value=float(entry.get("value") or 1.0),
+                    annotations=dict(entry.get("annotations") or {}),
+                )
+            )
+        self.receive(transitions, self._now)
+        return Response.json({"status": "success"})
+
+    def _serve_silences(self, request: Request) -> Response:
+        now = self._now
+        return Response.json(
+            {
+                "status": "success",
+                "data": [
+                    s.to_dict(now)
+                    for s in sorted(self.silences.values(), key=lambda s: s.id)
+                ],
+            }
+        )
+
+    def _serve_post_silence(self, request: Request) -> Response:
+        try:
+            payload = request.json()
+        except (ValueError, UnicodeDecodeError):
+            return Response.error(400, "invalid JSON body")
+        if not isinstance(payload, dict) or not payload.get("matchers"):
+            return Response.error(400, "silence needs a matchers list")
+        try:
+            silence = self.add_silence(
+                payload["matchers"],
+                starts_at=payload.get("startsAt"),
+                ends_at=float(payload["endsAt"]),
+                created_by=str(payload.get("createdBy", "")),
+                comment=str(payload.get("comment", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            return Response.error(400, f"invalid silence: {exc}")
+        return Response.json({"status": "success", "data": {"silenceID": silence.id}})
+
+    def _serve_get_silence(self, request: Request) -> Response:
+        silence = self.silences.get(request.path_params["id"])
+        if silence is None:
+            return Response.error(404, "silence not found")
+        return Response.json({"status": "success", "data": silence.to_dict(self._now)})
+
+    def _serve_delete_silence(self, request: Request) -> Response:
+        if not self.expire_silence(request.path_params["id"]):
+            return Response.error(404, "silence not found")
+        return Response.json({"status": "success"})
+
+    def _serve_status(self, request: Request) -> Response:
+        return Response.json(
+            {
+                "status": "success",
+                "data": {
+                    "receivers": sorted(self.receivers),
+                    "groups": len(self._groups),
+                    "activeAlerts": len(self._active),
+                    "silences": len(self.silences),
+                    "notificationLog": len(self.notification_log),
+                    "notificationsTotal": self.notifications_total,
+                },
+            }
+        )

@@ -1,0 +1,196 @@
+"""Declarative SLOs compiled to multi-window burn-rate alerts.
+
+An SLO ("99.9% of LB requests succeed over the window") is the
+contract the ROADMAP's scale-out work must not break.  Following the
+multiwindow, multi-burn-rate recipe from the Google SRE workbook,
+each :class:`SLO` compiles into
+
+* **recording rules** — ``slo:<name>:error_ratio_rate<w>`` for every
+  window the burn-rate alerts consult, plus
+  ``slo:<name>:error_budget_remaining`` for dashboards;
+* **alerting rules** — one per :class:`BurnRateWindow`, firing when
+  the error ratio exceeds ``factor × (1 - objective)`` on *both* a
+  short and a long window (the short window makes the alert reset
+  quickly, the long window makes it ignore blips).
+
+Two SLO kinds are supported over the PR-2 self-telemetry request
+histograms: ``availability`` (non-5xx ratio of
+``ceems_http_requests_total``) and ``latency`` (requests under a
+histogram bucket bound of ``ceems_http_request_duration_seconds``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tsdb.alerts import AlertingRule, AlertingRuleGroup
+from repro.tsdb.rules import RecordingRule, RuleGroup
+
+__all__ = [
+    "SLO",
+    "BurnRateWindow",
+    "DEFAULT_BURN_WINDOWS",
+    "slo_recording_group",
+    "slo_alert_group",
+    "standard_slos",
+]
+
+
+@dataclass(frozen=True)
+class BurnRateWindow:
+    """One (short, long) window pair of the multiwindow recipe."""
+
+    short: str
+    long: str
+    factor: float
+    severity: str
+    hold: float = 120.0
+
+
+#: Fast burn pages (14.4x exhausts a 30-day budget in ~2 days), slow
+#: burn tickets (6x in ~5 days) — SRE-workbook defaults.
+DEFAULT_BURN_WINDOWS = (
+    BurnRateWindow(short="5m", long="1h", factor=14.4, severity="critical", hold=120.0),
+    BurnRateWindow(short="30m", long="6h", factor=6.0, severity="warning", hold=900.0),
+)
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One service-level objective over the self-telemetry histograms."""
+
+    name: str  # metric-name-safe (letters, digits, underscores)
+    objective: float  # e.g. 0.999
+    selector: str  # label matchers, e.g. 'job="ceems-lb"'
+    kind: str = "availability"  # "availability" | "latency"
+    latency_threshold: str = "0.5"  # ``le`` bucket bound for kind=latency
+    requests_metric: str = "ceems_http_requests_total"
+    duration_metric: str = "ceems_http_request_duration_seconds"
+    error_matcher: str = 'code=~"5.."'
+    windows: tuple[BurnRateWindow, ...] = DEFAULT_BURN_WINDOWS
+    #: long window used for the error-budget-remaining recording rule
+    budget_window: str = "1h"
+    annotations: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+
+    # -- expression compilation ---------------------------------------
+
+    def error_ratio_expr(self, window: str) -> str:
+        """PromQL for the bad-request ratio over one window.
+
+        The ``or total*0`` arm pins the ratio to 0 while there is
+        traffic but no errors (an empty numerator would otherwise make
+        the recorded series vanish and the burn alert blind).
+        """
+        if self.kind == "availability":
+            total = f"sum(rate({self.requests_metric}{{{self.selector}}}[{window}]))"
+            errors = (
+                f"sum(rate({self.requests_metric}"
+                f"{{{self.selector},{self.error_matcher}}}[{window}]))"
+            )
+            return f"({errors} / {total}) or ({total} * 0)"
+        total = f"sum(rate({self.duration_metric}_count{{{self.selector}}}[{window}]))"
+        fast = (
+            f"sum(rate({self.duration_metric}_bucket"
+            f'{{{self.selector},le="{self.latency_threshold}"}}[{window}]))'
+        )
+        return f"(1 - ({fast} / {total})) or ({total} * 0)"
+
+    def record_name(self, window: str) -> str:
+        return f"slo:{self.name}:error_ratio_rate{window}"
+
+    def all_windows(self) -> list[str]:
+        seen: list[str] = []
+        for w in self.windows:
+            for name in (w.short, w.long):
+                if name not in seen:
+                    seen.append(name)
+        if self.budget_window not in seen:
+            seen.append(self.budget_window)
+        return seen
+
+    def recording_rules(self) -> list[RecordingRule]:
+        rules = [
+            RecordingRule(
+                record=self.record_name(window),
+                expr=self.error_ratio_expr(window),
+                labels={"slo": self.name},
+            )
+            for window in self.all_windows()
+        ]
+        budget = 1.0 - self.objective
+        rules.append(
+            RecordingRule(
+                record=f"slo:{self.name}:error_budget_remaining",
+                expr=(
+                    f"1 - ({self.record_name(self.budget_window)}"
+                    f'{{slo="{self.name}"}} / {budget:.10g})'
+                ),
+                labels={"slo": self.name},
+            )
+        )
+        return rules
+
+    def alerting_rules(self) -> list[AlertingRule]:
+        budget = 1.0 - self.objective
+        rules = []
+        for w in self.windows:
+            bound = f"{w.factor * budget:.10g}"
+            short_series = f'{self.record_name(w.short)}{{slo="{self.name}"}}'
+            long_series = f'{self.record_name(w.long)}{{slo="{self.name}"}}'
+            rules.append(
+                AlertingRule(
+                    name=f"SLOErrorBudgetBurn_{self.name}_{w.short}_{w.long}",
+                    expr=f"({short_series} > {bound}) and ({long_series} > {bound})",
+                    hold=w.hold,
+                    labels={"severity": w.severity, "slo": self.name},
+                    annotations={
+                        "summary": (
+                            f"SLO {self.name} burning error budget at >"
+                            f"{w.factor:g}x ({w.short} and {w.long} windows)"
+                        ),
+                        **self.annotations,
+                    },
+                )
+            )
+        return rules
+
+
+def slo_recording_group(slos: list[SLO], interval: float = 30.0) -> RuleGroup:
+    """One recording group feeding every SLO's burn-rate series."""
+    group = RuleGroup(name="slo-rules", interval=interval)
+    for slo in slos:
+        group.rules.extend(slo.recording_rules())
+    return group
+
+
+def slo_alert_group(slos: list[SLO], interval: float = 60.0) -> AlertingRuleGroup:
+    """One alerting group holding every SLO's burn-rate alerts."""
+    group = AlertingRuleGroup(name="slo-alerts", interval=interval)
+    for slo in slos:
+        group.rules.extend(slo.alerting_rules())
+    return group
+
+
+def standard_slos() -> list[SLO]:
+    """The shipped SLO pack: LB availability and LB latency."""
+    return [
+        SLO(
+            name="lb_availability",
+            objective=0.999,
+            selector='job="ceems-lb"',
+            kind="availability",
+        ),
+        SLO(
+            name="lb_latency",
+            objective=0.95,
+            selector='job="ceems-lb"',
+            kind="latency",
+            latency_threshold="0.5",
+        ),
+    ]

@@ -63,6 +63,9 @@ class AlertingRule:
     #: label-set -> first time the condition matched continuously
     _pending: dict[Labels, float] = field(default_factory=dict, repr=False)
     _firing: set = field(default_factory=set, repr=False)
+    #: label-set -> value from the most recent evaluation
+    _values: dict[Labels, float] = field(default_factory=dict, repr=False)
+    last_error: str = field(default="", repr=False)
 
     def ast(self) -> Expr:
         if self._ast is None:
@@ -71,11 +74,14 @@ class AlertingRule:
 
     def evaluate(self, engine: PromQLEngine, now: float) -> list[AlertInstance]:
         """One evaluation; returns state *transitions* (fire/resolve)."""
+        self.last_error = ""
         try:
             result = engine.query(self.ast(), now)
-        except QueryError:
+        except (QueryError, ZeroDivisionError) as exc:
+            self.last_error = str(exc)
             return []
         current = {el.labels.drop("__name__"): el.value for el in result.vector}
+        self._values = dict(current)
         transitions: list[AlertInstance] = []
 
         # new or continuing matches
@@ -120,6 +126,69 @@ class AlertingRule:
     @property
     def firing_count(self) -> int:
         return len(self._firing)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending) - len(self._firing)
+
+    @property
+    def state(self) -> AlertState | None:
+        """Worst state across instances (``firing`` > ``pending``),
+        ``None`` when the rule is inactive."""
+        if self._firing:
+            return AlertState.FIRING
+        if self._pending:
+            return AlertState.PENDING
+        return None
+
+    def active_alerts(self) -> list[AlertInstance]:
+        """Every currently pending or firing alert instance (a *view*,
+        unlike :meth:`evaluate` which returns only transitions)."""
+        out: list[AlertInstance] = []
+        for labels, active_since in sorted(self._pending.items(), key=lambda kv: str(kv[0])):
+            firing = labels in self._firing
+            out.append(
+                AlertInstance(
+                    name=self.name,
+                    labels=labels.merge(self.labels),
+                    state=AlertState.FIRING if firing else AlertState.PENDING,
+                    active_since=active_since,
+                    value=self._values.get(labels, 0.0),
+                    annotations=dict(self.annotations),
+                )
+            )
+        return out
+
+
+@dataclass
+class AlertingRuleGroup:
+    """A named group of alerting rules sharing an evaluation interval.
+
+    The alerting twin of :class:`repro.tsdb.rules.RuleGroup` — the
+    :class:`~repro.tsdb.rules.RuleEvaluator` runs both kinds on the
+    sim clock.
+    """
+
+    name: str
+    interval: float
+    rules: list[AlertingRule] = field(default_factory=list)
+
+    evaluations: int = 0
+    last_error: str = ""
+
+    def evaluate(self, engine: PromQLEngine, now: float) -> list[AlertInstance]:
+        """Evaluate every rule; returns the concatenated transitions."""
+        transitions: list[AlertInstance] = []
+        self.last_error = ""
+        for rule in self.rules:
+            transitions.extend(rule.evaluate(engine, now))
+            if rule.last_error:
+                self.last_error = f"{rule.name}: {rule.last_error}"
+        self.evaluations += 1
+        return transitions
+
+    def active_alerts(self) -> list[AlertInstance]:
+        return [alert for rule in self.rules for alert in rule.active_alerts()]
 
 
 Receiver = Callable[[AlertInstance], None]

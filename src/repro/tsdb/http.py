@@ -74,8 +74,14 @@ class PromAPI:
         active_query_journal: str = "",
         max_concurrent_queries: int = 20,
         queue_timeout: float = 5.0,
+        rules=None,
+        alertmanager=None,
     ) -> None:
         self.storage = storage
+        #: optional RuleEvaluator — backs /api/v1/rules and /api/v1/alerts
+        self.rules = rules
+        #: optional Alertmanager — silences plus alert suppression status
+        self.alertmanager = alertmanager
         self.engine = PromQLEngine(storage, lookback=lookback)
         self.app = App(name=name)
         self.app.expose_telemetry()
@@ -94,6 +100,12 @@ class PromAPI:
         r.post("/api/v1/query_range", self._query_range)
         r.get("/api/v1/series", self._series)
         r.get("/api/v1/label/{name}/values", self._label_values)
+        r.get("/api/v1/rules", self._rules)
+        r.get("/api/v1/alerts", self._alerts)
+        r.get("/api/v1/silences", self._silences_proxy)
+        r.post("/api/v1/silences", self._silences_proxy)
+        r.get("/api/v1/silence/{id}", self._silences_proxy)
+        r.delete("/api/v1/silence/{id}", self._silences_proxy)
         r.get("/-/healthy", lambda _req: Response.text("ok"))
         self.queries_served = 0
         self._register_metrics()
@@ -385,6 +397,98 @@ class PromAPI:
         data["slow_query_threshold_ms"] = self.slow_log.threshold_ms
         data["slow_queries"] = self.slow_log.entries()
         return Response.json({"status": "success", "component": self.app.name, **data})
+
+    # -- alerting surface ---------------------------------------------
+
+    def _alert_status(self, labels) -> dict:
+        if self.alertmanager is None:
+            return {"state": "active", "silencedBy": [], "inhibitedBy": []}
+        return self.alertmanager.status_of(labels)
+
+    def _rules(self, request: Request) -> Response:
+        """Prometheus ``/api/v1/rules``: recording + alerting groups."""
+        groups = []
+        if self.rules is not None:
+            for group in self.rules.groups:
+                groups.append(
+                    {
+                        "name": group.name,
+                        "interval": group.interval,
+                        "evaluations": group.evaluations,
+                        "lastError": group.last_error,
+                        "rules": [
+                            {
+                                "type": "recording",
+                                "name": rule.record,
+                                "query": rule.expr,
+                                "labels": dict(rule.labels),
+                                "health": "ok",
+                            }
+                            for rule in group.rules
+                        ],
+                    }
+                )
+            for group in getattr(self.rules, "alert_groups", []):
+                groups.append(
+                    {
+                        "name": group.name,
+                        "interval": group.interval,
+                        "evaluations": group.evaluations,
+                        "lastError": group.last_error,
+                        "rules": [
+                            {
+                                "type": "alerting",
+                                "name": rule.name,
+                                "query": rule.expr,
+                                "duration": rule.hold,
+                                "labels": dict(rule.labels),
+                                "annotations": dict(rule.annotations),
+                                "health": "err" if rule.last_error else "ok",
+                                "state": rule.state.value if rule.state else "inactive",
+                                "alerts": [
+                                    {
+                                        "labels": {
+                                            "alertname": a.name,
+                                            **a.labels.as_dict(),
+                                        },
+                                        "state": a.state.value,
+                                        "activeAt": a.active_since,
+                                        "value": a.value,
+                                    }
+                                    for a in rule.active_alerts()
+                                ],
+                            }
+                            for rule in group.rules
+                        ],
+                    }
+                )
+        return Response.json({"status": "success", "data": {"groups": groups}})
+
+    def _alerts(self, request: Request) -> Response:
+        """Prometheus ``/api/v1/alerts``: pending + firing instances,
+        annotated with the Alertmanager suppression status."""
+        alerts = []
+        if self.rules is not None and hasattr(self.rules, "active_alerts"):
+            for a in self.rules.active_alerts():
+                alerts.append(
+                    {
+                        "labels": {"alertname": a.name, **a.labels.as_dict()},
+                        "annotations": dict(a.annotations),
+                        "state": a.state.value,
+                        "activeAt": a.active_since,
+                        "value": a.value,
+                        "status": self._alert_status(
+                            a.labels.merge({"alertname": a.name})
+                        ),
+                    }
+                )
+        return Response.json({"status": "success", "data": {"alerts": alerts}})
+
+    def _silences_proxy(self, request: Request) -> Response:
+        """Delegate silence CRUD to the wired Alertmanager."""
+        if self.alertmanager is None:
+            return Response.error(404, "no alertmanager configured")
+        return self.alertmanager.app.handle(request)
 
 
 def delete_series_matchers(uuid: str) -> list[Matcher]:

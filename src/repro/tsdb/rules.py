@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.errors import QueryError
+from repro.tsdb.alerts import AlertingRuleGroup
 from repro.tsdb.model import METRIC_NAME_LABEL, Labels
 from repro.tsdb.promql.ast import Expr
 from repro.tsdb.promql.engine import PromQLEngine
@@ -138,3 +139,111 @@ class RuleManager:
         """Selector-memo hit/miss counters of the backing storage —
         the observable for "rule groups reuse selector results"."""
         return self.storage.selector_cache_stats()
+
+
+#: Synthetic series written for each active alert (Prometheus writes
+#: the same series so dashboards can graph alert state over time).
+ALERTS_METRIC = "ALERTS"
+
+
+class RuleEvaluator(RuleManager):
+    """A :class:`RuleManager` that also runs alerting rule groups.
+
+    Each alerting group is evaluated on its own interval against the
+    same storage/engine as the recording rules.  Active alerts are
+    written back as ``ALERTS{alertname=..., alertstate=...} 1``
+    synthetic series (with staleness markers when an alert clears,
+    Prometheus semantics), and state transitions are forwarded to an
+    optional ``notifier`` callable — in the simulation that is
+    :meth:`repro.obs.alertmanager.Alertmanager.receive`.
+    """
+
+    def __init__(self, storage: TSDB, lookback: float = 300.0) -> None:
+        super().__init__(storage, lookback=lookback)
+        self.alert_groups: list[AlertingRuleGroup] = []
+        #: called with (transitions, now) after each alerting evaluation
+        self.notifier = None
+        self.alert_evaluations = 0
+        #: ALERTS series written by the previous evaluation, for staleness
+        self._previous_alert_series: set[Labels] = set()
+
+    def add_alert_group(self, group: AlertingRuleGroup) -> None:
+        if any(g.name == group.name for g in self.alert_groups):
+            raise QueryError(f"duplicate alerting rule group {group.name!r}")
+        self.alert_groups.append(group)
+
+    def evaluate_alert_group(self, group: AlertingRuleGroup, now: float) -> list:
+        """Evaluate one alerting group: record ALERTS series, notify."""
+        transitions = group.evaluate(self._engine, now)
+        self.alert_evaluations += 1
+        self._write_alert_series(now)
+        if self.notifier is not None and transitions:
+            self.notifier(transitions, now)
+        return transitions
+
+    def evaluate_alerts(self, now: float) -> list:
+        """Evaluate every alerting group once (test/CLI convenience)."""
+        transitions = []
+        for group in self.alert_groups:
+            transitions.extend(self.evaluate_alert_group(group, now))
+        return transitions
+
+    def _write_alert_series(self, now: float) -> None:
+        outputs: set[Labels] = set()
+        for group in self.alert_groups:
+            for alert in group.active_alerts():
+                d = alert.labels.as_dict()
+                d[METRIC_NAME_LABEL] = ALERTS_METRIC
+                d["alertname"] = alert.name
+                d["alertstate"] = alert.state.value
+                labels = Labels(d)
+                self.storage.append(labels, now, 1.0)
+                outputs.add(labels)
+        # An alert that changed state or cleared leaves its previous
+        # ALERTS series dangling; stale-mark it like a recording rule
+        # output so lookback reads don't resurrect it.
+        for labels in self._previous_alert_series - outputs:
+            if self.storage.has_series(labels):
+                self.storage.append(labels, now, float("nan"))
+        self._previous_alert_series = outputs
+
+    # -- introspection ------------------------------------------------
+
+    def active_alerts(self) -> list:
+        return [a for group in self.alert_groups for a in group.active_alerts()]
+
+    @property
+    def pending_count(self) -> int:
+        return sum(r.pending_count for g in self.alert_groups for r in g.rules)
+
+    @property
+    def firing_count(self) -> int:
+        return sum(r.firing_count for g in self.alert_groups for r in g.rules)
+
+    def register_timers(self, clock) -> None:
+        super().register_timers(clock)
+        for group in self.alert_groups:
+            clock.every(
+                group.interval,
+                lambda now, g=group: self.evaluate_alert_group(g, now),
+            )
+
+    def register_metrics(self, registry) -> None:
+        """Expose alert state through a self-telemetry registry so the
+        alert engine is itself scraped (meta-monitoring)."""
+        registry.gauge_func(
+            "ceems_alerts_pending",
+            lambda: float(self.pending_count),
+            help="Alert instances currently in the pending (for-hold) state.",
+        )
+        registry.gauge_func(
+            "ceems_alerts_firing",
+            lambda: float(self.firing_count),
+            help="Alert instances currently firing.",
+        )
+        registry.gauge_func(
+            "ceems_alert_rule_evaluations_total",
+            lambda: float(self.alert_evaluations),
+            help="Alerting rule group evaluations performed.",
+            type="counter",
+        )

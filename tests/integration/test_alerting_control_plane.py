@@ -1,0 +1,191 @@
+"""The alerting control plane end to end: kill one exporter mid-run
+and follow the blast radius through every layer the PR adds.
+
+The dead target must show up as ``probe_success 0`` from the blackbox
+prober, drive the ``CEEMSTargetDown`` rule pending → firing on the
+live evaluator, surface at ``/api/v1/alerts`` through the LB, produce
+exactly one grouped notification in the JSONL receiver (deduped
+across repeated evaluations), be suppressible via a silence posted
+through the LB, and resolve — with a resolved notification — once the
+exporter returns.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import StackSimulation, small_topology
+from repro.cluster.simulation import SimulationConfig
+from repro.common.httpx import Request, Response
+from repro.resourcemgr.workload import SizeClass, WorkloadMix
+
+ADMIN = {"x-grafana-user": "admin"}
+MIX = WorkloadMix(
+    mean_interarrival=300.0,
+    sizes=(SizeClass("s", weight=1.0, ncores=4, memory_gb=8),),
+)
+
+
+def lb_request(sim, method, url, **kwargs):
+    kwargs.setdefault("headers", ADMIN)
+    return sim.lb.app.handle(Request.from_url(method, url, **kwargs))
+
+
+def target_down_alerts(sim):
+    resp = lb_request(sim, "GET", "/api/v1/alerts")
+    assert resp.status == 200
+    data = resp.decode_json()["data"]["alerts"]
+    return [a for a in data if a["labels"]["alertname"] == "CEEMSTargetDown"]
+
+
+def target_down_notifications(path):
+    if not path.exists():
+        return []
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    return [n for n in lines if n["groupLabels"].get("alertname") == "CEEMSTargetDown"]
+
+
+@pytest.fixture(scope="module")
+def outage_run(tmp_path_factory):
+    """One long scripted run; the test methods below assert on the
+    recorded checkpoints so the expensive simulation happens once."""
+    notify_path = tmp_path_factory.mktemp("am") / "notifications.jsonl"
+    sim = StackSimulation(
+        small_topology(cpu_nodes=2, gpu_nodes=1),
+        SimulationConfig(seed=11, update_interval=600.0, notify_log=str(notify_path)),
+        workload=MIX,
+    )
+    # Short repeat so the silence phase demonstrably swallows a
+    # re-notification (default is 4 h — far beyond this run).
+    sim.alertmanager.route.repeat_interval = 900.0
+    checkpoints = {}
+
+    # -- healthy baseline ------------------------------------------------
+    sim.run(900.0)
+    victim = sim.exporters[0]
+    instance = f"{victim.node.spec.name}:9010"
+    checkpoints["baseline_alerts"] = target_down_alerts(sim)
+    checkpoints["baseline_probes"] = {
+        el.labels.get("instance"): el.value
+        for el in sim.engine.query("probe_success", at=sim.now).vector
+    }
+
+    # -- outage: every request to the victim's app now 500s ---------------
+    original_dispatch = victim.app.router.dispatch
+    victim.app.router.dispatch = lambda req: Response.error(500, "exporter crashed")
+    sim.run(75.0)  # one scrape + one alert evaluation past the kill
+    checkpoints["pending_alerts"] = target_down_alerts(sim)
+    checkpoints["probe_after_kill"] = sim.engine.query(
+        f'probe_success{{instance="{instance}"}}', at=sim.now
+    ).vector
+
+    sim.run(225.0)  # past the 120 s hold and the 30 s group_wait
+    checkpoints["firing_alerts"] = target_down_alerts(sim)
+    checkpoints["firing_notifications"] = target_down_notifications(notify_path)
+    checkpoints["alerts_series"] = sim.engine.query(
+        'ALERTS{alertname="CEEMSTargetDown", alertstate="firing"}', at=sim.now
+    ).vector
+    checkpoints["firing_gauge"] = sim.engine.query(
+        "max(ceems_alerts_firing)", at=sim.now
+    ).vector
+
+    # -- dedup: repeated evaluations must not re-notify -------------------
+    sim.run(600.0)
+    checkpoints["deduped_notifications"] = target_down_notifications(notify_path)
+
+    # -- silence the alert through the LB ---------------------------------
+    resp = lb_request(
+        sim,
+        "POST",
+        "/api/v1/silences",
+        body=json.dumps(
+            {
+                "matchers": [
+                    {"name": "alertname", "value": "CEEMSTargetDown", "isRegex": False}
+                ],
+                "endsAt": sim.now + 7200.0,
+                "createdBy": "oncall",
+                "comment": "known outage",
+            }
+        ).encode(),
+    )
+    checkpoints["silence_post_status"] = resp.status
+    silence_id = resp.decode_json()["data"]["silenceID"]
+    sim.run(60.0)
+    checkpoints["silenced_alerts"] = target_down_alerts(sim)
+    # run well past repeat_interval: the due re-notification is silenced
+    sim.run(540.0)
+    checkpoints["silenced_notifications"] = target_down_notifications(notify_path)
+
+    # -- lift the silence, restore the exporter ---------------------------
+    resp = lb_request(sim, "DELETE", f"/api/v1/silence/{silence_id}")
+    checkpoints["silence_delete_status"] = resp.status
+    victim.app.router.dispatch = original_dispatch
+    sim.run(600.0)
+    checkpoints["recovered_alerts"] = target_down_alerts(sim)
+    checkpoints["final_notifications"] = target_down_notifications(notify_path)
+    checkpoints["probe_after_recovery"] = sim.engine.query(
+        f'probe_success{{instance="{instance}"}}', at=sim.now
+    ).vector
+    checkpoints["instance"] = instance
+    return sim, checkpoints
+
+
+class TestOutageLifecycle:
+    def test_baseline_is_healthy(self, outage_run):
+        sim, cp = outage_run
+        assert cp["baseline_alerts"] == []
+        probes = cp["baseline_probes"]
+        # LB + API + N prometheis + every exporter target get probed
+        assert len(probes) == len(sim.prober.targets) >= 7
+        assert set(probes.values()) == {1.0}
+
+    def test_probe_success_zero_for_dead_target(self, outage_run):
+        _, cp = outage_run
+        (el,) = cp["probe_after_kill"]
+        assert el.value == 0.0
+
+    def test_alert_goes_pending_then_firing_via_lb(self, outage_run):
+        _, cp = outage_run
+        (pending,) = cp["pending_alerts"]
+        assert pending["state"] == "pending"
+        assert pending["labels"]["instance"] == cp["instance"]
+        (firing,) = cp["firing_alerts"]
+        assert firing["state"] == "firing"
+        assert firing["status"]["state"] == "active"
+
+    def test_alerts_series_and_gauge_visible_in_tsdb(self, outage_run):
+        _, cp = outage_run
+        assert [el.value for el in cp["alerts_series"]] == [1.0]
+        # the self-telemetry gauge is scraped like any other metric
+        assert cp["firing_gauge"] and cp["firing_gauge"][0].value >= 1.0
+
+    def test_exactly_one_grouped_notification(self, outage_run):
+        _, cp = outage_run
+        (notification,) = cp["firing_notifications"]
+        assert notification["status"] == "firing"
+        assert notification["groupLabels"] == {"alertname": "CEEMSTargetDown"}
+        (alert,) = notification["alerts"]
+        assert alert["labels"]["instance"] == cp["instance"]
+
+    def test_repeat_evaluations_are_deduped(self, outage_run):
+        _, cp = outage_run
+        assert len(cp["deduped_notifications"]) == 1
+
+    def test_silence_suppresses_alert_and_repeat(self, outage_run):
+        _, cp = outage_run
+        assert cp["silence_post_status"] == 200
+        (silenced,) = cp["silenced_alerts"]
+        assert silenced["status"]["state"] == "suppressed"
+        assert silenced["status"]["silencedBy"]
+        # the repeat_interval elapsed under the silence: still one send
+        assert len(cp["silenced_notifications"]) == 1
+
+    def test_recovery_resolves_and_notifies(self, outage_run):
+        _, cp = outage_run
+        assert cp["silence_delete_status"] == 200
+        assert cp["recovered_alerts"] == []
+        (el,) = cp["probe_after_recovery"]
+        assert el.value == 1.0
+        statuses = [n["status"] for n in cp["final_notifications"]]
+        assert statuses == ["firing", "resolved"]

@@ -1,0 +1,161 @@
+"""The AlertingRule ``for``-hold state machine under irregular
+evaluation cadences, plus a hypothesis property: firing never
+precedes ``for`` seconds of continuously-observed truth."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tsdb.alerts import AlertingRule, AlertState
+from repro.tsdb.model import Labels
+from repro.tsdb.promql.engine import PromQLEngine
+from repro.tsdb.storage import TSDB
+
+LOOKBACK = 300.0
+
+
+def make_engine(db: TSDB) -> PromQLEngine:
+    return PromQLEngine(db, lookback=LOOKBACK)
+
+
+def set_cond(db: TSDB, at: float, value: float) -> None:
+    db.append(Labels({"__name__": "cond", "instance": "n0"}), at, value)
+
+
+class TestForHoldStateMachine:
+    def make_rule(self, hold: float = 60.0) -> AlertingRule:
+        return AlertingRule(name="CondHigh", expr="cond == 1", hold=hold)
+
+    def test_pending_then_firing_then_resolved_then_repending(self):
+        db = TSDB()
+        engine = make_engine(db)
+        rule = self.make_rule(hold=60.0)
+
+        # condition true from t=0: first evaluation marks pending
+        set_cond(db, 0.0, 1.0)
+        assert rule.evaluate(engine, 0.0) == []
+        assert rule.state is AlertState.PENDING
+        assert rule.pending_count == 1 and rule.firing_count == 0
+
+        # still inside the hold window — no transition
+        assert rule.evaluate(engine, 30.0) == []
+        assert rule.state is AlertState.PENDING
+
+        # hold elapsed: fires, active_since is the first true observation
+        set_cond(db, 60.0, 1.0)
+        transitions = rule.evaluate(engine, 65.0)
+        assert [t.state for t in transitions] == [AlertState.FIRING]
+        assert transitions[0].active_since == 0.0
+        assert transitions[0].fired_at == 65.0
+        assert rule.state is AlertState.FIRING
+
+        # no re-fire while the condition keeps holding
+        assert rule.evaluate(engine, 90.0) == []
+
+        # condition clears: resolve
+        set_cond(db, 95.0, 0.0)
+        transitions = rule.evaluate(engine, 100.0)
+        assert [t.state for t in transitions] == [AlertState.RESOLVED]
+        assert rule.state is None
+
+        # condition returns: the hold restarts from the new observation
+        set_cond(db, 110.0, 1.0)
+        assert rule.evaluate(engine, 112.0) == []
+        assert rule.state is AlertState.PENDING
+        assert rule.evaluate(engine, 150.0) == []  # 38 s < hold
+        transitions = rule.evaluate(engine, 172.5)
+        assert [t.state for t in transitions] == [AlertState.FIRING]
+        assert transitions[0].active_since == 112.0
+
+    def test_irregular_intervals_do_not_shortcut_the_hold(self):
+        """A sparse cadence may fire *late*, never early."""
+        db = TSDB()
+        engine = make_engine(db)
+        rule = self.make_rule(hold=120.0)
+        set_cond(db, 0.0, 1.0)
+        assert rule.evaluate(engine, 5.0) == []
+        # a long gap: next evaluation long after the hold elapsed
+        set_cond(db, 290.0, 1.0)
+        transitions = rule.evaluate(engine, 291.0)
+        assert [t.state for t in transitions] == [AlertState.FIRING]
+        assert transitions[0].fired_at - transitions[0].active_since >= 120.0
+
+    def test_flap_between_evaluations_restarts_hold(self):
+        """A false observation between true ones restarts the clock."""
+        db = TSDB()
+        engine = make_engine(db)
+        rule = self.make_rule(hold=60.0)
+        set_cond(db, 0.0, 1.0)
+        rule.evaluate(engine, 0.0)
+        set_cond(db, 20.0, 0.0)  # dips
+        assert rule.evaluate(engine, 25.0) == []  # cleared while pending
+        assert rule.state is None
+        set_cond(db, 30.0, 1.0)  # recovers
+        rule.evaluate(engine, 35.0)
+        # 0→65 would satisfy the hold, but truth was not continuous
+        assert rule.evaluate(engine, 65.0) == []
+        assert rule.state is AlertState.PENDING
+        transitions = rule.evaluate(engine, 96.0)
+        assert [t.state for t in transitions] == [AlertState.FIRING]
+        assert transitions[0].active_since == 35.0
+
+    def test_zero_hold_fires_on_first_observation(self):
+        db = TSDB()
+        engine = make_engine(db)
+        rule = self.make_rule(hold=0.0)
+        set_cond(db, 0.0, 1.0)
+        transitions = rule.evaluate(engine, 1.0)
+        assert [t.state for t in transitions] == [AlertState.FIRING]
+
+
+def _observed_true(samples: list[tuple[float, float]], at: float) -> bool:
+    """Replicate instant-selector semantics for the 0/1 ``cond``
+    series: latest non-stale sample within the lookback, == 1."""
+    latest = None
+    for ts, value in samples:
+        if ts <= at and at - ts <= LOOKBACK:
+            latest = value
+    return latest is not None and not math.isnan(latest) and latest == 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(st.booleans(), min_size=1, max_size=30),
+    deltas=st.lists(
+        st.floats(min_value=1.0, max_value=90.0, allow_nan=False), min_size=1, max_size=40
+    ),
+    hold=st.sampled_from([0.0, 30.0, 61.0, 97.0]),
+)
+def test_firing_never_precedes_hold_of_continuous_truth(values, deltas, hold):
+    """Property: whenever the rule fires, every evaluation over the
+    preceding ``hold`` seconds observed the condition true, and the
+    first of those observations is at least ``hold`` seconds old."""
+    db = TSDB()
+    engine = make_engine(db)
+    rule = AlertingRule(name="CondHigh", expr="cond == 1", hold=hold)
+
+    samples = [(i * 15.0, 1.0 if v else 0.0) for i, v in enumerate(values)]
+    for ts, value in samples:
+        set_cond(db, ts, value)
+
+    eval_times = []
+    t = 0.0
+    for d in deltas:
+        t += d
+        eval_times.append(t)
+
+    true_since = None  # earliest eval time of the current true streak
+    for now in eval_times:
+        observed = _observed_true(samples, now)
+        transitions = rule.evaluate(engine, now)
+        if observed and true_since is None:
+            true_since = now
+        elif not observed:
+            true_since = None
+        for tr in transitions:
+            if tr.state is AlertState.FIRING:
+                assert true_since is not None, "fired without an observed-true streak"
+                assert now - true_since >= hold, (
+                    f"fired after {now - true_since}s of observed truth, hold={hold}"
+                )

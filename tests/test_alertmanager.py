@@ -1,0 +1,521 @@
+"""Alertmanager semantics: routing, grouping, throttling, silences,
+inhibition, receivers, the notification log, and the HTTP surface
+(both the Alertmanager app and the PromAPI delegation)."""
+
+import json
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.httpx import Request
+from repro.obs.alertmanager import (
+    Alertmanager,
+    InhibitRule,
+    JSONLReceiver,
+    Route,
+    Silence,
+)
+from repro.tsdb.alerts import AlertInstance, AlertState, AlertingRule, AlertingRuleGroup
+from repro.tsdb.model import Labels
+from repro.tsdb.rules import RuleEvaluator
+from repro.tsdb.storage import TSDB
+
+
+def firing(name: str, **labels: str) -> AlertInstance:
+    return AlertInstance(
+        name=name,
+        labels=Labels(labels),
+        state=AlertState.FIRING,
+        active_since=0.0,
+        value=1.0,
+    )
+
+
+def resolved(name: str, **labels: str) -> AlertInstance:
+    return AlertInstance(
+        name=name,
+        labels=Labels(labels),
+        state=AlertState.RESOLVED,
+        active_since=0.0,
+        value=0.0,
+    )
+
+
+class TestRouting:
+    def test_root_route_catches_everything(self):
+        root = Route(receiver="default")
+        assert [r.receiver for r in root.route(Labels({"alertname": "X"}))] == ["default"]
+
+    def test_child_match_wins_over_root(self):
+        root = Route(
+            receiver="default",
+            routes=[Route(receiver="pager", match={"severity": "critical"})],
+        )
+        assert [
+            r.receiver for r in root.route(Labels({"severity": "critical"}))
+        ] == ["pager"]
+        assert [
+            r.receiver for r in root.route(Labels({"severity": "info"}))
+        ] == ["default"]
+
+    def test_match_re_is_anchored(self):
+        root = Route(
+            receiver="default",
+            routes=[Route(receiver="team-energy", match_re={"alertname": "CEEMS.*"})],
+        )
+        assert [
+            r.receiver for r in root.route(Labels({"alertname": "CEEMSTargetDown"}))
+        ] == ["team-energy"]
+        # full-match: a mid-string hit is not enough
+        assert [
+            r.receiver for r in root.route(Labels({"alertname": "NotCEEMS"}))
+        ] == ["default"]
+
+    def test_continue_fans_out_to_siblings(self):
+        root = Route(
+            receiver="default",
+            routes=[
+                Route(receiver="audit", match={"severity": "critical"}, continue_=True),
+                Route(receiver="pager", match={"severity": "critical"}),
+            ],
+        )
+        receivers = [r.receiver for r in root.route(Labels({"severity": "critical"}))]
+        assert receivers == ["audit", "pager"]
+
+    def test_nested_children(self):
+        root = Route(
+            receiver="default",
+            routes=[
+                Route(
+                    receiver="team",
+                    match={"team": "energy"},
+                    routes=[Route(receiver="pager", match={"severity": "critical"})],
+                )
+            ],
+        )
+        labels = Labels({"team": "energy", "severity": "critical"})
+        assert [r.receiver for r in root.route(labels)] == ["pager"]
+        labels = Labels({"team": "energy", "severity": "info"})
+        assert [r.receiver for r in root.route(labels)] == ["team"]
+
+
+class TestGroupingAndThrottling:
+    def make_am(self, **route_kw):
+        clock = SimClock(start=0.0)
+        route = Route(
+            receiver="default",
+            group_by=("alertname",),
+            group_wait=30.0,
+            group_interval=120.0,
+            repeat_interval=600.0,
+            **route_kw,
+        )
+        am = Alertmanager(clock, route=route)
+        am.register_timer(clock)
+        sent = []
+        am.receivers["default"] = sent.append
+        return clock, am, sent
+
+    def test_group_wait_batches_one_notification(self):
+        clock, am, sent = self.make_am()
+        am.receive([firing("TargetDown", instance="a")], 0.0)
+        am.receive([firing("TargetDown", instance="b")], 10.0)
+        clock.advance(20.0)
+        assert sent == []  # still inside group_wait
+        clock.advance(20.0)
+        assert len(sent) == 1
+        assert sent[0].status == "firing"
+        assert [a["labels"]["instance"] for a in sent[0].alerts] == ["a", "b"]
+        assert sent[0].group_labels == {"alertname": "TargetDown"}
+
+    def test_unchanged_group_is_deduplicated(self):
+        clock, am, sent = self.make_am()
+        am.receive([firing("TargetDown", instance="a")], 0.0)
+        clock.advance(400.0)  # several group_interval flushes
+        assert len(sent) == 1
+
+    def test_repeat_interval_renotifies(self):
+        clock, am, sent = self.make_am()
+        am.receive([firing("TargetDown", instance="a")], 0.0)
+        clock.advance(700.0)  # past repeat_interval=600
+        assert len(sent) == 2
+        assert all(n.status == "firing" for n in sent)
+
+    def test_new_alert_in_group_notifies_at_group_interval(self):
+        clock, am, sent = self.make_am()
+        am.receive([firing("TargetDown", instance="a")], 0.0)
+        clock.advance(45.0)
+        assert len(sent) == 1
+        am.receive([firing("TargetDown", instance="b")], 50.0)
+        # second notification waits for group_interval, not group_wait
+        clock.advance(60.0)
+        assert len(sent) == 1
+        clock.advance(120.0)
+        assert len(sent) == 2
+        assert [a["labels"]["instance"] for a in sent[1].alerts] == ["a", "b"]
+
+    def test_resolution_produces_resolved_notification(self):
+        clock, am, sent = self.make_am()
+        am.receive([firing("TargetDown", instance="a")], 0.0)
+        clock.advance(45.0)
+        am.receive([resolved("TargetDown", instance="a")], 60.0)
+        clock.advance(200.0)
+        assert [n.status for n in sent] == ["firing", "resolved"]
+        # the emptied group is garbage-collected
+        assert am._groups == {}
+
+    def test_different_alertnames_group_separately(self):
+        clock, am, sent = self.make_am()
+        am.receive([firing("TargetDown", instance="a"), firing("PowerHigh", instance="a")], 0.0)
+        clock.advance(45.0)
+        assert {n.group_labels["alertname"] for n in sent} == {"TargetDown", "PowerHigh"}
+
+    def test_notification_log_is_bounded(self):
+        clock = SimClock(start=0.0)
+        am = Alertmanager(clock, notification_log_size=3)
+        am.register_timer(clock)
+        for i in range(6):
+            am.receive([firing("A", instance=f"n{i}")], clock.now())
+            clock.advance(400.0)
+        assert am.notifications_total > 3
+        assert len(am.notification_log) == 3
+
+
+class TestSilences:
+    def test_silence_suppresses_notification(self):
+        clock = SimClock(start=0.0)
+        am = Alertmanager(clock)
+        am.register_timer(clock)
+        sent = []
+        am.receivers["default"] = sent.append
+        am.add_silence(
+            [{"name": "alertname", "value": "TargetDown"}], ends_at=1000.0
+        )
+        am.receive([firing("TargetDown", instance="a")], 0.0)
+        clock.advance(120.0)
+        assert sent == []
+        status = am.status_of(Labels({"alertname": "TargetDown", "instance": "a"}))
+        assert status["state"] == "suppressed"
+        assert status["silencedBy"] == ["silence-1"]
+
+    def test_silence_ttl_expiry_lets_alerts_through(self):
+        clock = SimClock(start=0.0)
+        am = Alertmanager(clock)
+        am.register_timer(clock)
+        sent = []
+        am.receivers["default"] = sent.append
+        am.add_silence([{"name": "alertname", "value": "TargetDown"}], ends_at=100.0)
+        am.receive([firing("TargetDown", instance="a")], 0.0)
+        clock.advance(90.0)
+        assert sent == []
+        clock.advance(300.0)  # silence expired; next flush delivers
+        assert len(sent) == 1
+
+    def test_regex_matchers(self):
+        silence = Silence(
+            id="s",
+            matchers=[{"name": "instance", "value": "node-[0-9]+", "isRegex": True}],
+            starts_at=0.0,
+            ends_at=100.0,
+        )
+        assert silence.matches(Labels({"instance": "node-7"}))
+        assert not silence.matches(Labels({"instance": "node-x"}))
+        assert not silence.matches(Labels({"instance": "xnode-7x"}))
+
+    def test_expire_and_gc(self):
+        clock = SimClock(start=0.0)
+        am = Alertmanager(clock)
+        s = am.add_silence([{"name": "a", "value": "b"}], ends_at=1e9)
+        am._now = 50.0
+        assert am.expire_silence(s.id)
+        assert s.state(51.0) == "expired"
+        assert not am.expire_silence("nope")
+        am._now = 50.0 + 7200.0
+        assert am.gc_silences(keep_expired_for=3600.0) == 1
+        assert am.silences == {}
+
+
+class TestInhibition:
+    def make_am(self):
+        clock = SimClock(start=0.0)
+        am = Alertmanager(
+            clock,
+            inhibit_rules=[
+                InhibitRule(
+                    source_match={"alertname": "TargetDown"},
+                    target_match={"alertname": "CollectorFailed"},
+                    equal=("instance",),
+                )
+            ],
+        )
+        am.register_timer(clock)
+        sent = []
+        am.receivers["default"] = sent.append
+        return clock, am, sent
+
+    def test_source_inhibits_target_on_equal_labels(self):
+        clock, am, sent = self.make_am()
+        am.receive(
+            [firing("TargetDown", instance="a"), firing("CollectorFailed", instance="a")],
+            0.0,
+        )
+        clock.advance(120.0)
+        names = {n.group_labels["alertname"] for n in sent}
+        assert names == {"TargetDown"}
+        status = am.status_of(Labels({"alertname": "CollectorFailed", "instance": "a"}))
+        assert status["state"] == "suppressed"
+        assert status["inhibitedBy"] == ["TargetDown"]
+
+    def test_no_inhibition_across_instances(self):
+        clock, am, sent = self.make_am()
+        am.receive(
+            [firing("TargetDown", instance="a"), firing("CollectorFailed", instance="b")],
+            0.0,
+        )
+        clock.advance(120.0)
+        assert {n.group_labels["alertname"] for n in sent} == {
+            "TargetDown",
+            "CollectorFailed",
+        }
+
+    def test_silenced_source_does_not_inhibit(self):
+        clock, am, sent = self.make_am()
+        am.add_silence([{"name": "alertname", "value": "TargetDown"}], ends_at=1e9)
+        am.receive(
+            [firing("TargetDown", instance="a"), firing("CollectorFailed", instance="a")],
+            0.0,
+        )
+        clock.advance(120.0)
+        assert {n.group_labels["alertname"] for n in sent} == {"CollectorFailed"}
+
+
+class TestJSONLReceiver:
+    def test_appends_one_object_per_notification(self, tmp_path):
+        path = tmp_path / "notify.jsonl"
+        clock = SimClock(start=0.0)
+        am = Alertmanager(clock)
+        am.register_timer(clock)
+        am.receivers["default"] = JSONLReceiver(str(path))
+        am.receive([firing("TargetDown", instance="a")], 0.0)
+        clock.advance(60.0)
+        am.receive([resolved("TargetDown", instance="a")], 70.0)
+        clock.advance(400.0)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [entry["status"] for entry in lines] == ["firing", "resolved"]
+        assert lines[0]["alerts"][0]["labels"]["alertname"] == "TargetDown"
+
+
+class TestHTTPSurface:
+    def make_am(self):
+        clock = SimClock(start=0.0)
+        am = Alertmanager(clock)
+        am.register_timer(clock)
+        return clock, am
+
+    def test_silence_crud_roundtrip(self):
+        _clock, am = self.make_am()
+        resp = am.app.post(
+            "/api/v1/silences",
+            body=json.dumps(
+                {
+                    "matchers": [{"name": "alertname", "value": "X"}],
+                    "endsAt": 500.0,
+                    "createdBy": "ops",
+                    "comment": "maintenance",
+                }
+            ).encode(),
+        )
+        assert resp.status == 200
+        sid = json.loads(resp.body)["data"]["silenceID"]
+
+        resp = am.app.get("/api/v1/silences")
+        data = json.loads(resp.body)["data"]
+        assert [s["id"] for s in data] == [sid]
+        assert data[0]["status"]["state"] == "active"
+
+        resp = am.app.get(f"/api/v1/silence/{sid}")
+        assert json.loads(resp.body)["data"]["createdBy"] == "ops"
+
+        resp = am.app.handle(Request.from_url("DELETE", f"/api/v1/silence/{sid}"))
+        assert resp.status == 200
+        assert am.silences[sid].state(1.0) == "expired"
+
+        resp = am.app.handle(Request.from_url("DELETE", "/api/v1/silence/unknown"))
+        assert resp.status == 404
+
+    def test_post_silence_validation(self):
+        _clock, am = self.make_am()
+        assert am.app.post("/api/v1/silences", body=b"{").status == 400
+        assert am.app.post("/api/v1/silences", body=b"{}").status == 400
+        assert (
+            am.app.post(
+                "/api/v1/silences",
+                body=json.dumps({"matchers": [{"name": "a", "value": "b"}]}).encode(),
+            ).status
+            == 400
+        )  # missing endsAt
+
+    def test_alerts_endpoint_reflects_active_and_suppressed(self):
+        clock, am = self.make_am()
+        am.receive([firing("TargetDown", instance="a")], 0.0)
+        am.add_silence([{"name": "instance", "value": "a"}], ends_at=1e9)
+        data = json.loads(am.app.get("/api/v1/alerts").body)["data"]
+        assert len(data) == 1
+        assert data[0]["labels"]["alertname"] == "TargetDown"
+        assert data[0]["status"]["state"] == "suppressed"
+
+    def test_external_alert_post(self):
+        clock, am = self.make_am()
+        sent = []
+        am.receivers["default"] = sent.append
+        resp = am.app.post(
+            "/api/v1/alerts",
+            body=json.dumps(
+                [{"labels": {"alertname": "DiskFull", "instance": "n1"}}]
+            ).encode(),
+        )
+        assert resp.status == 200
+        clock.advance(60.0)
+        assert len(sent) == 1
+        assert sent[0].alerts[0]["labels"]["alertname"] == "DiskFull"
+
+    def test_status_endpoint(self):
+        _clock, am = self.make_am()
+        data = json.loads(am.app.get("/api/v1/status").body)["data"]
+        assert data["activeAlerts"] == 0
+        assert data["notificationsTotal"] == 0
+
+
+class TestRuleEvaluatorIntegration:
+    def make_stack(self):
+        db = TSDB()
+        evaluator = RuleEvaluator(db, lookback=300.0)
+        evaluator.add_alert_group(
+            AlertingRuleGroup(
+                name="test-alerts",
+                interval=30.0,
+                rules=[AlertingRule(name="CondHigh", expr="cond == 1", hold=60.0)],
+            )
+        )
+        return db, evaluator
+
+    def set_cond(self, db, at, value, instance="n0"):
+        db.append(Labels({"__name__": "cond", "instance": instance}), at, value)
+
+    def test_alerts_series_lifecycle(self):
+        db, evaluator = self.make_stack()
+        engine_db = db
+        self.set_cond(db, 0.0, 1.0)
+        evaluator.evaluate_alerts(0.0)
+        from repro.tsdb.promql.engine import PromQLEngine
+
+        engine = PromQLEngine(engine_db, lookback=300.0)
+        res = engine.query('ALERTS{alertname="CondHigh"}', at=1.0)
+        assert [el.labels.get("alertstate") for el in res.vector] == ["pending"]
+
+        self.set_cond(db, 60.0, 1.0)
+        evaluator.evaluate_alerts(65.0)
+        res = engine.query('ALERTS{alertname="CondHigh"}', at=66.0)
+        assert [el.labels.get("alertstate") for el in res.vector] == ["firing"]
+        assert evaluator.firing_count == 1 and evaluator.pending_count == 0
+
+        # resolution stale-marks the firing series
+        self.set_cond(db, 90.0, 0.0)
+        evaluator.evaluate_alerts(95.0)
+        res = engine.query("ALERTS", at=96.0)
+        assert res.vector == []
+        assert evaluator.firing_count == 0
+
+    def test_notifier_receives_transitions(self):
+        db, evaluator = self.make_stack()
+        received = []
+        evaluator.notifier = lambda transitions, now: received.append(
+            (now, [t.state for t in transitions])
+        )
+        self.set_cond(db, 0.0, 1.0)
+        evaluator.evaluate_alerts(0.0)  # pending only: no notification
+        self.set_cond(db, 60.0, 1.0)
+        evaluator.evaluate_alerts(65.0)
+        assert received == [(65.0, [AlertState.FIRING])]
+
+    def test_duplicate_alert_group_rejected(self):
+        _db, evaluator = self.make_stack()
+        from repro.common.errors import QueryError
+
+        with pytest.raises(QueryError):
+            evaluator.add_alert_group(AlertingRuleGroup(name="test-alerts", interval=30.0))
+
+    def test_register_metrics_gauges(self):
+        from repro.obs.registry import MetricsRegistry
+
+        db, evaluator = self.make_stack()
+        registry = MetricsRegistry()
+        evaluator.register_metrics(registry)
+        self.set_cond(db, 0.0, 1.0)
+        evaluator.evaluate_alerts(0.0)
+        rendered = {
+            f"{fam.name}": {pt.value for pt in fam.points} for fam in registry.collect()
+        }
+        assert rendered["ceems_alerts_pending"] == {1.0}
+        assert rendered["ceems_alerts_firing"] == {0.0}
+        assert rendered["ceems_alert_rule_evaluations_total"] == {1.0}
+
+
+class TestPromAPIDelegation:
+    def make_api(self):
+        from repro.tsdb.http import PromAPI
+
+        db = TSDB()
+        clock = SimClock(start=0.0)
+        evaluator = RuleEvaluator(db, lookback=300.0)
+        evaluator.add_alert_group(
+            AlertingRuleGroup(
+                name="test-alerts",
+                interval=30.0,
+                rules=[AlertingRule(name="CondHigh", expr="cond == 1", hold=0.0)],
+            )
+        )
+        am = Alertmanager(clock)
+        evaluator.notifier = am.receive
+        api = PromAPI(db, rules=evaluator, alertmanager=am)
+        return db, evaluator, am, api
+
+    def test_rules_endpoint_lists_groups_and_state(self):
+        db, evaluator, _am, api = self.make_api()
+        db.append(Labels({"__name__": "cond", "instance": "n0"}), 0.0, 1.0)
+        evaluator.evaluate_alerts(1.0)
+        data = json.loads(api.app.get("/api/v1/rules").body)["data"]
+        groups = {g["name"]: g for g in data["groups"]}
+        rule = groups["test-alerts"]["rules"][0]
+        assert rule["type"] == "alerting"
+        assert rule["state"] == "firing"
+        assert rule["alerts"][0]["labels"]["instance"] == "n0"
+
+    def test_alerts_endpoint_includes_am_status(self):
+        db, evaluator, am, api = self.make_api()
+        db.append(Labels({"__name__": "cond", "instance": "n0"}), 0.0, 1.0)
+        evaluator.evaluate_alerts(1.0)
+        am.add_silence([{"name": "alertname", "value": "CondHigh"}], ends_at=1e9)
+        data = json.loads(api.app.get("/api/v1/alerts").body)["data"]["alerts"]
+        assert data[0]["state"] == "firing"
+        assert data[0]["status"]["state"] == "suppressed"
+
+    def test_silences_delegated(self):
+        _db, _ev, am, api = self.make_api()
+        resp = api.app.post(
+            "/api/v1/silences",
+            body=json.dumps(
+                {"matchers": [{"name": "a", "value": "b"}], "endsAt": 100.0}
+            ).encode(),
+        )
+        assert resp.status == 200
+        assert len(am.silences) == 1
+
+    def test_silences_404_without_alertmanager(self):
+        from repro.tsdb.http import PromAPI
+
+        api = PromAPI(TSDB())
+        assert api.app.get("/api/v1/silences").status == 404
+        # rules/alerts endpoints degrade to empty rather than erroring
+        assert json.loads(api.app.get("/api/v1/rules").body)["data"]["groups"] == []
+        assert json.loads(api.app.get("/api/v1/alerts").body)["data"]["alerts"] == []

@@ -15,9 +15,14 @@ from repro.tsdb.promql.parser import parse_expr
 
 
 class TestDashboardStructure:
-    def test_three_dashboards(self):
+    def test_shipped_dashboards(self):
         dashboards = all_dashboards()
-        assert set(dashboards) == {"ceems-fig2a", "ceems-fig2b", "ceems-fig2c"}
+        assert set(dashboards) == {
+            "ceems-fig2a",
+            "ceems-fig2b",
+            "ceems-fig2c",
+            "ceems-ops-alerting",
+        }
 
     def test_schema_fields_present(self):
         for dashboard in all_dashboards().values():
@@ -43,7 +48,7 @@ class TestDashboardStructure:
 
     def test_bundle_is_valid_json(self):
         bundle = json.loads(export_provisioning_bundle())
-        assert len(bundle) == 3
+        assert len(bundle) == 4
 
 
 class TestFig2aDashboard:

@@ -323,10 +323,14 @@ class TestSimulationDifferential:
     Self-telemetry is excluded: wall-clock series (request-latency
     histograms, CPU seconds) differ between any two runs regardless
     of mode, and the scrape-cache counters differ by construction.
+    The alerting control plane rides on those wall-clock series too
+    (probe durations, latency-SLO ratios, the ALERTS state series
+    they can trigger), so its jobs and series prefixes are excluded
+    for the same reason.
     """
 
-    META_JOBS = ("prometheus", "ceems-api", "ceems-lb")
-    SELF_PREFIXES = ("ceems_http_", "ceems_exporter_")
+    META_JOBS = ("prometheus", "ceems-api", "ceems-lb", "alertmanager", "blackbox")
+    SELF_PREFIXES = ("ceems_http_", "ceems_exporter_", "probe_", "slo:", "ALERTS")
 
     @classmethod
     def data_plane(cls, db):
