@@ -1,0 +1,243 @@
+"""Governor guards: daemon overhead and the carbon dividend.
+
+Two promises ride with the carbon-aware control plane:
+
+1. **It is cheap.**  A 10 Hz accumulator daemon sounds expensive next
+   to a 15 s scrape loop; amortized to per-second rates it must stay
+   under 5% of the monitoring data plane (scraping + recording rules)
+   it runs beside.  The unchanged-counter fast path in
+   ``NodeAccumulator.poll`` is what this bound protects.
+
+2. **It pays for itself.**  On a seeded 24 h run, deferring
+   deferrable jobs out of high-carbon windows must yield a positive
+   avoided-gCO2e figure, and the governed fleet must emit less than
+   the identical ungoverned baseline (same seed, same submissions).
+
+Results land in ``BENCH_governor.json`` for the CI artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+
+from repro.cluster import StackSimulation, small_topology
+from repro.cluster.simulation import SimulationConfig
+from repro.energy.rules_library import EMISSIONS_METRIC
+from repro.resourcemgr.workload import SizeClass, WorkloadMix
+
+ARTIFACT_PATH = "BENCH_governor.json"
+
+#: Amortized per-second daemon cost (10 Hz polls + policy steps)
+#: relative to the data plane (scrape + recording cycles).
+OVERHEAD_BOUND = 0.05
+
+#: Poll calls per timing batch — one poll is ~1-2 µs, far too small
+#: to time individually against perf_counter granularity.
+POLL_BATCH = 2000
+BEST_OF_RUNS = 7
+
+DAY = 24 * 3600.0
+
+
+def _merge_artifact(section: str, payload: dict) -> None:
+    try:
+        with open(ARTIFACT_PATH, encoding="utf-8") as fh:
+            artifact = json.load(fh)
+        if not isinstance(artifact, dict):
+            artifact = {}
+    except (OSError, ValueError):
+        artifact = {}
+    artifact[section] = payload
+    with open(ARTIFACT_PATH, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2)
+
+
+def _best_of(fn, runs: int = BEST_OF_RUNS) -> float:
+    fn()  # warm caches outside the timed runs
+    best = math.inf
+    for _ in range(runs):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+# -- 1. daemon overhead ----------------------------------------------------
+
+
+def test_daemon_overhead_under_bound():
+    """10 Hz polls + policy steps must stay <5% of the data plane."""
+    sim = StackSimulation(
+        small_topology(cpu_nodes=2, gpu_nodes=1),
+        SimulationConfig(
+            seed=5,
+            governor=True,
+            governor_poll_interval=0.1,
+            carbon_policy="threshold",
+            carbon_cap_w=90.0,
+            meta_monitoring=False,
+            probe_interval=0.0,
+            with_alerting=False,
+        ),
+    )
+    sim.run(600.0)  # realistic series population before timing
+    gov, now, cfg = sim.governor, sim.now, sim.config
+
+    scrape = _best_of(lambda: sim.scrape_manager.scrape_all(now))
+    record = _best_of(lambda: sim.rule_evaluator.evaluate_all(now))
+
+    def poll_batch():
+        for _ in range(POLL_BATCH):
+            gov.poll(now)
+
+    poll = _best_of(poll_batch) / POLL_BATCH
+    policy = _best_of(lambda: gov.policy_step(now))
+
+    data_plane = scrape / cfg.scrape_interval + record / cfg.rule_interval
+    daemon = poll / cfg.governor_poll_interval + policy / cfg.governor_interval
+    ratio = daemon / data_plane
+    print(
+        f"\n[governor] scrape={scrape * 1e3:.2f}ms record={record * 1e3:.2f}ms "
+        f"poll={poll * 1e6:.2f}µs policy={policy * 1e6:.1f}µs "
+        f"daemon={daemon * 1e6:.1f}µs/s ratio={ratio * 100:.2f}%"
+    )
+    _merge_artifact(
+        "daemon_overhead",
+        {
+            "scrape_cycle_seconds": scrape,
+            "recording_cycle_seconds": record,
+            "poll_seconds": poll,
+            "policy_step_seconds": policy,
+            "intervals": {
+                "scrape": cfg.scrape_interval,
+                "rules": cfg.rule_interval,
+                "poll": cfg.governor_poll_interval,
+                "policy": cfg.governor_interval,
+            },
+            "bound": OVERHEAD_BOUND,
+            "overhead_ratio": ratio,
+        },
+    )
+    assert ratio < OVERHEAD_BOUND, ratio
+
+
+# -- 2. avoided emissions vs an ungoverned baseline ------------------------
+
+#: One deliberately deferral-friendly workload: over half the jobs are
+#: carbon-deferrable, so a 24 h run moves a meaningful share of the
+#: fleet's energy out of the morning/evening intensity peaks.
+MIX = WorkloadMix(
+    mean_interarrival=900.0,
+    duration_mu=7.2,
+    deferrable_fraction=0.6,
+    sizes=(SizeClass("s", weight=1.0, ncores=8, memory_gb=16),),
+)
+
+
+def _lean_config(**overrides) -> SimulationConfig:
+    return SimulationConfig(
+        seed=17,
+        with_emissions_providers=("rte",),
+        meta_monitoring=False,
+        probe_interval=0.0,
+        with_alerting=False,
+        update_interval=3600.0,
+        **overrides,
+    )
+
+
+def _fleet_emissions_g(sim) -> float:
+    """Integral of fleet power × grid intensity over the run.
+
+    Deliberately *node*-level: Eq. 1's per-unit attribution splits
+    shared/idle power by allocated cores, so packing jobs tighter
+    (exactly what deferral release bursts do) attributes *more* of
+    the constant idle power to units — an artifact that would mask
+    the real fleet-level reduction an external watt-meter sees.
+    """
+    step = sim.config.rule_interval
+    start = sim.config.start_time + step
+    end = sim.now
+    power = sim.engine.query_range("sum(ceems:node:power_watts)", start, end, step)
+    intensity = sim.engine.query_range(
+        'ceems_emissions_gCo2_kWh{provider="resolved"}', start, end, step
+    )
+    if not power.series or not intensity.series:
+        return 0.0
+    (p_ts, p_vals) = next(iter(power.series.values()))
+    (i_ts, i_vals) = next(iter(intensity.series.values()))
+    by_ts = dict(zip(i_ts.tolist(), i_vals.tolist()))
+    total_g = 0.0
+    for t, watts in zip(p_ts.tolist(), p_vals.tolist()):
+        g_per_kwh = by_ts.get(t)
+        if g_per_kwh is None or watts != watts or g_per_kwh != g_per_kwh:
+            continue  # missing or NaN sample
+        total_g += watts * g_per_kwh / 3.6e6 * step
+    return total_g
+
+
+def _attributed_emissions_g(sim) -> float:
+    """Integral of the per-unit emission-rate series (Eq. 1 view)."""
+    result = sim.engine.query(
+        f"sum(sum_over_time({EMISSIONS_METRIC}[{int(DAY)}s]))", at=sim.now
+    )
+    if not result.vector:
+        return 0.0
+    return result.vector[0].value * sim.config.rule_interval
+
+
+def test_governed_day_avoids_emissions():
+    baseline = StackSimulation(
+        small_topology(cpu_nodes=2, gpu_nodes=0), _lean_config(), workload=MIX
+    )
+    baseline.run(DAY)
+
+    governed = StackSimulation(
+        small_topology(cpu_nodes=2, gpu_nodes=0),
+        _lean_config(
+            governor=True,
+            # 1 s polls keep a 24 h bench affordable; still 15 polls
+            # per node step, far inside the single-wrap regime.
+            governor_poll_interval=1.0,
+            carbon_policy="threshold",
+            carbon_threshold=75.0,
+            carbon_cap_w=90.0,
+        ),
+        workload=MIX,
+    )
+    governed.run(DAY)
+    gov = governed.governor
+
+    baseline_g = _fleet_emissions_g(baseline)
+    governed_g = _fleet_emissions_g(governed)
+    print(
+        f"\n[governor] 24h fleet emissions: baseline={baseline_g:.1f}g "
+        f"governed={governed_g:.1f}g "
+        f"(deferred={gov.jobs_deferred_total} released={gov.jobs_released_total} "
+        f"claimed_avoided={gov.co2e_avoided_g:.2f}g)"
+    )
+    _merge_artifact(
+        "carbon_dividend",
+        {
+            "hours": 24.0,
+            "baseline_fleet_emissions_g": baseline_g,
+            "governed_fleet_emissions_g": governed_g,
+            "reduction_g": baseline_g - governed_g,
+            "baseline_attributed_g": _attributed_emissions_g(baseline),
+            "governed_attributed_g": _attributed_emissions_g(governed),
+            "jobs_deferred": gov.jobs_deferred_total,
+            "jobs_released": gov.jobs_released_total,
+            "claimed_avoided_g": gov.co2e_avoided_g,
+            "cap_writes": gov.cap_writes_total,
+        },
+    )
+    # The control loop actually engaged...
+    assert gov.jobs_deferred_total > 0
+    assert gov.jobs_released_total > 0
+    # ...claims a positive dividend...
+    assert gov.co2e_avoided_g > 0.0
+    # ...and the governed fleet really emitted less than the identical
+    # ungoverned day.
+    assert governed_g < baseline_g

@@ -54,6 +54,11 @@ def _build_sim(args: argparse.Namespace) -> StackSimulation:
             alert_interval=getattr(args, "alert_interval", 60.0),
             probe_interval=getattr(args, "probe_interval", 60.0),
             notify_log=getattr(args, "notify_log", ""),
+            governor=getattr(args, "governor", False),
+            carbon_policy=getattr(args, "carbon_policy", ""),
+            carbon_threshold=getattr(args, "carbon_threshold", 75.0),
+            carbon_cap_w=getattr(args, "carbon_cap_w", 0.0),
+            power_cap_w=getattr(args, "power_cap_w", 0.0),
         ),
     )
 
@@ -80,6 +85,14 @@ def _print_report(sim: StackSimulation, out) -> None:
         print("node power by class:", file=out)
         for el in sorted(result.vector, key=lambda e: -e.value):
             print(f"  {el.labels.get('nodegroup'):<16} {el.value / 1000:8.2f} kW", file=out)
+    if sim.governor is not None:
+        gov = sim.governor
+        print("governor:", file=out)
+        print(f"  accumulated energy: {format_energy(sum(a.joules for a in gov.accumulators.values()))}", file=out)
+        print(f"  counter wraps folded: {sum(a.wraps for a in gov.accumulators.values())}", file=out)
+        print(f"  cap writes: {gov.cap_writes_total}", file=out)
+        print(f"  jobs deferred/released: {gov.jobs_deferred_total}/{gov.jobs_released_total}", file=out)
+        print(f"  co2e avoided vs uncontrolled: {format_co2(gov.co2e_avoided_g)}", file=out)
 
 
 def cmd_simulate(args: argparse.Namespace, out=sys.stdout) -> int:
@@ -149,9 +162,11 @@ DEFAULT_RULES_PATH = "etc/prometheus-rules.yml"
 
 def generate_rules_text() -> str:
     """The canonical Prometheus rules file: Eq. (1) recording groups,
-    SLO burn-rate series, the CEEMS alert pack and SLO burn alerts."""
+    SLO burn-rate series, the CEEMS alert pack, SLO burn alerts and
+    the governor control-plane alerts."""
     from repro.energy import standard_rule_groups
     from repro.energy.export import alerting_rules_to_dict, rules_file
+    from repro.governor.rules import governor_alert_rules
     from repro.obs.slo import slo_alert_group, slo_recording_group, standard_slos
     from repro.tsdb.alerts import ceems_alert_rules
 
@@ -164,6 +179,7 @@ def generate_rules_text() -> str:
             alerting_rules_to_dict(
                 slo_alerts.name, slo_alerts.rules, interval=slo_alerts.interval
             ),
+            alerting_rules_to_dict("governor-alerts", governor_alert_rules()),
         ],
     )
 
@@ -361,6 +377,42 @@ def build_parser() -> argparse.ArgumentParser:
             default="",
             dest="notify_log",
             help="JSONL file receiving grouped Alertmanager notifications",
+        )
+        p.add_argument(
+            "--governor",
+            action="store_true",
+            help="run the carbon-aware governor daemon (10 Hz RAPL "
+            "accumulators, power capping, ceems_governor_* metrics)",
+        )
+        p.add_argument(
+            "--carbon-policy",
+            choices=("threshold", "percentile"),
+            default="",
+            dest="carbon_policy",
+            help="carbon admission policy: defer deferrable jobs while grid "
+            "intensity is above a fixed threshold or a trailing-24h percentile",
+        )
+        p.add_argument(
+            "--carbon-threshold",
+            type=float,
+            default=75.0,
+            dest="carbon_threshold",
+            help="gCO2e/kWh cut-off for --carbon-policy threshold",
+        )
+        p.add_argument(
+            "--carbon-cap-w",
+            type=float,
+            default=0.0,
+            dest="carbon_cap_w",
+            help="per-socket package cap (W) applied during high-carbon "
+            "windows (0 = defer only)",
+        )
+        p.add_argument(
+            "--power-cap-w",
+            type=float,
+            default=0.0,
+            dest="power_cap_w",
+            help="static per-socket package power cap in watts (0 = off)",
         )
 
     p_sim = sub.add_parser("simulate", help="run a deployment and print the operator report")

@@ -130,6 +130,27 @@ class SimulationConfig:
     #: Run the alerting control plane (rule evaluator alert groups,
     #: Alertmanager, SLO burn-rate rules).
     with_alerting: bool = True
+    #: Run the carbon-aware governor daemon (``--governor``).
+    governor: bool = False
+    #: Accumulator poll cadence (10 Hz default — fast enough that a
+    #: RAPL wrap can never hide between polls).
+    governor_poll_interval: float = 0.1
+    #: Governor policy-loop cadence (cap writes, carbon window
+    #: classification, deferral release, avoided-CO2e accounting).
+    governor_interval: float = 60.0
+    #: Carbon admission policy (``--carbon-policy``): "" = off,
+    #: "threshold" = fixed gCO2e/kWh cut-off, "percentile" = trailing
+    #: 24 h percentile of the 15-min intensity curve.
+    carbon_policy: str = ""
+    #: Cut-off for carbon_policy="threshold" (gCO2e/kWh).
+    carbon_threshold: float = 75.0
+    #: Percentile for carbon_policy="percentile" (0-100).
+    carbon_percentile: float = 75.0
+    #: Per-socket package cap during high-carbon windows (W; 0 = defer
+    #: only, no capping).
+    carbon_cap_w: float = 0.0
+    #: Static per-socket package cap, always on (W; 0 = off).
+    power_cap_w: float = 0.0
 
     @classmethod
     def from_stack_config(cls, stack, **overrides) -> "SimulationConfig":
@@ -352,6 +373,62 @@ class StackSimulation:
             else None
         )
 
+        # -- carbon-aware governor ---------------------------------------------
+        self.governor = None
+        if cfg.governor:
+            from repro.governor import (
+                CarbonPolicy,
+                GovernorDaemon,
+                StaticCapPolicy,
+                governor_alert_rules,
+            )
+
+            carbon_policy = None
+            if cfg.carbon_policy:
+                intensity = lambda t: self.emission_registry.factor(cfg.zone, t).value  # noqa: E731
+                if cfg.carbon_policy == "threshold":
+                    carbon_policy = CarbonPolicy(
+                        intensity,
+                        threshold_g_kwh=cfg.carbon_threshold,
+                        high_cap_w=cfg.carbon_cap_w,
+                    )
+                elif cfg.carbon_policy == "percentile":
+                    carbon_policy = CarbonPolicy(
+                        intensity,
+                        percentile=cfg.carbon_percentile,
+                        high_cap_w=cfg.carbon_cap_w,
+                    )
+                else:
+                    raise ValueError(f"unknown carbon policy {cfg.carbon_policy!r}")
+            cap_policy = StaticCapPolicy(cfg.power_cap_w) if cfg.power_cap_w > 0 else None
+            self.governor = GovernorDaemon(
+                self.nodes,
+                self.clock,
+                slurm=self.slurm,
+                cap_policy=cap_policy,
+                carbon_policy=carbon_policy,
+                poll_interval=cfg.governor_poll_interval,
+                policy_interval=cfg.governor_interval,
+            )
+            governor_target = ScrapeTarget(
+                app=self.governor.app, instance="governor:9050", job="governor"
+            )
+            # exporter_targets was already handed to the scrape
+            # manager; register the new target with both (the prober
+            # walks exporter_targets later).
+            exporter_targets.append(governor_target)
+            self.scrape_manager.add_targets([governor_target])
+            if cfg.with_alerting:
+                from repro.tsdb.alerts import AlertingRuleGroup
+
+                self.rule_evaluator.add_alert_group(
+                    AlertingRuleGroup(
+                        name="governor-alerts",
+                        interval=cfg.alert_interval,
+                        rules=governor_alert_rules(),
+                    )
+                )
+
         # -- API server ----------------------------------------------------------
         self.db = Database(":memory:")
         self.estimator = UnitEnergyEstimator(self.engine, step=cfg.rule_interval)
@@ -475,6 +552,9 @@ class StackSimulation:
         # Ordering within a tick follows registration order: physics
         # first, then collection, then derivation, then aggregation.
         self.clock.every(cfg.node_step, self._advance_nodes)
+        if self.governor is not None:
+            # Accumulation right after physics, policy after scheduling.
+            self.governor.register_timers(self.clock)
         if self.workload_generator is not None:
             self.workload_generator.register_timer(self.clock, self.slurm)
         self.clock.every(cfg.slurm_step, self.slurm.step)
@@ -513,7 +593,7 @@ class StackSimulation:
 
     def stats(self) -> dict[str, float]:
         """Headline deployment statistics (for examples and benches)."""
-        return {
+        out = {
             "nodes": len(self.nodes),
             "gpus": sum(len(n.gpus) for n in self.nodes),
             "tsdb_series": self.hot_tsdb.num_series,
@@ -524,3 +604,12 @@ class StackSimulation:
             "units_in_db": self.db.count_units(),
             "thanos_blocks": len(self.object_store.blocks),
         }
+        if self.governor is not None:
+            out.update(
+                governor_polls=float(self.governor.polls_total),
+                governor_cap_writes=float(self.governor.cap_writes_total),
+                jobs_deferred=float(self.governor.jobs_deferred_total),
+                jobs_released=float(self.governor.jobs_released_total),
+                co2e_avoided_g=self.governor.co2e_avoided_g,
+            )
+        return out

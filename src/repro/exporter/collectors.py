@@ -216,12 +216,37 @@ class CgroupCollector(Collector):
 
 
 class RAPLCollector(Collector):
-    """RAPL package/DRAM energy counters from the powercap interface."""
+    """RAPL package/DRAM energy counters from the powercap interface.
+
+    Two data paths:
+
+    * **raw** (default): the wrapped ``energy_uj`` counters, exactly
+      what the real exporter reads.  Wrap subtraction downstream is
+      only safe while at most one wrap fits in a scrape interval, so
+      every scrape also emits ``ceems_rapl_counter_trustworthy`` — an
+      ``up 0``-style guard that drops to 0 whenever the elapsed
+      interval could hide a full counter range (small
+      ``max_energy_range_uj``, long scrape gap, missed scrapes).
+    * **accumulator**: when a governor daemon has attached its
+      high-rate accumulator to the node
+      (``node.governor_accumulator``), energy is served aliasing-free
+      from the accumulator under the same names/labels, and
+      per-compute-unit attributed energy
+      (``ceems_compute_unit_rapl_joules_total``) appears alongside.
+    """
 
     name = "rapl"
 
+    #: No RAPL domain in this simulation plausibly sustains more than
+    #: 1 kW; used to bound how much energy one scrape interval can
+    #: hide (the double-wrap guard).
+    MAX_PLAUSIBLE_DOMAIN_WATTS = 1000.0
+
     def __init__(self, node: SimulatedNode) -> None:
         self.node = node
+        #: powercap path -> (scrape time, raw µJ) of the previous
+        #: collect, for the trustworthiness verdict.
+        self._last_raw: dict[str, tuple[float, int]] = {}
 
     def collect(self, now: float) -> list[MetricFamily]:
         package = MetricFamily(
@@ -234,17 +259,72 @@ class RAPLCollector(Collector):
             help="RAPL DRAM domain energy counter.",
             type="counter",
         )
+        trust = MetricFamily(
+            "ceems_rapl_counter_trustworthy",
+            help="0 when the scrape interval could hide a full counter "
+            "range (wrap subtraction no longer safe).",
+            type="gauge",
+        )
+        acc = getattr(self.node, "governor_accumulator", None)
         for pkg in self.node.rapl:
             entries = pkg.sysfs_entries()
             base = f"intel-rapl:{pkg.socket}"
-            package.add(float(entries[f"{base}/energy_uj"]) / 1e6, socket=str(pkg.socket), path=base)
+            labels = {"socket": str(pkg.socket), "path": base}
+            raw_uj = int(entries[f"{base}/energy_uj"])
+            joules = (
+                acc.domain_joules("package", pkg.socket)
+                if acc is not None
+                else raw_uj / 1e6
+            )
+            package.add(joules, **labels)
+            trust.add(
+                self._trustworthy(base, now, raw_uj, pkg.package.max_energy_range_uj),
+                **labels,
+            )
             if pkg.dram is not None:
-                dram.add(
-                    float(entries[f"{base}:0/energy_uj"]) / 1e6,
-                    socket=str(pkg.socket),
-                    path=f"{base}:0",
+                sub = f"{base}:0"
+                labels = {"socket": str(pkg.socket), "path": sub}
+                raw_uj = int(entries[f"{sub}/energy_uj"])
+                joules = (
+                    acc.domain_joules("dram", pkg.socket)
+                    if acc is not None
+                    else raw_uj / 1e6
                 )
-        return [package, dram]
+                dram.add(joules, **labels)
+                trust.add(
+                    self._trustworthy(sub, now, raw_uj, pkg.dram.max_energy_range_uj),
+                    **labels,
+                )
+        families = [package, dram, trust]
+        if acc is not None:
+            families.append(self._collect_units(acc))
+        return families
+
+    def _trustworthy(self, path: str, now: float, raw_uj: int, max_range_uj: int) -> float:
+        """Double-wrap guard for one domain's raw counter path."""
+        prev = self._last_raw.get(path)
+        self._last_raw[path] = (now, raw_uj)
+        if prev is None:
+            return 1.0
+        prev_at, prev_uj = prev
+        _delta, ok = RAPLDomain.counter_delta_checked(
+            prev_uj, raw_uj, max_range_uj, now - prev_at, self.MAX_PLAUSIBLE_DOMAIN_WATTS
+        )
+        return 1.0 if ok else 0.0
+
+    def _collect_units(self, acc) -> MetricFamily:
+        """Per-compute-unit RAPL energy by allocation ratio."""
+        family = MetricFamily(
+            "ceems_compute_unit_rapl_joules_total",
+            help="Aliasing-free RAPL energy attributed to the compute "
+            "unit by allocation ratio (governor accumulator).",
+            type="counter",
+        )
+        for task in self.node.tasks.values():
+            ident = extract_unit_uuid(task.cgroup_path)
+            manager = ident[0] if ident else "unknown"
+            family.add(acc.unit_joules(task.uuid), uuid=task.uuid, manager=manager)
+        return family
 
     @staticmethod
     def wraparound_delta(prev_joules: float, curr_joules: float, max_range_uj: int) -> float:

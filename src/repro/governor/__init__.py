@@ -1,0 +1,42 @@
+"""Carbon-aware control plane (the actuation layer CEEMS lacks).
+
+CEEMS observes energy and emissions; this package *acts* on them.
+Three cooperating pieces:
+
+* :mod:`repro.governor.accumulator` — a 10 Hz RAPL poller per node
+  folding the wrapped ``energy_uj`` counters into monotonic joule
+  accumulators, with per-compute-unit attribution by allocation
+  ratio.  The exporter's RAPL collector reads aliasing-free energy
+  from it instead of the raw wrapped counters.
+* :mod:`repro.governor.policy` — cap policies (static, budget) and
+  the carbon admission policy driven by the RTE 15-minute intensity
+  curve.
+* :mod:`repro.governor.daemon` — the governor daemon: owns the
+  accumulators, runs the policy loop, writes power caps through the
+  powercap sysfs interface, defers/releases deferrable SLURM jobs,
+  answers the Unix-socket line protocol and exposes
+  ``ceems_governor_*`` metrics as an ordinary scrape target.
+"""
+
+from repro.governor.accumulator import DomainAccumulator, NodeAccumulator
+from repro.governor.daemon import GovernorDaemon
+from repro.governor.policy import (
+    AdmissionDecision,
+    BudgetCapPolicy,
+    CarbonPolicy,
+    StaticCapPolicy,
+)
+from repro.governor.rules import governor_alert_rules
+from repro.governor.socket import GovernorSocketServer
+
+__all__ = [
+    "AdmissionDecision",
+    "BudgetCapPolicy",
+    "CarbonPolicy",
+    "DomainAccumulator",
+    "GovernorDaemon",
+    "GovernorSocketServer",
+    "NodeAccumulator",
+    "StaticCapPolicy",
+    "governor_alert_rules",
+]

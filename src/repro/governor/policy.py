@@ -1,0 +1,161 @@
+"""Governor policy algebra: cap policies and carbon admission.
+
+Two policy families compose inside the daemon:
+
+* **cap policies** decide a per-socket package power limit (watts;
+  0 = uncapped) each policy step — :class:`StaticCapPolicy` pins a
+  constant limit, :class:`BudgetCapPolicy` tracks a rolling energy
+  budget and engages a cap while the node runs ahead of it;
+* the **carbon policy** classifies each step as high- or low-carbon
+  from the RTE 15-minute intensity curve (fixed threshold or a
+  trailing-24 h percentile) and tells the daemon to defer deferrable
+  job admissions — and optionally cap nodes — until the window clears.
+
+Policies are pure decision functions over (accumulator state, time);
+all actuation (sysfs writes, queue surgery) stays in the daemon, so
+each policy is unit-testable without a cluster.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Protocol
+
+from repro.governor.accumulator import NodeAccumulator
+
+# The decision enum lives with the scheduler seam it controls; the
+# governor re-exports it so policy code imports one module.
+from repro.resourcemgr.slurm import AdmissionDecision
+
+__all__ = [
+    "AdmissionDecision",
+    "BudgetCapPolicy",
+    "CapPolicy",
+    "CarbonPolicy",
+    "StaticCapPolicy",
+]
+
+
+class CapPolicy(Protocol):
+    """Decides each node's per-socket package cap (W; 0 = uncapped)."""
+
+    def desired_cap_w(self, acc: NodeAccumulator, now: float) -> float: ...
+
+
+class StaticCapPolicy:
+    """A fixed per-socket package limit, always on."""
+
+    def __init__(self, cap_w: float) -> None:
+        if cap_w < 0:
+            raise ValueError("static cap must be >= 0")
+        self.cap_w = float(cap_w)
+
+    def desired_cap_w(self, acc: NodeAccumulator, now: float) -> float:
+        return self.cap_w
+
+
+class BudgetCapPolicy:
+    """Cap while a node runs ahead of a rolling energy budget.
+
+    The budget is expressed as a target average RAPL-visible power
+    (``target_w``, whole node).  Each step the policy compares the
+    accumulated energy against ``target_w × elapsed``: while actual
+    consumption leads the allowance the package cap engages at
+    ``target_w / sockets`` per socket (scaled by ``tighten_factor`` to
+    claw the overshoot back); once consumption falls back under the
+    allowance the cap clears.  Deterministic, memoryless beyond the
+    accumulator itself.
+    """
+
+    def __init__(self, target_w: float, *, tighten_factor: float = 0.9) -> None:
+        if target_w <= 0:
+            raise ValueError("budget target power must be positive")
+        if not 0.0 < tighten_factor <= 1.0:
+            raise ValueError("tighten_factor must be in (0, 1]")
+        self.target_w = float(target_w)
+        self.tighten_factor = float(tighten_factor)
+        self._started_at: dict[int, float] = {}
+        self._baseline_j: dict[int, float] = {}
+
+    def desired_cap_w(self, acc: NodeAccumulator, now: float) -> float:
+        key = id(acc)
+        if key not in self._started_at:
+            self._started_at[key] = now
+            self._baseline_j[key] = acc.joules
+            return 0.0
+        elapsed = now - self._started_at[key]
+        if elapsed <= 0:
+            return 0.0
+        spent_j = acc.joules - self._baseline_j[key]
+        allowance_j = self.target_w * elapsed
+        if spent_j <= allowance_j:
+            return 0.0
+        sockets = max(acc.node.spec.sockets, 1)
+        return self.target_w * self.tighten_factor / sockets
+
+
+class CarbonPolicy:
+    """High/low-carbon window classification on the intensity curve.
+
+    ``intensity`` is a callable ``now -> gCO2e/kWh`` (the daemon wires
+    the emission-provider registry in).  Exactly one of:
+
+    * ``threshold_g_kwh`` — fixed cut-off, or
+    * ``percentile`` — the threshold is that percentile of the
+      trailing 24 h of 15-minute intensity samples, recomputed each
+      query; with a deterministic provider curve this is itself a
+      pure function of time.
+
+    ``defer`` gates admission deferral; ``high_cap_w`` (per socket,
+    0 = off) additionally caps node packages during high-carbon
+    windows so even non-deferrable load emits less.
+    """
+
+    WINDOW = 900.0  # the RTE publication grid
+    LOOKBACK = 24 * 3600.0
+
+    def __init__(
+        self,
+        intensity: Callable[[float], float],
+        *,
+        threshold_g_kwh: float | None = None,
+        percentile: float | None = None,
+        defer: bool = True,
+        high_cap_w: float = 0.0,
+    ) -> None:
+        if (threshold_g_kwh is None) == (percentile is None):
+            raise ValueError("set exactly one of threshold_g_kwh / percentile")
+        if percentile is not None and not 0.0 < percentile < 100.0:
+            raise ValueError("percentile must be in (0, 100)")
+        if high_cap_w < 0:
+            raise ValueError("high_cap_w must be >= 0")
+        self.intensity = intensity
+        self.threshold_g_kwh = threshold_g_kwh
+        self.percentile = percentile
+        self.defer = defer
+        self.high_cap_w = float(high_cap_w)
+
+    def current_threshold(self, now: float) -> float:
+        if self.threshold_g_kwh is not None:
+            return self.threshold_g_kwh
+        samples = sorted(
+            self.intensity(t)
+            for t in self._grid(now - self.LOOKBACK, now)
+        )
+        # Nearest-rank percentile over the trailing window.
+        rank = max(
+            0, min(len(samples) - 1, math.ceil(self.percentile / 100.0 * len(samples)) - 1)
+        )
+        return samples[rank]
+
+    def _grid(self, start: float, end: float) -> list[float]:
+        first = math.floor(start / self.WINDOW) * self.WINDOW
+        out = []
+        t = first
+        while t <= end:
+            out.append(t)
+            t += self.WINDOW
+        return out
+
+    def is_high(self, now: float) -> bool:
+        return self.intensity(now) > self.current_threshold(now)

@@ -1,0 +1,45 @@
+"""Alerting rules for the governor control plane.
+
+Two operator-facing failure modes:
+
+* **stale accumulator** — the poll loop stopped (daemon wedged, node
+  unreachable); every aliasing-free reading downstream is now a lie,
+  so this must page before the data does damage;
+* **cap violation** — a node's settled package power exceeds the
+  written limit, i.e. the actuation path is broken (firmware rejected
+  the write, wrong domain, silicon not enforcing).
+
+Both read ``ceems_governor_*`` series scraped from the daemon, so the
+rules work in any Prometheus — the sim one or a real deployment.
+"""
+
+from __future__ import annotations
+
+from repro.tsdb.alerts import AlertingRule
+
+
+def governor_alert_rules() -> list[AlertingRule]:
+    return [
+        AlertingRule(
+            name="GovernorAccumulatorStale",
+            expr="ceems_governor_accumulator_staleness_seconds > 30",
+            hold=60.0,
+            labels={"severity": "critical", "component": "governor"},
+            annotations={
+                "summary": "governor accumulator stopped polling {{hostname}}",
+                "description": "High-rate RAPL accumulation is stale; "
+                "aliasing-free energy readings can no longer be trusted.",
+            },
+        ),
+        AlertingRule(
+            name="GovernorCapViolation",
+            expr="ceems_governor_cap_violation > 0",
+            hold=120.0,
+            labels={"severity": "warning", "component": "governor"},
+            annotations={
+                "summary": "package power above the written cap on {{hostname}}",
+                "description": "Settled package draw exceeds the powercap "
+                "limit by more than 5%; the actuation path is not enforcing.",
+            },
+        ),
+    ]

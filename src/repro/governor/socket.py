@@ -1,0 +1,80 @@
+"""Unix-domain socket transport for the governor line protocol.
+
+The daemon's protocol logic lives in
+:meth:`~repro.governor.daemon.GovernorDaemon.handle_line`; this module
+is only the wire.  One accept loop, one thread per connection, one
+newline-terminated request per line, one ``OK …`` / ``ERR …`` response
+line back — the shape of every small privileged-daemon socket API
+(``rapl-daemon``, ``thermald``…), so a client is ``nc -U`` or four
+lines of Python.
+
+The server is intentionally independent of the sim clock: it serves
+wall-clock clients (the ``serve`` CLI, tests) against whatever the
+simulation state currently is.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+
+
+class GovernorSocketServer:
+    """Threaded AF_UNIX server over a ``handle_line`` callable."""
+
+    def __init__(self, handler, path: str, *, backlog: int = 8) -> None:
+        self.handler = handler
+        self.path = path
+        if os.path.exists(path):
+            os.unlink(path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.bind(path)
+        self._sock.listen(backlog)
+        self._closing = False
+        self._threads: list[threading.Thread] = []
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return  # socket closed
+            thread = threading.Thread(target=self._serve, args=(conn,), daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve(self, conn: socket.socket) -> None:
+        try:
+            with conn, conn.makefile("rwb") as stream:
+                for raw in stream:
+                    line = raw.decode("utf-8", errors="replace")
+                    if not line.strip():
+                        continue
+                    response = self.handler(line)
+                    stream.write((response + "\n").encode("utf-8"))
+                    stream.flush()
+        except (OSError, ValueError):
+            pass  # client went away mid-request
+
+    def close(self) -> None:
+        self._closing = True
+        try:
+            self._sock.close()
+        finally:
+            if os.path.exists(self.path):
+                os.unlink(self.path)
+        for thread in self._threads:
+            thread.join(timeout=1.0)
+
+
+def request(path: str, line: str, *, timeout: float = 5.0) -> str:
+    """One-shot client: send ``line``, return the response line."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(path)
+        sock.sendall((line.rstrip("\n") + "\n").encode("utf-8"))
+        with sock.makefile("rb") as stream:
+            return stream.readline().decode("utf-8").rstrip("\n")

@@ -17,6 +17,13 @@ the CEEMS exporter's RAPL collector reads:
 Energy accumulation is exact: the node simulation integrates the
 ground-truth power model into the counters, so the only measurement
 artefacts are quantisation to 1 µJ and wraparound.
+
+The interface is also *writable* where the kernel's is: each domain
+exposes ``constraint_0_power_limit_uw`` (the ``long_term`` RAPL
+constraint), and :meth:`RAPLPackage.write_sysfs` accepts the same
+path/value writes a privileged governor daemon performs on real
+hardware.  The node simulation enforces written package limits inside
+its power model (see :mod:`repro.hwsim.power_model`).
 """
 
 from __future__ import annotations
@@ -37,6 +44,12 @@ class RAPLDomain:
 
     name: str
     max_energy_range_uj: int = DEFAULT_MAX_ENERGY_RANGE_UJ
+    #: ``constraint_0_power_limit_uw`` — the writable ``long_term``
+    #: power limit in microwatts; 0 means unconstrained.
+    power_limit_uw: int = 0
+    #: Upper bound the hardware accepts for the constraint (µW);
+    #: 0 = unknown (writes are then unclamped).
+    max_power_uw: int = 0
     #: Exact accumulated energy in microjoules (never wraps; the
     #: counter view wraps).
     _energy_uj_exact: float = field(default=0.0, repr=False)
@@ -57,16 +70,57 @@ class RAPLDomain:
         """Ground-truth (unwrapped) energy — test oracle only."""
         return self._energy_uj_exact * 1e-6
 
+    def write_power_limit(self, limit_uw: int) -> int:
+        """Write ``constraint_0_power_limit_uw``; returns the value kept.
+
+        Like the kernel, negative writes are rejected and writes above
+        the constraint maximum are clamped to it.  0 clears the cap.
+        """
+        if limit_uw < 0:
+            raise SimulationError(
+                f"negative power limit for RAPL domain {self.name}"
+            )
+        if self.max_power_uw and limit_uw > self.max_power_uw:
+            limit_uw = self.max_power_uw
+        self.power_limit_uw = int(limit_uw)
+        return self.power_limit_uw
+
     @staticmethod
     def counter_delta(previous_uj: int, current_uj: int, max_range_uj: int) -> int:
         """Wraparound-correct difference between two counter reads.
 
         This is the arithmetic the exporter/TSDB ``rate()`` pipeline
-        must perform.  Assumes at most one wrap between reads.
+        must perform.  Assumes at most one wrap between reads — with
+        two or more wraps inside one interval the missing full ranges
+        are unrecoverable from the counter alone.  Callers that know
+        the elapsed time should use :meth:`counter_delta_checked` to
+        detect when that assumption is no longer safe.
         """
         if current_uj >= previous_uj:
             return current_uj - previous_uj
         return current_uj + max_range_uj - previous_uj
+
+    @staticmethod
+    def counter_delta_checked(
+        previous_uj: int,
+        current_uj: int,
+        max_range_uj: int,
+        elapsed_seconds: float,
+        max_plausible_watts: float,
+    ) -> tuple[int, bool]:
+        """Wrap-correct delta plus a trustworthiness verdict.
+
+        The single-wrap assumption of :meth:`counter_delta` holds only
+        while the domain cannot traverse a full counter range between
+        reads: ``elapsed * max_plausible_power < max_range``.  Returns
+        ``(delta_uj, trustworthy)``; when ``trustworthy`` is False the
+        delta may silently be short by one or more full ranges and the
+        reader should degrade to an explicit health signal instead of
+        publishing a confident number.
+        """
+        delta = RAPLDomain.counter_delta(previous_uj, current_uj, max_range_uj)
+        budget_uj = elapsed_seconds * max_plausible_watts * 1e6
+        return delta, budget_uj < max_range_uj
 
 
 @dataclass
@@ -116,6 +170,9 @@ class RAPLPackage:
             f"{base}/name": self.package.name,
             f"{base}/energy_uj": self.package.energy_uj,
             f"{base}/max_energy_range_uj": self.package.max_energy_range_uj,
+            f"{base}/constraint_0_name": "long_term",
+            f"{base}/constraint_0_power_limit_uw": self.package.power_limit_uw,
+            f"{base}/constraint_0_max_power_uw": self.package.max_power_uw,
         }
         if self.dram is not None:
             sub = f"{base}:0"
@@ -124,6 +181,24 @@ class RAPLPackage:
                     f"{sub}/name": self.dram.name,
                     f"{sub}/energy_uj": self.dram.energy_uj,
                     f"{sub}/max_energy_range_uj": self.dram.max_energy_range_uj,
+                    f"{sub}/constraint_0_name": "long_term",
+                    f"{sub}/constraint_0_power_limit_uw": self.dram.power_limit_uw,
+                    f"{sub}/constraint_0_max_power_uw": self.dram.max_power_uw,
                 }
             )
         return entries
+
+    def write_sysfs(self, path: str, value: int) -> int:
+        """Write one powercap sysfs file (governor actuation path).
+
+        Only the ``constraint_0_power_limit_uw`` files are writable,
+        exactly as for an unprivileged-file write on real hardware.
+        Returns the value the "kernel" kept (clamped to the constraint
+        maximum).
+        """
+        base = f"intel-rapl:{self.socket}"
+        if path == f"{base}/constraint_0_power_limit_uw":
+            return self.package.write_power_limit(value)
+        if self.dram is not None and path == f"{base}:0/constraint_0_power_limit_uw":
+            return self.dram.write_power_limit(value)
+        raise SimulationError(f"powercap file {path!r} is not writable")

@@ -1,0 +1,628 @@
+"""Tests for the carbon-aware control plane (the governor).
+
+Covers the accumulator fold/wrap arithmetic, the aliasing regression
+it exists to fix, power-cap settle dynamics and node-level
+enforcement, the exporter's double-wrap trust guard, the socket line
+protocol over a real AF_UNIX transport, the SLURM admission seam, and
+the policy algebra.
+"""
+
+import math
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.exporter.collectors import RAPLCollector
+from repro.governor import (
+    BudgetCapPolicy,
+    CarbonPolicy,
+    DomainAccumulator,
+    GovernorDaemon,
+    GovernorSocketServer,
+    NodeAccumulator,
+    StaticCapPolicy,
+)
+from repro.governor.socket import request
+from repro.hwsim import NodeSpec, SimulatedNode
+from repro.hwsim.node import UsageProfile
+from repro.hwsim.power_model import PowerCapState
+from repro.hwsim.rapl import RAPLDomain
+from repro.resourcemgr import JobSpec, SlurmCluster, UnitState
+from repro.resourcemgr.slurm import AdmissionDecision
+
+BUSY = UsageProfile(cpu_base=1.0, mem_base=0.5)
+
+
+def make_node(name="n0", seed=0, **spec_kwargs):
+    return SimulatedNode(NodeSpec(name=name, **spec_kwargs), seed=seed)
+
+
+def busy_node(name="n0", seed=0, uuid="1000"):
+    node = make_node(name, seed=seed)
+    node.place_task(
+        uuid=uuid,
+        cgroup_path=f"/sys/fs/cgroup/system.slice/{uuid}",
+        ncores=node.spec.ncores,
+        memory_limit_bytes=8 * 2**30,
+        profile=BUSY,
+        start_time=0.0,
+    )
+    return node
+
+
+# -- accumulator arithmetic ------------------------------------------------
+
+
+class TestDomainAccumulator:
+    def make(self, max_range=1_000_000, window=60.0):
+        return DomainAccumulator(
+            domain="package",
+            path="intel-rapl:0",
+            socket=0,
+            max_range_uj=max_range,
+            window_seconds=window,
+        )
+
+    def test_first_observe_is_a_baseline(self):
+        acc = self.make()
+        assert acc.observe(0.0, 123_456) == 0
+        assert acc.total_uj == 0
+        assert acc.wraps == 0
+
+    def test_folds_across_a_wrap(self):
+        acc = self.make(max_range=1_000_000)
+        acc.observe(0.0, 900_000)
+        delta = acc.observe(1.0, 100_000)  # wrapped: true delta 200 kµJ
+        assert delta == 200_000
+        assert acc.total_uj == 200_000
+        assert acc.wraps == 1
+
+    def test_totals_telescope_over_many_wraps(self):
+        acc = self.make(max_range=1_000_000)
+        true_uj = 0
+        raw = 0
+        acc.observe(0.0, raw)
+        for i in range(1, 200):
+            true_uj += 77_777
+            raw = true_uj % 1_000_000
+            acc.observe(float(i), raw)
+        assert acc.total_uj == true_uj
+        assert acc.wraps == true_uj // 1_000_000
+
+    def test_windowed_power(self):
+        acc = self.make(max_range=7_000_000, window=10.0)
+        for t in range(21):
+            acc.observe(float(t), (t * 2_000_000) % 7_000_000)  # 2 J/s
+        assert acc.power_w() == pytest.approx(2.0)
+
+    def test_staleness(self):
+        acc = self.make()
+        assert acc.staleness(5.0) == float("inf")
+        acc.observe(10.0, 0)
+        assert acc.staleness(17.5) == pytest.approx(7.5)
+
+
+class TestNodeAccumulator:
+    def test_tracks_every_domain(self):
+        node = make_node()
+        acc = NodeAccumulator(node)
+        # Intel node: package + dram per socket.
+        assert len(acc.domains) == 2 * node.spec.sockets
+
+    def test_matches_ground_truth_across_wraps(self):
+        node = busy_node()
+        # Shrink the range so 15 s node steps wrap frequently.  The
+        # counters move stepwise (one jump per node step), so the
+        # range must still exceed one step's energy (~2.5 kJ/socket)
+        # for the single-wrap fold to stay exact.
+        for pkg in node.rapl:
+            pkg.package.max_energy_range_uj = 5_000_000_000  # 5 kJ
+        acc = NodeAccumulator(node)
+        t = 0.0
+        acc.poll(t)
+        for _ in range(240):  # one sim hour of 15 s steps
+            t += 15.0
+            node.advance(t, 15.0)
+            acc.poll(t)
+        truth = sum(
+            pkg.package.total_energy_joules + pkg.dram.total_energy_joules
+            for pkg in node.rapl
+        )
+        baseline = 0.0  # counters started at 0, first poll saw 0
+        assert acc.wraps > 10
+        assert acc.joules == pytest.approx(truth - baseline, abs=1e-5)
+
+    def test_attributes_energy_by_allocation_ratio(self):
+        node = make_node()
+        half = node.spec.ncores // 2
+        node.place_task(
+            uuid="a", cgroup_path="/a", ncores=half, memory_limit_bytes=1 << 30,
+            profile=BUSY, start_time=0.0,
+        )
+        node.place_task(
+            uuid="b", cgroup_path="/b", ncores=half, memory_limit_bytes=1 << 30,
+            profile=BUSY, start_time=0.0,
+        )
+        acc = NodeAccumulator(node)
+        acc.poll(0.0)
+        node.advance(15.0, 15.0)
+        acc.poll(15.0)
+        assert acc.allocation_ratio("a") == pytest.approx(0.5)
+        assert acc.unit_joules("a") == pytest.approx(acc.unit_joules("b"))
+        assert acc.unit_joules("a") + acc.unit_joules("b") == pytest.approx(
+            acc.joules, rel=1e-9
+        )
+
+
+class TestAliasingRegression:
+    """The bug this subsystem exists to fix, demonstrated end to end.
+
+    A 15 s scraper applying the Prometheus counter-reset heuristic
+    (``curr < prev`` → the delta is ``curr``) loses ``max_range -
+    prev`` µJ at every wrap; the high-rate accumulator does not.
+    """
+
+    def test_scrape_under_reports_accumulator_exact(self):
+        clock = SimClock(start=0.0)
+        node = busy_node()
+        for pkg in node.rapl:
+            # ~10 kJ range: a busy socket wraps every ~1-2 minutes, so
+            # a one-hour run crosses many wraps.
+            pkg.package.max_energy_range_uj = 10_000_000_000
+        acc = NodeAccumulator(node)
+
+        naive = {"total_uj": 0}
+        prev: dict[int, int] = {}
+
+        def scrape(now):
+            # One counter-reset-semantics series per package domain,
+            # exactly how a 15 s Prometheus scrape would see them.
+            for pkg in node.rapl:
+                raw = pkg.package.energy_uj
+                if pkg.socket in prev:
+                    delta = raw - prev[pkg.socket]
+                    naive["total_uj"] += delta if delta >= 0 else raw
+                prev[pkg.socket] = raw
+
+        def step_node(now):
+            node.advance(now, 15.0)
+
+        clock.every(15.0, step_node)
+        clock.every(0.1, lambda now: acc.poll(now))
+        clock.every(15.0, scrape)
+        clock.advance(3600.0)
+        acc.poll(clock.now())  # the 0.1 s grid drifts in float; settle the tail
+
+        truth = sum(pkg.package.total_energy_joules for pkg in node.rapl)
+        package_j = sum(d.joules for d in acc.domains if d.domain == "package")
+        wraps = sum(d.wraps for d in acc.domains if d.domain == "package")
+        naive_j = naive["total_uj"] / 1e6
+
+        assert wraps > 5  # the hour really crossed wraps
+        # The naive reader measurably under-reports...
+        assert naive_j < truth * 0.99
+        # ...while the accumulator stays within 0.1% of ground truth.
+        assert package_j == pytest.approx(truth, rel=1e-3)
+        # (and in fact to µJ quantisation)
+        assert abs(package_j - truth) < 1e-3
+
+
+# -- power capping ---------------------------------------------------------
+
+
+class TestPowerCapState:
+    def test_uncapped_is_unbounded(self):
+        cap = PowerCapState()
+        cap.advance(1.0, from_w=150.0)
+        assert cap.clamp(400.0) == 400.0
+        assert not cap.capped
+
+    def test_tightening_settles_exponentially(self):
+        cap = PowerCapState(settle_seconds=5.0)
+        cap.limit_w = 100.0
+        first = cap.advance(1.0, from_w=200.0)
+        # One second in: between the target and the starting draw.
+        assert 100.0 < first < 200.0
+        for _ in range(40):
+            cap.advance(1.0, from_w=200.0)
+        assert cap.enforced_w == 100.0  # snapped to target
+
+    def test_relaxing_is_instant(self):
+        cap = PowerCapState(settle_seconds=5.0)
+        cap.limit_w = 100.0
+        cap.advance(1.0, from_w=200.0)
+        cap.limit_w = 0.0
+        cap.advance(1.0, from_w=100.0)
+        assert math.isinf(cap.enforced_w)
+
+    def test_node_enforces_written_cap(self):
+        node = busy_node()
+        uncapped = busy_node(seed=0)
+        t = 0.0
+        for _ in range(8):  # warm up past the settle window
+            t += 15.0
+            node.advance(t, 15.0)
+            uncapped.advance(t, 15.0)
+        free_w = uncapped.last_breakdown.cpu_w / uncapped.spec.sockets
+        cap_w = free_w * 0.6
+        for pkg in node.rapl:
+            pkg.write_sysfs(
+                f"intel-rapl:{pkg.socket}/constraint_0_power_limit_uw",
+                int(cap_w * 1e6),
+            )
+        for _ in range(8):
+            t += 15.0
+            node.advance(t, 15.0)
+            uncapped.advance(t, 15.0)
+        per_socket = node.last_breakdown.cpu_w / node.spec.sockets
+        assert per_socket <= cap_w + 1e-6
+        assert node.cap_throttled_seconds > 0.0
+        assert uncapped.last_breakdown.cpu_w > node.last_breakdown.cpu_w
+
+    def test_only_the_constraint_file_is_writable(self):
+        node = make_node()
+        pkg = node.rapl[0]
+        with pytest.raises(Exception):
+            pkg.write_sysfs("intel-rapl:0/energy_uj", 0)
+
+
+# -- the double-wrap trust guard ------------------------------------------
+
+
+class TestDoubleWrapGuard:
+    def test_checked_delta_trustworthy_at_short_interval(self):
+        # 15 s × 1 kW = 1.5e10 µJ, well under the 262 kJ default range.
+        delta, ok = RAPLDomain.counter_delta_checked(
+            100, 200, 262_143_328_850, elapsed_seconds=15.0, max_plausible_watts=1000.0
+        )
+        assert delta == 100
+        assert ok
+
+    def test_checked_delta_flags_long_gaps(self):
+        # 1000 s at 1 kW could traverse a 1 GµJ range many times over.
+        _delta, ok = RAPLDomain.counter_delta_checked(
+            100, 200, 1_000_000_000, elapsed_seconds=1000.0, max_plausible_watts=1000.0
+        )
+        assert not ok
+
+    def test_collector_emits_trust_gauge(self):
+        node = busy_node()
+        collector = RAPLCollector(node)
+        families = {f.name: f for f in collector.collect(0.0)}
+        trust = families["ceems_rapl_counter_trustworthy"]
+        # First scrape: no baseline, optimistically trustworthy.
+        assert all(p.value == 1.0 for p in trust.points)
+
+    def test_collector_drops_trust_on_missed_scrapes(self):
+        node = busy_node()
+        # Tiny package range: a 30 s gap at plausible power (3e10 µJ)
+        # spans it many times over, while DRAM keeps its 65 kJ default
+        # range and stays trustworthy across the same gap.
+        for pkg in node.rapl:
+            pkg.package.max_energy_range_uj = 1_000_000_000  # 1 kJ
+        collector = RAPLCollector(node)
+        collector.collect(0.0)
+        node.advance(30.0, 30.0)
+        families = {f.name: f for f in collector.collect(30.0)}
+        trust = families["ceems_rapl_counter_trustworthy"]
+        # DRAM paths are "intel-rapl:<s>:0" (two colons), packages one.
+        package_trust = [
+            p for p in trust.points if p.labels["path"].count(":") == 1
+        ]
+        dram_trust = [p for p in trust.points if p.labels["path"].count(":") == 2]
+        assert package_trust and dram_trust
+        assert all(p.value == 0.0 for p in package_trust)
+        assert all(p.value == 1.0 for p in dram_trust)
+
+    def test_collector_serves_accumulator_when_attached(self):
+        node = busy_node(uuid="1234")
+        acc = NodeAccumulator(node)
+        node.governor_accumulator = acc
+        acc.poll(0.0)
+        node.advance(15.0, 15.0)
+        acc.poll(15.0)
+        collector = RAPLCollector(node)
+        families = {f.name: f for f in collector.collect(15.0)}
+        package = families["ceems_rapl_package_joules_total"]
+        served = sum(p.value for p in package.points)
+        expected = sum(d.joules for d in acc.domains if d.domain == "package")
+        assert served == pytest.approx(expected)
+        units = families["ceems_compute_unit_rapl_joules_total"]
+        assert any(p.labels["uuid"] == "1234" and p.value > 0 for p in units.points)
+
+
+# -- socket line protocol --------------------------------------------------
+
+
+def make_daemon(clock=None, nodes=None, **kwargs):
+    clock = clock or SimClock(start=0.0)
+    nodes = nodes if nodes is not None else [busy_node()]
+    return GovernorDaemon(nodes, clock, **kwargs)
+
+
+class TestSocketProtocol:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        daemon = make_daemon()
+        daemon.poll(0.0)
+        daemon.accumulators["n0"].node.advance(15.0, 15.0)
+        daemon.poll(15.0)
+        path = str(tmp_path / "governor.sock")
+        server = GovernorSocketServer(daemon.handle_line, path)
+        yield daemon, path
+        server.close()
+
+    def test_ping(self, server):
+        _daemon, path = server
+        assert request(path, "PING") == "OK pong"
+
+    def test_nodes_and_energy(self, server):
+        daemon, path = server
+        assert request(path, "NODES") == "OK n0"
+        joules = float(request(path, "ENERGY n0").split()[1])
+        assert joules == pytest.approx(daemon.accumulators["n0"].joules)
+
+    def test_unit_query(self, server):
+        _daemon, path = server
+        resp = request(path, "UNIT n0 1000").split()
+        assert resp[0] == "OK"
+        assert float(resp[1]) > 0.0  # attributed joules
+        assert float(resp[2]) == pytest.approx(1.0)  # whole-node job
+
+    def test_cap_actuates_immediately(self, server):
+        daemon, path = server
+        assert request(path, "CAP n0 80") == "OK 80.000"
+        node = daemon.accumulators["n0"].node
+        assert all(pkg.package.power_limit_uw == 80_000_000 for pkg in node.rapl)
+        assert daemon.cap_writes_total == node.spec.sockets
+
+    def test_errors(self, server):
+        _daemon, path = server
+        assert request(path, "ENERGY ghost").startswith("ERR")
+        assert request(path, "CAP n0 banana").startswith("ERR")
+        assert request(path, "CAP n0 -5").startswith("ERR")
+        assert request(path, "FROBNICATE").startswith("ERR")
+
+    def test_stats_counts_requests(self, server):
+        daemon, path = server
+        request(path, "PING")
+        stats = request(path, "STATS")
+        assert stats.startswith("OK polls=")
+        assert "avoided_g=" in stats
+        assert daemon._socket_requests.value(command="PING") >= 1
+
+
+# -- the SLURM admission seam ----------------------------------------------
+
+
+def make_slurm(n_nodes=2):
+    nodes = [make_node(f"c{i}", seed=i) for i in range(n_nodes)]
+    return SlurmCluster("test", {"cpu": nodes})
+
+
+def job(ncores=4, duration=600.0, deferrable=False, **kwargs):
+    return JobSpec(
+        user=kwargs.pop("user", "alice"),
+        account="proj1",
+        ncores=ncores,
+        memory_bytes=8 * 2**30,
+        walltime=duration * 2,
+        duration=duration,
+        deferrable=deferrable,
+        **kwargs,
+    )
+
+
+class TestAdmissionSeam:
+    def test_defer_parks_job_without_touching_queue(self):
+        cluster = make_slurm()
+        cluster.admission_hook = lambda uuid, spec, now: AdmissionDecision.DEFER
+        job_id = cluster.submit(job(deferrable=True), now=0.0)
+        cluster.step(1.0)
+        unit = cluster.get_unit(job_id)
+        assert unit.state == UnitState.PENDING
+        assert cluster.deferred_count == 1
+        assert cluster.deferred_job_ids == [job_id]
+        assert cluster.queue_depth == 0
+
+    def test_hook_exception_fails_open(self):
+        cluster = make_slurm()
+
+        def broken(uuid, spec, now):
+            raise RuntimeError("policy daemon crashed")
+
+        cluster.admission_hook = broken
+        job_id = cluster.submit(job(), now=0.0)
+        cluster.step(1.0)
+        assert cluster.get_unit(job_id).state == UnitState.RUNNING
+        assert cluster.admission_hook_errors == 1
+
+    def test_bad_hook_return_fails_open(self):
+        cluster = make_slurm()
+        cluster.admission_hook = lambda uuid, spec, now: "defer maybe?"
+        job_id = cluster.submit(job(), now=0.0)
+        cluster.step(1.0)
+        assert cluster.get_unit(job_id).state == UnitState.RUNNING
+        assert cluster.admission_hook_errors == 1
+
+    def test_release_restores_submit_order(self):
+        cluster = make_slurm(n_nodes=1)
+        ncores = cluster.partitions["cpu"][0].spec.ncores
+        cluster.admission_hook = lambda uuid, spec, now: (
+            AdmissionDecision.DEFER if spec.deferrable else AdmissionDecision.ADMIT
+        )
+        # A whole-node blocker keeps everything below it queued.
+        blocker = cluster.submit(job(ncores=ncores, duration=100.0), now=0.0)
+        first = cluster.submit(job(ncores=ncores, deferrable=True), now=1.0)
+        second = cluster.submit(job(ncores=ncores), now=2.0)
+        cluster.step(3.0)
+        assert cluster.get_unit(blocker).state == UnitState.RUNNING
+        assert cluster.deferred_job_ids == [first]
+        cluster.admission_hook = None
+        released = cluster.release_deferred(50.0)
+        assert released == [first]
+        # The released job merged back *ahead* of the later submission.
+        assert [uuid for uuid, _ in cluster._queue] == [first, second]
+        cluster.step(150.0)  # blocker done; first-submitted runs first
+        assert cluster.get_unit(first).state == UnitState.RUNNING
+        assert cluster.get_unit(second).state == UnitState.PENDING
+
+    def test_fail_node_does_not_strand_deferred_jobs(self):
+        cluster = make_slurm(n_nodes=2)
+        cluster.admission_hook = lambda uuid, spec, now: AdmissionDecision.DEFER
+        job_id = cluster.submit(job(deferrable=True), now=0.0)
+        cluster.step(1.0)
+        cluster.fail_node("c0", now=2.0)
+        assert cluster.deferred_job_ids == [job_id]  # still parked, not lost
+        cluster.admission_hook = None
+        cluster.release_deferred(3.0)
+        cluster.step(4.0)
+        assert cluster.get_unit(job_id).state == UnitState.RUNNING
+
+    def test_cancel_reaches_deferred_jobs(self):
+        cluster = make_slurm()
+        cluster.admission_hook = lambda uuid, spec, now: AdmissionDecision.DEFER
+        job_id = cluster.submit(job(deferrable=True), now=0.0)
+        cluster.step(1.0)
+        cluster.cancel(job_id, now=2.0)
+        assert cluster.get_unit(job_id).state == UnitState.CANCELLED
+        assert cluster.deferred_count == 0
+
+
+# -- policies --------------------------------------------------------------
+
+
+class TestCarbonPolicy:
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(ValueError):
+            CarbonPolicy(lambda t: 50.0)
+        with pytest.raises(ValueError):
+            CarbonPolicy(lambda t: 50.0, threshold_g_kwh=75.0, percentile=75.0)
+
+    def test_threshold_classification(self):
+        policy = CarbonPolicy(lambda t: 80.0, threshold_g_kwh=75.0)
+        assert policy.is_high(0.0)
+        policy = CarbonPolicy(lambda t: 70.0, threshold_g_kwh=75.0)
+        assert not policy.is_high(0.0)
+
+    def test_percentile_threshold_tracks_the_curve(self):
+        # Intensity is high for ~26% of each day: the 70th percentile
+        # of a trailing day sits at the low plateau.
+        def intensity(t):
+            return 100.0 if (t % 86400.0) < 6 * 3600.0 else 50.0
+
+        policy = CarbonPolicy(intensity, percentile=70.0)
+        now = 10 * 86400.0
+        assert policy.current_threshold(now) == pytest.approx(50.0)
+        assert policy.is_high(now + 3600.0)  # inside the high plateau
+        assert not policy.is_high(now + 12 * 3600.0)
+
+
+class TestCapPolicies:
+    def test_static(self):
+        node = busy_node()
+        acc = NodeAccumulator(node)
+        assert StaticCapPolicy(90.0).desired_cap_w(acc, 0.0) == 90.0
+        with pytest.raises(ValueError):
+            StaticCapPolicy(-1.0)
+
+    def test_budget_engages_over_allowance(self):
+        node = busy_node()
+        acc = NodeAccumulator(node)
+        policy = BudgetCapPolicy(target_w=50.0)
+        acc.poll(0.0)
+        assert policy.desired_cap_w(acc, 0.0) == 0.0  # baseline step
+        t = 0.0
+        for _ in range(20):  # a busy node draws far more than 50 W
+            node.advance(t, 15.0)
+            t += 15.0
+            acc.poll(t)
+        cap = policy.desired_cap_w(acc, t)
+        assert cap == pytest.approx(50.0 * 0.9 / node.spec.sockets)
+
+    def test_budget_clears_when_under(self):
+        node = make_node()  # idle node: well under 50 W? (idle ~ tens of W)
+        acc = NodeAccumulator(node)
+        policy = BudgetCapPolicy(target_w=500.0)
+        acc.poll(0.0)
+        policy.desired_cap_w(acc, 0.0)
+        node.advance(0.0, 15.0)
+        acc.poll(15.0)
+        assert policy.desired_cap_w(acc, 15.0) == 0.0
+
+
+# -- the daemon's control loop --------------------------------------------
+
+
+class TestGovernorDaemon:
+    def test_defer_then_release_accounts_avoided_grams(self):
+        clock = SimClock(start=0.0)
+        cluster = make_slurm(n_nodes=1)
+        node = cluster.partitions["cpu"][0]
+        intensity = {"value": 100.0}
+        policy = CarbonPolicy(lambda t: intensity["value"], threshold_g_kwh=75.0)
+        daemon = GovernorDaemon(
+            [node], clock, slurm=cluster, carbon_policy=policy,
+            poll_interval=1.0, policy_interval=30.0,
+        )
+        assert cluster.admission_hook == daemon._admission
+        assert daemon.high_carbon
+
+        job_id = cluster.submit(job(ncores=node.spec.ncores, deferrable=True), now=0.0)
+        daemon.register_timers(clock)
+        clock.every(15.0, lambda now: node.advance(now, 15.0))
+        clock.every(30.0, cluster.step)
+        clock.advance(120.0)
+        assert daemon.jobs_deferred_total == 1
+        assert cluster.deferred_count == 1
+        assert cluster.get_unit(job_id).state == UnitState.PENDING
+
+        intensity["value"] = 40.0  # the window clears
+        clock.advance(60.0)
+        assert not daemon.high_carbon
+        assert daemon.jobs_released_total == 1
+        assert cluster.get_unit(job_id).state == UnitState.RUNNING
+        clock.advance(300.0)  # job runs in the low window; energy accrues
+        assert daemon.co2e_avoided_g > 0.0
+
+    def test_carbon_cap_written_during_high_window(self):
+        clock = SimClock(start=0.0)
+        node = busy_node()
+        policy = CarbonPolicy(
+            lambda t: 100.0, threshold_g_kwh=75.0, high_cap_w=80.0
+        )
+        daemon = GovernorDaemon(
+            [node], clock, carbon_policy=policy,
+            poll_interval=1.0, policy_interval=30.0,
+        )
+        daemon.register_timers(clock)
+        clock.advance(30.0)
+        assert daemon.cap_writes_total == node.spec.sockets
+        assert all(pkg.package.power_limit_uw == 80_000_000 for pkg in node.rapl)
+
+    def test_policy_minimum_wins(self):
+        clock = SimClock(start=0.0)
+        node = busy_node()
+        daemon = GovernorDaemon(
+            [node], clock,
+            cap_policy=StaticCapPolicy(120.0),
+            carbon_policy=CarbonPolicy(
+                lambda t: 100.0, threshold_g_kwh=75.0, high_cap_w=80.0
+            ),
+            poll_interval=1.0, policy_interval=30.0,
+        )
+        daemon.policy_step(30.0)
+        assert node.rapl[0].package.power_limit_uw == 80_000_000
+
+    def test_metrics_render_through_the_app(self):
+        daemon = make_daemon()
+        daemon.poll(0.0)
+        from repro.common.httpx import Request
+
+        resp = daemon.app.handle(Request.from_url("GET", "/metrics"))
+        assert resp.status == 200
+        body = resp.body.decode()
+        assert "ceems_governor_polls_total 1" in body
+        assert "ceems_governor_accumulated_joules_total" in body
+        assert 'hostname="n0"' in body
+        assert "ceems_governor_accumulator_staleness_seconds" in body

@@ -22,6 +22,7 @@ class TestDashboardStructure:
             "ceems-fig2b",
             "ceems-fig2c",
             "ceems-ops-alerting",
+            "ceems-governor",
         }
 
     def test_schema_fields_present(self):
@@ -48,7 +49,7 @@ class TestDashboardStructure:
 
     def test_bundle_is_valid_json(self):
         bundle = json.loads(export_provisioning_bundle())
-        assert len(bundle) == 4
+        assert len(bundle) == 5
 
 
 class TestFig2aDashboard:
