@@ -203,6 +203,75 @@ def test_query_hook_overhead_disabled_under_bound():
         assert row["disabled_overhead_ratio"] < HOOK_OVERHEAD_BOUND, (strategy, row)
 
 
+# -- exemplar capture overhead -------------------------------------------
+
+#: Relative slowdown exemplar capture may add to the request path.
+#: Capture fires inside Counter.inc/Histogram.observe while a span is
+#: active, so the middleware bench above is the realistic workload.
+EXEMPLAR_OVERHEAD_BOUND = 0.05
+
+EXEMPLAR_RUNS = 9
+
+
+def test_exemplar_capture_overhead_bounded():
+    """Exemplar capture on the hot request path must cost <5%.
+
+    Every handled request updates one counter and one histogram while
+    its span is active, so each request pays exactly two capture
+    attempts (rate-limited to a monotonic-clock read after the first).
+    """
+    from repro.obs.registry import set_exemplars_enabled
+
+    app = build_app()
+    request = Request(method="GET", path="/ping/a")
+
+    def drive() -> None:
+        for _ in range(REQUESTS):
+            app.handle(request)
+
+    # Pair the two configurations back to back within each round and
+    # take the median paired ratio: machine-speed drift between rounds
+    # (CPU frequency scaling, noisy CI neighbours) hits both halves of
+    # a pair roughly equally, and the median shrugs off the odd round
+    # that lands on a scheduling hiccup.
+    old = set_exemplars_enabled(False)
+    ratios: list[float] = []
+    disabled_best = enabled_best = math.inf
+    try:
+        drive()  # warm caches outside the timed rounds
+        for _ in range(EXEMPLAR_RUNS):
+            set_exemplars_enabled(False)
+            started = time.perf_counter()
+            drive()
+            disabled = time.perf_counter() - started
+            set_exemplars_enabled(True)
+            started = time.perf_counter()
+            drive()
+            enabled = time.perf_counter() - started
+            ratios.append(enabled / disabled - 1.0)
+            disabled_best = min(disabled_best, disabled)
+            enabled_best = min(enabled_best, enabled)
+    finally:
+        set_exemplars_enabled(old)
+    ratio = sorted(ratios)[len(ratios) // 2]
+    print(
+        f"\n[exemplars] per-{REQUESTS}-requests: disabled={disabled_best * 1e3:.2f}ms "
+        f"enabled={enabled_best * 1e3:.2f}ms median-overhead={ratio * 100:+.2f}%"
+    )
+    _merge_artifact(
+        "exemplars",
+        {
+            "requests": REQUESTS,
+            "runs": EXEMPLAR_RUNS,
+            "disabled_seconds": disabled_best,
+            "enabled_seconds": enabled_best,
+            "overhead_ratio": ratio,
+            "bound": EXEMPLAR_OVERHEAD_BOUND,
+        },
+    )
+    assert ratio < EXEMPLAR_OVERHEAD_BOUND, ratio
+
+
 # -- alerting control plane overhead -------------------------------------
 
 #: Amortized per-second cost the alerting control plane (live alert

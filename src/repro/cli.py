@@ -59,6 +59,9 @@ def _build_sim(args: argparse.Namespace) -> StackSimulation:
             carbon_threshold=getattr(args, "carbon_threshold", 75.0),
             carbon_cap_w=getattr(args, "carbon_cap_w", 0.0),
             power_cap_w=getattr(args, "power_cap_w", 0.0),
+            trace_sample_rate=getattr(args, "trace_sample_rate", 1.0),
+            trace_keep_slow_ms=getattr(args, "trace_keep_slow_ms", 250.0),
+            exemplars_per_series=getattr(args, "exemplars_per_series", 10),
         ),
     )
 
@@ -413,6 +416,29 @@ def build_parser() -> argparse.ArgumentParser:
             default=0.0,
             dest="power_cap_w",
             help="static per-socket package power cap in watts (0 = off)",
+        )
+        p.add_argument(
+            "--trace-sample-rate",
+            type=float,
+            default=1.0,
+            dest="trace_sample_rate",
+            help="tail-sampling keep probability for fast, successful spans "
+            "(errors and slow spans are always kept; 1.0 keeps everything)",
+        )
+        p.add_argument(
+            "--trace-keep-slow-ms",
+            type=float,
+            default=250.0,
+            dest="trace_keep_slow_ms",
+            help="spans at least this slow (ms) are always retained by the "
+            "tail sampler",
+        )
+        p.add_argument(
+            "--exemplars-per-series",
+            type=int,
+            default=10,
+            dest="exemplars_per_series",
+            help="exemplar ring slots per series in the hot TSDB",
         )
 
     p_sim = sub.add_parser("simulate", help="run a deployment and print the operator report")

@@ -47,7 +47,7 @@ from repro.hwsim.node import SimulatedNode
 from repro.lb.authz import DBAuthorizer
 from repro.lb.server import LoadBalancer
 from repro.lb.strategies import Backend
-from repro.obs import Telemetry
+from repro.obs import TailSampler, Telemetry
 from repro.resourcemgr.slurm import SlurmCluster
 from repro.resourcemgr.workload import WorkloadGenerator, WorkloadMix
 from repro.thanos import Compactor, FanoutStorage, ObjectStore, Sidecar
@@ -151,6 +151,15 @@ class SimulationConfig:
     carbon_cap_w: float = 0.0
     #: Static per-socket package cap, always on (W; 0 = off).
     power_cap_w: float = 0.0
+    #: Tail-sampling keep probability for fast, successful spans
+    #: (``--trace-sample-rate``); 1.0 keeps everything.  Error and
+    #: slow spans are always kept regardless.
+    trace_sample_rate: float = 1.0
+    #: Spans at least this slow (ms) are always retained by the tail
+    #: sampler (``--trace-keep-slow-ms``).
+    trace_keep_slow_ms: float = 250.0
+    #: Exemplar ring slots per series (``--exemplars-per-series``).
+    exemplars_per_series: int = 10
 
     @classmethod
     def from_stack_config(cls, stack, **overrides) -> "SimulationConfig":
@@ -457,6 +466,8 @@ class StackSimulation:
             from repro.obs import PROFILER
 
             PROFILER.enabled = True
+        if cfg.exemplars_per_series > 0:
+            self.hot_tsdb.exemplars.per_series = cfg.exemplars_per_series
         self.prom_apis = [
             PromAPI(
                 self.fanout,
@@ -472,6 +483,9 @@ class StackSimulation:
                 max_concurrent_queries=cfg.max_concurrent_queries,
                 rules=self.rule_evaluator,
                 alertmanager=self.alertmanager,
+                # Exemplars live in the hot TSDB's ring, not the
+                # fan-out this endpoint queries samples through.
+                exemplars=self.hot_tsdb.exemplars,
             )
             for i in range(cfg.n_prom_backends)
         ]
@@ -544,7 +558,35 @@ class StackSimulation:
             for api in self.prom_apis:
                 self.prober.register_metrics(api.app.telemetry.registry)
 
+        # -- tail-based span sampling -------------------------------------
+        # One sampler shared by every component's span store: the keep
+        # decision hashes the trace id, so a kept trace is retained
+        # coherently across the LB, the backend and the storage spans
+        # it fanned out to — the property exemplar drill-downs rely on.
+        self.tail_sampler = TailSampler(
+            rate=cfg.trace_sample_rate, keep_slow_ms=cfg.trace_keep_slow_ms
+        )
+        for telemetry in self._all_telemetry():
+            telemetry.spans.sampler = self.tail_sampler
+
         self._register_timers()
+
+    def _all_telemetry(self):
+        """Every component telemetry whose span store exists today."""
+        out = [
+            self.hot_tsdb.telemetry,
+            self.scrape_manager.telemetry,
+            self.fanout.telemetry,
+            self.lb.app.telemetry,
+            self.api_server.app.telemetry,
+        ]
+        out.extend(api.app.telemetry for api in self.prom_apis)
+        if self.alertmanager is not None:
+            out.append(self.alertmanager.app.telemetry)
+        out.extend(e.app.telemetry for e in self.exporters)
+        out.extend(e.app.telemetry for e in self.gpu_exporters)
+        out.append(self.emissions_exporter.app.telemetry)
+        return [t for t in out if t is not None]
 
     # -- wiring --------------------------------------------------------------
     def _register_timers(self) -> None:

@@ -368,8 +368,21 @@ class App:
             limit = int(request.param("limit", "100"))
         except ValueError:
             return Response.error(400, "limit must be an integer")
+        try:
+            min_ms = float(request.param("min_ms", "0"))
+        except ValueError:
+            return Response.error(400, "min_ms must be a number")
         store = self.telemetry.spans
-        spans = store.for_trace(trace_id) if trace_id else store.spans()[-limit:]
+        if trace_id:
+            spans = store.for_trace(trace_id)
+        else:
+            spans = store.spans()
+        if min_ms > 0:
+            # Slow-span filter: the exemplar drill-down's "show me
+            # only the expensive part of this trace" knob.
+            spans = [s for s in spans if s.duration * 1000.0 >= min_ms]
+        if not trace_id:
+            spans = spans[-limit:]
         return Response.json(
             {
                 "status": "success",

@@ -57,7 +57,21 @@ def _stat_panel(panel_id: int, title: str, expr_or_field: str, unit: str, x: int
     }
 
 
-def _timeseries_panel(panel_id: int, title: str, exprs: list[tuple[str, str]], unit: str, y: int, h: int = 8) -> dict[str, Any]:
+def _timeseries_panel(panel_id: int, title: str, exprs: list[tuple[str, str]], unit: str, y: int, h: int = 8, *, exemplar: bool = False) -> dict[str, Any]:
+    targets = []
+    for i, (legend, expr) in enumerate(exprs):
+        target = {
+            "datasource": PROMETHEUS_DS,
+            "expr": _validate_promql(expr),
+            "legendFormat": legend,
+            "refId": chr(ord("A") + i),
+        }
+        if exemplar:
+            # Grafana issues a parallel /api/v1/query_exemplars call
+            # for this expression and overlays the returned trace
+            # references as clickable points.
+            target["exemplar"] = True
+        targets.append(target)
     return {
         "id": panel_id,
         "type": "timeseries",
@@ -65,15 +79,7 @@ def _timeseries_panel(panel_id: int, title: str, exprs: list[tuple[str, str]], u
         "gridPos": {"h": h, "w": _GRID_W, "x": 0, "y": y},
         "datasource": PROMETHEUS_DS,
         "fieldConfig": {"defaults": {"unit": unit}},
-        "targets": [
-            {
-                "datasource": PROMETHEUS_DS,
-                "expr": _validate_promql(expr),
-                "legendFormat": legend,
-                "refId": chr(ord("A") + i),
-            }
-            for i, (legend, expr) in enumerate(exprs)
-        ],
+        "targets": targets,
     }
 
 
@@ -270,6 +276,31 @@ def ops_alerting_dashboard_json() -> dict[str, Any]:
             "percentunit",
             36,
         ),
+        _timeseries_panel(
+            11,
+            "LB request latency p99 (click exemplars to open the trace)",
+            [
+                (
+                    "p99",
+                    'histogram_quantile(0.99, sum by (le) (rate(ceems_http_request_duration_seconds_bucket{job="ceems-lb"}[5m])))',
+                )
+            ],
+            "s",
+            44,
+            exemplar=True,
+        ),
+        _timeseries_panel(
+            12,
+            "Exemplar & tail-sampler throughput",
+            [
+                ("exemplars appended", "sum(rate(ceems_exemplars_appended_total[5m]))"),
+                ("exemplars dropped", "sum(rate(ceems_exemplars_dropped_total[5m]))"),
+                ("spans kept", "sum(rate(ceems_trace_sampler_kept_total[5m]))"),
+                ("spans dropped", "sum(rate(ceems_trace_sampler_dropped_total[5m]))"),
+            ],
+            "none",
+            52,
+        ),
     ]
     return _dashboard(
         "ceems-ops-alerting",
@@ -359,6 +390,43 @@ def all_dashboards() -> dict[str, dict[str, Any]]:
     return {d["uid"]: d for d in dashboards}
 
 
+def datasources_provisioning() -> list[dict[str, Any]]:
+    """Grafana datasource provisioning entries.
+
+    The Prometheus datasource carries the exemplar trace-id
+    destination: clicking an exemplar point in any panel deep-links to
+    the stack's own trace viewer for that trace — the metric→trace hop
+    of the drill-down story.
+    """
+    return [
+        {
+            "name": "CEEMS LB",
+            "type": PROMETHEUS_DS["type"],
+            "uid": PROMETHEUS_DS["uid"],
+            "url": "http://ceems-lb:9030",
+            "jsonData": {
+                "exemplarTraceIdDestinations": [
+                    {
+                        "name": "trace_id",
+                        "url": "/debug/traces?trace_id=${__value.raw}",
+                    }
+                ]
+            },
+        },
+        {
+            "name": "CEEMS API",
+            "type": CEEMS_DS["type"],
+            "uid": CEEMS_DS["uid"],
+            "url": "http://ceems-api:9040",
+            "jsonData": {},
+        },
+    ]
+
+
 def export_provisioning_bundle() -> str:
-    """The JSON bundle a Grafana provisioning directory would hold."""
-    return json.dumps(all_dashboards(), indent=2, sort_keys=True)
+    """The JSON bundle a Grafana provisioning directory would hold:
+    every dashboard keyed by uid, plus the datasource entries under
+    the (non-uid) ``datasources`` key."""
+    bundle: dict[str, Any] = dict(all_dashboards())
+    bundle["datasources"] = datasources_provisioning()
+    return json.dumps(bundle, indent=2, sort_keys=True)

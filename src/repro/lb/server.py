@@ -28,7 +28,7 @@ from repro.lb.introspect import extract_uuids
 from repro.lb.strategies import Backend, Strategy, make_strategy
 
 USER_HEADER = "x-grafana-user"
-_QUERY_PATHS = ("/api/v1/query", "/api/v1/query_range")
+_QUERY_PATHS = ("/api/v1/query", "/api/v1/query_range", "/api/v1/query_exemplars")
 
 
 class LoadBalancer:
@@ -75,6 +75,7 @@ class LoadBalancer:
         for path in (
             "/api/v1/query",
             "/api/v1/query_range",
+            "/api/v1/query_exemplars",
             "/api/v1/series",
             "/api/v1/rules",
             "/api/v1/alerts",
@@ -83,6 +84,10 @@ class LoadBalancer:
         ):
             self.app.router.get(path, self._proxy)
             self.app.router.post(path, self._proxy)
+        # Grafana probes these on data-source load; read-only, so GET
+        # only (no query introspection — they carry no PromQL).
+        self.app.router.get("/api/v1/status/buildinfo", self._proxy)
+        self.app.router.get("/api/v1/status/runtimeinfo", self._proxy)
         self.app.router.get("/api/v1/label/{name}/values", self._proxy)
         self.app.router.get("/api/v1/silence/{id}", self._proxy)
         self.app.router.delete("/api/v1/silence/{id}", self._proxy)

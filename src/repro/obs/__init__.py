@@ -48,9 +48,11 @@ from repro.obs.registry import (
 )
 from repro.obs.telemetry import Telemetry
 from repro.obs.trace import (
+    SAMPLER_STATS,
     TRACEPARENT_HEADER,
     Span,
     SpanStore,
+    TailSampler,
     TraceContext,
     current_trace,
     new_span_id,
@@ -66,8 +68,10 @@ __all__ = [
     "MetricsRegistry",
     "Telemetry",
     "TRACEPARENT_HEADER",
+    "SAMPLER_STATS",
     "Span",
     "SpanStore",
+    "TailSampler",
     "TraceContext",
     "current_trace",
     "new_span_id",

@@ -21,9 +21,11 @@ from __future__ import annotations
 
 import bisect
 import threading
+import time
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.common.errors import CEEMSError
+from repro.obs.trace import current_trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.tsdb.exposition import MetricFamily
@@ -68,6 +70,46 @@ def _label_key(labels: dict[str, str]) -> _LabelKey:
     return tuple(sorted(labels.items()))
 
 
+#: Exemplar capture switch.  Process-wide on purpose: the bench guard
+#: measures enabled-vs-disabled ingest, and an operator turning
+#: exemplars off wants *every* component to stop paying for capture.
+_EXEMPLARS_ENABLED = True
+
+#: Per-slot replacement rate limit (seconds).  A hot counter or bucket
+#: would otherwise replace its exemplar on every observation; one
+#: fresh trace reference per slot per interval is plenty to drill into
+#: a spike and keeps the capture branch off the allocation path.
+_EXEMPLAR_MIN_INTERVAL = 0.25
+
+
+def set_exemplars_enabled(enabled: bool) -> bool:
+    """Toggle exemplar capture process-wide; returns the old value."""
+    global _EXEMPLARS_ENABLED
+    old = _EXEMPLARS_ENABLED
+    _EXEMPLARS_ENABLED = bool(enabled)
+    return old
+
+
+_monotonic = time.monotonic
+
+# Exemplar capture stores raw ``(trace_id, value, monotonic)`` tuples
+# inline in each metric's per-label-set entry — no side dict, so the
+# hot path pays no second hash of the label key.  The rate-limit check
+# runs before the trace lookup: on a hot metric nearly every
+# observation exits on the freshness test, so the steady-state cost is
+# one list index and one clock read.  The wire-format
+# :class:`~repro.tsdb.exposition.Exemplar` is only built at collect()
+# time, keeping exposition types off the ingest path entirely.
+
+
+def _as_exemplar(exposition, captured):
+    """Raw captured tuple -> wire :class:`Exemplar` (or ``None``)."""
+    if captured is None:
+        return None
+    trace_id, value, _mono = captured
+    return exposition.Exemplar(labels={"trace_id": trace_id}, value=value)
+
+
 class _Metric:
     """Shared bookkeeping for labelled metrics."""
 
@@ -89,23 +131,39 @@ class Counter(_Metric):
 
     def __init__(self, name: str, help: str = "") -> None:
         super().__init__(name, help)
-        self._values: dict[_LabelKey, float] = {}
+        # per label set: [running total, captured exemplar tuple|None]
+        self._values: dict[_LabelKey, list] = {}
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:
         if amount < 0:
             raise CEEMSError(f"counter {self.name} cannot decrease")
         key = _label_key(labels)
         with self._lock:
-            self._values[key] = self._values.get(key, 0.0) + amount
+            entry = self._values.get(key)
+            if entry is None:
+                entry = self._values[key] = [0.0, None]
+            entry[0] += amount
+            if _EXEMPLARS_ENABLED:
+                # Exemplar value is the increment, not the running
+                # total: "this trace contributed this much".
+                prev = entry[1]
+                if prev is None or _monotonic() - prev[2] >= _EXEMPLAR_MIN_INTERVAL:
+                    ctx = current_trace()
+                    if ctx is not None:
+                        entry[1] = (ctx.trace_id, amount, _monotonic())
 
     def value(self, **labels: str) -> float:
-        return self._values.get(_label_key(labels), 0.0)
+        entry = self._values.get(_label_key(labels))
+        return entry[0] if entry else 0.0
 
     def collect(self) -> list[MetricFamily]:
-        family = _exposition().MetricFamily(self.name, help=self.help, type=self.type)
+        exposition = _exposition()
+        family = exposition.MetricFamily(self.name, help=self.help, type=self.type)
         with self._lock:
-            for key, value in self._values.items():
-                family.add(value, **dict(key))
+            for key, (value, captured) in self._values.items():
+                family.add(
+                    value, exemplar=_as_exemplar(exposition, captured), **dict(key)
+                )
         return [family]
 
 
@@ -160,8 +218,9 @@ class Histogram(_Metric):
         # bucket bounds; formatting it once here keeps collect() —
         # which runs on every exporter scrape — allocation-light.
         self._le_strs: tuple[str, ...] = tuple(self._le(b) for b in self.buckets)
-        # per label set: [per-bucket counts (+overflow slot), sum, count]
-        self._data: dict[_LabelKey, tuple[list[int], list[float]]] = {}
+        # per label set: (per-bucket counts (+overflow slot),
+        # [sum, count], per-bucket exemplar tuples (+overflow slot))
+        self._data: dict[_LabelKey, tuple[list[int], list[float], list]] = {}
 
     def observe(self, value: float, **labels: str) -> None:
         key = _label_key(labels)
@@ -171,11 +230,22 @@ class Histogram(_Metric):
         with self._lock:
             entry = self._data.get(key)
             if entry is None:
-                entry = ([0] * (len(self.buckets) + 1), [0.0, 0.0])
+                slots = len(self.buckets) + 1
+                entry = ([0] * slots, [0.0, 0.0], [None] * slots)
                 self._data[key] = entry
             entry[0][idx] += 1
             entry[1][0] += value  # sum
             entry[1][1] += 1  # count
+            if _EXEMPLARS_ENABLED:
+                # Per-bucket slots, like Prometheus client_golang: the
+                # exemplar rides the bucket the observation landed in,
+                # so a p99 spike's bucket carries a p99 trace.
+                exemplars = entry[2]
+                prev = exemplars[idx]
+                if prev is None or _monotonic() - prev[2] >= _EXEMPLAR_MIN_INTERVAL:
+                    ctx = current_trace()
+                    if ctx is not None:
+                        exemplars[idx] = (ctx.trace_id, value, _monotonic())
 
     def count(self, **labels: str) -> float:
         entry = self._data.get(_label_key(labels))
@@ -203,16 +273,30 @@ class Histogram(_Metric):
         point = exposition.MetricPoint
         bucket_points = buckets.points
         with self._lock:
-            for key, (counts_per_bucket, sum_count) in self._data.items():
+            for key, (counts_per_bucket, sum_count, exemplars) in self._data.items():
                 cumulative = 0
-                for le_str, n in zip(self._le_strs, counts_per_bucket):
+                for idx, (le_str, n) in enumerate(
+                    zip(self._le_strs, counts_per_bucket)
+                ):
                     cumulative += n
                     labels = dict(key)
                     labels["le"] = le_str
-                    bucket_points.append(point(labels=labels, value=float(cumulative)))
+                    bucket_points.append(
+                        point(
+                            labels=labels,
+                            value=float(cumulative),
+                            exemplar=_as_exemplar(exposition, exemplars[idx]),
+                        )
+                    )
                 labels = dict(key)
                 labels["le"] = "+Inf"
-                bucket_points.append(point(labels=labels, value=sum_count[1]))
+                bucket_points.append(
+                    point(
+                        labels=labels,
+                        value=sum_count[1],
+                        exemplar=_as_exemplar(exposition, exemplars[-1]),
+                    )
+                )
                 sums.add(sum_count[0], **dict(key))
                 counts.add(sum_count[1], **dict(key))
         return [marker, buckets, sums, counts]

@@ -25,6 +25,7 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import (
     Span,
     SpanStore,
+    TailSampler,
     activate,
     current_trace,
     deactivate,
@@ -35,13 +36,24 @@ from repro.obs.trace import (
 class Telemetry:
     """One component's self-telemetry sink."""
 
-    def __init__(self, component: str, span_capacity: int = 1024) -> None:
+    def __init__(
+        self,
+        component: str,
+        span_capacity: int = 1024,
+        sampler: TailSampler | None = None,
+    ) -> None:
         self.component = component
         self.registry = MetricsRegistry()
         self.spans = SpanStore(capacity=span_capacity)
+        #: Tail sampler applied at record time (shared across the sim's
+        #: components so a trace is kept or dropped coherently).
+        self.spans.sampler = sampler
         #: Structured JSONL log, trace-correlated via the ambient
         #: context (see :mod:`repro.obs.log`).
         self.log = StructuredLogger(component)
+
+    def set_sampler(self, sampler: TailSampler | None) -> None:
+        self.spans.sampler = sampler
 
     @contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[Span]:

@@ -136,6 +136,68 @@ class Span:
         }
 
 
+#: Process-wide tail-sampling totals, aggregated across every
+#: component's sampler so the PromAPI engine-stats collector can
+#: expose ``ceems_trace_sampler_{kept,dropped}_total`` without holding
+#: references to each store.
+SAMPLER_STATS = {"kept": 0, "dropped": 0}
+
+#: Knuth's multiplicative-hash constant: spreads the (sequential,
+#: deterministic) trace-id counter uniformly over [0, 1) so a sample
+#: rate of 0.1 really keeps ~10% of traces, not the first 10%.
+_HASH_MULT = 2654435761
+_HASH_MOD = 2**32
+
+
+def _trace_fraction(trace_id: str) -> float:
+    """Deterministic per-trace uniform draw in [0, 1)."""
+    try:
+        seed = int(trace_id, 16)
+    except ValueError:
+        seed = hash(trace_id)
+    return (seed * _HASH_MULT) % _HASH_MOD / _HASH_MOD
+
+
+@dataclass
+class TailSampler:
+    """Tail-based sampling: decide *after* the span finished.
+
+    Unlike head sampling the decision can see the outcome, so the
+    traces worth keeping — errors and slow requests, exactly the ones
+    exemplars point operators at — are always retained; only the
+    boring fast-and-ok majority is thinned probabilistically.  The
+    probabilistic draw hashes the trace id, so every span of a trace
+    gets the same draw and a kept trace is kept coherently across
+    components sharing the sampler.
+    """
+
+    #: Probability of keeping a fast, successful span. 1.0 keeps all.
+    rate: float = 1.0
+    #: Spans at least this slow (milliseconds) are always kept.
+    keep_slow_ms: float = 250.0
+    kept_total: int = 0
+    dropped_total: int = 0
+
+    def keep(self, span: Span) -> bool:
+        if span.status != "ok":
+            decision = True
+        elif span.duration * 1000.0 >= self.keep_slow_ms:
+            decision = True
+        elif self.rate >= 1.0:
+            decision = True
+        elif self.rate <= 0.0:
+            decision = False
+        else:
+            decision = _trace_fraction(span.trace_id) < self.rate
+        if decision:
+            self.kept_total += 1
+            SAMPLER_STATS["kept"] += 1
+        else:
+            self.dropped_total += 1
+            SAMPLER_STATS["dropped"] += 1
+        return decision
+
+
 class SpanStore:
     """Bounded in-memory ring of finished spans (newest last)."""
 
@@ -144,15 +206,38 @@ class SpanStore:
             raise ValueError("span store capacity must be positive")
         self.capacity = capacity
         self._spans: list[Span] = []
+        #: trace id -> retained spans of that trace, ring order.  The
+        #: exemplar deep-link path (``/debug/traces?trace_id=``) made
+        #: ``for_trace`` hot; the index turns its O(capacity) scan
+        #: into a dict hit and is maintained on eviction so a dead
+        #: trace id can never pin its spans.
+        self._by_trace: dict[str, list[Span]] = {}
         self._lock = threading.Lock()
+        #: Optional :class:`TailSampler`; when set, spans it rejects
+        #: are counted in ``total_recorded`` but never stored.
+        self.sampler: TailSampler | None = None
         self.total_recorded = 0
 
     def record(self, span: Span) -> None:
         with self._lock:
-            self._spans.append(span)
             self.total_recorded += 1
-            if len(self._spans) > self.capacity:
-                del self._spans[: len(self._spans) - self.capacity]
+            sampler = self.sampler
+            if sampler is not None and not sampler.keep(span):
+                return
+            self._spans.append(span)
+            self._by_trace.setdefault(span.trace_id, []).append(span)
+            excess = len(self._spans) - self.capacity
+            if excess > 0:
+                # Both the ring and each trace bucket are append-
+                # ordered, so the evicted span is always its bucket's
+                # head; empty buckets are deleted so evicted trace ids
+                # never leak.
+                for doomed in self._spans[:excess]:
+                    bucket = self._by_trace[doomed.trace_id]
+                    bucket.pop(0)
+                    if not bucket:
+                        del self._by_trace[doomed.trace_id]
+                del self._spans[:excess]
 
     def spans(self) -> list[Span]:
         with self._lock:
@@ -160,7 +245,7 @@ class SpanStore:
 
     def for_trace(self, trace_id: str) -> list[Span]:
         with self._lock:
-            return [s for s in self._spans if s.trace_id == trace_id]
+            return list(self._by_trace.get(trace_id, ()))
 
     def trace_ids(self) -> list[str]:
         """Distinct trace ids currently retained, oldest first."""
@@ -173,6 +258,7 @@ class SpanStore:
     def clear(self) -> None:
         with self._lock:
             self._spans.clear()
+            self._by_trace.clear()
 
     def __len__(self) -> int:
         with self._lock:

@@ -99,6 +99,17 @@ class FanoutStorage:
         #: set, selects inside an active trace record child spans.
         self.telemetry = None
 
+    # Status endpoints (runtimeinfo) introspect whatever storage the
+    # PromAPI wraps; for a fanout the hot head is the authoritative
+    # side for live-series accounting and retention policy.
+    @property
+    def num_series(self) -> int:
+        return self.hot.num_series
+
+    @property
+    def retention(self) -> float:
+        return self.hot.retention
+
     def _epochs(self) -> tuple:
         store_version = getattr(self.store, "version", None)
         if store_version is not None:

@@ -8,8 +8,10 @@ shared Python objects.
 
 Supported format features: ``# HELP`` / ``# TYPE`` comments, label
 escaping (``\\``, ``\"``, ``\\n``), ``NaN``/``+Inf``/``-Inf`` values,
-and optional millisecond timestamps — the subset the Prometheus
-ecosystem actually exchanges for counters and gauges.
+optional millisecond timestamps, and OpenMetrics-style exemplars
+(``# {trace_id="..."} value [ts]`` suffixes on counter and histogram
+bucket lines) — the subset the Prometheus ecosystem actually
+exchanges for counters, gauges and histograms.
 """
 
 from __future__ import annotations
@@ -24,12 +26,28 @@ VALID_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
 
 
 @dataclass(slots=True)
+class Exemplar:
+    """An OpenMetrics exemplar: a sampled reference riding on a point.
+
+    ``labels`` is the exemplar's own label set (conventionally a
+    single ``trace_id``); ``timestamp`` is in **seconds** (the
+    OpenMetrics wire unit) and optional — the scrape layer substitutes
+    the scrape timestamp when absent.
+    """
+
+    labels: dict[str, str]
+    value: float
+    timestamp: float | None = None
+
+
+@dataclass(slots=True)
 class MetricPoint:
     """One exposed sample: labels (without ``__name__``) + value."""
 
     labels: dict[str, str]
     value: float
     timestamp_ms: int | None = None
+    exemplar: Exemplar | None = None
 
 
 @dataclass(slots=True)
@@ -41,8 +59,16 @@ class MetricFamily:
     type: str = "gauge"
     points: list[MetricPoint] = field(default_factory=list)
 
-    def add(self, value: float, timestamp_ms: int | None = None, **labels: str) -> None:
-        self.points.append(MetricPoint(labels=labels, value=value, timestamp_ms=timestamp_ms))
+    def add(
+        self,
+        value: float,
+        timestamp_ms: int | None = None,
+        exemplar: Exemplar | None = None,
+        **labels: str,
+    ) -> None:
+        self.points.append(
+            MetricPoint(labels=labels, value=value, timestamp_ms=timestamp_ms, exemplar=exemplar)
+        )
 
 
 def _escape_help(text: str) -> str:
@@ -71,6 +97,16 @@ _VALUE_CACHE: dict[float, str] = {}
 _VALUE_CACHE_MAX = 4096
 
 
+def _format_value_uncached(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
 def _format_value(value: float) -> str:
     if math.isnan(value):
         return "NaN"
@@ -78,10 +114,7 @@ def _format_value(value: float) -> str:
         return "+Inf" if value > 0 else "-Inf"
     cached = _VALUE_CACHE.get(value)
     if cached is None:
-        if float(value).is_integer() and abs(value) < 1e15:
-            cached = str(int(value))
-        else:
-            cached = repr(float(value))
+        cached = _format_value_uncached(value)
         if len(_VALUE_CACHE) >= _VALUE_CACHE_MAX:
             _VALUE_CACHE.clear()
         _VALUE_CACHE[value] = cached
@@ -123,6 +156,24 @@ def clear_render_caches() -> None:
     _VALUE_CACHE.clear()
 
 
+def _render_exemplar(exemplar: Exemplar) -> str:
+    """The ``# {labels} value [ts]`` suffix of an exemplar-carrying line.
+
+    Deliberately **not** memoised: exemplar label values (trace ids)
+    and values churn on nearly every scrape, so caching them would
+    thrash the skeleton/value memos that earn their keep on the stable
+    series-identity text.  The output is a pure function of the
+    exemplar, so cold and warm renders stay byte-identical.
+    """
+    label_str = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(exemplar.labels.items())
+    )
+    suffix = f"# {{{label_str}}} {_format_value_uncached(exemplar.value)}"
+    if exemplar.timestamp is not None:
+        suffix = f"{suffix} {_format_value_uncached(exemplar.timestamp)}"
+    return suffix
+
+
 def render(families: list[MetricFamily]) -> str:
     """Render metric families to exposition text."""
     lines: list[str] = []
@@ -134,9 +185,12 @@ def render(families: list[MetricFamily]) -> str:
             labels = point.labels
             series = _series_skeleton(name, labels) if labels else name
             if point.timestamp_ms is not None:
-                append(f"{series} {_format_value(point.value)} {point.timestamp_ms}")
+                line = f"{series} {_format_value(point.value)} {point.timestamp_ms}"
             else:
-                append(f"{series} {_format_value(point.value)}")
+                line = f"{series} {_format_value(point.value)}"
+            if point.exemplar is not None:
+                line = f"{line} {_render_exemplar(point.exemplar)}"
+            append(line)
     return "\n".join(lines) + "\n"
 
 
@@ -194,6 +248,69 @@ def _parse_value(token: str, lineno: int) -> float:
         raise ScrapeError(f"line {lineno}: bad value {token!r}") from exc
 
 
+def split_exemplar(line: str) -> tuple[str, str | None]:
+    """Split a sample line into ``(sample_part, exemplar_text)``.
+
+    The exemplar suffix starts at the first ``#`` outside quoted label
+    values (quoted values may legally contain ``#``).  Lines without
+    one return ``(line, None)``.  Shared by :func:`parse_sample_line`
+    and the scrape fast lane so both carve the line identically.
+    """
+    quote = False
+    escaped = False
+    for idx, ch in enumerate(line):
+        if escaped:
+            escaped = False
+            continue
+        if ch == "\\":
+            escaped = True
+        elif ch == '"':
+            quote = not quote
+        elif ch == "#" and not quote:
+            return line[:idx].rstrip(), line[idx:]
+    return line, None
+
+
+def parse_exemplar(text: str, lineno: int = 0) -> Exemplar:
+    """Parse an exemplar suffix (``text`` starts at the ``#``)."""
+    body = text[1:].lstrip()
+    if not body.startswith("{"):
+        raise ScrapeError(f"line {lineno}: exemplar must carry a {{...}} label set")
+    rest = body[1:]
+    quote = False
+    escaped = False
+    end = -1
+    for idx, ch in enumerate(rest):
+        if escaped:
+            escaped = False
+            continue
+        if ch == "\\":
+            escaped = True
+        elif ch == '"':
+            quote = not quote
+        elif ch == "}" and not quote:
+            end = idx
+            break
+    if end == -1:
+        raise ScrapeError(f"line {lineno}: unterminated exemplar label set")
+    labels = _parse_labels(rest[:end], lineno) if rest[:end] else {}
+    tokens = rest[end + 1 :].split()
+    if not tokens:
+        raise ScrapeError(f"line {lineno}: exemplar without value")
+    if len(tokens) > 2:
+        raise ScrapeError(f"line {lineno}: trailing tokens after exemplar timestamp")
+    value = _parse_value(tokens[0], lineno)
+    timestamp: float | None = None
+    if len(tokens) == 2:
+        try:
+            timestamp = float(tokens[1])
+        except ValueError as exc:
+            raise ScrapeError(
+                f"line {lineno}: bad exemplar timestamp {tokens[1]!r}"
+            ) from exc
+    return Exemplar(labels=labels, value=value, timestamp=timestamp)
+
+
 def comment_parts(line: str, lineno: int) -> list[str]:
     """Split and validate a ``#`` comment line.
 
@@ -209,16 +326,21 @@ def comment_parts(line: str, lineno: int) -> list[str]:
     return parts
 
 
-def parse_sample_line(line: str, lineno: int = 0) -> tuple[str, dict[str, str], float, int | None]:
+def parse_sample_line(
+    line: str, lineno: int = 0
+) -> tuple[str, dict[str, str], float, int | None, Exemplar | None]:
     """Parse one (non-empty, non-comment) sample line.
 
-    Returns ``(name, labels, value, timestamp_ms)``.  This is the
-    single authority on sample-line syntax: :func:`parse` uses it for
-    every line and the scrape cache uses it on cache misses, so the
-    fast lane can never accept a line the reference parser rejects
+    Returns ``(name, labels, value, timestamp_ms, exemplar)``.  This
+    is the single authority on sample-line syntax: :func:`parse` uses
+    it for every line and the scrape cache uses it on cache misses, so
+    the fast lane can never accept a line the reference parser rejects
     (or vice versa).
     """
-    # sample line: name{labels} value [timestamp]
+    # sample line: name{labels} value [timestamp] [# {labels} value [ts]]
+    exemplar_text: str | None = None
+    if "#" in line:  # cheap C-speed guard; the scan below is Python
+        line, exemplar_text = split_exemplar(line)
     if "{" in line:
         name_part, _, rest = line.partition("{")
         # Find the closing brace outside quoted label values —
@@ -253,7 +375,11 @@ def parse_sample_line(line: str, lineno: int = 0) -> tuple[str, dict[str, str], 
         raise ScrapeError(f"line {lineno}: sample without metric name")
     value = _parse_value(tokens[0], lineno)
     timestamp_ms = int(tokens[1]) if len(tokens) > 1 else None
-    return name, labels, value, timestamp_ms
+    # Exemplar errors surface only after the sample part validated, so
+    # the fast lane (which validates its cached sample prefix first)
+    # raises in the same order on doubly-malformed lines.
+    exemplar = parse_exemplar(exemplar_text, lineno) if exemplar_text is not None else None
+    return name, labels, value, timestamp_ms, exemplar
 
 
 def parse(text: str) -> list[MetricFamily]:
@@ -281,8 +407,10 @@ def parse(text: str) -> list[MetricFamily]:
             elif len(parts) >= 3 and parts[1] == "HELP":
                 family(parts[2]).help = parts[3] if len(parts) > 3 else ""
             continue
-        name, labels, value, timestamp_ms = parse_sample_line(line, lineno)
-        family(name).points.append(MetricPoint(labels=labels, value=value, timestamp_ms=timestamp_ms))
+        name, labels, value, timestamp_ms, exemplar = parse_sample_line(line, lineno)
+        family(name).points.append(
+            MetricPoint(labels=labels, value=value, timestamp_ms=timestamp_ms, exemplar=exemplar)
+        )
     return list(families.values())
 
 

@@ -76,12 +76,21 @@ class PromAPI:
         queue_timeout: float = 5.0,
         rules=None,
         alertmanager=None,
+        exemplars=None,
     ) -> None:
         self.storage = storage
         #: optional RuleEvaluator — backs /api/v1/rules and /api/v1/alerts
         self.rules = rules
         #: optional Alertmanager — silences plus alert suppression status
         self.alertmanager = alertmanager
+        #: Exemplar storage backing /api/v1/query_exemplars.  Passed
+        #: explicitly when ``storage`` is a fan-out querier (exemplars
+        #: live in the hot TSDB, not the fan-out); falls back to the
+        #: storage's own ring when it has one.
+        self.exemplars = exemplars if exemplars is not None else getattr(
+            storage, "exemplars", None
+        )
+        self.started_at = time.time()
         self.engine = PromQLEngine(storage, lookback=lookback)
         self.app = App(name=name)
         self.app.expose_telemetry()
@@ -98,6 +107,10 @@ class PromAPI:
         r.post("/api/v1/query", self._query)
         r.get("/api/v1/query_range", self._query_range)
         r.post("/api/v1/query_range", self._query_range)
+        r.get("/api/v1/query_exemplars", self._query_exemplars)
+        r.post("/api/v1/query_exemplars", self._query_exemplars)
+        r.get("/api/v1/status/buildinfo", self._buildinfo)
+        r.get("/api/v1/status/runtimeinfo", self._runtimeinfo)
         r.get("/api/v1/series", self._series)
         r.get("/api/v1/label/{name}/values", self._label_values)
         r.get("/api/v1/rules", self._rules)
@@ -231,6 +244,19 @@ class PromAPI:
         for event, count in COLUMNAR_STATS.items():
             columnar.add(float(count), event=event)
         families.append(columnar)
+
+        # Tail-sampler totals, process-wide (every component's sampler
+        # feeds the same aggregate; see repro.obs.trace.SAMPLER_STATS).
+        from repro.obs.trace import SAMPLER_STATS
+
+        for outcome in ("kept", "dropped"):
+            family = MetricFamily(
+                f"ceems_trace_sampler_{outcome}_total",
+                help=f"Spans {outcome} by tail-based sampling, process-wide.",
+                type="counter",
+            )
+            family.add(float(SAMPLER_STATS[outcome]))
+            families.append(family)
         return families
 
     # -- parameter handling -------------------------------------------------
@@ -369,6 +395,95 @@ class PromAPI:
             lambda ast: self.engine.query_range(ast, start, end, step, strategy=strategy),
             render,
         )
+
+    def _query_exemplars(self, request: Request) -> Response:
+        """Prometheus ``/api/v1/query_exemplars``: exemplars of every
+        series matched by the query's selectors, within [start, end].
+
+        Grafana sends the *panel expression* (e.g. a
+        ``histogram_quantile(...)`` over buckets), so the handler
+        walks the AST for vector selectors instead of requiring a
+        plain selector, exactly like Prometheus.
+        """
+        query = self._param(request, "query")
+        if not query:
+            return Response.error(400, "missing query parameter")
+        try:
+            start_param = self._param(request, "start")
+            end_param = self._param(request, "end")
+            start = float(start_param) if start_param is not None else float("-inf")
+            end = float(end_param) if end_param is not None else float("inf")
+        except ValueError:
+            return Response.error(400, "start/end must be numbers")
+        try:
+            ast = parse_expr(query)
+        except (QueryError, ValueError) as exc:
+            return Response.error(400, str(exc))
+        self.queries_served += 1
+        if self.exemplars is None:
+            return Response.json({"status": "success", "data": []})
+        merged: dict = {}
+        for selector in iter_selectors(ast):
+            for labels, records in self.exemplars.select(
+                list(selector.matchers), start, end
+            ):
+                merged.setdefault(labels, []).extend(records)
+        data = []
+        for labels, records in sorted(merged.items(), key=lambda kv: tuple(kv[0])):
+            # A series matched by several selectors must not repeat
+            # its exemplars; identity dedup is enough because select()
+            # hands back the same record objects.
+            seen_ids: set[int] = set()
+            exemplars = []
+            for record in sorted(records, key=lambda r: r.timestamp):
+                if id(record) in seen_ids:
+                    continue
+                seen_ids.add(id(record))
+                exemplars.append(
+                    {
+                        "labels": dict(record.labels),
+                        "value": str(record.value),
+                        "timestamp": record.timestamp,
+                    }
+                )
+            data.append({"seriesLabels": labels.as_dict(), "exemplars": exemplars})
+        return Response.json({"status": "success", "data": data})
+
+    def _buildinfo(self, request: Request) -> Response:
+        """Prometheus ``/api/v1/status/buildinfo`` (Grafana probes it
+        on data-source load to pick API features)."""
+        from repro import __version__
+
+        return Response.json(
+            {
+                "status": "success",
+                "data": {
+                    "version": __version__,
+                    "revision": "ceems-sim",
+                    "branch": "main",
+                    "buildUser": "",
+                    "buildDate": "",
+                    "goVersion": "",
+                    "features": {"exemplar-storage": "true"},
+                },
+            }
+        )
+
+    def _runtimeinfo(self, request: Request) -> Response:
+        """Prometheus ``/api/v1/status/runtimeinfo``."""
+        retention = getattr(self.storage, "retention", 0.0)
+        num_series = getattr(self.storage, "num_series", 0)
+        data = {
+            "startTime": self.started_at,
+            "reloadConfigSuccess": True,
+            "corruptionCount": 0,
+            "storageRetention": f"{float(retention):g}s",
+            "timeSeriesCount": int(num_series() if callable(num_series) else num_series),
+            "queriesServed": self.queries_served,
+        }
+        if self.exemplars is not None:
+            data["exemplarCount"] = len(self.exemplars)
+        return Response.json({"status": "success", "data": data})
 
     def _series(self, request: Request) -> Response:
         selectors = request.params("match[]")

@@ -178,6 +178,11 @@ class _ScrapeResult:
     ref_batch: list | None = None
     #: reference path: family-ordered (Labels, value) pairs
     labels_batch: list | None = None
+    #: exemplar-carrying lines, in line order: ``(entry, Exemplar)``
+    #: on the fast lane, ``(Labels, Exemplar)`` on the reference path.
+    #: Kept separate from the sample batches so the sample hot loops
+    #: stay two-tuples.
+    exemplars: list | None = None
     hits: int = 0
     misses: int = 0
     evictions: int = 0
@@ -219,15 +224,19 @@ class ScrapeManager:
             self.add_target(t)
 
     # -- fetch phase (storage-free; may run on worker threads) -----------
-    def _parse_cached(self, target: ScrapeTarget, text: str) -> tuple[list, int, int]:
+    def _parse_cached(
+        self, target: ScrapeTarget, text: str
+    ) -> tuple[list, list, int, int]:
         """Parse exposition text through the target's scrape cache.
 
-        Returns ``(batch, hits, misses)`` with ``batch`` holding
-        line-ordered ``(entry, value)`` pairs.  Error behaviour is
-        bit-identical to :func:`exposition.parse`: comment validation
-        and every cache miss go through the same shared helpers, and
-        the hit path re-checks value/timestamp tokens the same way —
-        a payload is accepted or rejected identically on both paths.
+        Returns ``(batch, exemplars, hits, misses)`` with ``batch``
+        holding line-ordered ``(entry, value)`` pairs and
+        ``exemplars`` line-ordered ``(entry, Exemplar)`` pairs.  Error
+        behaviour is bit-identical to :func:`exposition.parse`:
+        comment validation, every cache miss and every exemplar suffix
+        go through the same shared helpers, and the hit path re-checks
+        value/timestamp tokens the same way — a payload is accepted or
+        rejected identically on both paths.
         """
         cache = target._cache
         cache.gen += 1
@@ -239,6 +248,7 @@ class ScrapeManager:
         comments = cache.comments
         batch: list = []
         append = batch.append
+        exemplars: list = []
         hits = 0
         misses = 0
         for lineno, raw in enumerate(text.splitlines(), start=1):
@@ -252,6 +262,16 @@ class ScrapeManager:
                         comments.clear()
                     comments.add(line)
                 continue
+            # Carve off an exemplar suffix first (the `'#' in line`
+            # guard keeps exemplar-free lines — the vast majority — on
+            # the original C-speed path).  This must happen before the
+            # rfind below: an exemplar's own label set ends in '}', so
+            # on exemplar-carrying lines the *last* '}' is no longer
+            # the series' closing brace.
+            ex_text = None
+            full_line = line
+            if "#" in line:
+                line, ex_text = exposition.split_exemplar(line)
             # Split the raw `name{labels}` prefix (the cache key) from
             # the value/timestamp tail.  rfind is sound: value and
             # timestamp tokens of any *valid* line cannot contain '}',
@@ -287,22 +307,34 @@ class ScrapeManager:
                         # payload (parity with parse_sample_line's
                         # int()).
                         int(tokens[1])
+                    # Exemplar last, mirroring parse_sample_line's
+                    # validation order on doubly-malformed lines.
+                    if ex_text is not None:
+                        exemplars.append(
+                            (entry, exposition.parse_exemplar(ex_text, lineno))
+                        )
                     entry.last_gen = gen
                     append((entry, value))
                     hits += 1
                     continue
             # miss (or structurally odd line): reference parse + full
-            # Labels validation before anything enters the cache.
-            name, labels, value, _ts = exposition.parse_sample_line(line, lineno)
+            # Labels validation before anything enters the cache.  The
+            # *full* line goes through, so the exemplar suffix is
+            # parsed by exactly the reference helper too.
+            name, labels, value, _ts, exemplar = exposition.parse_sample_line(
+                full_line, lineno
+            )
             point = exposition.MetricPoint(labels=labels, value=value)
             full = exposition.to_labels(name, point, identity)
             misses += 1
             entry = _CacheEntry(labels=full, ref=0, last_gen=gen)
             entries[key] = entry
+            if exemplar is not None:
+                exemplars.append((entry, exemplar))
             append((entry, value))
         cache.hits += hits
         cache.misses += misses
-        return batch, hits, misses
+        return batch, exemplars, hits, misses
 
     def _fetch(self, target: ScrapeTarget, now: float) -> _ScrapeResult:
         """HTTP + decode + parse + cache resolution for one target.
@@ -324,20 +356,24 @@ class ScrapeManager:
             body = response.body.decode()
             with prof.profile("scrape.parse"):
                 if self.config.use_cache:
-                    batch, hits, misses = self._parse_cached(target, body)
+                    batch, exemplars, hits, misses = self._parse_cached(target, body)
                     result.ref_batch = batch
+                    result.exemplars = exemplars
                     result.hits = hits
                     result.misses = misses
                     result.evictions = target._cache.evict_stale()
                 else:
                     identity = target.identity_labels()
                     labels_batch: list = []
+                    exemplars = []
                     for family in exposition.parse(body):
                         for point in family.points:
-                            labels_batch.append(
-                                (exposition.to_labels(family.name, point, identity), point.value)
-                            )
+                            labels = exposition.to_labels(family.name, point, identity)
+                            labels_batch.append((labels, point.value))
+                            if point.exemplar is not None:
+                                exemplars.append((labels, point.exemplar))
                     result.labels_batch = labels_batch
+                    result.exemplars = exemplars
             result.ok = True
         except Exception as exc:  # noqa: BLE001 — one bad node must
             # never stall the cluster scrape: a non-UTF-8 body, a bad
@@ -356,9 +392,13 @@ class ScrapeManager:
         samples = 0
         if result.ok:
             if result.ref_batch is not None:
-                samples = self._apply_refs(target, result.ref_batch, now)
+                samples = self._apply_refs(
+                    target, result.ref_batch, now, result.exemplars
+                )
             else:
-                samples = self._apply_labels(target, result.labels_batch, now)
+                samples = self._apply_labels(
+                    target, result.labels_batch, now, result.exemplars
+                )
             target.last_scrape_ok = True
         else:
             target.scrape_failures_total += 1
@@ -384,7 +424,9 @@ class ScrapeManager:
         self.cache_evictions_total += result.evictions
         return samples
 
-    def _apply_refs(self, target: ScrapeTarget, batch: list, now: float) -> int:
+    def _apply_refs(
+        self, target: ScrapeTarget, batch: list, now: float, exemplars: list | None = None
+    ) -> int:
         """Fast lane: batched append by ref + ref-set staleness pass."""
         storage = self.storage
         get_ref = storage.get_ref
@@ -407,6 +449,12 @@ class ScrapeManager:
                     entry.ref = get_ref(entry.labels)
                     storage.append_ref(entry.ref, now, value)
                     samples += 1
+        if exemplars:
+            # After the sample loop: dead refs have been healed above,
+            # so entry.ref is always live here and the exemplar lands
+            # on the same series the sample did.
+            for entry, exemplar in exemplars:
+                storage.append_exemplar_ref(entry.ref, entry.labels, exemplar, now)
         # Staleness markers: series this target exposed last time but
         # not now have disappeared (e.g. a finished job's cgroup) —
         # mark them stale so instant queries stop returning zombie
@@ -435,7 +483,9 @@ class ScrapeManager:
         target._previous_refs = new_prev
         return samples
 
-    def _apply_labels(self, target: ScrapeTarget, batch: list, now: float) -> int:
+    def _apply_labels(
+        self, target: ScrapeTarget, batch: list, now: float, exemplars: list | None = None
+    ) -> int:
         """Reference path: per-sample append by Labels (the baseline)."""
         storage = self.storage
         seen: set[Labels] = set()
@@ -444,6 +494,9 @@ class ScrapeManager:
             storage.append(labels, now, value)
             seen.add(labels)
             samples += 1
+        if exemplars:
+            for labels, exemplar in exemplars:
+                storage.append_exemplar(labels, exemplar, now)
         for labels in target._previous_series - seen:
             storage.append(labels, now, _STALE)
         target._previous_series = seen
@@ -538,6 +591,25 @@ class ScrapeManager:
             help="Scrape cache entries evicted after their series disappeared.",
             type="counter",
         )
+        exemplars = getattr(self.storage, "exemplars", None)
+        if exemplars is not None:
+            registry.gauge_func(
+                "ceems_exemplars_appended_total",
+                lambda: float(exemplars.appended_total),
+                help="Exemplars accepted into the circular exemplar storage.",
+                type="counter",
+            )
+            registry.gauge_func(
+                "ceems_exemplars_dropped_total",
+                lambda: float(exemplars.dropped_total),
+                help="Exemplars dropped (duplicates or capacity eviction).",
+                type="counter",
+            )
+            registry.gauge_func(
+                "ceems_exemplar_storage_exemplars",
+                lambda: float(len(exemplars)),
+                help="Live exemplars currently held by the storage ring.",
+            )
         registry.collector(self.cycle_seconds.collect)
 
     # -- health ------------------------------------------------------------

@@ -40,12 +40,14 @@ Design points, mirroring what matters about Prometheus for this stack:
 from __future__ import annotations
 
 import bisect
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.common.errors import StorageError
+from repro.tsdb.exposition import Exemplar
 from repro.tsdb.model import METRIC_NAME_LABEL, Labels, Matcher, MatchOp
 
 #: Process-wide snapshot-cache counters for :meth:`Series.arrays` —
@@ -498,6 +500,133 @@ class ColumnarSeries:
         return self._last
 
 
+@dataclass(slots=True)
+class ExemplarRecord:
+    """One stored exemplar plus the series identity it rides on.
+
+    The series labels are snapshotted at append time so a stored
+    exemplar stays resolvable (and selectable by matchers) even after
+    retention or cardinality cleanup drops the series itself.
+    """
+
+    series_labels: Labels
+    labels: dict[str, str]
+    value: float
+    #: Exemplar timestamp in seconds — the exposition timestamp when
+    #: the exporter supplied one, else the scrape timestamp.
+    timestamp: float
+    #: Logical scrape time this exemplar was ingested at.
+    scrape_ts: float
+    #: Series ref the exemplar was keyed under (eviction bookkeeping).
+    ref: int = 0
+
+
+class CircularExemplarStorage:
+    """Bounded exemplar store keyed by series ref (Prometheus analogue).
+
+    Two caps bound memory: a global FIFO (``capacity``) and a
+    per-series ring (``per_series``), both evicting oldest-first.
+    Sequence numbers are monotonic and assigned in append order, so
+    the global FIFO order is exactly ingest order; per-series eviction
+    leaves a tombstone in the FIFO that the global eviction pass skips
+    lazily.  A re-appended exemplar identical to the newest one of its
+    series is dropped (Prometheus's duplicate rule — one exemplar per
+    distinct observation, however many scrapes re-expose it).
+    """
+
+    def __init__(self, capacity: int = 4096, per_series: int = 10) -> None:
+        if capacity <= 0 or per_series <= 0:
+            raise StorageError("exemplar storage caps must be positive")
+        self.capacity = capacity
+        self.per_series = per_series
+        self._records: dict[int, ExemplarRecord] = {}
+        self._order: deque[int] = deque()
+        self._by_ref: dict[int, deque[int]] = {}
+        self._next_seq = 1
+        self.appended_total = 0
+        self.dropped_total = 0
+
+    def add(
+        self,
+        ref: int,
+        series_labels: Labels,
+        exemplar: Exemplar,
+        scrape_ts: float,
+    ) -> bool:
+        """Store one exemplar; returns ``False`` when dropped as a dup."""
+        timestamp = exemplar.timestamp if exemplar.timestamp is not None else scrape_ts
+        ring = self._by_ref.get(ref)
+        if ring is None:
+            ring = self._by_ref[ref] = deque()
+        elif ring:
+            newest = self._records[ring[-1]]
+            if (
+                newest.labels == exemplar.labels
+                and (newest.value == exemplar.value
+                     or repr(newest.value) == repr(exemplar.value))  # NaN-safe
+                and newest.timestamp == timestamp
+            ):
+                self.dropped_total += 1
+                return False
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        self._records[seq] = ExemplarRecord(
+            series_labels=series_labels,
+            labels=dict(exemplar.labels),
+            value=exemplar.value,
+            timestamp=timestamp,
+            scrape_ts=scrape_ts,
+            ref=ref,
+        )
+        self._order.append(seq)
+        ring.append(seq)
+        self.appended_total += 1
+        if len(ring) > self.per_series:
+            doomed = ring.popleft()
+            del self._records[doomed]  # tombstone: stays in _order
+            self.dropped_total += 1
+        while len(self._records) > self.capacity:
+            doomed = self._order.popleft()
+            record = self._records.pop(doomed, None)
+            if record is None:
+                continue  # per-series tombstone
+            # Seqs are monotonic, so the globally-oldest live seq is
+            # also its own series' oldest.
+            doomed_ring = self._by_ref.get(record.ref)
+            if doomed_ring and doomed_ring[0] == doomed:
+                doomed_ring.popleft()
+                if not doomed_ring:
+                    del self._by_ref[record.ref]
+            self.dropped_total += 1
+        return True
+
+    def select(
+        self,
+        matchers: Sequence[Matcher],
+        start: float = float("-inf"),
+        end: float = float("inf"),
+    ) -> list[tuple[Labels, list[ExemplarRecord]]]:
+        """Exemplars of matching series within ``[start, end]``.
+
+        Matches against the snapshotted series labels, so exemplars of
+        since-deleted series still resolve.  Results are grouped by
+        series (label-sorted) with exemplars in ingest order.
+        """
+        grouped: dict[Labels, list[ExemplarRecord]] = {}
+        for seq in self._order:
+            record = self._records.get(seq)
+            if record is None:
+                continue
+            if not (start <= record.timestamp <= end):
+                continue
+            if all(m.matches(record.series_labels) for m in matchers):
+                grouped.setdefault(record.series_labels, []).append(record)
+        return sorted(grouped.items(), key=lambda kv: tuple(kv[0]))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
 class TSDB:
     """The time-series database.
 
@@ -580,6 +709,8 @@ class TSDB:
         #: Optional :class:`repro.obs.telemetry.Telemetry` sink; when
         #: set, selects inside an active trace record child spans.
         self.telemetry = None
+        #: Bounded exemplar store fed by the scrape path (both lanes).
+        self.exemplars = CircularExemplarStorage()
 
     # -- ingest ----------------------------------------------------------
     def _get_or_create_series(self, labels: Labels) -> Series:
@@ -789,6 +920,35 @@ class TSDB:
             if self.max_time is None or timestamp > self.max_time:
                 self.max_time = timestamp
         return count, dead
+
+    # -- exemplars ---------------------------------------------------------
+    def append_exemplar(self, labels: Labels, exemplar: Exemplar, scrape_ts: float) -> bool:
+        """Store an exemplar for the series identified by ``labels``.
+
+        The reference scrape path appends the sample first, so the
+        series normally exists; creating it here keeps the call safe
+        either way (matching Prometheus, where an exemplar append
+        always follows a sample append for the same series ref).
+        """
+        series = self._get_or_create_series(labels)
+        return self.exemplars.add(series.ref, series.labels, exemplar, scrape_ts)
+
+    def append_exemplar_ref(
+        self, ref: int, labels: Labels, exemplar: Exemplar, scrape_ts: float
+    ) -> bool:
+        """Fast-lane twin of :meth:`append_exemplar`, keyed by ref."""
+        series = self._series_by_ref.get(ref)
+        if series is None:
+            return self.append_exemplar(labels, exemplar, scrape_ts)
+        return self.exemplars.add(series.ref, series.labels, exemplar, scrape_ts)
+
+    def select_exemplars(
+        self,
+        matchers: Sequence[Matcher],
+        start: float = float("-inf"),
+        end: float = float("inf"),
+    ) -> list[tuple[Labels, list[ExemplarRecord]]]:
+        return self.exemplars.select(matchers, start, end)
 
     # -- selection ---------------------------------------------------------
     def select(self, matchers: Sequence[Matcher]) -> list[Series]:

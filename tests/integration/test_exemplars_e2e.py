@@ -1,0 +1,138 @@
+"""Integration: trace↔metric correlation end to end.
+
+Drive real traffic through the LB, let the sim's meta-monitoring
+scrape the LB's own latency histogram (whose buckets now carry
+exemplars), then drill down: query_exemplars through the LB →
+trace_id → /debug/traces resolves the originating span.
+"""
+
+import json
+
+import pytest
+
+from repro.cluster import StackSimulation, small_topology
+from repro.cluster.simulation import SimulationConfig
+from repro.common.httpx import Request
+from repro.resourcemgr.workload import SizeClass, WorkloadMix
+
+ADMIN = {"x-grafana-user": "admin"}
+
+E2E_MIX = WorkloadMix(
+    mean_interarrival=200.0,
+    duration_mu=6.9,
+    sizes=(
+        SizeClass("small", weight=0.7, ncores=4, memory_gb=8),
+        SizeClass("gpu", weight=0.3, ncores=8, ngpus=1, memory_gb=64, partition="gpu"),
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def exemplar_sim() -> StackSimulation:
+    """Run with an aggressive tail sampler: every span counts as slow,
+    so every request leaves a span for its exemplar to resolve to."""
+    sim = StackSimulation(
+        small_topology(cpu_nodes=2, gpu_nodes=1),
+        SimulationConfig(
+            seed=7,
+            update_interval=600.0,
+            trace_sample_rate=0.0,
+            trace_keep_slow_ms=0.001,
+        ),
+        workload=E2E_MIX,
+    )
+    sim.run(1800.0)
+    for _ in range(4):
+        resp = sim.lb.app.handle(
+            Request.from_url(
+                "GET", f"/api/v1/query?query=up&time={sim.now}", headers=ADMIN
+            )
+        )
+        assert resp.status == 200
+    # Let the next scrape cycles pick up the exemplars those requests minted.
+    sim.run(60.0)
+    return sim
+
+
+def _lb_get(sim, url):
+    resp = sim.lb.app.handle(Request.from_url("GET", url, headers=ADMIN))
+    assert resp.status == 200, resp.body
+    return json.loads(resp.body)
+
+
+class TestExemplarDrilldown:
+    def test_slow_request_resolves_to_trace(self, exemplar_sim):
+        sim = exemplar_sim
+        body = _lb_get(
+            sim,
+            "/api/v1/query_exemplars?query="
+            'ceems_http_request_duration_seconds_bucket{job="ceems-lb"}'
+            f"&start=0&end={sim.now + 1}",
+        )
+        assert body["status"] == "success"
+        assert body["data"], "no exemplar series for the LB latency histogram"
+        series = body["data"][0]
+        assert series["seriesLabels"]["__name__"] == (
+            "ceems_http_request_duration_seconds_bucket"
+        )
+        exemplar = series["exemplars"][-1]
+        trace_id = exemplar["labels"]["trace_id"]
+        assert len(trace_id) == 32
+        float(exemplar["value"])  # stringly-typed, Prometheus style
+
+        # The Grafana data-link target: the trace resolves on the LB.
+        traces = _lb_get(sim, f"/debug/traces?trace_id={trace_id}")
+        assert traces["spans"], f"trace {trace_id} not found in span store"
+        assert all(s["trace_id"] == trace_id for s in traces["spans"])
+
+    def test_exemplars_stored_for_lb_histogram_only_when_scraped(self, exemplar_sim):
+        stored = exemplar_sim.hot_tsdb.exemplars
+        assert len(stored) > 0
+        assert stored.appended_total > 0
+
+    def test_self_telemetry_series_exist(self, exemplar_sim):
+        sim = exemplar_sim
+        for metric in (
+            "ceems_exemplars_appended_total",
+            "ceems_exemplar_storage_exemplars",
+            "ceems_trace_sampler_kept_total",
+        ):
+            body = _lb_get(
+                sim, f"/api/v1/query?query={metric}&time={sim.now}"
+            )
+            assert body["data"]["result"], f"{metric} missing from hot TSDB"
+
+    def test_sampler_saw_traffic(self, exemplar_sim):
+        sampler = exemplar_sim.tail_sampler
+        assert sampler.kept_total > 0
+        # rate=0 but keep_slow_ms=0.001: everything qualifies as slow.
+        assert sampler.dropped_total == 0
+
+    def test_status_endpoints_through_lb(self, exemplar_sim):
+        sim = exemplar_sim
+        build = _lb_get(sim, "/api/v1/status/buildinfo")
+        assert build["data"]["features"]["exemplar-storage"] == "true"
+        runtime = _lb_get(sim, "/api/v1/status/runtimeinfo")
+        assert runtime["data"]["timeSeriesCount"] > 0
+        assert runtime["data"]["exemplarCount"] == len(sim.hot_tsdb.exemplars)
+
+
+class TestSamplingModes:
+    def test_zero_rate_high_threshold_drops_fast_spans(self):
+        sim = StackSimulation(
+            small_topology(cpu_nodes=1, gpu_nodes=1),
+            SimulationConfig(
+                seed=3,
+                update_interval=600.0,
+                trace_sample_rate=0.0,
+                trace_keep_slow_ms=1e9,
+            ),
+            workload=E2E_MIX,
+        )
+        sim.run(900.0)
+        assert sim.tail_sampler.dropped_total > 0
+        # Dropped spans never enter any store.
+        total_stored = sum(
+            len(t.spans) for t in sim._all_telemetry()
+        )
+        assert total_stored < sim.tail_sampler.kept_total + sim.tail_sampler.dropped_total

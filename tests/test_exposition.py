@@ -8,11 +8,15 @@ from hypothesis import strategies as st
 
 from repro.common.errors import ScrapeError
 from repro.tsdb.exposition import (
+    Exemplar,
     MetricFamily,
     MetricPoint,
     clear_render_caches,
     parse,
+    parse_exemplar,
+    parse_sample_line,
     render,
+    split_exemplar,
     to_labels,
 )
 
@@ -222,6 +226,164 @@ def test_render_parse_roundtrip_nasty(samples):
             for p in fam.points:
                 key = "NaN" if math.isnan(p.value) else p.value
                 out.add((fam.name, tuple(sorted(p.labels.items())), key, p.timestamp_ms))
+        return out
+
+    parsed = parse(render(families))
+    assert normalize(parsed) == normalize(families)
+
+
+# -- exemplars ---------------------------------------------------------------
+
+
+class TestExemplars:
+    def test_render_counter_exemplar(self):
+        fam = MetricFamily("hits_total", type="counter")
+        fam.add(5.0, exemplar=Exemplar({"trace_id": "abc"}, 1.0, 12.5), path="/x")
+        text = render([fam])
+        assert 'hits_total{path="/x"} 5 # {trace_id="abc"} 1 12.5\n' in text
+
+    def test_render_exemplar_without_timestamp(self):
+        fam = MetricFamily("m", type="counter")
+        fam.add(1.0, exemplar=Exemplar({"trace_id": "t"}, 0.25))
+        assert 'm 1 # {trace_id="t"} 0.25\n' in render([fam])
+
+    def test_parse_attaches_exemplar(self):
+        text = 'lat_bucket{le="0.5"} 3 # {trace_id="deadbeef"} 0.42 99.5\n'
+        fams = parse(text)
+        point = fams[0].points[0]
+        assert point.exemplar is not None
+        assert point.exemplar.labels == {"trace_id": "deadbeef"}
+        assert point.exemplar.value == 0.42
+        assert point.exemplar.timestamp == 99.5
+
+    def test_split_exemplar_ignores_quoted_hash(self):
+        line = 'm{path="/x#frag"} 1 # {trace_id="a"} 2'
+        sample, ex = split_exemplar(line)
+        assert sample == 'm{path="/x#frag"} 1'
+        assert ex == '# {trace_id="a"} 2'
+
+    def test_sample_timestamp_and_exemplar_coexist(self):
+        name, labels, value, ts, ex = parse_sample_line(
+            'm{a="b"} 2 1500 # {trace_id="t"} 2'
+        )
+        assert (value, ts) == (2.0, 1500)
+        assert ex.value == 2.0 and ex.timestamp is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "# trace 1",  # no label set
+            '# {trace_id="a" 1',  # unterminated
+            '# {trace_id="a"}',  # no value
+            '# {trace_id="a"} 1 2 3',  # trailing tokens
+            '# {trace_id="a"} 1 x',  # bad timestamp
+            '# {trace_id=a} 1',  # unquoted label value
+        ],
+    )
+    def test_malformed_exemplars_rejected(self, bad):
+        with pytest.raises(ScrapeError):
+            parse_exemplar(bad, 1)
+
+    def test_empty_exemplar_labelset_allowed(self):
+        ex = parse_exemplar("# {} 1.5", 1)
+        assert ex.labels == {} and ex.value == 1.5
+
+    def test_exemplar_special_values(self):
+        for text, check in [
+            ("# {} NaN", lambda v: math.isnan(v)),
+            ("# {} +Inf", lambda v: v == math.inf),
+            ("# {} -Inf", lambda v: v == -math.inf),
+        ]:
+            assert check(parse_exemplar(text, 1).value)
+
+
+_exemplar_ts = st.one_of(
+    st.none(),
+    st.floats(min_value=0, max_value=2**31, allow_nan=False, width=32),
+)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.from_regex(r"[a-z_][a-z0-9_]{0,5}", fullmatch=True),
+            st.lists(
+                st.tuples(st.from_regex(r"[a-z_][a-z0-9_]{0,5}", fullmatch=True), _nasty_values),
+                min_size=0,
+                max_size=2,
+                unique_by=lambda kv: kv[0],
+            ),
+            _any_value,
+            st.one_of(st.none(), st.integers(min_value=0, max_value=2**50)),
+            st.one_of(
+                st.none(),
+                st.tuples(
+                    st.lists(
+                        st.tuples(
+                            st.from_regex(r"[a-z_][a-z0-9_]{0,5}", fullmatch=True),
+                            _nasty_values,
+                        ),
+                        min_size=0,
+                        max_size=2,
+                        unique_by=lambda kv: kv[0],
+                    ),
+                    _any_value,
+                    _exemplar_ts,
+                ),
+            ),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_render_parse_roundtrip_exemplars(samples):
+    """Exemplar-carrying lines roundtrip exactly — hostile escapes,
+    NaN/±Inf exemplar values and missing timestamps included."""
+    families: list[MetricFamily] = []
+    by_name: dict[str, MetricFamily] = {}
+    for name, labelitems, value, ts, extuple in samples:
+        fam = by_name.get(name)
+        if fam is None:
+            fam = by_name[name] = MetricFamily(name, type="counter")
+            families.append(fam)
+        exemplar = None
+        if extuple is not None:
+            ex_labels, ex_value, ex_ts = extuple
+            exemplar = Exemplar(dict(ex_labels), ex_value, ex_ts)
+        fam.points.append(
+            MetricPoint(
+                labels=dict(labelitems),
+                value=value,
+                timestamp_ms=ts,
+                exemplar=exemplar,
+            )
+        )
+
+    def norm_value(v):
+        return "NaN" if isinstance(v, float) and math.isnan(v) else v
+
+    def norm_exemplar(ex):
+        if ex is None:
+            return None
+        return (
+            tuple(sorted(ex.labels.items())),
+            norm_value(ex.value),
+            norm_value(ex.timestamp),
+        )
+
+    def normalize(fams):
+        out = set()
+        for fam in fams:
+            for p in fam.points:
+                out.add(
+                    (
+                        fam.name,
+                        tuple(sorted(p.labels.items())),
+                        norm_value(p.value),
+                        p.timestamp_ms,
+                        norm_exemplar(p.exemplar),
+                    )
+                )
         return out
 
     parsed = parse(render(families))

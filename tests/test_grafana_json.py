@@ -49,7 +49,30 @@ class TestDashboardStructure:
 
     def test_bundle_is_valid_json(self):
         bundle = json.loads(export_provisioning_bundle())
-        assert len(bundle) == 5
+        assert len(bundle) == 6  # 5 dashboards + the datasources entry
+        assert "datasources" in bundle
+
+    def test_datasource_exemplar_destination(self):
+        bundle = json.loads(export_provisioning_bundle())
+        prom = next(
+            ds for ds in bundle["datasources"] if ds["type"] == "prometheus"
+        )
+        dests = prom["jsonData"]["exemplarTraceIdDestinations"]
+        assert dests[0]["name"] == "trace_id"
+        assert "/debug/traces?trace_id=" in dests[0]["url"]
+
+    def test_ops_dashboard_has_exemplar_target(self):
+        from repro.dashboard.grafana_json import ops_alerting_dashboard_json
+
+        dashboard = ops_alerting_dashboard_json()
+        exemplar_targets = [
+            t
+            for p in dashboard["panels"]
+            for t in p["targets"]
+            if t.get("exemplar")
+        ]
+        assert exemplar_targets
+        assert "ceems_http_request_duration_seconds_bucket" in exemplar_targets[0]["expr"]
 
 
 class TestFig2aDashboard:
