@@ -62,6 +62,12 @@ def _build_sim(args: argparse.Namespace) -> StackSimulation:
             trace_sample_rate=getattr(args, "trace_sample_rate", 1.0),
             trace_keep_slow_ms=getattr(args, "trace_keep_slow_ms", 250.0),
             exemplars_per_series=getattr(args, "exemplars_per_series", 10),
+            frontend=getattr(args, "frontend", False),
+            split_interval=getattr(args, "split_interval", 86400.0),
+            results_cache_mb=getattr(args, "results_cache_mb", 64.0),
+            max_query_range=getattr(args, "max_query_range", 0.0),
+            max_query_steps=getattr(args, "max_query_steps", 0),
+            max_query_length=getattr(args, "max_query_length", 8192),
         ),
     )
 
@@ -439,6 +445,51 @@ def build_parser() -> argparse.ArgumentParser:
             default=10,
             dest="exemplars_per_series",
             help="exemplar ring slots per series in the hot TSDB",
+        )
+        p.add_argument(
+            "--frontend",
+            action="store_true",
+            help="put the query frontend (range splitting, results cache, "
+            "request coalescing, worker-pool admission) between the LB "
+            "and the PromQL backends",
+        )
+        p.add_argument(
+            "--split-interval",
+            type=float,
+            default=86400.0,
+            dest="split_interval",
+            help="frontend range-splitting interval in seconds (default: 1 day)",
+        )
+        p.add_argument(
+            "--results-cache-mb",
+            type=float,
+            default=64.0,
+            dest="results_cache_mb",
+            help="frontend results-cache budget in MiB",
+        )
+        p.add_argument(
+            "--max-query-range",
+            type=float,
+            default=0.0,
+            dest="max_query_range",
+            help="reject range queries spanning more than this many seconds "
+            "with a structured 422 (0 = unlimited)",
+        )
+        p.add_argument(
+            "--max-query-steps",
+            type=int,
+            default=0,
+            dest="max_query_steps",
+            help="reject range queries resolving to more steps than this "
+            "with a structured 422 (0 = unlimited)",
+        )
+        p.add_argument(
+            "--max-query-length",
+            type=int,
+            default=8192,
+            dest="max_query_length",
+            help="reject queries longer than this many characters with a "
+            "structured 422 (0 = unlimited)",
         )
 
     p_sim = sub.add_parser("simulate", help="run a deployment and print the operator report")

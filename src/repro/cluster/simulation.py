@@ -160,6 +160,29 @@ class SimulationConfig:
     trace_keep_slow_ms: float = 250.0
     #: Exemplar ring slots per series (``--exemplars-per-series``).
     exemplars_per_series: int = 10
+    #: Put the query frontend — range splitting, step-aligned results
+    #: cache, request coalescing, worker-pool admission — between the
+    #: LB and the PromQL backends (``--frontend``).
+    frontend: bool = False
+    #: Range-splitting interval in seconds (``--split-interval``).
+    split_interval: float = 86400.0
+    #: Results-cache budget in MiB (``--results-cache-mb``).
+    results_cache_mb: float = 64.0
+    #: Live tail kept uncacheable by the results cache (seconds).
+    frontend_freshness: float = 600.0
+    #: Frontend worker-pool size; queue overflow answers 503.
+    frontend_max_inflight: int = 16
+    #: Per-tenant cap on frontend worker slots (0 = no per-tenant cap).
+    frontend_max_per_tenant: int = 0
+    #: How long a frontend request may queue for a worker slot.
+    frontend_queue_timeout: float = 5.0
+    #: Query guardrails (``--max-query-range`` seconds /
+    #: ``--max-query-steps`` / ``--max-query-length`` chars; 0
+    #: disables a bound).  Enforced at the frontend *and* the direct
+    #: PromAPI paths, answering structured 422s.
+    max_query_range: float = 0.0
+    max_query_steps: int = 0
+    max_query_length: int = 8192
 
     @classmethod
     def from_stack_config(cls, stack, **overrides) -> "SimulationConfig":
@@ -468,6 +491,13 @@ class StackSimulation:
             PROFILER.enabled = True
         if cfg.exemplars_per_series > 0:
             self.hot_tsdb.exemplars.per_series = cfg.exemplars_per_series
+        from repro.frontend import QueryLimits
+
+        query_limits = QueryLimits(
+            max_query_length=cfg.max_query_length,
+            max_range_seconds=cfg.max_query_range,
+            max_resolved_steps=cfg.max_query_steps,
+        )
         self.prom_apis = [
             PromAPI(
                 self.fanout,
@@ -481,6 +511,7 @@ class StackSimulation:
                     else ""
                 ),
                 max_concurrent_queries=cfg.max_concurrent_queries,
+                limits=query_limits,
                 rules=self.rule_evaluator,
                 alertmanager=self.alertmanager,
                 # Exemplars live in the hot TSDB's ring, not the
@@ -501,10 +532,31 @@ class StackSimulation:
                 self.hot_tsdb.register_metrics(api.app.telemetry.registry)
                 self.object_store.register_metrics(api.app.telemetry.registry)
         backends = [Backend(name=api.app.name, app=api.app) for api in self.prom_apis]
+        self.frontend = None
+        if cfg.frontend:
+            # The LB dispatches authorized query-path requests into
+            # the frontend, which fans sub-queries out over the real
+            # PromQL backends; every other path keeps the plain
+            # LB-to-backend proxy.
+            from repro.frontend import QueryFrontend
+
+            self.frontend = QueryFrontend(
+                backends,
+                strategy=cfg.lb_strategy,
+                split_interval=cfg.split_interval,
+                cache_max_bytes=int(cfg.results_cache_mb * 1024 * 1024),
+                freshness_seconds=cfg.frontend_freshness,
+                clock=self.clock,
+                limits=query_limits,
+                max_inflight=cfg.frontend_max_inflight,
+                max_per_tenant=cfg.frontend_max_per_tenant,
+                queue_timeout=cfg.frontend_queue_timeout,
+            )
         self.lb = LoadBalancer(
             backends,
             DBAuthorizer(self.db, admin_users=cfg.admin_users),
             strategy=cfg.lb_strategy,
+            frontend=self.frontend,
         )
 
         # -- meta-monitoring ---------------------------------------------------
@@ -520,6 +572,14 @@ class StackSimulation:
                 ScrapeTarget(app=api.app, instance=f"prom-{i}:9090", job="prometheus")
                 for i, api in enumerate(self.prom_apis)
             )
+            if self.frontend is not None:
+                meta_targets.append(
+                    ScrapeTarget(
+                        app=self.frontend.app,
+                        instance="frontend:9031",
+                        job="ceems-frontend",
+                    )
+                )
             if self.alertmanager is not None:
                 meta_targets.append(
                     ScrapeTarget(
@@ -547,6 +607,16 @@ class StackSimulation:
             for i, api in enumerate(self.prom_apis):
                 self.prober.add_target(
                     ProbeTarget(app=api.app, instance=f"prom-{i}:9090", path="/-/healthy")
+                )
+            if self.frontend is not None:
+                # /-/healthy proxies through the frontend to a backend,
+                # so the probe proves the whole serving path answers.
+                self.prober.add_target(
+                    ProbeTarget(
+                        app=self.frontend.app,
+                        instance="frontend:9031",
+                        path="/-/healthy",
+                    )
                 )
             for target in exporter_targets:
                 # CEEMS exporters ship a cheap /health; DCGM and the
@@ -581,6 +651,8 @@ class StackSimulation:
             self.api_server.app.telemetry,
         ]
         out.extend(api.app.telemetry for api in self.prom_apis)
+        if self.frontend is not None:
+            out.append(self.frontend.app.telemetry)
         if self.alertmanager is not None:
             out.append(self.alertmanager.app.telemetry)
         out.extend(e.app.telemetry for e in self.exporters)

@@ -1,0 +1,308 @@
+"""Step-aligned results cache for the query frontend.
+
+Two cooperating layers, both bounded by byte-budget LRU:
+
+:class:`ResultsCache` caches *evaluated* ``query_range`` output —
+rendered ``[t, "v"]`` pairs, exactly as the Prometheus JSON API emits
+them — keyed per ``(tenant, query, step, grid phase, strategy)``.  A
+cache entry records two things:
+
+* ``covered`` — the set of grid timestamps this key has been
+  evaluated at.  Coverage is tracked even where no series produced a
+  value: "we evaluated 12:00 and the result was empty" is as
+  cacheable as a value.
+* per-series sorted ``(timestamp, value-string)`` columns, from which
+  any sub-range of a later request is sliced.
+
+Ingest is *lazy* on the cold fast path: :meth:`ResultsCache.stash`
+files the raw response body against the key (a reference copy — no
+parsing), and the first later request for that key pays the JSON
+decode.  A one-shot query therefore funds the cache with a pointer
+store, not a parse.
+
+:class:`ResponseMemo` short-circuits *complete* repeats: the full
+rendered body of a request whose every grid timestamp lies in settled
+history (older than the freshness window) is stored under the request
+fingerprint and replayed byte-for-byte.  Settled history is immutable
+— scrapes and rule evaluations only append at "now" — so a memoised
+body can never go stale; requests touching the live tail are never
+memoised.
+
+Correctness model.  Serving a cached point substitutes a *previously
+rendered* value for a fresh evaluation, which is sound because (a)
+the evaluators are deterministic and bit-identical (PR-1/PR-6
+differential contracts), (b) history outside the freshness window is
+immutable, and (c) lookups are by exact float timestamp equality, so
+a request whose grid drifts by even one ulp from the cached grid
+simply misses and re-evaluates.  The live tail (the most recent
+``freshness_seconds``) is never stored: samples may still be arriving
+there, so those steps are re-evaluated on every request and dashboards
+are never served stale "now" data.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left, bisect_right
+from collections import OrderedDict
+from typing import Any, Iterator
+
+#: Default live-tail window kept uncacheable (Cortex's
+#: ``max_cache_freshness``): 10 minutes.
+DEFAULT_FRESHNESS = 600.0
+
+#: Approximate per-point overhead (float timestamp + list slots).
+_POINT_BYTES = 24
+
+
+class _SeriesColumn:
+    """One cached series: sorted timestamps + rendered value strings."""
+
+    __slots__ = ("metric", "ts", "vals")
+
+    def __init__(self, metric: dict[str, str]) -> None:
+        #: The ``metric`` JSON object exactly as the backend rendered
+        #: it (label-name-sorted, the ``Labels.as_dict()`` order) —
+        #: reused verbatim so re-rendered JSON is byte-identical.
+        self.metric = metric
+        self.ts: list[float] = []
+        self.vals: list[str] = []
+
+
+class _Entry:
+    """All cached state for one (tenant, query, step, phase) key."""
+
+    __slots__ = ("covered", "series", "bytes", "pending")
+
+    def __init__(self) -> None:
+        self.covered: set[float] = set()
+        self.series: dict[tuple, _SeriesColumn] = {}
+        self.bytes = 0
+        #: Raw response bodies stashed by the cold fast path, parsed
+        #: and folded in on the entry's next access.
+        self.pending: list[tuple[list[float], bytes, float]] = []
+
+
+class ResultsCache:
+    """Extent cache over rendered range-query results (thread-safe)."""
+
+    def __init__(self, max_bytes: int = 64 * 1024 * 1024) -> None:
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
+        self._lock = threading.Lock()
+        self.total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.total_bytes = 0
+
+    # -- lookup ----------------------------------------------------------
+    def covered_of(self, key: tuple, grid: list[float]) -> set[float]:
+        """Grid timestamps of ``grid`` this key already has evaluated."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return set()
+            self._entries.move_to_end(key)
+            if entry.pending:
+                self._drain_locked(key, entry)
+            return {t for t in grid if t in entry.covered}
+
+    def slice(
+        self, key: tuple, served: set[float], lo: float, hi: float
+    ) -> Iterator[tuple[tuple, dict[str, str], list[float], list[str]]]:
+        """Yield ``(series_key, metric, ts, vals)`` for cached points.
+
+        Only points whose timestamp is in ``served`` (the exact grid
+        subset this request is being answered from) are returned.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return
+            if entry.pending:
+                self._drain_locked(key, entry)
+            columns = list(entry.series.items())
+        for series_key, col in columns:
+            a = bisect_left(col.ts, lo)
+            b = bisect_right(col.ts, hi)
+            if a >= b:
+                continue
+            ts = [t for t in col.ts[a:b] if t in served]
+            if not ts:
+                continue
+            vals = [v for t, v in zip(col.ts[a:b], col.vals[a:b]) if t in served]
+            yield series_key, col.metric, ts, vals
+
+    # -- ingest ----------------------------------------------------------
+    def stash(
+        self, key: tuple, part_steps: list[float], body: bytes, cutoff: float
+    ) -> None:
+        """File a raw 200 response body for lazy ingestion.
+
+        The cold fast path calls this instead of :meth:`ingest`: the
+        body reference is stored as-is (no JSON decode), and the next
+        request touching this key pays the parse.  A query asked only
+        once never pays it at all.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = self._entries[key] = _Entry()
+            self._entries.move_to_end(key)
+            entry.pending.append((part_steps, body, cutoff))
+            entry.bytes += len(body)
+            self.total_bytes += len(body)
+            self._evict_locked(keep=key)
+
+    def _drain_locked(self, key: tuple, entry: _Entry) -> None:
+        pending, entry.pending = entry.pending, []
+        for part_steps, body, cutoff in pending:
+            entry.bytes -= len(body)
+            self.total_bytes -= len(body)
+            try:
+                result = json.loads(body.decode())["data"]["result"]
+            except (ValueError, KeyError, TypeError):
+                continue
+            self._ingest_locked(key, entry, part_steps, result, cutoff)
+
+    def ingest(
+        self,
+        key: tuple,
+        part_steps: list[float],
+        result: list[dict[str, Any]],
+        cutoff: float,
+    ) -> None:
+        """Store one already-parsed evaluated sub-range.
+
+        ``part_steps`` is the full step grid the sub-query evaluated
+        (coverage, including empty steps); ``result`` the parsed JSON
+        ``result`` array; points newer than ``cutoff`` (the live tail)
+        are discarded.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = self._entries[key] = _Entry()
+            self._entries.move_to_end(key)
+            self._ingest_locked(key, entry, part_steps, result, cutoff)
+
+    def _ingest_locked(
+        self,
+        key: tuple,
+        entry: _Entry,
+        part_steps: list[float],
+        result: list[dict[str, Any]],
+        cutoff: float,
+    ) -> None:
+        fresh_cov = {t for t in part_steps if t <= cutoff and t not in entry.covered}
+        if not fresh_cov:
+            return
+        entry.covered |= fresh_cov
+        added = len(fresh_cov) * 8
+        for item in result:
+            pairs = [
+                (float(t), v) for t, v in item["values"] if float(t) in fresh_cov
+            ]
+            if not pairs:
+                continue
+            metric = item["metric"]
+            series_key = tuple(sorted(metric.items()))
+            col = entry.series.get(series_key)
+            if col is None:
+                col = entry.series[series_key] = _SeriesColumn(metric)
+                added += sum(len(k) + len(v) for k, v in series_key)
+            if not col.ts or pairs[0][0] > col.ts[-1]:
+                col.ts.extend(t for t, _v in pairs)
+                col.vals.extend(v for _t, v in pairs)
+            else:
+                merged = sorted(list(zip(col.ts, col.vals)) + pairs)
+                col.ts = [t for t, _v in merged]
+                col.vals = [v for _t, v in merged]
+            added += sum(_POINT_BYTES + len(v) for _t, v in pairs)
+        entry.bytes += added
+        self.total_bytes += added
+        self._evict_locked(keep=key)
+
+    def _evict_locked(self, keep: tuple) -> None:
+        while self.total_bytes > self.max_bytes and len(self._entries) > 1:
+            old_key, old = next(iter(self._entries.items()))
+            if old_key == keep:
+                self._entries.move_to_end(old_key)
+                old_key, old = next(iter(self._entries.items()))
+            del self._entries[old_key]
+            self.total_bytes -= old.bytes
+            self.evictions += 1
+        if self.total_bytes > self.max_bytes and len(self._entries) == 1:
+            # A single oversized entry: drop it rather than pin it.
+            _key, old = self._entries.popitem()
+            self.total_bytes -= old.bytes
+            self.evictions += 1
+
+    def stats(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "entries": float(len(self._entries)),
+                "bytes": float(self.total_bytes),
+                "hits": float(self.hits),
+                "misses": float(self.misses),
+                "evictions": float(self.evictions),
+            }
+
+
+class ResponseMemo:
+    """Byte-bounded LRU of complete rendered responses.
+
+    Only responses whose whole step grid is settled (older than the
+    freshness cutoff) are stored — see the module docstring for why
+    that makes invalidation unnecessary.  Keys are full request
+    fingerprints (tenant + path + every query parameter), so a memo
+    hit is a byte-for-byte replay of this exact request.
+    """
+
+    def __init__(self, max_bytes: int = 16 * 1024 * 1024) -> None:
+        self.max_bytes = max_bytes
+        self._bodies: OrderedDict[tuple, bytes] = OrderedDict()
+        self._lock = threading.Lock()
+        self.total_bytes = 0
+        self.hits = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._bodies)
+
+    def get(self, fingerprint: tuple) -> bytes | None:
+        with self._lock:
+            body = self._bodies.get(fingerprint)
+            if body is not None:
+                self._bodies.move_to_end(fingerprint)
+                self.hits += 1
+            return body
+
+    def put(self, fingerprint: tuple, body: bytes) -> None:
+        with self._lock:
+            old = self._bodies.pop(fingerprint, None)
+            if old is not None:
+                self.total_bytes -= len(old)
+            self._bodies[fingerprint] = body
+            self.total_bytes += len(body)
+            while self.total_bytes > self.max_bytes and len(self._bodies) > 1:
+                _fp, evicted = self._bodies.popitem(last=False)
+                self.total_bytes -= len(evicted)
+            if self.total_bytes > self.max_bytes and self._bodies:
+                _fp, evicted = self._bodies.popitem()
+                self.total_bytes -= len(evicted)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._bodies.clear()
+            self.total_bytes = 0

@@ -1,0 +1,612 @@
+"""The query frontend: split, cache, coalesce, admit.
+
+Sits between the LB and the PromQL backends (the Thanos/Cortex
+query-frontend position in the serving path):
+
+* **range splitting** — long ``query_range`` requests are cut into
+  split-interval-aligned (day by default) sub-ranges evaluated
+  independently against the backend pool and merged;
+* **step-aligned results cache** — evaluated matrix chunks are cached
+  per ``(tenant, query, step, grid phase, strategy)`` and later
+  requests only evaluate the uncovered remainder (the live tail stays
+  uncacheable, see :mod:`repro.frontend.cache`);
+* **request coalescing** — concurrent in-flight requests with the
+  same fingerprint share one evaluation through a single-flight map;
+* **bounded worker pool with per-tenant admission** — a fixed number
+  of requests evaluate at once; excess requests queue briefly and are
+  rejected with ``503`` + ``Retry-After`` on overflow, per tenant and
+  globally (the PR-4 active-query tracker's backpressure, moved to
+  the serving edge).
+
+The contract throughout is *bit-identity*: any response produced by
+the frontend — split, partially cached, fully cached, or error — must
+be byte-for-byte the response the direct backend path would have
+produced for the same request.  Requests the frontend cannot prove it
+can reproduce exactly (``stats=all``, non-step-exact grids, malformed
+parameters) are forwarded verbatim instead.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.common.errors import CEEMSError
+from repro.common.httpx import App, Request, Response
+from repro.frontend.cache import DEFAULT_FRESHNESS, ResponseMemo, ResultsCache
+from repro.frontend.limits import QueryLimits
+from repro.frontend.split import (
+    DEFAULT_SPLIT_INTERVAL,
+    clamp_runs_to_parts,
+    grid_parts,
+    uncovered_runs,
+)
+from repro.lb.strategies import Backend, Strategy, make_strategy
+from repro.tsdb.promql.engine import range_steps
+
+USER_HEADER = "x-grafana-user"
+
+#: Paths that go through admission + coalescing (+ cache for ranges).
+_QUERY_PATHS = ("/api/v1/query", "/api/v1/query_range")
+
+#: Every parameter that distinguishes one evaluation from another —
+#: extracted once per request, also the request-fingerprint payload.
+_PARAM_NAMES = ("query", "time", "start", "end", "step", "strategy", "stats")
+
+
+class AdmissionRejected(CEEMSError):
+    """Worker pool (global or per-tenant) stayed full past the queue
+    timeout — the request must be rejected with 503 + Retry-After."""
+
+
+class AdmissionGate:
+    """Bounded worker slots with per-tenant fairness and a queue.
+
+    ``max_inflight`` requests evaluate concurrently; a tenant may hold
+    at most ``max_per_tenant`` of them (0 disables the per-tenant
+    bound).  Excess requests wait up to ``queue_timeout`` seconds for
+    a slot, then fail — the closed-loop client is told when to come
+    back via ``Retry-After``.
+    """
+
+    def __init__(
+        self,
+        max_inflight: int = 16,
+        *,
+        max_per_tenant: int = 0,
+        queue_timeout: float = 5.0,
+        retry_after: float = 1.0,
+    ) -> None:
+        if max_inflight <= 0:
+            raise ValueError("max_inflight must be positive")
+        self.max_inflight = max_inflight
+        self.max_per_tenant = max_per_tenant
+        self.queue_timeout = queue_timeout
+        self.retry_after = retry_after
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._per_tenant: dict[str, int] = {}
+        self.waiting = 0
+        self.rejected = 0
+
+    def _tenant_full(self, tenant: str) -> bool:
+        return (
+            self.max_per_tenant > 0
+            and self._per_tenant.get(tenant, 0) >= self.max_per_tenant
+        )
+
+    def acquire(self, tenant: str) -> None:
+        """Take a worker slot, queueing up to ``queue_timeout``.
+
+        Raises :class:`AdmissionRejected` if no slot frees up in time.
+        """
+        deadline = time.perf_counter() + self.queue_timeout
+        with self._cond:
+            while self._inflight >= self.max_inflight or self._tenant_full(tenant):
+                remaining = deadline - time.perf_counter()
+                self.waiting += 1
+                try:
+                    if remaining <= 0 or not self._cond.wait(timeout=remaining):
+                        self.rejected += 1
+                        scope = (
+                            f"tenant {tenant!r}" if self._tenant_full(tenant) else "pool"
+                        )
+                        raise AdmissionRejected(
+                            f"query frontend {scope} full: "
+                            f"{self._inflight}/{self.max_inflight} workers busy "
+                            f"for {self.queue_timeout:.1f}s"
+                        )
+                finally:
+                    self.waiting -= 1
+            self._inflight += 1
+            self._per_tenant[tenant] = self._per_tenant.get(tenant, 0) + 1
+
+    def release(self, tenant: str) -> None:
+        with self._cond:
+            self._inflight -= 1
+            left = self._per_tenant.get(tenant, 1) - 1
+            if left <= 0:
+                self._per_tenant.pop(tenant, None)
+            else:
+                self._per_tenant[tenant] = left
+            if self.waiting:
+                self._cond.notify_all()
+
+    @contextmanager
+    def admit(self, tenant: str) -> Iterator[None]:
+        self.acquire(tenant)
+        try:
+            yield
+        finally:
+            self.release(tenant)
+
+
+class _Flight:
+    """One in-flight evaluation other identical requests wait on.
+
+    The event is allocated lazily by the first follower — a request
+    nobody coalesces with (the overwhelmingly common case) pays only
+    a dict insert/remove.
+    """
+
+    __slots__ = ("event", "response", "error")
+
+    def __init__(self) -> None:
+        self.event: threading.Event | None = None
+        self.response: Response | None = None
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Per-fingerprint request coalescing (``singleflight`` pattern)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[tuple, _Flight] = {}
+        self.coalesced = 0
+
+    def do(self, key: tuple, fn) -> Response:
+        with self._lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = self._flights[key] = _Flight()
+            elif flight.event is None:
+                flight.event = threading.Event()
+        if not leader:
+            flight.event.wait()
+            with self._lock:
+                self.coalesced += 1
+            if flight.error is not None:
+                raise flight.error
+            response = flight.response
+            # Followers get their own copy: headers are mutated
+            # downstream (trace ids, LB backend tag) per caller.
+            return Response(
+                status=response.status,
+                headers=dict(response.headers),
+                body=response.body,
+            )
+        try:
+            flight.response = fn()
+        except BaseException as exc:  # re-raised in every waiter too
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+                event = flight.event
+            if event is not None:
+                event.set()
+        return flight.response
+
+
+class QueryFrontend:
+    """Query-frontend HTTP app over a pool of PromQL backends."""
+
+    def __init__(
+        self,
+        backends: list[Backend],
+        *,
+        name: str = "query-frontend",
+        strategy: str = "round-robin",
+        split_interval: float = DEFAULT_SPLIT_INTERVAL,
+        cache_max_bytes: int = 64 * 1024 * 1024,
+        memo_max_bytes: int = 16 * 1024 * 1024,
+        freshness_seconds: float = DEFAULT_FRESHNESS,
+        clock=None,
+        limits: QueryLimits | None = None,
+        max_inflight: int = 16,
+        max_per_tenant: int = 0,
+        queue_timeout: float = 5.0,
+        retry_after: float = 1.0,
+    ) -> None:
+        self.strategy: Strategy = make_strategy(strategy, backends)
+        self.split_interval = split_interval
+        self.cache = ResultsCache(max_bytes=cache_max_bytes)
+        #: Full-response replay for repeats whose whole grid is
+        #: settled history (immutable, so never invalidated).
+        self.memo = ResponseMemo(max_bytes=memo_max_bytes)
+        self.freshness_seconds = freshness_seconds
+        #: ``clock.now()`` defines "now" for the uncacheable live
+        #: tail; without a clock everything is treated as settled
+        #: history (tests construct static storages).
+        self.clock = clock
+        self.limits = limits
+        self.admission = AdmissionGate(
+            max_inflight,
+            max_per_tenant=max_per_tenant,
+            queue_timeout=queue_timeout,
+            retry_after=retry_after,
+        )
+        self.single_flight = SingleFlight()
+        self.app = App(name=name)
+        self.app.expose_telemetry()
+        r = self.app.router
+        r.get("/api/v1/query", self._query)
+        r.post("/api/v1/query", self._query)
+        r.get("/api/v1/query_range", self._query_range)
+        r.post("/api/v1/query_range", self._query_range)
+        # Everything else — metadata, exemplars, rules, status — is
+        # proxied untouched to a backend (single-segment catch-all
+        # plus the nested API paths, same trick as the LB router).
+        r.add("GET", "/{rest}", self._forward_route)
+        r.add("POST", "/{rest}", self._forward_route)
+        for path in (
+            "/api/v1/query_exemplars",
+            "/api/v1/series",
+            "/api/v1/rules",
+            "/api/v1/alerts",
+            "/api/v1/silences",
+            "/-/healthy",
+        ):
+            r.get(path, self._forward_route)
+            r.post(path, self._forward_route)
+        r.get("/api/v1/status/buildinfo", self._forward_route)
+        r.get("/api/v1/status/runtimeinfo", self._forward_route)
+        r.get("/api/v1/label/{name}/values", self._forward_route)
+        r.get("/api/v1/silence/{id}", self._forward_route)
+        r.delete("/api/v1/silence/{id}", self._forward_route)
+        self.split_requests = 0
+        self.subqueries = 0
+        self.passthrough_requests = 0
+        self._register_metrics()
+
+    # -- telemetry -------------------------------------------------------
+    def _register_metrics(self) -> None:
+        registry = self.app.telemetry.registry
+        registry.gauge_func(
+            "ceems_frontend_cache_hits_total",
+            lambda: float(self.cache.hits),
+            help="Range requests served at least partially from the results cache.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_frontend_cache_misses_total",
+            lambda: float(self.cache.misses),
+            help="Range requests that needed at least one backend evaluation.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_frontend_cache_evictions_total",
+            lambda: float(self.cache.evictions),
+            help="Results-cache entries evicted by the byte budget.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_frontend_cache_bytes",
+            lambda: float(self.cache.total_bytes),
+            help="Approximate bytes held by the results cache.",
+        )
+        registry.gauge_func(
+            "ceems_frontend_memo_hits_total",
+            lambda: float(self.memo.hits),
+            help="Range requests replayed whole from the settled-response memo.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_frontend_memo_bytes",
+            lambda: float(self.memo.total_bytes),
+            help="Approximate bytes held by the settled-response memo.",
+        )
+        registry.gauge_func(
+            "ceems_frontend_split_queries_total",
+            lambda: float(self.split_requests),
+            help="Range requests split into more than one sub-query.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_frontend_subqueries_total",
+            lambda: float(self.subqueries),
+            help="Backend sub-queries issued by the frontend.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_frontend_coalesced_total",
+            lambda: float(self.single_flight.coalesced),
+            help="Requests that shared an identical in-flight evaluation.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_frontend_queue_depth",
+            lambda: float(self.admission.waiting),
+            help="Requests waiting for a frontend worker slot.",
+        )
+        registry.gauge_func(
+            "ceems_frontend_rejected_total",
+            lambda: float(self.admission.rejected),
+            help="Requests rejected 503 by worker-pool admission.",
+            type="counter",
+        )
+
+    # -- plumbing --------------------------------------------------------
+    def handle_query(self, request: Request) -> Response:
+        """Entry point for an embedding LB: dispatch a query-path
+        request straight into the frontend logic, without the extra
+        per-hop App middleware the standalone ``self.app`` adds."""
+        if request.path == "/api/v1/query":
+            return self._query(request)
+        return self._query_range(request)
+
+    @staticmethod
+    def _param(request: Request, name: str) -> str | None:
+        value = request.param(name)
+        if value is None:
+            values = request.form.get(name)
+            value = values[0] if values else None
+        return value
+
+    def _forward(self, request: Request) -> Response:
+        """Send one request to a backend picked by the LB strategy."""
+        backend = self.strategy.choose()
+        backend.acquire()
+        try:
+            return backend.app.handle(request)
+        finally:
+            backend.release()
+
+    def _forward_route(self, request: Request) -> Response:
+        return self._forward(request)
+
+    def _rejected(self, exc: AdmissionRejected) -> Response:
+        return Response.json(
+            {"status": "error", "errorType": "unavailable", "error": str(exc)},
+            status=503,
+            retry_after=f"{max(1, math.ceil(self.admission.retry_after))}",
+        )
+
+    @staticmethod
+    def _params(request: Request) -> tuple[str | None, ...]:
+        """All evaluation-relevant parameters, extracted once.
+
+        Indexed by :data:`_PARAM_NAMES` position; also the variable
+        part of the request fingerprint.  The POST form is parsed at
+        most once, not per missing parameter.
+        """
+        form: dict[str, list[str]] | None = None
+        out = []
+        for name in _PARAM_NAMES:
+            value = request.param(name)
+            if value is None:
+                if form is None:
+                    form = request.form
+                values = form.get(name)
+                value = values[0] if values else None
+            out.append(value)
+        return tuple(out)
+
+    def _coalesced(self, fingerprint: tuple, tenant: str, fn) -> Response:
+        """Admission inside single-flight: followers hold no slot."""
+
+        def leader():
+            try:
+                self.admission.acquire(tenant)
+            except AdmissionRejected as exc:
+                return self._rejected(exc)
+            try:
+                return fn()
+            finally:
+                self.admission.release(tenant)
+
+        return self.single_flight.do(fingerprint, leader)
+
+    def _now_cutoff(self) -> float:
+        """Newest timestamp the cache may store (live tail excluded)."""
+        if self.clock is None:
+            return math.inf
+        return self.clock.now() - self.freshness_seconds
+
+    # -- instant queries -------------------------------------------------
+    def _query(self, request: Request) -> Response:
+        values = self._params(request)
+        query = values[0]
+        if query and self.limits is not None:
+            failed = self.limits.check_query(query)
+            if failed is not None:
+                return failed
+        tenant = request.header(USER_HEADER, "") or ""
+        fingerprint = (request.path, tenant) + values
+        return self._coalesced(fingerprint, tenant, lambda: self._forward(request))
+
+    # -- range queries ---------------------------------------------------
+    def _query_range(self, request: Request) -> Response:
+        values = self._params(request)
+        query = values[0]
+        if query and self.limits is not None:
+            failed = self.limits.check_query(query)
+            if failed is not None:
+                return failed
+        try:
+            start = float(values[2])
+            end = float(values[3])
+            step = float(values[4])
+        except (TypeError, ValueError):
+            # Malformed numbers: the backend renders the canonical 400.
+            return self._forward(request)
+        if self.limits is not None:
+            failed = self.limits.check_range(start, end, step)
+            if failed is not None:
+                return failed
+        tenant = request.header(USER_HEADER, "") or ""
+        fingerprint = (request.path, tenant) + values
+        body = self.memo.get(fingerprint)
+        if body is not None:
+            # Whole-response replay: this exact request was answered
+            # before and its grid lies entirely in settled history.
+            self.cache.hits += 1
+            return Response(
+                status=200, headers={"content-type": "application/json"}, body=body
+            )
+        return self._coalesced(
+            fingerprint,
+            tenant,
+            lambda: self._range_inner(
+                request, values, tenant, start, end, step, fingerprint
+            ),
+        )
+
+    def _range_inner(
+        self,
+        request: Request,
+        values: tuple[str | None, ...],
+        tenant: str,
+        start: float,
+        end: float,
+        step: float,
+        fingerprint: tuple,
+    ) -> Response:
+        query = values[0] or ""
+        if (
+            not query
+            or step <= 0
+            or end < start
+            or (values[6] or "") == "all"
+        ):
+            # Error cases render backend-identically; stats=all embeds
+            # per-evaluation timings that a cache hit could not
+            # reproduce — both bypass the split/cache machinery.
+            self.passthrough_requests += 1
+            return self._forward(request)
+        grid = range_steps(start, end, step)
+        grid_list: list[float] = grid.tolist()
+        cutoff = self._now_cutoff()
+        settled = grid_list[-1] <= cutoff
+        strategy = values[5] or ""
+        key = (tenant, query, strategy, repr(step), repr(math.fmod(start, step)))
+        served = self.cache.covered_of(key, grid_list)
+
+        if not served and (
+            self.split_interval <= 0
+            or math.floor(grid_list[0] / self.split_interval)
+            == math.floor(grid_list[-1] / self.split_interval)
+        ):
+            # Cold single-bucket fast path: nothing cached and the
+            # whole grid fits one split bucket, so forward the
+            # original request verbatim — the response bytes are the
+            # backend's own — and stash the raw body for lazy ingest
+            # (the parse is paid by the next request for this key, or
+            # never).
+            self.cache.misses += 1
+            self.subqueries += 1
+            response = self._forward(request)
+            if response.status == 200:
+                self.cache.stash(key, grid_list, response.body, cutoff)
+                if settled:
+                    self.memo.put(fingerprint, response.body)
+            return response
+
+        runs = uncovered_runs(grid, served)
+        if served:
+            self.cache.hits += 1
+        if not runs:
+            # Fully covered: assemble from cache alone, zero backend
+            # round-trips.
+            response = self._assemble(key, served, start, end, [])
+            if settled:
+                self.memo.put(fingerprint, response.body)
+            return response
+        self.cache.misses += 1
+        parts = grid_parts(grid, step, self.split_interval)
+        if parts is None:
+            # Non-exact float grid: splitting could drift timestamps
+            # by an ulp.  Serve unsplit and uncached.
+            self.passthrough_requests += 1
+            return self._forward(request)
+        sub_runs = clamp_runs_to_parts(runs, parts)
+        if len(sub_runs) > 1:
+            self.split_requests += 1
+
+        # Evaluate every uncovered sub-range; any backend error is
+        # returned verbatim (its body is range-independent for parse/
+        # authz errors and must reach the client unchanged anyway).
+        part_results: list[tuple[int, int, list]] = []
+        for i0, i1 in sub_runs:
+            self.subqueries += 1
+            sub = Request(
+                method="GET",
+                path="/api/v1/query_range",
+                query={
+                    "query": [query],
+                    "start": [repr(float(grid[i0]))],
+                    "end": [repr(float(grid[i1]))],
+                    "step": [values[4]],
+                    **({"strategy": [strategy]} if strategy else {}),
+                },
+                headers=dict(request.headers),
+            )
+            response = self._forward(sub)
+            if response.status != 200:
+                return response
+            try:
+                data = json.loads(response.body.decode())["data"]
+                result = data["result"]
+            except (ValueError, KeyError, TypeError):
+                return response
+            part_results.append((i0, i1, result))
+            self.cache.ingest(key, grid_list[i0 : i1 + 1], result, cutoff)
+
+        response = self._assemble(key, served, start, end, part_results)
+        if settled:
+            self.memo.put(fingerprint, response.body)
+        return response
+
+    def _assemble(
+        self,
+        key: tuple,
+        served: set[float],
+        start: float,
+        end: float,
+        part_results: list[tuple[int, int, list]],
+    ) -> Response:
+        """Merge cached slices + fresh sub-results into one response.
+
+        Reproduces the PromAPI matrix rendering exactly: series sorted
+        by their label items, values in step order, every ``metric``
+        object in ``Labels.as_dict()`` (label-name-sorted) key order.
+        """
+        merged: dict[tuple, tuple[dict, list]] = {}
+        for series_key, metric, ts, vals in self.cache.slice(key, served, start, end):
+            entry = merged.get(series_key)
+            if entry is None:
+                entry = merged[series_key] = (metric, [])
+            entry[1].extend(zip(ts, vals))
+        for _i0, _i1, result in part_results:
+            for item in result:
+                metric = item["metric"]
+                series_key = tuple(sorted(metric.items()))
+                entry = merged.get(series_key)
+                if entry is None:
+                    entry = merged[series_key] = (metric, [])
+                entry[1].extend((float(t), v) for t, v in item["values"])
+        out = []
+        for series_key in sorted(merged):
+            metric, pairs = merged[series_key]
+            pairs.sort(key=lambda tv: tv[0])
+            out.append({"metric": metric, "values": [[t, v] for t, v in pairs]})
+        return Response.json(
+            {"status": "success", "data": {"resultType": "matrix", "result": out}}
+        )

@@ -1,0 +1,103 @@
+"""Range splitting: partition a ``query_range`` step grid by time.
+
+The Thanos/Cortex query-frontend trick: a long range query is split
+into interval-aligned sub-ranges that are evaluated independently and
+merged.  Because PromQL range evaluation is per-step — the value at
+step ``t`` depends only on data at times ``<= t`` — evaluating the
+same expression over any partition of the step grid reproduces the
+full-range result exactly, *provided every sub-query evaluates the
+very same step timestamps*.
+
+That proviso is the subtle part in floating point: the engine
+enumerates steps as ``start + i * step`` (see
+:func:`repro.tsdb.promql.engine.range_steps`), and
+``(start + k*step) + i*step`` is not always bit-equal to
+``start + (k+i)*step``.  :func:`split_parts` therefore verifies each
+candidate sub-grid against the global grid and reports failure
+(``None``) instead of returning a split that would drift — the
+frontend then falls back to the unsplit path, trading speed for the
+bit-identity contract.  Dashboard traffic (integer timestamps and
+steps) always splits cleanly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tsdb.promql.engine import range_steps
+
+#: Default split interval: one day, the Cortex/Thanos default.
+DEFAULT_SPLIT_INTERVAL = 86400.0
+
+
+def grid_parts(
+    steps: np.ndarray, step: float, interval: float
+) -> list[tuple[int, int]] | None:
+    """Partition grid indices into interval-aligned contiguous runs.
+
+    Returns ``[(i0, i1), ...]`` index ranges (inclusive) such that all
+    timestamps of one run fall into the same ``floor(t / interval)``
+    bucket — i.e. sub-ranges never straddle a day boundary for the
+    default interval.  Returns ``None`` when any sub-grid re-derived
+    from its own start would not be bit-identical to the global grid
+    (the caller must not split then).
+    """
+    if len(steps) == 0:
+        return []
+    if interval <= 0:
+        buckets = np.zeros(len(steps))
+    else:
+        buckets = np.floor(np.asarray(steps) / interval)
+    parts: list[tuple[int, int]] = []
+    i0 = 0
+    for i in range(1, len(steps)):
+        if buckets[i] != buckets[i0]:
+            parts.append((i0, i - 1))
+            i0 = i
+    parts.append((i0, len(steps) - 1))
+    for i0, i1 in parts:
+        sub = range_steps(float(steps[i0]), float(steps[i1]), step)
+        if len(sub) != i1 - i0 + 1 or not np.array_equal(sub, steps[i0 : i1 + 1]):
+            return None
+    return parts
+
+
+def clamp_runs_to_parts(
+    runs: list[tuple[int, int]], parts: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """Intersect uncovered index runs with split parts.
+
+    The remainder of a partially cached request is a set of contiguous
+    uncovered index runs; each run is further cut at split-interval
+    boundaries so one sub-query never exceeds the split interval.
+    """
+    out: list[tuple[int, int]] = []
+    for r0, r1 in runs:
+        for p0, p1 in parts:
+            lo, hi = max(r0, p0), min(r1, p1)
+            if lo <= hi:
+                out.append((lo, hi))
+    return out
+
+
+def uncovered_runs(
+    steps: np.ndarray, covered: set[float]
+) -> list[tuple[int, int]]:
+    """Maximal contiguous index runs of grid points not in ``covered``.
+
+    Membership is exact float equality: a cached point that drifted
+    by one ulp from this request's grid is treated as uncovered and
+    re-evaluated — never served at the wrong timestamp.
+    """
+    runs: list[tuple[int, int]] = []
+    start_idx: int | None = None
+    for i, t in enumerate(steps.tolist()):
+        if t in covered:
+            if start_idx is not None:
+                runs.append((start_idx, i - 1))
+                start_idx = None
+        elif start_idx is None:
+            start_idx = i
+    if start_idx is not None:
+        runs.append((start_idx, len(steps) - 1))
+    return runs

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 
-from repro.common.errors import QueryError
+from repro.common.errors import CEEMSError, QueryError
 from repro.common.httpx import App, Request, Response
 from repro.lb.authz import Authorizer
 from repro.lb.introspect import extract_uuids
@@ -54,6 +54,7 @@ class LoadBalancer:
         hot_retention: float = 0.0,
         clock=None,
         slow_request_ms: float = 250.0,
+        frontend=None,
     ) -> None:
         self.strategy: Strategy = make_strategy(strategy, backends)
         self.longterm_strategy: Strategy | None = (
@@ -62,6 +63,12 @@ class LoadBalancer:
         self.hot_retention = hot_retention
         self.clock = clock
         self.authorizer = authorizer
+        #: Optional :class:`repro.frontend.QueryFrontend`.  When set,
+        #: authorized ``/api/v1/query`` and ``/api/v1/query_range``
+        #: requests are dispatched into the frontend (split + cache +
+        #: coalesce + admission) instead of straight to a backend; all
+        #: other paths keep the plain proxy path.
+        self.frontend = frontend
         self.app = App(name="ceems-lb")
         # Telemetry and readiness must be registered before the
         # catch-all /{rest} proxy route — the router matches in
@@ -94,6 +101,7 @@ class LoadBalancer:
         self.requests_proxied = 0
         self.requests_denied = 0
         self.longterm_routed = 0
+        self.upstream_errors = 0
         #: Proxied requests slower than this log a structured warning
         #: (trace-correlated, so the backend's eval spans are one
         #: ``/debug/traces?trace_id=`` lookup away).  ``<0`` disables.
@@ -120,6 +128,12 @@ class LoadBalancer:
             "ceems_lb_longterm_routed_total",
             lambda: float(self.longterm_routed),
             help="Queries routed to the long-term (Thanos) pool.",
+            type="counter",
+        )
+        registry.gauge_func(
+            "ceems_lb_upstream_errors_total",
+            lambda: float(self.upstream_errors),
+            help="Requests that found no healthy backend (503) or a crashing one (502).",
             type="counter",
         )
         registry.gauge_func(
@@ -199,11 +213,43 @@ class LoadBalancer:
                     f"user {user} is not allowed to query units {sorted(scope.uuids) or '(all)'}",
                     user,
                 )
-        backend = self._pick_backend(request)
+        if self.frontend is not None and request.path in (
+            "/api/v1/query",
+            "/api/v1/query_range",
+        ):
+            # Age-based routing wins over the frontend: the frontend's
+            # backend pool is the hot pool, so queries older than the
+            # hot retention must keep going to the long-term (Thanos)
+            # backends via the plain proxy path below.
+            if not self._routes_longterm(request):
+                return self._frontend_dispatch(request)
+        try:
+            backend = self._pick_backend(request)
+        except CEEMSError as exc:
+            # No healthy backend to forward to: a retryable outage, not
+            # a crash — tell the client when to come back.
+            self.upstream_errors += 1
+            return Response.json(
+                {"status": "error", "errorType": "unavailable", "error": str(exc)},
+                status=503,
+                retry_after="1",
+            )
         backend.acquire()
         started = time.perf_counter()
         try:
             response = backend.app.handle(request)
+        except Exception as exc:  # backend crashed mid-request
+            self.upstream_errors += 1
+            self.app.telemetry.log.error(
+                "backend error",
+                path=request.path,
+                backend=backend.name,
+                error=str(exc),
+            )
+            response = Response.json(
+                {"status": "error", "errorType": "internal", "error": f"backend {backend.name} failed: {exc}"},
+                status=502,
+            )
         finally:
             backend.release()
         elapsed_ms = (time.perf_counter() - started) * 1000.0
@@ -220,17 +266,44 @@ class LoadBalancer:
         response.headers["x-ceems-backend"] = backend.name
         return response
 
-    def _pick_backend(self, request: Request) -> Backend:
-        """Route by query age when a long-term pool is configured."""
+    def _frontend_dispatch(self, request: Request) -> Response:
+        """Hand an authorized query-path request to the frontend."""
+        try:
+            response = self.frontend.handle_query(request)
+        except Exception as exc:  # frontend/backend crashed mid-request
+            self.upstream_errors += 1
+            self.app.telemetry.log.error(
+                "frontend error", path=request.path, error=str(exc)
+            )
+            response = Response.json(
+                {
+                    "status": "error",
+                    "errorType": "internal",
+                    "error": f"query frontend failed: {exc}",
+                },
+                status=502,
+            )
+        self.requests_proxied += 1
+        response.headers["x-ceems-backend"] = self.frontend.app.name
+        return response
+
+    def _routes_longterm(self, request: Request) -> bool:
+        """Would age-based routing send this query to the long-term pool?"""
         if (
             self.longterm_strategy is None
             or self.hot_retention <= 0
             or self.clock is None
-            or request.path not in _QUERY_PATHS
         ):
-            return self.strategy.choose()
+            return False
         earliest = self._query_earliest_time(request)
-        if earliest is not None and self.clock.now() - earliest > self.hot_retention:
+        return (
+            earliest is not None
+            and self.clock.now() - earliest > self.hot_retention
+        )
+
+    def _pick_backend(self, request: Request) -> Backend:
+        """Route by query age when a long-term pool is configured."""
+        if request.path in _QUERY_PATHS and self._routes_longterm(request):
             self.longterm_routed += 1
             return self.longterm_strategy.choose()
         return self.strategy.choose()

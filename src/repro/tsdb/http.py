@@ -34,10 +34,12 @@ threshold together with the trace id they ran under.
 
 from __future__ import annotations
 
+import math
 import time
 
 from repro.common.errors import QueryError, StorageError
 from repro.common.httpx import App, Request, Response
+from repro.frontend.limits import QueryLimits
 from repro.obs.query import (
     ActiveQueryTracker,
     QueryQueueFullError,
@@ -74,11 +76,18 @@ class PromAPI:
         active_query_journal: str = "",
         max_concurrent_queries: int = 20,
         queue_timeout: float = 5.0,
+        limits: QueryLimits | None = None,
         rules=None,
         alertmanager=None,
         exemplars=None,
     ) -> None:
         self.storage = storage
+        #: Pre-evaluation guardrails (query length / range duration /
+        #: resolved steps), enforced here too so the limits hold even
+        #: for clients that reach a backend directly, not only through
+        #: the query frontend.
+        self.limits = limits
+        self.queue_timeout = queue_timeout
         #: optional RuleEvaluator — backs /api/v1/rules and /api/v1/alerts
         self.rules = rules
         #: optional Alertmanager — silences plus alert suppression status
@@ -305,7 +314,14 @@ class PromAPI:
                             # eval-phase breakdown rides on the span.
                             span.attrs["stats"] = stats.to_dict()
             except QueryQueueFullError as exc:
-                return Response.error(503, str(exc))
+                # 503 with Retry-After: the client (and the LB, which
+                # must forward both verbatim) knows when to back off
+                # until a tracker slot is likely free again.
+                return Response.json(
+                    {"status": "error", "error": str(exc)},
+                    status=503,
+                    retry_after=f"{max(1, math.ceil(self.queue_timeout))}",
+                )
             except (QueryError, StorageError, ValueError) as exc:
                 return Response.error(400, str(exc))
             with stats.phase("render"):
@@ -328,6 +344,10 @@ class PromAPI:
         query = self._param(request, "query")
         if not query:
             return Response.error(400, "missing query parameter")
+        if self.limits is not None:
+            failed = self.limits.check_query(query)
+            if failed is not None:
+                return failed
         time_param = self._param(request, "time")
         if time_param is None:
             return Response.error(400, "missing time parameter (no wall clock in simulation)")
@@ -369,6 +389,12 @@ class PromAPI:
             step = float(self._param(request, "step"))
         except (TypeError, ValueError):
             return Response.error(400, "start/end/step must be numbers")
+        if self.limits is not None:
+            failed = self.limits.check_query(query) or self.limits.check_range(
+                start, end, step
+            )
+            if failed is not None:
+                return failed
         self.queries_served += 1
         strategy = self._param(request, "strategy") or "columnar"
 
