@@ -117,6 +117,48 @@ class ResultsCache:
                 self._drain_locked(key, entry)
             return {t for t in grid if t in entry.covered}
 
+    def snapshot(
+        self, key: tuple, grid: list[float]
+    ) -> tuple[set[float], list[tuple[tuple, dict[str, str], list[float], list[str]]]]:
+        """Atomically resolve coverage AND copy out the covered points.
+
+        Returns ``(served, columns)``: the subset of ``grid`` this key
+        has already evaluated, plus the cached ``(series_key, metric,
+        ts, vals)`` slices at exactly those timestamps.  Both come from
+        a single lock hold — a concurrent ingest (or the caller's own,
+        via the byte-budget eviction) may drop the entry at any moment
+        after this returns, and served steps are never re-evaluated, so
+        the points backing the coverage claim must leave the cache
+        together with the claim itself.  Answering from the copy keeps
+        the response complete (and safe to memoise) no matter what the
+        cache does afterwards.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return set(), []
+            self._entries.move_to_end(key)
+            if entry.pending:
+                self._drain_locked(key, entry)
+            served = {t for t in grid if t in entry.covered}
+            if not served:
+                return served, []
+            lo, hi = grid[0], grid[-1]
+            columns = []
+            for series_key, col in entry.series.items():
+                a = bisect_left(col.ts, lo)
+                b = bisect_right(col.ts, hi)
+                if a >= b:
+                    continue
+                ts = [t for t in col.ts[a:b] if t in served]
+                if not ts:
+                    continue
+                vals = [
+                    v for t, v in zip(col.ts[a:b], col.vals[a:b]) if t in served
+                ]
+                columns.append((series_key, col.metric, ts, vals))
+            return served, columns
+
     def slice(
         self, key: tuple, served: set[float], lo: float, hi: float
     ) -> Iterator[tuple[tuple, dict[str, str], list[float], list[str]]]:
@@ -124,6 +166,8 @@ class ResultsCache:
 
         Only points whose timestamp is in ``served`` (the exact grid
         subset this request is being answered from) are returned.
+        Unlike :meth:`snapshot` this is not atomic with the coverage
+        lookup — the serving path must use :meth:`snapshot`.
         """
         with self._lock:
             entry = self._entries.get(key)
@@ -247,6 +291,20 @@ class ResultsCache:
             _key, old = self._entries.popitem()
             self.total_bytes -= old.bytes
             self.evictions += 1
+
+    def record_hit(self) -> None:
+        """Count a request served at least partially from cache.
+
+        Request threads race on these counters under closed-loop load;
+        a bare ``+= 1`` from the server would drop increments.
+        """
+        with self._lock:
+            self.hits += 1
+
+    def record_miss(self) -> None:
+        """Count a request that needed at least one backend evaluation."""
+        with self._lock:
+            self.misses += 1
 
     def stats(self) -> dict[str, float]:
         with self._lock:

@@ -434,12 +434,18 @@ class QueryFrontend:
 
     # -- range queries ---------------------------------------------------
     def _query_range(self, request: Request) -> Response:
+        # Check order mirrors PromAPI._query_range exactly — missing
+        # query, then start/end/step parsing, then limits — so a
+        # request failing several checks at once gets the same status
+        # from both paths (e.g. over-long query + malformed numbers is
+        # a 400, not a 422).
         values = self._params(request)
         query = values[0]
-        if query and self.limits is not None:
-            failed = self.limits.check_query(query)
-            if failed is not None:
-                return failed
+        if not query:
+            # Missing query: the backend renders the canonical 400,
+            # before any float parsing or limit check.
+            self.passthrough_requests += 1
+            return self._forward(request)
         try:
             start = float(values[2])
             end = float(values[3])
@@ -448,7 +454,9 @@ class QueryFrontend:
             # Malformed numbers: the backend renders the canonical 400.
             return self._forward(request)
         if self.limits is not None:
-            failed = self.limits.check_range(start, end, step)
+            failed = self.limits.check_query(query) or self.limits.check_range(
+                start, end, step
+            )
             if failed is not None:
                 return failed
         tenant = request.header(USER_HEADER, "") or ""
@@ -457,7 +465,7 @@ class QueryFrontend:
         if body is not None:
             # Whole-response replay: this exact request was answered
             # before and its grid lies entirely in settled history.
-            self.cache.hits += 1
+            self.cache.record_hit()
             return Response(
                 status=200, headers={"content-type": "application/json"}, body=body
             )
@@ -497,7 +505,12 @@ class QueryFrontend:
         settled = grid_list[-1] <= cutoff
         strategy = values[5] or ""
         key = (tenant, query, strategy, repr(step), repr(math.fmod(start, step)))
-        served = self.cache.covered_of(key, grid_list)
+        # Coverage and the covered points are taken in one locked call:
+        # the entry can be evicted at any moment afterwards (a
+        # concurrent request's ingest under byte pressure, or this
+        # request's own), and served steps are never re-evaluated, so
+        # assembly must work from this copy — never a later re-read.
+        served, cached_columns = self.cache.snapshot(key, grid_list)
 
         if not served and (
             self.split_interval <= 0
@@ -510,7 +523,7 @@ class QueryFrontend:
             # backend's own — and stash the raw body for lazy ingest
             # (the parse is paid by the next request for this key, or
             # never).
-            self.cache.misses += 1
+            self.cache.record_miss()
             self.subqueries += 1
             response = self._forward(request)
             if response.status == 200:
@@ -521,15 +534,15 @@ class QueryFrontend:
 
         runs = uncovered_runs(grid, served)
         if served:
-            self.cache.hits += 1
+            self.cache.record_hit()
         if not runs:
-            # Fully covered: assemble from cache alone, zero backend
-            # round-trips.
-            response = self._assemble(key, served, start, end, [])
+            # Fully covered: assemble from the snapshot alone, zero
+            # backend round-trips.
+            response = self._assemble(cached_columns, [])
             if settled:
                 self.memo.put(fingerprint, response.body)
             return response
-        self.cache.misses += 1
+        self.cache.record_miss()
         parts = grid_parts(grid, step, self.split_interval)
         if parts is None:
             # Non-exact float grid: splitting could drift timestamps
@@ -569,27 +582,28 @@ class QueryFrontend:
             part_results.append((i0, i1, result))
             self.cache.ingest(key, grid_list[i0 : i1 + 1], result, cutoff)
 
-        response = self._assemble(key, served, start, end, part_results)
+        response = self._assemble(cached_columns, part_results)
         if settled:
             self.memo.put(fingerprint, response.body)
         return response
 
     def _assemble(
         self,
-        key: tuple,
-        served: set[float],
-        start: float,
-        end: float,
+        cached_columns: list[tuple[tuple, dict, list[float], list[str]]],
         part_results: list[tuple[int, int, list]],
     ) -> Response:
-        """Merge cached slices + fresh sub-results into one response.
+        """Merge snapshotted cache slices + fresh sub-results into one
+        response.
 
+        ``cached_columns`` is the copy :meth:`ResultsCache.snapshot`
+        took atomically with the coverage set — re-reading the cache
+        here could silently lose served steps to a concurrent eviction.
         Reproduces the PromAPI matrix rendering exactly: series sorted
         by their label items, values in step order, every ``metric``
         object in ``Labels.as_dict()`` (label-name-sorted) key order.
         """
         merged: dict[tuple, tuple[dict, list]] = {}
-        for series_key, metric, ts, vals in self.cache.slice(key, served, start, end):
+        for series_key, metric, ts, vals in cached_columns:
             entry = merged.get(series_key)
             if entry is None:
                 entry = merged[series_key] = (metric, [])

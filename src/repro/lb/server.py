@@ -270,6 +270,16 @@ class LoadBalancer:
         """Hand an authorized query-path request to the frontend."""
         try:
             response = self.frontend.handle_query(request)
+        except CEEMSError as exc:
+            # No healthy backend behind the frontend (strategy.choose
+            # raised): the same retryable outage the plain proxy path
+            # maps to 503 + Retry-After — not a 502 crash.
+            self.upstream_errors += 1
+            response = Response.json(
+                {"status": "error", "errorType": "unavailable", "error": str(exc)},
+                status=503,
+                retry_after="1",
+            )
         except Exception as exc:  # frontend/backend crashed mid-request
             self.upstream_errors += 1
             self.app.telemetry.log.error(

@@ -152,6 +152,40 @@ class TestParity:
         assert via.status == 400
         assert via.body == direct.body
 
+    def test_eviction_between_coverage_and_assembly_keeps_parity(self, fe_sim):
+        """Coverage and its backing points are snapshotted atomically.
+
+        Regression: the served set used to be computed up front while
+        assembly re-read the cache afterwards, so an eviction in
+        between — here the request's own ingest tripping the
+        single-oversized-entry rule — silently dropped the served grid
+        points from a 200 response, and the truncated body was then
+        memoised for every settled repeat.
+        """
+        backends = [Backend(name=a.app.name, app=a.app) for a in fe_sim.prom_apis]
+        fe = QueryFrontend(backends, split_interval=900.0, clock=fe_sim.clock)
+        now = fe_sim.clock.now()
+        query = "sum by (hostname) (rate(ceems_cpu_seconds_total[5m]))"
+        seeded = fe.app.get(_range_url(query, now - 3600, now - 2700, 60))
+        assert seeded.status == 200
+        assert fe.cache.total_bytes > 0
+        # Shrink the budget to exactly what is cached: the superset
+        # request below finds the seeded window covered, then its own
+        # ingest of the remainder overflows the budget and drops the
+        # entry before assembly.
+        fe.cache.max_bytes = fe.cache.total_bytes
+        # Same grid phase as the seed (offsets are multiples of the
+        # step), so the seeded window is found covered.
+        url = _range_url(query, now - 7080, now - 900, 60)
+        direct = _direct(fe_sim, url)
+        got = fe.app.get(url)
+        assert fe.cache.evictions > 0
+        assert got.status == 200
+        assert got.body == direct.body
+        # The settled repeat replays from the memo — it must be the
+        # complete body too, not a truncated one frozen forever.
+        assert fe.app.get(url).body == direct.body
+
     def test_cache_churn_under_tiny_budget(self, fe_sim):
         """Evictions must never break parity — only speed."""
         backends = [Backend(name=a.app.name, app=a.app) for a in fe_sim.prom_apis]
@@ -339,6 +373,22 @@ class TestLBForwarding:
         assert response.decode_json()["errorType"] == "unavailable"
         assert lb.upstream_errors == 1
 
+    def test_frontend_no_healthy_backend_is_retryable_503(self):
+        """The frontend path maps a no-healthy-backend outage to the
+        same retryable 503 + Retry-After as the plain proxy path, not
+        a generic 502."""
+        down = [Backend(name="down", app=App(name="down"), healthy=False)]
+        lb = LoadBalancer(down, _AllowAll(), frontend=QueryFrontend(down))
+        for url in (
+            "/api/v1/query?query=up",
+            _range_url("up", 0, 600, 60),
+        ):
+            response = lb.app.get(url, headers=ADMIN)
+            assert response.status == 503
+            assert response.headers.get("retry-after") == "1"
+            assert response.decode_json()["errorType"] == "unavailable"
+        assert lb.upstream_errors == 2
+
     def test_crashing_backend_is_502(self):
         app = App(name="crashy")
 
@@ -458,6 +508,31 @@ class TestLimits:
         )
         assert response.status == 422
 
+    def test_malformed_numbers_beat_limit_checks_on_both_paths(self, fe_sim):
+        """Check ordering parity: a request with an over-long query AND
+        malformed start/end/step gets the backend's 400 (numbers are
+        parsed before limits there), not a frontend-only 422."""
+        limits = QueryLimits(max_query_length=50)
+        api = PromAPI(fe_sim.fanout, name="limited-ordering", limits=limits)
+        backends = [Backend(name=api.app.name, app=api.app)]
+        frontend = QueryFrontend(backends, limits=limits, clock=fe_sim.clock)
+        long_query = "sum(" + "ceems_cpu_count + " * 10 + "ceems_cpu_count)"
+        url = "/api/v1/query_range?" + urllib.parse.urlencode(
+            {"query": long_query, "start": "oops", "end": 600, "step": 60}
+        )
+        direct = api.app.get(url)
+        via = frontend.app.get(url)
+        assert direct.status == 400
+        assert via.status == 400
+        assert via.body == direct.body
+        # With well-formed numbers the same query is a 422 on both.
+        now = fe_sim.clock.now()
+        ok_url = _range_url(long_query, now - 600, now - 60, 60)
+        direct = api.app.get(ok_url)
+        via = frontend.app.get(ok_url)
+        assert direct.status == via.status == 422
+        assert via.body == direct.body
+
     def test_frontend_enforces_same_limits_through_lb(self, fe_sim):
         limits = QueryLimits(max_range_seconds=1800)
         backends = [Backend(name=a.app.name, app=a.app) for a in fe_sim.prom_apis]
@@ -527,6 +602,21 @@ class TestSplitPrimitives:
         sliced = list(cache.slice(key, {0.0, 120.0}, 0.0, 120.0))
         assert sliced[0][2] == [0.0, 120.0]
         assert sliced[0][3] == ["1", "3"]
+
+    def test_snapshot_is_atomic_copy(self):
+        cache = ResultsCache(max_bytes=10_000)
+        key = ("t", "q", "", "60.0", "0.0")
+        steps = [0.0, 60.0, 120.0]
+        result = [{"metric": {"a": "1"}, "values": [[0.0, "1"], [120.0, "3"]]}]
+        cache.ingest(key, steps, result, cutoff=float("inf"))
+        served, columns = cache.snapshot(key, steps)
+        assert served == set(steps)
+        # Evicting the entry after the snapshot cannot take the data
+        # with it: assembly works from the copied columns.
+        cache.clear()
+        assert cache.covered_of(key, steps) == set()
+        assert columns[0][2] == [0.0, 120.0]
+        assert columns[0][3] == ["1", "3"]
 
     def test_results_cache_respects_cutoff(self):
         cache = ResultsCache()
